@@ -1,0 +1,44 @@
+"""Regenerate the measurement block of EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/run_all.py        # print all experiment tables
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+MODULES = [
+    "bench_model_navigation",
+    "bench_prop1_det_eval",
+    "bench_prop2_sat3",
+    "bench_prop3_recursive_eval",
+    "bench_prop4_counter_machines",
+    "bench_prop5_nondet_sat",
+    "bench_prop6_jsl_eval",
+    "bench_prop7_qbf",
+    "bench_prop9_recursive_eval",
+    "bench_prop10_recursive_sat",
+    "bench_theorem1_schema_jsl",
+    "bench_theorem2_translations",
+    "bench_streaming",
+    "bench_frontends",
+    "bench_ablations",
+]
+
+
+def main() -> None:
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    started = time.perf_counter()
+    for name in MODULES:
+        module = importlib.import_module(name)
+        print(module.main())
+        print()
+    print(f"(total wall time: {time.perf_counter() - started:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""JSONPath on the JNL core (Section 4.1): the classic bookstore.
+
+Run:  python examples/jsonpath_store.py
+"""
+
+from repro.jsonpath import jsonpath_query, parse_jsonpath
+from repro.jnl import is_deterministic, is_recursive
+from repro.model import JSONTree
+
+STORE = JSONTree.from_value(
+    {
+        "store": {
+            "book": [
+                {"category": "reference", "author": "Nigel Rees",
+                 "title": "Sayings of the Century", "price": 8},
+                {"category": "fiction", "author": "Evelyn Waugh",
+                 "title": "Sword of Honour", "price": 12},
+                {"category": "fiction", "author": "Herman Melville",
+                 "title": "Moby Dick", "price": 9},
+                {"category": "fiction", "author": "J. R. R. Tolkien",
+                 "title": "The Lord of the Rings", "price": 22},
+            ],
+            "bicycle": {"color": "red", "price": 19},
+        }
+    }
+)
+
+QUERIES = [
+    "$.store.book[0].title",
+    "$.store.book[*].author",
+    "$..price",
+    "$.store.book[1:3].title",
+    "$.store.book[-1].title",
+    "$.store.book[0,2].title",
+    "$.store.book[?(@.price < 10)].title",
+    '$.store.book[?(@.category == "fiction")].title',
+    "$..book[?(@.price > 10)].author",
+]
+
+
+def main() -> None:
+    for query in QUERIES:
+        path = parse_jsonpath(query)
+        flavour = (
+            "recursive" if is_recursive(path)
+            else "deterministic" if is_deterministic(path)
+            else "non-deterministic"
+        )
+        results = jsonpath_query(STORE, query)
+        print(f"{query:45s} [{flavour:17s}] -> {results}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Static reasoning about schemas: satisfiability with witnesses.
+
+The paper stresses that satisfiability is "important in the context of
+JSON Schema" (e.g. learning schemas from examples).  This example uses
+the Proposition 7/10 engine to answer design questions no validator
+can: is a schema satisfiable at all?  do two schemas conflict?  and it
+reconstructs the paper's Examples 2 and 5.
+
+Run:  python examples/schema_reasoning.py
+"""
+
+from repro.jsl import And, Not, parse_jsl
+from repro.jsl.satisfiability import jsl_satisfiable
+from repro.schema import parse_schema, schema_to_jsl
+
+
+def main() -> None:
+    # --- An unsatisfiable schema: no document can ever validate --------
+    broken = parse_schema(
+        {
+            "allOf": [
+                {"type": "number", "minimum": 10},
+                {"type": "number", "maximum": 8},
+            ]
+        }
+    )
+    result = jsl_satisfiable(schema_to_jsl(broken))
+    print("broken schema satisfiable:", result.satisfiable,
+          "(complete:", result.complete, ")")
+
+    # --- Witness generation: an instance conforming to a schema -------
+    api_schema = parse_schema(
+        {
+            "type": "object",
+            "required": ["id", "tags"],
+            "properties": {
+                "id": {"type": "number", "minimum": 1},
+                "tags": {
+                    "type": "array",
+                    "items": [{"type": "string", "pattern": "[a-z]{3,8}"}],
+                    "additionalItems": {"type": "string"},
+                    "uniqueItems": True,
+                },
+            },
+        }
+    )
+    result = jsl_satisfiable(schema_to_jsl(api_schema))
+    print("example instance:", result.witness.to_json())
+
+    # --- Schema compatibility: does S1 admit documents S2 rejects? ----
+    s1 = schema_to_jsl(parse_schema({"type": "number", "multipleOf": 6}))
+    s2 = schema_to_jsl(parse_schema({"type": "number", "multipleOf": 3}))
+    gap = jsl_satisfiable(And(s1, Not(s2)))
+    print("multipleOf 6 but not multipleOf 3 possible:", gap.satisfiable)
+    gap_reverse = jsl_satisfiable(And(s2, Not(s1)))
+    print("multipleOf 3 but not multipleOf 6 possible:",
+          gap_reverse.satisfiable,
+          "e.g.", gap_reverse.witness.to_json())
+
+    # --- The paper's Example 2: even root-to-leaf paths ----------------
+    even = parse_jsl(
+        "def g1 := all(.*, $g2);"
+        "def g2 := some(.*, true) and all(.*, $g1);"
+        "object and some(.*, true) and $g1"
+    )
+    result = jsl_satisfiable(even)
+    print("Example 2 witness (paths of even length):",
+          result.witness.to_json())
+
+    # --- The paper's Example 5: complete binary trees via ~Unique -----
+    complete = parse_jsl(
+        "def g := not some([0:0], true) or "
+        "(minch(2) and maxch(2) and not unique and all([0:1], $g));"
+        "array and minch(2) and $g"
+    )
+    result = jsl_satisfiable(complete)
+    print("Example 5 witness (complete binary tree, equal siblings):",
+          result.witness.to_json())
+
+
+if __name__ == "__main__":
+    main()

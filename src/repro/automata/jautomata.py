@@ -1,0 +1,119 @@
+"""J-automata: the automaton model of Proposition 10's proof.
+
+The paper introduces J-automata to decide satisfiability of recursive
+JSL: states carry guarded boolean rules over quantified state
+predicates (``q`` exists/forall along key languages or index windows)
+and node tests, with the acyclicity condition on state rules mirroring
+well-formedness.
+
+This module provides the model and the two translations that the
+proof's Lemmas 4 and 5 establish:
+
+* :func:`from_recursive_jsl` -- one state per definition (plus one for
+  the base expression), rule bodies obtained from the definition
+  bodies;
+* :func:`to_recursive_jsl` -- rules back into guarded definitions.
+
+Because the translations are semantics-preserving, *emptiness* of a
+J-automaton reduces to satisfiability of its recursive JSL image, which
+the Proposition 10 subset-fixpoint engine
+(:mod:`repro.jsl.satisfiability`) decides -- including the ``Unique``
+counting that the proof handles with "how many different trees reach
+this state".  Likewise *membership* runs the Proposition 9 bottom-up
+evaluator.  The automaton is thus a faithful alternative interface to
+the same constructions, and the round-trip is differentially tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WellFormednessError
+from repro.jsl import ast as jsl
+from repro.jsl.bottom_up import RecursiveJSLEvaluator
+from repro.jsl.recursion import check_well_formed
+from repro.jsl.satisfiability import SatResult, SolverConfig, jsl_satisfiable
+from repro.model.tree import JSONTree
+
+__all__ = ["JAutomaton", "from_recursive_jsl", "to_recursive_jsl"]
+
+
+@dataclass(frozen=True)
+class JAutomaton:
+    """A J-automaton as (state, rule) pairs plus an initial state.
+
+    ``rules`` maps each state name to its rule body: a JSL formula over
+    node tests in which a :class:`~repro.jsl.ast.Ref` denotes a state
+    predicate -- under a modality it is one of the quantified
+    predicates ``q_exists/forall``, outside it is a direct state
+    dependency (the proof's ``BoolSNT`` combinations).  The acyclicity
+    restriction on direct dependencies is exactly JSL well-formedness.
+    """
+
+    rules: tuple[tuple[str, jsl.Formula], ...]
+    initial: str
+
+    def rule_map(self) -> dict[str, jsl.Formula]:
+        return dict(self.rules)
+
+    def states(self) -> list[str]:
+        return [name for name, _body in self.rules]
+
+    # ------------------------------------------------------------------
+
+    def check_valid(self) -> None:
+        """Enforce the proof's no-loops condition on state rules."""
+        if self.initial not in dict(self.rules):
+            raise WellFormednessError(
+                f"initial state {self.initial!r} has no rule"
+            )
+        check_well_formed(to_recursive_jsl(self))
+
+    def accepts(self, tree: JSONTree) -> bool:
+        """Membership: does the automaton accept the JSON tree?"""
+        return RecursiveJSLEvaluator(tree, to_recursive_jsl(self)).satisfies()
+
+    def is_empty(self, config: SolverConfig | None = None) -> bool:
+        """Emptiness (Proposition 10): no accepted tree exists.
+
+        Note the result of the underlying bounded-complete engine: an
+        ``incomplete`` non-emptiness verdict never occurs (witnesses
+        are certified), but an emptiness verdict inherits the engine's
+        ``complete`` flag -- use :meth:`emptiness_result` for it.
+        """
+        return not self.emptiness_result(config).satisfiable
+
+    def emptiness_result(self, config: SolverConfig | None = None) -> SatResult:
+        return jsl_satisfiable(to_recursive_jsl(self), config)
+
+    def witness(self, config: SolverConfig | None = None) -> JSONTree | None:
+        """An accepted tree, when the language is non-empty."""
+        return self.emptiness_result(config).witness
+
+
+def from_recursive_jsl(expression: jsl.RecursiveJSL) -> JAutomaton:
+    """Lemma 5: a J-automaton equivalent to a recursive JSL expression.
+
+    One state per definition plus a fresh initial state for the base
+    expression; rule bodies are the definition bodies verbatim (their
+    references *are* the state predicates).
+    """
+    check_well_formed(expression)
+    names = {name for name, _body in expression.definitions}
+    initial = "q_init"
+    while initial in names:
+        initial = "_" + initial
+    rules = tuple(expression.definitions) + ((initial, expression.base),)
+    return JAutomaton(rules, initial)
+
+
+def to_recursive_jsl(automaton: JAutomaton) -> jsl.RecursiveJSL:
+    """The inverse of :func:`from_recursive_jsl` (Lemma 4's direction)."""
+    rules = automaton.rule_map()
+    base = rules[automaton.initial]
+    definitions = tuple(
+        (name, body)
+        for name, body in automaton.rules
+        if name != automaton.initial
+    )
+    return jsl.RecursiveJSL(definitions, base)

@@ -1,0 +1,275 @@
+"""Key languages: the sets of object keys used by modalities and axes.
+
+JSL modalities are indexed by a "subset of Sigma* given as a regular
+expression" (Definition 2), and the Theorem-1 translation of
+``additionalProperties`` needs "the intersection of the complement of
+each expression".  :class:`KeyLang` is an algebraic representation of
+such languages -- words, regexes, Sigma*, complements, unions and
+intersections -- with:
+
+* fast membership (:meth:`matches`) used by the evaluators, and
+* decision procedures (:meth:`is_empty`, :meth:`witness`,
+  :meth:`sample_words`, :meth:`count_words`) used by the
+  satisfiability engine, implemented by compiling to a DFA on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.automata import regex as rx
+
+__all__ = ["KeyLang", "word_key", "regex_key", "any_key"]
+
+
+@dataclass(frozen=True)
+class KeyLang:
+    """An element of the boolean algebra of regular key languages.
+
+    ``op`` is one of ``word``, ``regex``, ``any``, ``none``, ``not``,
+    ``and``, ``or``; ``payload`` holds the word / parsed regex, and
+    ``children`` the operands.  Instances are immutable and hashable, so
+    formulas containing them can be interned and memoised.
+    """
+
+    op: str
+    payload: str | None = None
+    children: tuple["KeyLang", ...] = ()
+    # Parsed regex AST for op == "regex" (kept out of eq/hash: the
+    # pattern text determines it).
+    _regex: rx.Regex | None = field(default=None, compare=False, repr=False)
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def word(text: str) -> "KeyLang":
+        return KeyLang("word", text)
+
+    @staticmethod
+    def regex(pattern: str) -> "KeyLang":
+        return KeyLang("regex", pattern, (), rx.parse_regex(pattern))
+
+    @staticmethod
+    def any() -> "KeyLang":
+        return KeyLang("any")
+
+    @staticmethod
+    def none() -> "KeyLang":
+        return KeyLang("none")
+
+    def complement(self) -> "KeyLang":
+        if self.op == "not":
+            return self.children[0]
+        if self.op == "any":
+            return KeyLang.none()
+        if self.op == "none":
+            return KeyLang.any()
+        return KeyLang("not", None, (self,))
+
+    @staticmethod
+    def union(languages: Sequence["KeyLang"]) -> "KeyLang":
+        languages = [lang for lang in languages if lang.op != "none"]
+        if not languages:
+            return KeyLang.none()
+        if len(languages) == 1:
+            return languages[0]
+        if any(lang.op == "any" for lang in languages):
+            return KeyLang.any()
+        return KeyLang("or", None, tuple(languages))
+
+    @staticmethod
+    def intersection(languages: Sequence["KeyLang"]) -> "KeyLang":
+        languages = [lang for lang in languages if lang.op != "any"]
+        if not languages:
+            return KeyLang.any()
+        if len(languages) == 1:
+            return languages[0]
+        if any(lang.op == "none" for lang in languages):
+            return KeyLang.none()
+        return KeyLang("and", None, tuple(languages))
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def single_word(self) -> str | None:
+        """The word if this is exactly a one-word language, else ``None``."""
+        return self.payload if self.op == "word" else None
+
+    def describe(self) -> str:
+        if self.op == "word":
+            return repr(self.payload)
+        if self.op == "regex":
+            return f"/{self.payload}/"
+        if self.op == "any":
+            return "Σ*"
+        if self.op == "none":
+            return "∅"
+        if self.op == "not":
+            return f"!({self.children[0].describe()})"
+        joiner = " & " if self.op == "and" else " | "
+        return "(" + joiner.join(child.describe() for child in self.children) + ")"
+
+    # -- membership ---------------------------------------------------------
+
+    def matches(self, key: str) -> bool:
+        """Does ``key`` belong to the language?  (No DFA construction.)"""
+        if self.op == "word":
+            return key == self.payload
+        if self.op == "regex":
+            assert self._regex is not None
+            return _regex_matches(self, key)
+        if self.op == "any":
+            return True
+        if self.op == "none":
+            return False
+        if self.op == "not":
+            return not self.children[0].matches(key)
+        if self.op == "and":
+            return all(child.matches(key) for child in self.children)
+        if self.op == "or":
+            return any(child.matches(key) for child in self.children)
+        raise ValueError(f"unknown KeyLang op {self.op!r}")
+
+    # -- decision procedures (via DFA) ---------------------------------------
+
+    def to_dfa(self) -> rx.DFA:
+        cached = _DFA_CACHE.get(self)
+        if cached is not None:
+            return cached
+        dfa = self._build_dfa()
+        _DFA_CACHE[self] = dfa
+        return dfa
+
+    def _build_dfa(self) -> rx.DFA:
+        if self.op == "word":
+            assert self.payload is not None
+            return rx.determinize(rx.nfa_from_regex(rx.regex_for_word(self.payload)))
+        if self.op == "regex":
+            assert self._regex is not None
+            return rx.determinize(rx.nfa_from_regex(self._regex))
+        if self.op == "any":
+            return rx.determinize(rx.nfa_from_regex(rx.any_string_regex()))
+        if self.op == "none":
+            return rx.determinize(rx.nfa_from_regex(rx.REmpty()))
+        if self.op == "not":
+            return rx.dfa_complement(self.children[0].to_dfa())
+        if self.op in ("and", "or"):
+            mode = "intersection" if self.op == "and" else "union"
+            dfa = self.children[0].to_dfa()
+            for child in self.children[1:]:
+                dfa = rx.dfa_product(dfa, child.to_dfa(), mode)
+            return dfa
+        raise ValueError(f"unknown KeyLang op {self.op!r}")
+
+    def is_empty(self) -> bool:
+        if self.op == "word":
+            return False
+        if self.op == "any":
+            return False
+        if self.op == "none":
+            return True
+        return rx.dfa_is_empty(self.to_dfa())
+
+    def witness(self) -> str | None:
+        """Some word in the language, or ``None`` when empty."""
+        if self.op == "word":
+            return self.payload
+        if self.op == "any":
+            return ""
+        if self.op == "none":
+            return None
+        return rx.dfa_witness(self.to_dfa())
+
+    def count_words(self, limit: int) -> int:
+        """Distinct words in the language, capped at ``limit``."""
+        if self.op == "word":
+            return min(1, limit)
+        if self.op == "any":
+            return limit
+        if self.op == "none":
+            return 0
+        return rx.dfa_count_words(self.to_dfa(), limit)
+
+    def sample_words(self, count: int) -> list[str]:
+        """Up to ``count`` distinct words from the language."""
+        if self.op == "word":
+            assert self.payload is not None
+            return [self.payload][:count]
+        if self.op == "none":
+            return []
+        return rx.dfa_sample_words(self.to_dfa(), count)
+
+    def to_pattern_text(self) -> str | None:
+        """A single regex string denoting the language (``None`` if empty).
+
+        Boolean combinations are rendered by extracting a regex from the
+        compiled DFA; the reverse Theorem-1 translation uses this to turn
+        arbitrary key languages back into ``pattern`` /
+        ``patternProperties`` strings.
+        """
+        if self.op == "word":
+            assert self.payload is not None
+            return "".join(
+                "\\" + char if char in _SPECIAL_CHARS else char
+                for char in self.payload
+            )
+        if self.op == "regex":
+            return self.payload
+        if self.op == "any":
+            return ".*"
+        if self.op == "none":
+            return None
+        return rx.dfa_to_regex_text(self.to_dfa())
+
+
+def _regex_matches(lang: KeyLang, key: str) -> bool:
+    nfa = _NFA_CACHE.get(lang)
+    if nfa is None:
+        assert lang._regex is not None
+        nfa = rx.nfa_from_regex(lang._regex)
+        _NFA_CACHE[lang] = nfa
+    return rx.nfa_matches(nfa, key)
+
+
+_DFA_CACHE: dict[KeyLang, rx.DFA] = {}
+_NFA_CACHE: dict[KeyLang, rx.NFA] = {}
+_SPECIAL_CHARS = set(".^$*+?{}[]()|\\/")
+
+
+def word_key(text: str) -> KeyLang:
+    """The singleton key language ``{text}``."""
+    return KeyLang.word(text)
+
+
+def regex_key(pattern: str) -> KeyLang:
+    """The key language of an (anchored) regular expression."""
+    return KeyLang.regex(pattern)
+
+
+def any_key() -> KeyLang:
+    """The universal key language Sigma*."""
+    return KeyLang.any()
+
+
+def disjoint_cells(languages: Iterable[KeyLang]) -> list[tuple[frozenset[int], KeyLang]]:
+    """All non-empty boolean cells of a finite family of key languages.
+
+    For languages ``L_0 .. L_{k-1}`` this returns, for every subset ``S``
+    of indices such that the cell  ``(AND_{i in S} L_i) AND (AND_{i not in
+    S} complement(L_i))``  is non-empty, the pair ``(S, cell)``.  The
+    satisfiability engine picks witness keys per cell so that a key's
+    membership in each modality language is fully determined.
+    """
+    langs = list(languages)
+    cells: list[tuple[frozenset[int], KeyLang]] = []
+    for mask in range(1 << len(langs)):
+        members = frozenset(i for i in range(len(langs)) if mask >> i & 1)
+        parts = [
+            langs[i] if i in members else langs[i].complement()
+            for i in range(len(langs))
+        ]
+        cell = KeyLang.intersection(parts)
+        if not cell.is_empty():
+            cells.append((members, cell))
+    return cells

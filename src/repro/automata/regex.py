@@ -1,0 +1,1030 @@
+"""A self-contained regular-expression engine over unicode strings.
+
+The paper uses regular expressions over the alphabet of all unicode
+characters in three places: the non-deterministic key axis ``X_e`` of
+JNL, the ``Pattern(e)`` node test / ``"pattern"`` keyword of JSL and
+JSON Schema, and the key languages of ``patternProperties``.  The
+``additionalProperties`` keyword further needs *complements* of unions
+of key languages, and the satisfiability engine needs *intersections*,
+*emptiness tests* and *witness words* for boolean combinations of key
+languages.  Python's :mod:`re` offers none of the latter, so this module
+implements the classical pipeline:
+
+    parse -> syntax tree -> Thompson NFA -> subset-construction DFA
+
+with product, complement, emptiness, shortest-witness and
+distinct-word-counting operations on DFAs.  Character classes are kept
+as sorted lists of codepoint intervals so the effective alphabet of any
+automaton stays tiny regardless of unicode's size.
+
+Matching is *anchored* (the expression must describe the whole string),
+which is how the paper reads ``pattern`` -- "validates only against
+those strings that belong to the language of this expression".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import RegexParseError
+
+__all__ = [
+    "CharClass",
+    "Regex",
+    "REmpty",
+    "REpsilon",
+    "RChar",
+    "RConcat",
+    "RUnion",
+    "RStar",
+    "parse_regex",
+    "NFA",
+    "nfa_from_regex",
+    "nfa_matches",
+    "DFA",
+    "determinize",
+    "dfa_complement",
+    "dfa_product",
+    "dfa_is_empty",
+    "dfa_witness",
+    "dfa_count_words",
+    "dfa_sample_words",
+    "MAX_CODEPOINT",
+]
+
+MAX_CODEPOINT = 0x10FFFF
+
+
+# ---------------------------------------------------------------------------
+# Character classes: sorted, disjoint, inclusive codepoint intervals.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CharClass:
+    """A set of characters as normalised codepoint intervals."""
+
+    intervals: tuple[tuple[int, int], ...]
+
+    @staticmethod
+    def of(*chars: str) -> "CharClass":
+        return CharClass(_normalize([(ord(c), ord(c)) for c in chars]))
+
+    @staticmethod
+    def range(low: str, high: str) -> "CharClass":
+        return CharClass(_normalize([(ord(low), ord(high))]))
+
+    @staticmethod
+    def from_intervals(intervals: Iterable[tuple[int, int]]) -> "CharClass":
+        return CharClass(_normalize(list(intervals)))
+
+    @staticmethod
+    def any_char() -> "CharClass":
+        return CharClass(((0, MAX_CODEPOINT),))
+
+    @staticmethod
+    def empty() -> "CharClass":
+        return CharClass(())
+
+    def __contains__(self, char: str) -> bool:
+        code = ord(char)
+        intervals = self.intervals
+        lo, hi = 0, len(intervals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            low, high = intervals[mid]
+            if code < low:
+                hi = mid
+            elif code > high:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def union(self, other: "CharClass") -> "CharClass":
+        return CharClass(_normalize(list(self.intervals) + list(other.intervals)))
+
+    def complement(self) -> "CharClass":
+        result: list[tuple[int, int]] = []
+        next_start = 0
+        for low, high in self.intervals:
+            if low > next_start:
+                result.append((next_start, low - 1))
+            next_start = high + 1
+        if next_start <= MAX_CODEPOINT:
+            result.append((next_start, MAX_CODEPOINT))
+        return CharClass(tuple(result))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def sample(self) -> str:
+        """A representative character, preferring printable ASCII."""
+        if self.is_empty:
+            raise ValueError("empty character class has no sample")
+        for low, high in self.intervals:
+            start = max(low, 0x20)
+            if start <= min(high, 0x7E):
+                return chr(start)
+        low, high = self.intervals[0]
+        return chr(low)
+
+    def size(self) -> int:
+        return sum(high - low + 1 for low, high in self.intervals)
+
+    def chars(self, limit: int) -> list[str]:
+        """Up to ``limit`` distinct characters from the class."""
+        out: list[str] = []
+        for low, high in self.intervals:
+            for code in range(low, high + 1):
+                out.append(chr(code))
+                if len(out) >= limit:
+                    return out
+        return out
+
+
+def _normalize(intervals: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    cleaned = [(lo, hi) for lo, hi in intervals if lo <= hi]
+    cleaned.sort()
+    merged: list[tuple[int, int]] = []
+    for low, high in cleaned:
+        if merged and low <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], high))
+        else:
+            merged.append((low, high))
+    return tuple(merged)
+
+
+# ---------------------------------------------------------------------------
+# Regex syntax trees.
+# ---------------------------------------------------------------------------
+
+
+class Regex:
+    """Base class of regular-expression syntax trees."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class REmpty(Regex):
+    """The empty language."""
+
+
+@dataclass(frozen=True)
+class REpsilon(Regex):
+    """The language containing only the empty word."""
+
+
+@dataclass(frozen=True)
+class RChar(Regex):
+    char_class: CharClass
+
+
+@dataclass(frozen=True)
+class RConcat(Regex):
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True)
+class RUnion(Regex):
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True)
+class RStar(Regex):
+    inner: Regex
+
+
+def regex_for_word(word: str) -> Regex:
+    """The singleton language ``{word}``."""
+    result: Regex = REpsilon()
+    for char in word:
+        result = RConcat(result, RChar(CharClass.of(char)))
+    return result
+
+
+def any_string_regex() -> Regex:
+    """The universal language Sigma*."""
+    return RStar(RChar(CharClass.any_char()))
+
+
+# ---------------------------------------------------------------------------
+# Parser (anchored, egrep-style syntax).
+# ---------------------------------------------------------------------------
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+_CLASS_SHORTHANDS = {
+    "d": CharClass.from_intervals([(0x30, 0x39)]),
+    "w": CharClass.from_intervals(
+        [(0x30, 0x39), (0x41, 0x5A), (0x5F, 0x5F), (0x61, 0x7A)]
+    ),
+    "s": CharClass.of(" ", "\t", "\n", "\r", "\f", "\v"),
+}
+
+
+class _RegexParser:
+    """Recursive-descent parser for the supported regex syntax.
+
+    Supported: literals, ``.``, ``[...]`` (ranges, negation, shorthands),
+    ``(...)``, ``|``, ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``
+    and escapes ``\\d \\w \\s \\D \\W \\S`` plus literal escapes.
+    Anchors ``^``/``$`` are accepted at the ends and ignored (matching
+    is anchored anyway).
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> Regex:
+        if self.text.startswith("^"):
+            self.pos = 1
+        node = self._union()
+        if self.pos < len(self.text):
+            raise RegexParseError(
+                f"unexpected character {self.text[self.pos]!r} in regex "
+                f"{self.text!r}",
+                self.pos,
+            )
+        return node
+
+    # -- grammar -----------------------------------------------------------
+
+    def _union(self) -> Regex:
+        node = self._concat()
+        while self._peek() == "|":
+            self.pos += 1
+            node = RUnion(node, self._concat())
+        return node
+
+    def _concat(self) -> Regex:
+        parts: list[Regex] = []
+        while True:
+            char = self._peek()
+            if char is None or char in "|)":
+                break
+            if char == "$" and self.pos == len(self.text) - 1:
+                self.pos += 1
+                break
+            parts.append(self._repeat())
+        if not parts:
+            return REpsilon()
+        node = parts[0]
+        for part in parts[1:]:
+            node = RConcat(node, part)
+        return node
+
+    def _repeat(self) -> Regex:
+        node = self._atom()
+        while True:
+            char = self._peek()
+            if char == "*":
+                self.pos += 1
+                node = RStar(node)
+            elif char == "+":
+                self.pos += 1
+                node = RConcat(node, RStar(node))
+            elif char == "?":
+                self.pos += 1
+                node = RUnion(node, REpsilon())
+            elif char == "{":
+                node = self._bounded_repeat(node)
+            else:
+                return node
+
+    def _bounded_repeat(self, node: Regex) -> Regex:
+        start = self.pos
+        self.pos += 1  # consume '{'
+        digits_low = self._digits()
+        low = int(digits_low) if digits_low else None
+        high: int | None
+        if self._peek() == ",":
+            self.pos += 1
+            digits_high = self._digits()
+            high = int(digits_high) if digits_high else None
+        else:
+            high = low
+        if self._peek() != "}" or low is None:
+            raise RegexParseError(f"malformed bounded repeat in {self.text!r}", start)
+        self.pos += 1
+        if high is not None and high < low:
+            raise RegexParseError(f"bounded repeat {{{low},{high}}} is empty", start)
+        required: Regex = REpsilon()
+        for _ in range(low):
+            required = RConcat(required, node)
+        if high is None:
+            return RConcat(required, RStar(node))
+        optional: Regex = REpsilon()
+        for _ in range(high - low):
+            optional = RConcat(RUnion(node, REpsilon()), optional)
+        return RConcat(required, optional)
+
+    def _digits(self) -> str:
+        start = self.pos
+        while self._peek() is not None and self.text[self.pos].isdigit():
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def _atom(self) -> Regex:
+        char = self._peek()
+        if char is None:
+            raise RegexParseError(f"unexpected end of regex {self.text!r}", self.pos)
+        if char == "(":
+            self.pos += 1
+            if self.text.startswith("?:", self.pos):
+                self.pos += 2
+            node = self._union()
+            if self._peek() != ")":
+                raise RegexParseError(f"unbalanced '(' in {self.text!r}", self.pos)
+            self.pos += 1
+            return node
+        if char == "[":
+            return RChar(self._char_class())
+        if char == ".":
+            self.pos += 1
+            return RChar(CharClass.any_char())
+        if char == "\\":
+            return RChar(self._escape())
+        if char in "*+?{":
+            raise RegexParseError(
+                f"quantifier {char!r} with nothing to repeat in {self.text!r}",
+                self.pos,
+            )
+        self.pos += 1
+        return RChar(CharClass.of(char))
+
+    def _escape(self) -> CharClass:
+        self.pos += 1  # consume backslash
+        char = self._peek()
+        if char is None:
+            raise RegexParseError(f"dangling backslash in {self.text!r}", self.pos)
+        self.pos += 1
+        if char in _CLASS_SHORTHANDS:
+            return _CLASS_SHORTHANDS[char]
+        if char.lower() in _CLASS_SHORTHANDS and char.isupper():
+            return _CLASS_SHORTHANDS[char.lower()].complement()
+        if char in _ESCAPES:
+            return CharClass.of(_ESCAPES[char])
+        return CharClass.of(char)
+
+    def _char_class(self) -> CharClass:
+        start = self.pos
+        self.pos += 1  # consume '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self.pos += 1
+        intervals: list[tuple[int, int]] = []
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise RegexParseError(f"unbalanced '[' in {self.text!r}", start)
+            if char == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            if char == "\\":
+                cls = self._escape()
+                intervals.extend(cls.intervals)
+                continue
+            self.pos += 1
+            low = char
+            if self._peek() == "-" and self.pos + 1 < len(self.text) and self.text[
+                self.pos + 1
+            ] not in "]":
+                self.pos += 1
+                high_char = self._peek()
+                assert high_char is not None
+                if high_char == "\\":
+                    high_cls = self._escape()
+                    high_char = chr(high_cls.intervals[0][0])
+                else:
+                    self.pos += 1
+                if ord(high_char) < ord(low):
+                    raise RegexParseError(
+                        f"inverted range {low}-{high_char} in {self.text!r}", start
+                    )
+                intervals.append((ord(low), ord(high_char)))
+            else:
+                intervals.append((ord(low), ord(low)))
+        cls = CharClass.from_intervals(intervals)
+        return cls.complement() if negated else cls
+
+    def _peek(self) -> str | None:
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse ``text`` into a regex syntax tree (anchored semantics)."""
+    return _RegexParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Thompson NFA.
+# ---------------------------------------------------------------------------
+
+
+class NFA:
+    """A non-deterministic finite automaton with char-class transitions."""
+
+    __slots__ = ("num_states", "start", "accept", "transitions", "epsilons")
+
+    def __init__(self) -> None:
+        self.num_states = 0
+        self.start = 0
+        self.accept = 0
+        # state -> list of (CharClass, target)
+        self.transitions: list[list[tuple[CharClass, int]]] = []
+        self.epsilons: list[list[int]] = []
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        self.epsilons.append([])
+        self.num_states += 1
+        return self.num_states - 1
+
+    def add_edge(self, source: int, char_class: CharClass, target: int) -> None:
+        self.transitions[source].append((char_class, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilons[source].append(target)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilons[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+
+def nfa_from_regex(regex: Regex) -> NFA:
+    """Thompson construction (iterative over an explicit work stack)."""
+    nfa = NFA()
+
+    def build(node: Regex) -> tuple[int, int]:
+        if isinstance(node, REmpty):
+            return nfa.new_state(), nfa.new_state()
+        if isinstance(node, REpsilon):
+            start = nfa.new_state()
+            end = nfa.new_state()
+            nfa.add_epsilon(start, end)
+            return start, end
+        if isinstance(node, RChar):
+            start = nfa.new_state()
+            end = nfa.new_state()
+            if not node.char_class.is_empty:
+                nfa.add_edge(start, node.char_class, end)
+            return start, end
+        if isinstance(node, RConcat):
+            left = build(node.left)
+            right = build(node.right)
+            nfa.add_epsilon(left[1], right[0])
+            return left[0], right[1]
+        if isinstance(node, RUnion):
+            left = build(node.left)
+            right = build(node.right)
+            start = nfa.new_state()
+            end = nfa.new_state()
+            nfa.add_epsilon(start, left[0])
+            nfa.add_epsilon(start, right[0])
+            nfa.add_epsilon(left[1], end)
+            nfa.add_epsilon(right[1], end)
+            return start, end
+        if isinstance(node, RStar):
+            inner = build(node.inner)
+            start = nfa.new_state()
+            end = nfa.new_state()
+            nfa.add_epsilon(start, inner[0])
+            nfa.add_epsilon(start, end)
+            nfa.add_epsilon(inner[1], inner[0])
+            nfa.add_epsilon(inner[1], end)
+            return start, end
+        raise TypeError(f"unknown regex node {node!r}")
+
+    start, accept = build(regex)
+    nfa.start = start
+    nfa.accept = accept
+    return nfa
+
+
+def nfa_matches(nfa: NFA, word: str) -> bool:
+    """Anchored NFA membership by on-line subset simulation."""
+    current = nfa.epsilon_closure([nfa.start])
+    for char in word:
+        next_states: set[int] = set()
+        for state in current:
+            for char_class, target in nfa.transitions[state]:
+                if char in char_class:
+                    next_states.add(target)
+        if not next_states:
+            return False
+        current = nfa.epsilon_closure(next_states)
+    return nfa.accept in current
+
+
+# ---------------------------------------------------------------------------
+# DFA (total, over a partitioned alphabet).
+# ---------------------------------------------------------------------------
+
+
+class DFA:
+    """A complete DFA over an interval-partitioned alphabet.
+
+    ``alphabet`` is a list of disjoint codepoint intervals covering the
+    characters that any transition distinguishes; every character not in
+    any interval behaves like the ``rest`` pseudo-symbol.  Transitions
+    are total: ``delta[state][symbol_index]`` with ``symbol_index ==
+    len(alphabet)`` reserved for ``rest``.
+    """
+
+    __slots__ = ("alphabet", "delta", "start", "accepting")
+
+    def __init__(
+        self,
+        alphabet: list[tuple[int, int]],
+        delta: list[list[int]],
+        start: int,
+        accepting: set[int],
+    ) -> None:
+        self.alphabet = alphabet
+        self.delta = delta
+        self.start = start
+        self.accepting = accepting
+
+    @property
+    def num_states(self) -> int:
+        return len(self.delta)
+
+    @property
+    def num_symbols(self) -> int:
+        return len(self.alphabet) + 1  # + the "rest" symbol
+
+    def symbol_of(self, char: str) -> int:
+        code = ord(char)
+        lo, hi = 0, len(self.alphabet)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            low, high = self.alphabet[mid]
+            if code < low:
+                hi = mid
+            elif code > high:
+                lo = mid + 1
+            else:
+                return mid
+        return len(self.alphabet)
+
+    def symbol_sample(self, symbol: int) -> str:
+        if symbol < len(self.alphabet):
+            low, high = self.alphabet[symbol]
+            start = max(low, 0x20)
+            return chr(start if start <= min(high, 0x7E) else low)
+        # The "rest" symbol: pick a printable char outside all intervals.
+        return CharClass(tuple(self.alphabet)).complement().sample()
+
+    def symbol_width(self, symbol: int) -> int:
+        if symbol < len(self.alphabet):
+            low, high = self.alphabet[symbol]
+            return high - low + 1
+        covered = sum(high - low + 1 for low, high in self.alphabet)
+        return MAX_CODEPOINT + 1 - covered
+
+    def symbol_chars(self, symbol: int, limit: int) -> list[str]:
+        if symbol < len(self.alphabet):
+            return CharClass((self.alphabet[symbol],)).chars(limit)
+        return CharClass(tuple(self.alphabet)).complement().chars(limit)
+
+    def accepts(self, word: str) -> bool:
+        state = self.start
+        for char in word:
+            state = self.delta[state][self.symbol_of(char)]
+        return state in self.accepting
+
+
+def _partition_boundaries(classes: Iterable[CharClass]) -> list[tuple[int, int]]:
+    """Split the codepoint space so every class is a union of cells."""
+    points: set[int] = set()
+    for cls in classes:
+        for low, high in cls.intervals:
+            points.add(low)
+            points.add(high + 1)
+    if not points:
+        return []
+    sorted_points = sorted(points)
+    cells: list[tuple[int, int]] = []
+    for index, low in enumerate(sorted_points):
+        high = (
+            sorted_points[index + 1] - 1
+            if index + 1 < len(sorted_points)
+            else MAX_CODEPOINT
+        )
+        if low <= high and low <= MAX_CODEPOINT:
+            cells.append((low, min(high, MAX_CODEPOINT)))
+    return cells
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction, producing a complete DFA."""
+    all_classes = [
+        char_class
+        for edges in nfa.transitions
+        for char_class, _ in edges
+    ]
+    alphabet = _partition_boundaries(all_classes)
+    samples = [chr(max(low, 0)) for low, _high in alphabet]
+
+    start_set = nfa.epsilon_closure([nfa.start])
+    index: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    delta: list[list[int]] = []
+    accepting: set[int] = set()
+    order: list[frozenset[int]] = [start_set]
+
+    while worklist:
+        current = worklist.pop()
+        state_id = index[current]
+        while len(delta) <= state_id:
+            delta.append([])
+        row = [0] * (len(alphabet) + 1)
+        for symbol, sample in enumerate(samples):
+            targets: set[int] = set()
+            for state in current:
+                for char_class, target in nfa.transitions[state]:
+                    if sample in char_class:
+                        targets.add(target)
+            closure = nfa.epsilon_closure(targets) if targets else frozenset()
+            if closure not in index:
+                index[closure] = len(index)
+                order.append(closure)
+                worklist.append(closure)
+            row[symbol] = index[closure]
+        # The "rest" symbol matches no transition class by construction.
+        empty = frozenset()
+        if empty not in index:
+            index[empty] = len(index)
+            order.append(empty)
+            worklist.append(empty)
+        row[len(alphabet)] = index[empty]
+        delta[state_id] = row
+
+    while len(delta) < len(index):
+        delta.append([])
+    for subset, state_id in index.items():
+        if not delta[state_id]:
+            delta[state_id] = [index[frozenset()]] * (len(alphabet) + 1)
+        if nfa.accept in subset:
+            accepting.add(state_id)
+    return DFA(alphabet, delta, 0, accepting)
+
+
+def dfa_complement(dfa: DFA) -> DFA:
+    accepting = set(range(dfa.num_states)) - dfa.accepting
+    return DFA(dfa.alphabet, [row[:] for row in dfa.delta], dfa.start, accepting)
+
+
+def _refine_alphabets(left: DFA, right: DFA) -> tuple[
+    list[tuple[int, int]], list[int], list[int]
+]:
+    """Common refinement of two DFA alphabets + symbol remappings."""
+    classes = [CharClass((cell,)) for cell in left.alphabet] + [
+        CharClass((cell,)) for cell in right.alphabet
+    ]
+    cells = _partition_boundaries(classes)
+    left_map: list[int] = []
+    right_map: list[int] = []
+    for low, _high in cells:
+        char = chr(low)
+        left_map.append(left.symbol_of(char))
+        right_map.append(right.symbol_of(char))
+    return cells, left_map, right_map
+
+
+def dfa_product(left: DFA, right: DFA, mode: str = "intersection") -> DFA:
+    """Product automaton; ``mode`` in {'intersection', 'union', 'difference'}."""
+    cells, left_map, right_map = _refine_alphabets(left, right)
+    num_symbols = len(cells) + 1
+    index: dict[tuple[int, int], int] = {(left.start, right.start): 0}
+    worklist = [(left.start, right.start)]
+    delta: list[list[int]] = []
+    pairs: list[tuple[int, int]] = [(left.start, right.start)]
+    while worklist:
+        pair = worklist.pop()
+        state_id = index[pair]
+        while len(delta) <= state_id:
+            delta.append([])
+        row = [0] * num_symbols
+        for symbol in range(num_symbols):
+            if symbol < len(cells):
+                l_sym = left_map[symbol]
+                r_sym = right_map[symbol]
+            else:
+                l_sym = len(left.alphabet)
+                r_sym = len(right.alphabet)
+            target = (left.delta[pair[0]][l_sym], right.delta[pair[1]][r_sym])
+            if target not in index:
+                index[target] = len(index)
+                pairs.append(target)
+                worklist.append(target)
+            row[symbol] = index[target]
+        delta[state_id] = row
+    accepting: set[int] = set()
+    for (l_state, r_state), state_id in index.items():
+        in_left = l_state in left.accepting
+        in_right = r_state in right.accepting
+        if mode == "intersection":
+            accept = in_left and in_right
+        elif mode == "union":
+            accept = in_left or in_right
+        elif mode == "difference":
+            accept = in_left and not in_right
+        else:
+            raise ValueError(f"unknown product mode {mode!r}")
+        if accept:
+            accepting.add(state_id)
+    return DFA(cells, delta, 0, accepting)
+
+
+def dfa_is_empty(dfa: DFA) -> bool:
+    """Is the accepted language empty?  (BFS reachability.)"""
+    return dfa_witness(dfa) is None
+
+
+def dfa_witness(dfa: DFA) -> str | None:
+    """A shortest accepted word, or ``None`` if the language is empty."""
+    if dfa.start in dfa.accepting:
+        return ""
+    parent: dict[int, tuple[int, int]] = {}
+    visited = {dfa.start}
+    frontier = [dfa.start]
+    while frontier:
+        next_frontier: list[int] = []
+        for state in frontier:
+            for symbol, target in enumerate(dfa.delta[state]):
+                if target in visited:
+                    continue
+                visited.add(target)
+                parent[target] = (state, symbol)
+                if target in dfa.accepting:
+                    # Reconstruct the word backwards.
+                    chars: list[str] = []
+                    current = target
+                    while current != dfa.start:
+                        source, sym = parent[current]
+                        chars.append(dfa.symbol_sample(sym))
+                        current = source
+                    return "".join(reversed(chars))
+                next_frontier.append(target)
+        frontier = next_frontier
+    return None
+
+
+def _useful_states(dfa: DFA) -> set[int]:
+    """States reachable from start that can reach an accepting state."""
+    reachable = {dfa.start}
+    stack = [dfa.start]
+    while stack:
+        state = stack.pop()
+        for target in dfa.delta[state]:
+            if target not in reachable:
+                reachable.add(target)
+                stack.append(target)
+    # Reverse reachability from accepting states.
+    reverse: dict[int, set[int]] = {s: set() for s in range(dfa.num_states)}
+    for state in range(dfa.num_states):
+        for target in dfa.delta[state]:
+            reverse[target].add(state)
+    co_reachable = set(dfa.accepting)
+    stack = list(dfa.accepting)
+    while stack:
+        state = stack.pop()
+        for source in reverse[state]:
+            if source not in co_reachable:
+                co_reachable.add(source)
+                stack.append(source)
+    return reachable & co_reachable
+
+
+def dfa_count_words(dfa: DFA, limit: int) -> int:
+    """Number of distinct accepted words, capped at ``limit``.
+
+    Detects infinite languages (a cycle among useful states) and returns
+    ``limit`` immediately in that case.
+    """
+    useful = _useful_states(dfa)
+    if dfa.start not in useful:
+        return 0
+    # Cycle detection among useful states (iterative colouring).
+    colour: dict[int, int] = {}
+    for root in useful:
+        if colour.get(root, 0) == 2:
+            continue
+        stack: list[tuple[int, Iterator[int]]] = [
+            (root, iter(dfa.delta[root]))
+        ]
+        colour[root] = 1
+        while stack:
+            state, targets = stack[-1]
+            advanced = False
+            for target in targets:
+                if target not in useful:
+                    continue
+                state_colour = colour.get(target, 0)
+                if state_colour == 1:
+                    return limit  # cycle => infinite language
+                if state_colour == 0:
+                    colour[target] = 1
+                    stack.append((target, iter(dfa.delta[target])))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[state] = 2
+                stack.pop()
+    # Finite language: all words have length < number of useful states.
+    total = 0
+    counts: dict[int, int] = {dfa.start: 1}
+    for _length in range(len(useful) + 1):
+        total += sum(
+            count for state, count in counts.items() if state in dfa.accepting
+        )
+        if total >= limit:
+            return limit
+        next_counts: dict[int, int] = {}
+        for state, count in counts.items():
+            for symbol, target in enumerate(dfa.delta[state]):
+                if target not in useful:
+                    continue
+                width = dfa.symbol_width(symbol)
+                next_counts[target] = min(
+                    limit, next_counts.get(target, 0) + count * width
+                )
+        counts = next_counts
+        if not counts:
+            break
+    return min(total, limit)
+
+
+def char_class_pattern(intervals: Iterable[tuple[int, int]]) -> str:
+    """A regex source snippet matching exactly the given intervals."""
+    cells = _normalize(list(intervals))
+    if not cells:
+        raise ValueError("empty character class has no pattern")
+    if cells == ((0, MAX_CODEPOINT),):
+        return "."
+    if len(cells) == 1 and cells[0][0] == cells[0][1]:
+        return _escape_char(chr(cells[0][0]))
+    # Prefer a negated class when the complement is smaller.
+    complement = CharClass(cells).complement().intervals
+    if 0 < len(complement) < len(cells):
+        return "[^" + "".join(_interval_pattern(c) for c in complement) + "]"
+    return "[" + "".join(_interval_pattern(c) for c in cells) + "]"
+
+
+def _interval_pattern(cell: tuple[int, int]) -> str:
+    low, high = cell
+    if low == high:
+        return _escape_in_class(chr(low))
+    return f"{_escape_in_class(chr(low))}-{_escape_in_class(chr(high))}"
+
+
+_SPECIAL = set(".^$*+?{}[]()|\\/")
+
+
+def _escape_char(char: str) -> str:
+    return "\\" + char if char in _SPECIAL else char
+
+
+def _escape_in_class(char: str) -> str:
+    return "\\" + char if char in "^]-\\" else char
+
+
+def dfa_to_regex_text(dfa: DFA) -> str | None:
+    """A regular expression denoting the DFA's language (GNFA elimination).
+
+    Returns ``None`` when the language is empty.  Used by the reverse
+    Theorem-1 translation, where a boolean combination of key languages
+    (e.g. the complement built by ``additionalProperties``) must be
+    rendered back into a single ``pattern`` string.
+    """
+    useful = _useful_states(dfa)
+    if dfa.start not in useful:
+        return None
+
+    # GNFA edges: (source, target) -> regex source text.
+    START, ACCEPT = -1, -2
+    edges: dict[tuple[int, int], str] = {}
+
+    def add_edge(source: int, target: int, pattern: str) -> None:
+        existing = edges.get((source, target))
+        if existing is None:
+            edges[(source, target)] = pattern
+        elif pattern not in (existing, *existing.split("|")):
+            edges[(source, target)] = f"{existing}|{pattern}"
+
+    # Group parallel symbols into one character class per state pair.
+    for state in useful:
+        by_target: dict[int, list[tuple[int, int]]] = {}
+        for symbol, target in enumerate(dfa.delta[state]):
+            if target not in useful:
+                continue
+            if symbol < len(dfa.alphabet):
+                by_target.setdefault(target, []).append(dfa.alphabet[symbol])
+            else:
+                rest = CharClass(tuple(dfa.alphabet)).complement()
+                if rest.intervals:
+                    by_target.setdefault(target, []).extend(rest.intervals)
+        for target, intervals in by_target.items():
+            if intervals:
+                add_edge(state, target, char_class_pattern(intervals))
+    add_edge(START, dfa.start, "")
+    for state in dfa.accepting:
+        if state in useful:
+            add_edge(state, ACCEPT, "")
+
+    def wrap(pattern: str) -> str:
+        if len(pattern) <= 1 or (
+            pattern.startswith("[") and pattern.endswith("]") and "[" not in pattern[1:]
+        ):
+            return pattern
+        return f"(?:{pattern})"
+
+    def concat(left: str, right: str) -> str:
+        if "|" in left:
+            left = wrap(left)
+        if "|" in right:
+            right = wrap(right)
+        return left + right
+
+    remaining = sorted(useful)
+    for eliminated in remaining:
+        loop = edges.pop((eliminated, eliminated), None)
+        loop_part = f"{wrap(loop)}*" if loop not in (None, "") else ""
+        sources = [
+            s for (s, t) in edges if t == eliminated and s != eliminated
+        ]
+        targets = [
+            t for (s, t) in edges if s == eliminated and t != eliminated
+        ]
+        for source in sources:
+            in_pattern = edges[(source, eliminated)]
+            for target in targets:
+                out_pattern = edges[(eliminated, target)]
+                add_edge(
+                    source, target, concat(concat(in_pattern, loop_part), out_pattern)
+                )
+        edges = {
+            (s, t): p
+            for (s, t), p in edges.items()
+            if s != eliminated and t != eliminated
+        }
+    return edges.get((START, ACCEPT))
+
+
+def dfa_sample_words(dfa: DFA, count: int) -> list[str]:
+    """Up to ``count`` distinct accepted words, shortest first."""
+    useful = _useful_states(dfa)
+    if dfa.start not in useful:
+        return []
+    results: list[str] = []
+    # BFS over (state, word) pairs in length order; expand each symbol
+    # into at most ``count`` concrete characters.
+    frontier: list[tuple[int, str]] = [(dfa.start, "")]
+    max_length = dfa.num_states + count + 1
+    for _length in range(max_length + 1):
+        next_frontier: list[tuple[int, str]] = []
+        for state, word in frontier:
+            if state in dfa.accepting:
+                results.append(word)
+                if len(results) >= count:
+                    return results
+        for state, word in frontier:
+            for symbol in range(dfa.num_symbols):
+                target = dfa.delta[state][symbol]
+                if target not in useful:
+                    continue
+                for char in dfa.symbol_chars(symbol, count):
+                    next_frontier.append((target, word + char))
+                    if len(next_frontier) > 4 * count * dfa.num_states + 16:
+                        break
+        frontier = next_frontier[: 4 * count * dfa.num_states + 16]
+        if not frontier:
+            break
+    return results

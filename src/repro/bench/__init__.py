@@ -1,0 +1,11 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import (
+    SeriesPoint,
+    format_table,
+    loglog_slope,
+    measure,
+    run_series,
+)
+
+__all__ = ["SeriesPoint", "measure", "run_series", "loglog_slope", "format_table"]

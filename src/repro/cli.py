@@ -1,0 +1,209 @@
+"""Command-line interface: query, validate, solve — from the shell.
+
+Usage (also via ``python -m repro``)::
+
+    repro query  doc.json --jnl  'has(.name.first)'
+    repro query  doc.json --jsonpath '$..price'
+    repro validate doc.json --schema schema.json [--streaming]
+    repro find   people.json --filter '{"age": {"$gt": 30}}' \
+                 [--project '{"name": 1}']
+    repro sat    --jsl 'some(.a, number)' [--schema schema.json]
+
+Exit status: 0 on success/true, 1 on a false verdict, 2 on usage or
+input errors — so the commands compose in shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "JSON trees, JNL/JSL logics and JSON Schema from "
+            "Bourhis et al., PODS 2017"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser(
+        "query", help="evaluate a JNL formula or JSONPath over a document"
+    )
+    query.add_argument("document", help="path to a JSON file")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--jnl", help="a unary JNL formula (node filter)")
+    group.add_argument("--path", help="a binary JNL path (selects nodes)")
+    group.add_argument("--jsonpath", help="a JSONPath expression")
+    query.add_argument(
+        "--node-ids", action="store_true", help="print node ids, not values"
+    )
+
+    validate = commands.add_parser(
+        "validate", help="validate a document against a JSON Schema"
+    )
+    validate.add_argument("document", help="path to a JSON file")
+    validate.add_argument("--schema", required=True, help="schema JSON file")
+    validate.add_argument(
+        "--streaming",
+        action="store_true",
+        help="validate the raw text as a token stream "
+        "(deterministic schemas only)",
+    )
+
+    find = commands.add_parser(
+        "find", help="MongoDB-style find over a JSON array of documents"
+    )
+    find.add_argument("collection", help="path to a JSON array file")
+    find.add_argument("--filter", default="{}", help="find filter (JSON)")
+    find.add_argument("--project", help="projection document (JSON)")
+
+    sat = commands.add_parser(
+        "sat", help="satisfiability of a JSL/JNL formula or a schema"
+    )
+    group = sat.add_mutually_exclusive_group(required=True)
+    group.add_argument("--jsl", help="a JSL formula or program (text)")
+    group.add_argument("--jnl", help="a unary JNL formula (text)")
+    group.add_argument("--schema", help="path to a schema JSON file")
+    sat.add_argument(
+        "--quiet", action="store_true", help="suppress the witness"
+    )
+    return parser
+
+
+def _load_tree(path: str):
+    from repro.model.tree import JSONTree
+
+    with open(path, encoding="utf-8") as handle:
+        return JSONTree.from_json(handle.read())
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.jnl.efficient import JNLEvaluator
+    from repro.jnl.parser import parse_jnl, parse_jnl_path
+
+    tree = _load_tree(args.document)
+    evaluator = JNLEvaluator(tree)
+    if args.jnl:
+        formula = parse_jnl(args.jnl)
+        nodes = sorted(evaluator.nodes_satisfying(formula))
+        verdict = tree.root in nodes
+    else:
+        if args.jsonpath:
+            from repro.jsonpath.parser import parse_jsonpath
+
+            path = parse_jsonpath(args.jsonpath)
+        else:
+            path = parse_jnl_path(args.path)
+        selected = evaluator.target_nodes(path)
+        nodes = [
+            node for node in tree.descendants(tree.root) if node in selected
+        ]
+        verdict = bool(nodes)
+    for node in nodes:
+        if args.node_ids:
+            print(node)
+        else:
+            print(tree.to_json(node))
+    return 0 if verdict else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.schema.parser import parse_schema
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = parse_schema(handle.read())
+    if args.streaming:
+        from repro.jsl.ast import RecursiveJSL
+        from repro.schema.to_jsl import schema_to_jsl
+        from repro.streaming.validator import StreamingJSLValidator
+
+        formula = schema_to_jsl(schema)
+        validator = StreamingJSLValidator(
+            formula
+            if isinstance(formula, RecursiveJSL)
+            else formula
+        )
+        with open(args.document, encoding="utf-8") as handle:
+            verdict = validator.validate_text(handle.read())
+    else:
+        from repro.schema.validator import SchemaValidator
+
+        verdict = SchemaValidator(schema).validate(_load_tree(args.document))
+    print("valid" if verdict else "invalid")
+    return 0 if verdict else 1
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    from repro.mongo.find import Collection
+
+    with open(args.collection, encoding="utf-8") as handle:
+        documents = json.load(handle)
+    if not isinstance(documents, list):
+        raise ReproError("the collection file must hold a JSON array")
+    collection = Collection(documents)
+    filter_doc = json.loads(args.filter)
+    projection = json.loads(args.project) if args.project else None
+    results = collection.find(filter_doc, projection)
+    for result in results:
+        print(json.dumps(result))
+    return 0 if results else 1
+
+
+def _cmd_sat(args: argparse.Namespace) -> int:
+    from repro.jsl.satisfiability import jsl_satisfiable
+
+    if args.jsl:
+        from repro.jsl.parser import parse_jsl
+
+        result = jsl_satisfiable(parse_jsl(args.jsl))
+    elif args.jnl:
+        from repro.jnl.parser import parse_jnl
+        from repro.jnl.satisfiability import jnl_satisfiable
+
+        result = jnl_satisfiable(parse_jnl(args.jnl))
+    else:
+        from repro.schema.parser import parse_schema
+        from repro.schema.to_jsl import schema_to_jsl
+
+        with open(args.schema, encoding="utf-8") as handle:
+            result = jsl_satisfiable(schema_to_jsl(parse_schema(handle.read())))
+    if result.satisfiable:
+        suffix = "" if result.complete else " (bounded search)"
+        print(f"satisfiable{suffix}")
+        if not args.quiet and result.witness is not None:
+            print(result.witness.to_json())
+        return 0
+    suffix = "" if result.complete else " (within configured bounds)"
+    print(f"unsatisfiable{suffix}")
+    return 1
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "validate": _cmd_validate,
+    "find": _cmd_find,
+    "sat": _cmd_sat,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the
+subsystems: the data model, the parsers, the schema layer, the logic
+translations and the satisfiability solver.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """An operation would violate the JSON-tree data model (Section 3.1)."""
+
+
+class DuplicateKeyError(ModelError):
+    """An object was built with two key-value pairs sharing the same key.
+
+    The paper's data model makes JSON trees deterministic: condition 2 of
+    the formal definition forbids a node from having two outgoing edges
+    with the same key.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"duplicate object key: {key!r}")
+        self.key = key
+
+
+class UnsupportedValueError(ModelError):
+    """A Python value falls outside the paper's JSON abstraction.
+
+    The paper restricts documents to objects, arrays, strings and natural
+    numbers; ``true``/``false``/``null`` and floats are excluded "to
+    abstract from encoding details".
+    """
+
+
+class NavigationError(ReproError):
+    """A JSON navigation instruction (Section 2) failed to resolve."""
+
+
+class ParseError(ReproError):
+    """A textual query/formula/document could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class RegexParseError(ParseError):
+    """A key regular expression could not be parsed."""
+
+
+class SchemaError(ReproError):
+    """A JSON Schema document is outside the paper's core fragment."""
+
+
+class WellFormednessError(ReproError):
+    """A recursive specification has a cyclic (unguarded) precedence graph.
+
+    Section 5.3 requires the precedence graph of a recursive JSL
+    expression -- and of a recursive JSON Schema -- to be acyclic once
+    modal-guarded references are discounted.
+    """
+
+
+class TranslationError(ReproError):
+    """A formula cannot be translated into the requested formalism."""
+
+
+class UnsupportedFragmentError(TranslationError):
+    """The operation is only defined for a fragment of the logic.
+
+    Raised e.g. when asking for satisfiability of recursive
+    non-deterministic JNL with ``EQ(alpha, beta)``, which Proposition 4
+    proves undecidable.
+    """
+
+
+class SolverLimitError(ReproError):
+    """The satisfiability engine exhausted a configured resource bound.
+
+    The engine is sound (SAT answers are certified by witnesses); this
+    error signals that neither SAT nor bounded-UNSAT could be concluded
+    within the configured limits.
+    """
+
+
+class StreamingError(ReproError):
+    """The streaming tokenizer or validator rejected its input."""

@@ -1,0 +1,188 @@
+"""Ergonomic constructors for JNL formulas.
+
+These helpers keep user code close to the paper's notation::
+
+    from repro.jnl import builder as q
+
+    # [X_name o X_first] ^ EQ(X_age, 32)
+    phi = q.has(q.key("name") / q.key("first")) & q.eq_doc(q.key("age"), 32)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.keylang import KeyLang
+from repro.jnl import ast
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree, JSONValue
+
+__all__ = [
+    "top",
+    "bottom",
+    "key",
+    "index",
+    "key_regex",
+    "any_key_axis",
+    "index_range",
+    "any_index_axis",
+    "eps",
+    "test",
+    "compose",
+    "star",
+    "union",
+    "any_child_axis",
+    "descendant_or_self_axis",
+    "has",
+    "eq_doc",
+    "eq_path",
+    "atom",
+    "conj",
+    "disj",
+    "kind_object",
+    "kind_array",
+    "kind_string",
+    "kind_number",
+]
+
+
+def top() -> ast.Unary:
+    return ast.Top()
+
+
+def bottom() -> ast.Unary:
+    """``~T`` -- the paper's shorthand for falsity."""
+    return ast.Not(ast.Top())
+
+
+def key(word: str) -> ast.Binary:
+    """The deterministic key axis ``X_w``."""
+    return ast.Key(word)
+
+
+def index(position: int) -> ast.Binary:
+    """The deterministic index axis ``X_i`` (negative = from the end)."""
+    return ast.Index(position)
+
+
+def key_regex(pattern: str | KeyLang) -> ast.Binary:
+    """The non-deterministic key axis ``X_e``."""
+    lang = KeyLang.regex(pattern) if isinstance(pattern, str) else pattern
+    return ast.KeyRegex(lang)
+
+
+def any_key_axis() -> ast.Binary:
+    """``X_{Sigma*}``: follow any object edge."""
+    return ast.KeyRegex(KeyLang.any())
+
+
+def index_range(low: int, high: int | None) -> ast.Binary:
+    """The non-deterministic index axis ``X_{i:j}`` (``high=None`` = +inf)."""
+    if low < 0 or (high is not None and high < low):
+        raise ValueError(f"invalid index range [{low}:{high}]")
+    return ast.IndexRange(low, high)
+
+
+def any_index_axis() -> ast.Binary:
+    """``X_{0:inf}``: follow any array edge."""
+    return ast.IndexRange(0, None)
+
+
+def eps() -> ast.Binary:
+    return ast.Eps()
+
+
+def test(condition: ast.Unary) -> ast.Binary:
+    """The test ``<phi>``."""
+    return ast.Test(condition)
+
+
+def compose(*paths: ast.Binary) -> ast.Binary:
+    """``alpha_1 o ... o alpha_k`` (``eps`` when called with no paths)."""
+    if not paths:
+        return ast.Eps()
+    result = paths[0]
+    for path in paths[1:]:
+        result = ast.Compose(result, path)
+    return result
+
+
+def star(path: ast.Binary) -> ast.Binary:
+    return ast.Star(path)
+
+
+def union(*paths: ast.Binary) -> ast.Binary:
+    """Path union (extension; see :class:`repro.jnl.ast.Union`)."""
+    if not paths:
+        raise ValueError("union needs at least one path")
+    result = paths[0]
+    for path in paths[1:]:
+        result = ast.Union(result, path)
+    return result
+
+
+def any_child_axis() -> ast.Binary:
+    """Any single downward step: ``X_{Sigma*} u X_{0:inf}``."""
+    return ast.Union(ast.KeyRegex(KeyLang.any()), ast.IndexRange(0, None))
+
+
+def descendant_or_self_axis() -> ast.Binary:
+    """``(any child)*`` -- JSONPath's recursive descent ``..``."""
+    return ast.Star(any_child_axis())
+
+
+def has(path: ast.Binary) -> ast.Unary:
+    """``[alpha]``: some node is reachable via ``alpha``."""
+    return ast.Exists(path)
+
+
+def eq_doc(path: ast.Binary, doc: JSONValue | JSONTree) -> ast.Unary:
+    """``EQ(alpha, A)``; ``doc`` may be a Python value or a tree."""
+    tree = doc if isinstance(doc, JSONTree) else JSONTree.from_value(doc)
+    return ast.EqDoc(path, tree)
+
+
+def eq_path(left: ast.Binary, right: ast.Binary) -> ast.Unary:
+    """``EQ(alpha, beta)``."""
+    return ast.EqPath(left, right)
+
+
+def atom(test_: nt.NodeTest) -> ast.Unary:
+    """A NodeTest atom (extension; see :class:`repro.jnl.ast.Atom`)."""
+    return ast.Atom(test_)
+
+
+def conj(formulas: Iterable[ast.Unary]) -> ast.Unary:
+    items = list(formulas)
+    if not items:
+        return ast.Top()
+    result = items[0]
+    for item in items[1:]:
+        result = ast.And(result, item)
+    return result
+
+
+def disj(formulas: Iterable[ast.Unary]) -> ast.Unary:
+    items = list(formulas)
+    if not items:
+        return bottom()
+    result = items[0]
+    for item in items[1:]:
+        result = ast.Or(result, item)
+    return result
+
+
+def kind_object() -> ast.Unary:
+    return ast.Atom(nt.IsObject())
+
+
+def kind_array() -> ast.Unary:
+    return ast.Atom(nt.IsArray())
+
+
+def kind_string() -> ast.Unary:
+    return ast.Atom(nt.IsString())
+
+
+def kind_number() -> ast.Unary:
+    return ast.Atom(nt.IsNumber())

@@ -1,0 +1,20 @@
+"""Design notes: subtree equality in JNL evaluation (Proposition 1/3).
+
+This module intentionally contains no code.  It documents, next to the
+implementation, how the paper's two equality operators are priced:
+
+* ``EQ(alpha, A)`` -- the constant document ``A`` is hashed once; the
+  backward product reachability of :mod:`repro.jnl.efficient` seeds the
+  accepting configurations with the nodes whose canonical hash matches,
+  verified structurally.  Cost stays ``O(|J| x |alpha|)`` plus the one
+  linear hashing pass: this is the "online" equality evaluation of the
+  Proposition 1 proof (there via monadic datalog grounding).
+
+* ``EQ(alpha, beta)`` -- needs, per start node, the *set of subtree
+  values* reachable via each path.  For deterministic paths both
+  targets are unique, restoring linearity.  In the non-deterministic /
+  recursive logic a per-node forward reachability is unavoidable in
+  this scheme, giving the super-linear behaviour Proposition 3 prices
+  at ``O(|J|^3 x |phi|)`` -- benchmark E3 exhibits the gap against the
+  EQ(alpha,beta)-free fragment.
+"""

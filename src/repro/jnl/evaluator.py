@@ -1,0 +1,150 @@
+"""Reference (denotational) evaluator for JNL.
+
+This evaluator follows the semantic equations of Section 4.2 *letter by
+letter*: binary formulas denote sets of node pairs, unary formulas
+denote sets of nodes, and the Kleene star is the least fixpoint of
+relation composition.  It is quadratic-to-cubic and exists purely as
+ground truth: the efficient evaluator of :mod:`repro.jnl.efficient` is
+differentially tested against it.
+"""
+
+from __future__ import annotations
+
+from repro.jnl import ast
+from repro.logic.nodetests import node_test_holds
+from repro.model.equality import subtree_equal
+from repro.model.tree import JSONTree
+
+__all__ = ["eval_binary", "eval_unary"]
+
+Pair = tuple[int, int]
+
+
+def eval_binary(
+    tree: JSONTree, path: ast.Binary, *, exact_unique: bool = False
+) -> set[Pair]:
+    """The relation ``[[alpha]]_J`` as an explicit set of node pairs."""
+    if isinstance(path, ast.Eps):
+        return {(n, n) for n in tree.nodes()}
+    if isinstance(path, ast.Test):
+        nodes = eval_unary(tree, path.condition, exact_unique=exact_unique)
+        return {(n, n) for n in nodes}
+    if isinstance(path, ast.Key):
+        pairs: set[Pair] = set()
+        for node in tree.nodes():
+            child = tree.object_child(node, path.word)
+            if child is not None:
+                pairs.add((node, child))
+        return pairs
+    if isinstance(path, ast.Index):
+        pairs = set()
+        for node in tree.nodes():
+            child = tree.array_child(node, path.position)
+            if child is not None:
+                pairs.add((node, child))
+        return pairs
+    if isinstance(path, ast.KeyRegex):
+        pairs = set()
+        for node in tree.nodes():
+            for label, child in tree.edges(node):
+                if isinstance(label, str) and path.lang.matches(label):
+                    pairs.add((node, child))
+        return pairs
+    if isinstance(path, ast.IndexRange):
+        pairs = set()
+        for node in tree.nodes():
+            for label, child in tree.edges(node):
+                if isinstance(label, int) and path.low <= label and (
+                    path.high is None or label <= path.high
+                ):
+                    pairs.add((node, child))
+        return pairs
+    if isinstance(path, ast.Compose):
+        left = eval_binary(tree, path.left, exact_unique=exact_unique)
+        right = eval_binary(tree, path.right, exact_unique=exact_unique)
+        return _compose(left, right)
+    if isinstance(path, ast.Union):
+        return eval_binary(tree, path.left, exact_unique=exact_unique) | eval_binary(
+            tree, path.right, exact_unique=exact_unique
+        )
+    if isinstance(path, ast.Star):
+        inner = eval_binary(tree, path.inner, exact_unique=exact_unique)
+        closure = {(n, n) for n in tree.nodes()}
+        frontier = closure | inner
+        while True:
+            new_pairs = frontier - closure
+            if not new_pairs:
+                return closure
+            closure |= new_pairs
+            frontier = _compose(closure, inner) | closure
+    raise TypeError(f"unknown binary formula {path!r}")
+
+
+def _compose(left: set[Pair], right: set[Pair]) -> set[Pair]:
+    by_source: dict[int, list[int]] = {}
+    for source, target in right:
+        by_source.setdefault(source, []).append(target)
+    return {
+        (source, final)
+        for source, middle in left
+        for final in by_source.get(middle, ())
+    }
+
+
+def eval_unary(
+    tree: JSONTree, formula: ast.Unary, *, exact_unique: bool = False
+) -> set[int]:
+    """The set ``[[phi]]_J`` of nodes satisfying ``phi``."""
+    if isinstance(formula, ast.Top):
+        return set(tree.nodes())
+    if isinstance(formula, ast.Not):
+        return set(tree.nodes()) - eval_unary(
+            tree, formula.operand, exact_unique=exact_unique
+        )
+    if isinstance(formula, ast.And):
+        return eval_unary(tree, formula.left, exact_unique=exact_unique) & eval_unary(
+            tree, formula.right, exact_unique=exact_unique
+        )
+    if isinstance(formula, ast.Or):
+        return eval_unary(tree, formula.left, exact_unique=exact_unique) | eval_unary(
+            tree, formula.right, exact_unique=exact_unique
+        )
+    if isinstance(formula, ast.Exists):
+        pairs = eval_binary(tree, formula.path, exact_unique=exact_unique)
+        return {source for source, _target in pairs}
+    if isinstance(formula, ast.EqDoc):
+        pairs = eval_binary(tree, formula.path, exact_unique=exact_unique)
+        doc = formula.doc
+        return {
+            source
+            for source, target in pairs
+            if subtree_equal(tree, target, doc, doc.root)
+        }
+    if isinstance(formula, ast.EqPath):
+        left = eval_binary(tree, formula.left, exact_unique=exact_unique)
+        right = eval_binary(tree, formula.right, exact_unique=exact_unique)
+        left_by_source: dict[int, list[int]] = {}
+        for source, target in left:
+            left_by_source.setdefault(source, []).append(target)
+        right_by_source: dict[int, list[int]] = {}
+        for source, target in right:
+            right_by_source.setdefault(source, []).append(target)
+        result: set[int] = set()
+        for source, left_targets in left_by_source.items():
+            right_targets = right_by_source.get(source)
+            if not right_targets:
+                continue
+            if any(
+                subtree_equal(tree, a, tree, b)
+                for a in left_targets
+                for b in right_targets
+            ):
+                result.add(source)
+        return result
+    if isinstance(formula, ast.Atom):
+        return {
+            node
+            for node in tree.nodes()
+            if node_test_holds(tree, node, formula.test, exact_unique=exact_unique)
+        }
+    raise TypeError(f"unknown unary formula {formula!r}")

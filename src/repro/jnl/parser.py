@@ -1,0 +1,384 @@
+"""A concrete syntax for JNL formulas.
+
+The paper defines JNL abstractly; this module supplies a compact text
+form used throughout the examples, tests and benchmarks.
+
+Unary formulas::
+
+    unary    :=  or
+    or       :=  and ('or' and)*
+    and      :=  not ('and' not)*
+    not      :=  'not' not | primary
+    primary  :=  'true' | 'false'
+              | 'has' '(' binary ')'                    -- [alpha]
+              | 'eq' '(' binary ',' binary ')'          -- EQ(alpha, beta)
+              | 'matches' '(' binary ',' JSON ')'       -- EQ(alpha, A)
+              | 'test' '(' nodetest ')'                 -- Atom extension
+              | '(' unary ')'
+
+Binary (path) formulas -- composition is juxtaposition::
+
+    binary   :=  alt
+    alt      :=  seq ('|' seq)*                         -- Union extension
+    seq      :=  step+
+    step     :=  base '*'*                              -- Kleene star
+    base     :=  '.' key | '[' index ']' | '<' unary '>'
+              | '(' binary ')' | 'eps'
+    key      :=  IDENT | STRING | '*' | '/' regex '/'
+    index    :=  INT | INT? ':' INT? | '*'
+
+Node tests (for the ``test(...)`` atom extension)::
+
+    nodetest :=  'object' | 'array' | 'string' | 'number' | 'unique'
+              | 'pattern' '(' STRING ')'
+              | ('min'|'max'|'multipleof'|'minch'|'maxch') '(' INT ')'
+              | 'value' '(' JSON ')'                    -- ~(A)
+
+Examples::
+
+    has(.name.first)                   # [X_name o X_first]
+    matches(.age, 32)                  # EQ(X_age, 32)
+    eq(.billing, .shipping)            # EQ(X_billing, X_shipping)
+    has(./a(b|c)a/<test(number)>)      # regex key axis with a test
+    has((.*|[*])* .error)              # some descendant has key "error"
+"""
+
+from __future__ import annotations
+
+import json as _json
+
+from repro.automata.keylang import KeyLang
+from repro.errors import ParseError
+from repro.jnl import ast
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree
+
+__all__ = ["parse_jnl", "parse_jnl_path", "parse_node_test_text"]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # -- low-level ----------------------------------------------------------
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def at_end(self) -> bool:
+        self.skip_ws()
+        return self.pos >= len(self.text)
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def try_consume(self, char: str) -> bool:
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def keyword(self) -> str | None:
+        """Peek an identifier without consuming it."""
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] not in _IDENT_START:
+            return None
+        end = self.pos
+        while end < len(self.text) and self.text[end] in _IDENT_CONT:
+            end += 1
+        return self.text[self.pos : end]
+
+    def consume_keyword(self, word: str) -> bool:
+        if self.keyword() == word:
+            self.pos += len(word)
+            return True
+        return False
+
+    def ident(self) -> str:
+        word = self.keyword()
+        if word is None:
+            raise self.error("expected an identifier")
+        self.pos += len(word)
+        return word
+
+    def string_literal(self) -> str:
+        self.skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != '"':
+            raise self.error("expected a string literal")
+        decoder = _json.JSONDecoder()
+        try:
+            value, end = decoder.raw_decode(self.text, self.pos)
+        except _json.JSONDecodeError as exc:
+            raise self.error(f"bad string literal: {exc.msg}") from exc
+        if not isinstance(value, str):
+            raise self.error("expected a string literal")
+        self.pos = end
+        return value
+
+    def integer(self) -> int:
+        self.skip_ws()
+        start = self.pos
+        if self.pos < len(self.text) and self.text[self.pos] == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos == start or self.text[start:self.pos] == "-":
+            self.pos = start
+            raise self.error("expected an integer")
+        return int(self.text[start : self.pos])
+
+    def json_literal(self) -> JSONTree:
+        self.skip_ws()
+        decoder = _json.JSONDecoder()
+        try:
+            value, end = decoder.raw_decode(self.text, self.pos)
+        except _json.JSONDecodeError as exc:
+            raise self.error(f"bad JSON literal: {exc.msg}") from exc
+        self.pos = end
+        return JSONTree.from_value(value)
+
+    # -- unary grammar ------------------------------------------------------
+
+    def unary(self) -> ast.Unary:
+        left = self.conjunction()
+        while self.consume_keyword("or"):
+            left = ast.Or(left, self.conjunction())
+        return left
+
+    def conjunction(self) -> ast.Unary:
+        left = self.negation()
+        while self.consume_keyword("and"):
+            left = ast.And(left, self.negation())
+        return left
+
+    def negation(self) -> ast.Unary:
+        if self.consume_keyword("not"):
+            return ast.Not(self.negation())
+        return self.unary_primary()
+
+    def unary_primary(self) -> ast.Unary:
+        word = self.keyword()
+        if word == "true":
+            self.pos += len(word)
+            return ast.Top()
+        if word == "false":
+            self.pos += len(word)
+            return ast.Not(ast.Top())
+        if word == "has":
+            self.pos += len(word)
+            self.expect("(")
+            path = self.binary()
+            self.expect(")")
+            return ast.Exists(path)
+        if word == "eq":
+            self.pos += len(word)
+            self.expect("(")
+            left = self.binary()
+            self.expect(",")
+            right = self.binary()
+            self.expect(")")
+            return ast.EqPath(left, right)
+        if word == "matches":
+            self.pos += len(word)
+            self.expect("(")
+            path = self.binary()
+            self.expect(",")
+            doc = self.json_literal()
+            self.expect(")")
+            return ast.EqDoc(path, doc)
+        if word == "test":
+            self.pos += len(word)
+            self.expect("(")
+            node_test = self.node_test()
+            self.expect(")")
+            return ast.Atom(node_test)
+        if self.try_consume("("):
+            inner = self.unary()
+            self.expect(")")
+            return inner
+        raise self.error("expected a unary formula")
+
+    def node_test(self) -> nt.NodeTest:
+        word = self.ident().lower()
+        simple = {
+            "object": nt.IsObject(),
+            "array": nt.IsArray(),
+            "string": nt.IsString(),
+            "number": nt.IsNumber(),
+            "unique": nt.Unique(),
+        }
+        if word in simple:
+            return simple[word]
+        if word == "pattern":
+            self.expect("(")
+            pattern = self.string_literal()
+            self.expect(")")
+            return nt.Pattern(KeyLang.regex(pattern))
+        if word == "value":
+            self.expect("(")
+            doc = self.json_literal()
+            self.expect(")")
+            return nt.EqDocTest(doc)
+        integer_tests = {
+            "min": nt.MinVal,
+            "max": nt.MaxVal,
+            "multipleof": nt.MultOf,
+            "minch": nt.MinCh,
+            "maxch": nt.MaxCh,
+        }
+        if word in integer_tests:
+            self.expect("(")
+            bound = self.integer()
+            self.expect(")")
+            return integer_tests[word](bound)
+        raise self.error(f"unknown node test {word!r}")
+
+    # -- binary grammar -----------------------------------------------------
+
+    def binary(self) -> ast.Binary:
+        left = self.sequence()
+        while self.peek() == "|":
+            self.pos += 1
+            left = ast.Union(left, self.sequence())
+        return left
+
+    def sequence(self) -> ast.Binary:
+        steps = [self.step()]
+        while True:
+            char = self.peek()
+            if (char and char in ".[<(") or self.keyword() == "eps":
+                steps.append(self.step())
+            else:
+                break
+        result = steps[0]
+        for step in steps[1:]:
+            result = ast.Compose(result, step)
+        return result
+
+    def step(self) -> ast.Binary:
+        base = self.base_step()
+        while True:
+            self.skip_ws()
+            if self.pos < len(self.text) and self.text[self.pos] == "*":
+                self.pos += 1
+                base = ast.Star(base)
+            else:
+                return base
+
+    def base_step(self) -> ast.Binary:
+        if self.consume_keyword("eps"):
+            return ast.Eps()
+        char = self.peek()
+        if char == ".":
+            self.pos += 1
+            return self.key_axis()
+        if char == "[":
+            self.pos += 1
+            axis = self.index_axis()
+            self.expect("]")
+            return axis
+        if char == "<":
+            self.pos += 1
+            condition = self.unary()
+            self.expect(">")
+            return ast.Test(condition)
+        if char == "(":
+            self.pos += 1
+            inner = self.binary()
+            self.expect(")")
+            return inner
+        raise self.error("expected a path step")
+
+    def key_axis(self) -> ast.Binary:
+        # No whitespace skipping here: the key follows '.' directly.
+        if self.pos >= len(self.text):
+            raise self.error("expected a key after '.'")
+        char = self.text[self.pos]
+        if char == "*":
+            self.pos += 1
+            return ast.KeyRegex(KeyLang.any())
+        if char == '"':
+            return ast.Key(self.string_literal())
+        if char == "/":
+            return ast.KeyRegex(KeyLang.regex(self.regex_literal()))
+        if char in _IDENT_START:
+            return ast.Key(self.ident())
+        raise self.error("expected a key after '.'")
+
+    def regex_literal(self) -> str:
+        assert self.text[self.pos] == "/"
+        self.pos += 1
+        chars: list[str] = []
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "\\" and self.pos + 1 < len(self.text) and self.text[
+                self.pos + 1
+            ] == "/":
+                chars.append("/")
+                self.pos += 2
+                continue
+            if char == "/":
+                self.pos += 1
+                return "".join(chars)
+            chars.append(char)
+            self.pos += 1
+        raise self.error("unterminated /regex/ literal")
+
+    def index_axis(self) -> ast.Binary:
+        if self.try_consume("*"):
+            return ast.IndexRange(0, None)
+        if self.peek() == ":":
+            self.pos += 1
+            if self.peek() == "]":
+                return ast.IndexRange(0, None)
+            return ast.IndexRange(0, self.integer())
+        low = self.integer()
+        if self.try_consume(":"):
+            if self.peek() == "]":
+                return ast.IndexRange(low, None)
+            high = self.integer()
+            if low < 0 or high < low:
+                raise self.error(f"invalid index range [{low}:{high}]")
+            return ast.IndexRange(low, high)
+        return ast.Index(low)
+
+
+def parse_jnl(text: str) -> ast.Unary:
+    """Parse a unary JNL formula from its text form."""
+    parser = _Parser(text)
+    formula = parser.unary()
+    if not parser.at_end():
+        raise parser.error("trailing input after formula")
+    return formula
+
+
+def parse_jnl_path(text: str) -> ast.Binary:
+    """Parse a binary (path) JNL formula from its text form."""
+    parser = _Parser(text)
+    path = parser.binary()
+    if not parser.at_end():
+        raise parser.error("trailing input after path")
+    return path
+
+
+def parse_node_test_text(text: str) -> nt.NodeTest:
+    """Parse a node test (the argument syntax of ``test(...)``)."""
+    parser = _Parser(text)
+    node_test = parser.node_test()
+    if not parser.at_end():
+        raise parser.error("trailing input after node test")
+    return node_test

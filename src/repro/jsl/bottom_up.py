@@ -1,0 +1,218 @@
+"""Bottom-up PTIME evaluation of recursive JSL (Proposition 9).
+
+The paper's algorithm evaluates all subtrees of ``J`` "in a bottom-up
+fashion, proceeding to higher height levels of J only when all the
+previous levels have already been computed", resembling Datalog with
+stratified negation.  This module implements it as a truth table:
+
+* the *closure* is the set of all subformulas of every definition body
+  and of the base expression;
+* within one node, subformulas are ordered so that dependencies come
+  first -- structural children for boolean connectives and, for a
+  reference ``gamma``, its defining body.  Modal operators depend only
+  on *children* of the node, which a post-order traversal has already
+  completed.  Such an ordering exists precisely because the precedence
+  graph is acyclic (well-formedness);
+* one pass over the nodes in post-order fills a ``closure x nodes``
+  boolean table in ``O(|Delta| * |J|)`` (plus the usual ``Unique``
+  caveat of Proposition 6).
+
+Everything is iterative, so trees deeper than Python's recursion limit
+evaluate fine -- the Proposition 9 benchmark relies on this.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.jsl import ast
+from repro.jsl.recursion import check_well_formed
+from repro.logic.nodetests import node_test_holds
+from repro.model.tree import JSONTree
+
+__all__ = ["RecursiveJSLEvaluator", "satisfies_recursive"]
+
+
+class RecursiveJSLEvaluator:
+    """Evaluates a well-formed recursive JSL expression over one tree."""
+
+    def __init__(
+        self,
+        tree: JSONTree,
+        expression: ast.RecursiveJSL,
+        *,
+        exact_unique: bool = False,
+    ) -> None:
+        check_well_formed(expression)
+        self.tree = tree
+        self.expression = expression
+        self.exact_unique = exact_unique
+        self._definitions = expression.definition_map()
+        self._order = self._dependency_order()
+        self._table: dict[ast.Formula, bytearray] | None = None
+
+    # ------------------------------------------------------------------
+
+    def _dependency_order(self) -> list[ast.Formula]:
+        """Same-node dependency order over the closure (topological)."""
+
+        def same_node_deps(formula: ast.Formula) -> list[ast.Formula]:
+            if isinstance(formula, ast.Not):
+                return [formula.operand]
+            if isinstance(formula, (ast.And, ast.Or)):
+                return [formula.left, formula.right]
+            if isinstance(formula, ast.Ref):
+                body = self._definitions.get(formula.name)
+                if body is None:
+                    raise WellFormednessError(
+                        f"undefined symbol {formula.name!r}"
+                    )
+                return [body]
+            # Modal bodies are evaluated at children (cross-node), and
+            # they enter the closure through the work stack below.
+            return []
+
+        def cross_node_deps(formula: ast.Formula) -> list[ast.Formula]:
+            if isinstance(formula, (ast.DiaKey, ast.BoxKey, ast.DiaIdx, ast.BoxIdx)):
+                return [formula.body]
+            return []
+
+        order: list[ast.Formula] = []
+        placed: set[ast.Formula] = set()
+        in_progress: set[ast.Formula] = set()
+        roots = [self.expression.base] + [
+            body for _name, body in self.expression.definitions
+        ]
+        # Iterative post-order DFS over same-node dependencies; modal
+        # bodies are added as independent roots (their evaluation order
+        # relative to the parent does not matter within a node).
+        stack: list[tuple[ast.Formula, bool]] = [
+            (root, False) for root in reversed(roots)
+        ]
+        while stack:
+            formula, expanded = stack.pop()
+            if expanded:
+                in_progress.discard(formula)
+                if formula not in placed:
+                    placed.add(formula)
+                    order.append(formula)
+                continue
+            if formula in placed:
+                continue
+            if formula in in_progress:
+                raise WellFormednessError(
+                    "cyclic same-node dependency (ill-formed recursion)"
+                )
+            in_progress.add(formula)
+            stack.append((formula, True))
+            for dep in reversed(same_node_deps(formula)):
+                if dep not in placed:
+                    stack.append((dep, False))
+            for body in cross_node_deps(formula):
+                if body not in placed:
+                    # Defer as an independent root: it has no same-node
+                    # ordering constraint with ``formula``.
+                    stack.insert(0, (body, False))
+        return order
+
+    # ------------------------------------------------------------------
+
+    def _compute(self) -> dict[ast.Formula, bytearray]:
+        if self._table is not None:
+            return self._table
+        tree = self.tree
+        size = len(tree)
+        table: dict[ast.Formula, bytearray] = {
+            formula: bytearray(size) for formula in self._order
+        }
+        for node in tree.postorder():
+            for formula in self._order:
+                table[formula][node] = self._truth_at(table, formula, node)
+        self._table = table
+        return table
+
+    def _truth_at(
+        self,
+        table: dict[ast.Formula, bytearray],
+        formula: ast.Formula,
+        node: int,
+    ) -> bool:
+        tree = self.tree
+        if isinstance(formula, ast.Top):
+            return True
+        if isinstance(formula, ast.Not):
+            return not table[formula.operand][node]
+        if isinstance(formula, ast.And):
+            return bool(table[formula.left][node] and table[formula.right][node])
+        if isinstance(formula, ast.Or):
+            return bool(table[formula.left][node] or table[formula.right][node])
+        if isinstance(formula, ast.TestAtom):
+            return node_test_holds(
+                tree, node, formula.test, exact_unique=self.exact_unique
+            )
+        if isinstance(formula, ast.Ref):
+            return bool(table[self._definitions[formula.name]][node])
+        body = table[formula.body]
+        if isinstance(formula, ast.DiaKey):
+            return any(
+                isinstance(label, str)
+                and body[child]
+                and formula.lang.matches(label)
+                for label, child in tree.edges(node)
+            )
+        if isinstance(formula, ast.BoxKey):
+            return all(
+                body[child]
+                for label, child in tree.edges(node)
+                if isinstance(label, str) and formula.lang.matches(label)
+            )
+        if isinstance(formula, ast.DiaIdx):
+            return any(
+                isinstance(label, int)
+                and body[child]
+                and formula.low <= label
+                and (formula.high is None or label <= formula.high)
+                for label, child in tree.edges(node)
+            )
+        if isinstance(formula, ast.BoxIdx):
+            return all(
+                body[child]
+                for label, child in tree.edges(node)
+                if isinstance(label, int)
+                and formula.low <= label
+                and (formula.high is None or label <= formula.high)
+            )
+        raise TypeError(f"unknown JSL formula {formula!r}")
+
+    # ------------------------------------------------------------------
+
+    def satisfies(self, node: int | None = None) -> bool:
+        """``J |= Delta`` at ``node`` (default: root)."""
+        table = self._compute()
+        target = self.tree.root if node is None else node
+        return bool(table[self.expression.base][target])
+
+    def nodes_satisfying_base(self) -> frozenset[int]:
+        table = self._compute()
+        row = table[self.expression.base]
+        return frozenset(node for node in self.tree.nodes() if row[node])
+
+    def ref_nodes(self, name: str) -> frozenset[int]:
+        """Nodes where the definition ``name`` holds."""
+        body = self._definitions.get(name)
+        if body is None:
+            raise WellFormednessError(f"undefined symbol {name!r}")
+        table = self._compute()
+        row = table[body]
+        return frozenset(node for node in self.tree.nodes() if row[node])
+
+
+def satisfies_recursive(
+    tree: JSONTree,
+    expression: ast.RecursiveJSL,
+    node: int | None = None,
+    *,
+    exact_unique: bool = False,
+) -> bool:
+    """One-shot recursive evaluation (Proposition 9 algorithm)."""
+    evaluator = RecursiveJSLEvaluator(tree, expression, exact_unique=exact_unique)
+    return evaluator.satisfies(node)

@@ -1,0 +1,180 @@
+"""A concrete syntax for JSL formulas and recursive expressions.
+
+Grammar::
+
+    program    :=  definition* formula
+    definition :=  'def' NAME ':=' formula ';'
+    formula    :=  or
+    or         :=  and ('or' and)*
+    and        :=  not ('and' not)*
+    not        :=  'not' not | primary
+    primary    :=  'true' | 'false'
+               |  nodetest                       -- see repro.jnl.parser
+               |  ('some' | 'all') '(' axis ',' formula ')'
+               |  '$' NAME                       -- definition reference
+               |  '(' formula ')'
+    axis       :=  '.' key  |  '[' index ']'     -- same syntax as JNL
+
+``some``/``all`` are the paper's existential/universal modalities
+``DIA``/``BOX``.  Node tests appear bare (no ``test(...)`` wrapper,
+they are native atoms here): ``object``, ``array``, ``string``,
+``number``, ``unique``, ``pattern("re")``, ``min(i)``, ``max(i)``,
+``multipleof(i)``, ``minch(i)``, ``maxch(i)``, ``value(JSON)``.
+
+Example -- the even-depth expression of the paper's Example 2::
+
+    def g1 := all(.*, $g2);
+    def g2 := some(.*, true) and all(.*, $g1);
+    $g1
+"""
+
+from __future__ import annotations
+
+from repro.automata.keylang import KeyLang
+from repro.errors import ParseError
+from repro.jnl import ast as jnl_ast
+from repro.jnl.parser import _Parser
+from repro.jsl import ast
+
+__all__ = ["parse_jsl", "parse_jsl_formula"]
+
+_NODE_TEST_WORDS = {
+    "object",
+    "array",
+    "string",
+    "number",
+    "unique",
+    "pattern",
+    "value",
+    "min",
+    "max",
+    "multipleof",
+    "minch",
+    "maxch",
+}
+
+
+class _JSLParser(_Parser):
+    """Extends the JNL parser machinery with the JSL grammar."""
+
+    def program(self) -> ast.Formula | ast.RecursiveJSL:
+        definitions: list[tuple[str, ast.Formula]] = []
+        while self.keyword() == "def":
+            self.pos += len("def")
+            name = self.ident()
+            self.skip_ws()
+            if not self.text.startswith(":=", self.pos):
+                raise self.error("expected ':=' in definition")
+            self.pos += 2
+            body = self.formula()
+            self.expect(";")
+            definitions.append((name, body))
+        base = self.formula()
+        if definitions:
+            return ast.RecursiveJSL(tuple(definitions), base)
+        return base
+
+    def formula(self) -> ast.Formula:
+        left = self.jsl_conjunction()
+        while self.consume_keyword("or"):
+            left = ast.Or(left, self.jsl_conjunction())
+        return left
+
+    def jsl_conjunction(self) -> ast.Formula:
+        left = self.jsl_negation()
+        while self.consume_keyword("and"):
+            left = ast.And(left, self.jsl_negation())
+        return left
+
+    def jsl_negation(self) -> ast.Formula:
+        if self.consume_keyword("not"):
+            return ast.Not(self.jsl_negation())
+        return self.jsl_primary()
+
+    def jsl_primary(self) -> ast.Formula:
+        word = self.keyword()
+        if word == "true":
+            self.pos += len(word)
+            return ast.Top()
+        if word == "false":
+            self.pos += len(word)
+            return ast.bottom()
+        if word in ("some", "all"):
+            self.pos += len(word)
+            existential = word == "some"
+            self.expect("(")
+            modality = self.modality_axis(existential)
+            self.expect(",")
+            body = self.formula()
+            self.expect(")")
+            return self.finish_modality(modality, body)
+        if word in _NODE_TEST_WORDS:
+            return ast.TestAtom(self.node_test())
+        if self.peek() == "$":
+            self.pos += 1
+            return ast.Ref(self.ident())
+        if self.try_consume("("):
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        raise self.error("expected a JSL formula")
+
+    # -- modalities ---------------------------------------------------------
+
+    def modality_axis(
+        self, existential: bool
+    ) -> tuple[bool, str, object]:
+        char = self.peek()
+        if char == ".":
+            self.pos += 1
+            axis = self.key_axis()
+            if isinstance(axis, jnl_ast.Key):
+                return (existential, "key", KeyLang.word(axis.word))
+            assert isinstance(axis, jnl_ast.KeyRegex)
+            return (existential, "key", axis.lang)
+        if char == "[":
+            self.pos += 1
+            axis = self.index_axis()
+            self.expect("]")
+            if isinstance(axis, jnl_ast.Index):
+                if axis.position < 0:
+                    raise self.error("JSL index modalities are non-negative")
+                return (existential, "index", (axis.position, axis.position))
+            assert isinstance(axis, jnl_ast.IndexRange)
+            return (existential, "index", (axis.low, axis.high))
+        raise self.error("expected a key ('.k') or index ('[i]') axis")
+
+    def finish_modality(
+        self, modality: tuple[bool, str, object], body: ast.Formula
+    ) -> ast.Formula:
+        existential, axis_kind, payload = modality
+        if axis_kind == "key":
+            assert isinstance(payload, KeyLang)
+            return (
+                ast.DiaKey(payload, body)
+                if existential
+                else ast.BoxKey(payload, body)
+            )
+        low, high = payload  # type: ignore[misc]
+        return (
+            ast.DiaIdx(low, high, body)
+            if existential
+            else ast.BoxIdx(low, high, body)
+        )
+
+
+def parse_jsl(text: str) -> ast.Formula | ast.RecursiveJSL:
+    """Parse a JSL program (definitions + base, or a bare formula)."""
+    parser = _JSLParser(text)
+    result = parser.program()
+    if not parser.at_end():
+        raise ParseError("trailing input after formula", parser.pos)
+    return result
+
+
+def parse_jsl_formula(text: str) -> ast.Formula:
+    """Parse a single non-recursive JSL formula."""
+    result = parse_jsl(text)
+    if isinstance(result, ast.RecursiveJSL):
+        raise ParseError("expected a plain formula, found definitions")
+    return result

@@ -1,0 +1,153 @@
+"""Well-formedness of recursive JSL expressions (Section 5.3).
+
+The paper's condition: build the *precedence graph* with one node per
+definition symbol and an edge ``gamma_i -> gamma_j`` whenever
+``gamma_j`` occurs in the body of ``gamma_i`` **not** under the scope
+of a modal operator.  The expression is well-formed iff that graph is
+acyclic.  (Example 3: ``gamma = ~gamma`` is ill-formed; the even-depth
+expression of Example 2 is well-formed because every reference is
+modal-guarded.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.jsl import ast
+
+__all__ = [
+    "unguarded_refs",
+    "precedence_graph",
+    "check_well_formed",
+    "is_well_formed",
+    "topological_order",
+    "find_cycle",
+]
+
+
+def unguarded_refs(formula: ast.Formula) -> set[str]:
+    """References occurring outside the scope of any modal operator."""
+    refs: set[str] = set()
+    stack: list[ast.Formula] = [formula]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Ref):
+            refs.add(current.name)
+        elif isinstance(current, ast.Not):
+            stack.append(current.operand)
+        elif isinstance(current, (ast.And, ast.Or)):
+            stack.append(current.left)
+            stack.append(current.right)
+        # Modal operators guard their body: do not descend.
+    return refs
+
+
+def precedence_graph(expression: ast.RecursiveJSL) -> dict[str, set[str]]:
+    """The precedence graph as an adjacency map."""
+    names = {name for name, _body in expression.definitions}
+    graph: dict[str, set[str]] = {}
+    for name, body in expression.definitions:
+        targets = unguarded_refs(body) & names
+        graph[name] = targets
+    return graph
+
+
+def find_cycle(graph: dict[str, set[str]]) -> list[str] | None:
+    """A cycle in the graph, as a list of names, or ``None``.
+
+    Shared by JSL recursion and JSON Schema ``$ref`` well-formedness
+    (their precedence graphs have the same shape).
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in graph}
+    parent: dict[str, str] = {}
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: list[tuple[str, list[str]]] = [(root, sorted(graph[root]))]
+        colour[root] = GRAY
+        while stack:
+            name, targets = stack[-1]
+            if targets:
+                target = targets.pop(0)
+                if colour.get(target, BLACK) == GRAY:
+                    # Reconstruct the cycle target -> ... -> name -> target.
+                    cycle = [target]
+                    current = name
+                    while current != target:
+                        cycle.append(current)
+                        current = parent[current]
+                    cycle.reverse()
+                    return cycle
+                if colour.get(target, BLACK) == WHITE:
+                    colour[target] = GRAY
+                    parent[target] = name
+                    stack.append((target, sorted(graph[target])))
+            else:
+                colour[name] = BLACK
+                stack.pop()
+    return None
+
+
+def check_well_formed(expression: ast.RecursiveJSL) -> None:
+    """Raise :class:`WellFormednessError` if the expression is ill-formed.
+
+    Also rejects references to undefined symbols, which the paper's
+    definition implicitly assumes away.
+    """
+    names = {name for name, _body in expression.definitions}
+    if len(names) != len(expression.definitions):
+        raise WellFormednessError("duplicate definition names")
+    for name, body in expression.definitions:
+        undefined = ast.refs_in(body) - names
+        if undefined:
+            raise WellFormednessError(
+                f"definition {name!r} references undefined symbols: "
+                f"{sorted(undefined)}"
+            )
+    undefined = ast.refs_in(expression.base) - names
+    if undefined:
+        raise WellFormednessError(
+            f"base expression references undefined symbols: {sorted(undefined)}"
+        )
+    cycle = find_cycle(precedence_graph(expression))
+    if cycle is not None:
+        raise WellFormednessError(
+            "cyclic (unguarded) precedence graph: " + " -> ".join(cycle + [cycle[0]])
+        )
+
+
+def is_well_formed(expression: ast.RecursiveJSL) -> bool:
+    try:
+        check_well_formed(expression)
+    except WellFormednessError:
+        return False
+    return True
+
+
+def topological_order(expression: ast.RecursiveJSL) -> list[str]:
+    """Definition names ordered so unguarded dependencies come first.
+
+    If ``gamma_i``'s body mentions ``gamma_j`` unguarded, then
+    ``gamma_j`` precedes ``gamma_i``.  Requires well-formedness.
+    """
+    graph = precedence_graph(expression)
+    order: list[str] = []
+    visited: set[str] = set()
+    for root in graph:
+        if root in visited:
+            continue
+        # Iterative post-order DFS: dependencies first.
+        stack: list[tuple[str, bool]] = [(root, False)]
+        while stack:
+            name, expanded = stack.pop()
+            if expanded:
+                order.append(name)
+                continue
+            if name in visited:
+                continue
+            visited.add(name)
+            stack.append((name, True))
+            for target in sorted(graph[name], reverse=True):
+                if target not in visited:
+                    stack.append((target, False))
+    return order

@@ -1,0 +1,23 @@
+"""Executing JSONPath queries over JSON trees."""
+
+from __future__ import annotations
+
+from repro.jnl.efficient import JNLEvaluator
+from repro.jsonpath.parser import parse_jsonpath
+from repro.model.tree import JSONTree, JSONValue
+
+__all__ = ["jsonpath_nodes", "jsonpath_query"]
+
+
+def jsonpath_nodes(tree: JSONTree, path_text: str) -> list[int]:
+    """Node ids selected by a JSONPath query, in document order."""
+    path = parse_jsonpath(path_text)
+    evaluator = JNLEvaluator(tree)
+    selected = evaluator.target_nodes(path)
+    # Document order is preorder over the tree, not node-id order.
+    return [node for node in tree.descendants(tree.root) if node in selected]
+
+
+def jsonpath_query(tree: JSONTree, path_text: str) -> list[JSONValue]:
+    """Subdocuments selected by a JSONPath query, in document order."""
+    return [tree.to_value(node) for node in jsonpath_nodes(tree, path_text)]

@@ -1,0 +1,253 @@
+"""A JSONPath subset compiled into JNL path formulas (Section 4.1).
+
+The paper cites JSONPath as the XPath-inspired JSON language whose
+features (non-determinism, filters, recursive descent) motivate the JNL
+extensions; this parser makes the connection executable.
+
+Supported syntax::
+
+    $                     root
+    .key   ['key']        object member
+    .*     [*]            any child (wildcard)
+    ..key  ..*  ..[i]     recursive descent
+    [i]                   array index (negative = from the end)
+    [i:j]  [i:]  [:j]     array slice (end-exclusive, like Python)
+    [i,j,...]             index union
+    [?(@.path op lit)]    filter: ==, !=, <, <=, >, >=
+    [?(@.path)]           filter: existence
+
+Wildcards map to ``X_{Sigma*} u X_{0:inf}``, recursive descent to the
+Kleene star of that axis, filters to JNL tests (comparisons via the
+NodeTest atoms).  Slices are translated to the paper's 0-based,
+end-inclusive ``X_{i:j}`` ranges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.jnl import ast as jnl
+from repro.jnl import builder as q
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree
+
+__all__ = ["parse_jsonpath"]
+
+
+class _JSONPathParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> jnl.Binary:
+        if self.peek() != "$":
+            raise self.error("JSONPath must start with '$'")
+        self.pos += 1
+        steps: list[jnl.Binary] = [jnl.Eps()]
+        while self.pos < len(self.text):
+            steps.append(self.step())
+        return q.compose(*steps)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> jnl.Binary:
+        char = self.peek()
+        if char == ".":
+            self.pos += 1
+            if self.peek() == ".":
+                self.pos += 1
+                return self.descendant_step()
+            return self.member_step()
+        if char == "[":
+            return self.bracket_step()
+        raise self.error(f"unexpected character {char!r}")
+
+    def descendant_step(self) -> jnl.Binary:
+        descend = q.descendant_or_self_axis()
+        if self.peek() == "[":
+            return q.compose(descend, self.bracket_step())
+        return q.compose(descend, self.member_step())
+
+    def member_step(self) -> jnl.Binary:
+        if self.peek() == "*":
+            self.pos += 1
+            return q.any_child_axis()
+        name = self.ident()
+        return jnl.Key(name)
+
+    def ident(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("expected a member name")
+        return self.text[start : self.pos]
+
+    # ------------------------------------------------------------------
+
+    def bracket_step(self) -> jnl.Binary:
+        assert self.peek() == "["
+        self.pos += 1
+        self.skip_ws()
+        char = self.peek()
+        if char == "*":
+            self.pos += 1
+            self.expect("]")
+            return q.any_child_axis()
+        if char in "'\"":
+            name = self.quoted(char)
+            self.expect("]")
+            return jnl.Key(name)
+        if char == "?":
+            return self.filter_step()
+        return self.indices_step()
+
+    def quoted(self, quote: str) -> str:
+        assert self.peek() == quote
+        self.pos += 1
+        chars: list[str] = []
+        while self.pos < len(self.text) and self.text[self.pos] != quote:
+            if self.text[self.pos] == "\\" and self.pos + 1 < len(self.text):
+                self.pos += 1
+            chars.append(self.text[self.pos])
+            self.pos += 1
+        if self.pos >= len(self.text):
+            raise self.error("unterminated quoted name")
+        self.pos += 1
+        return "".join(chars)
+
+    def integer(self) -> int:
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos == start or self.text[start:self.pos] == "-":
+            raise self.error("expected an integer")
+        return int(self.text[start : self.pos])
+
+    def indices_step(self) -> jnl.Binary:
+        self.skip_ws()
+        if self.peek() == ":":
+            self.pos += 1
+            return self.slice_axis(0)
+        first = self.integer()
+        self.skip_ws()
+        if self.peek() == ":":
+            self.pos += 1
+            return self.slice_axis(first)
+        if self.peek() == ",":
+            positions = [first]
+            while self.peek() == ",":
+                self.pos += 1
+                self.skip_ws()
+                positions.append(self.integer())
+                self.skip_ws()
+            self.expect("]")
+            return q.union(*[jnl.Index(p) for p in positions])
+        self.expect("]")
+        return jnl.Index(first)
+
+    def slice_axis(self, start: int) -> jnl.Binary:
+        self.skip_ws()
+        if self.peek() == "]":
+            self.pos += 1
+            return jnl.IndexRange(start, None)
+        end = self.integer()  # JSONPath slices are end-exclusive
+        self.skip_ws()
+        self.expect("]")
+        if end <= start:
+            # Empty slice: a path matching nothing.
+            return jnl.Test(q.bottom())
+        return jnl.IndexRange(start, end - 1)
+
+    # ------------------------------------------------------------------
+
+    def filter_step(self) -> jnl.Binary:
+        assert self.peek() == "?"
+        self.pos += 1
+        self.expect("(")
+        self.skip_ws()
+        if self.peek() != "@":
+            raise self.error("filters must start with '@'")
+        self.pos += 1
+        steps: list[jnl.Binary] = []
+        while self.peek() in ".[":
+            if self.peek() == "." and self.text.startswith("..", self.pos):
+                raise self.error("recursive descent is not allowed in filters")
+            steps.append(self.step())
+        path = q.compose(*steps) if steps else q.eps()
+        self.skip_ws()
+        condition = self.filter_condition(path)
+        self.skip_ws()
+        self.expect(")")
+        self.expect("]")
+        # JSONPath applies [?(...)] to each child of the current node.
+        return q.compose(q.any_child_axis(), jnl.Test(condition))
+
+    def filter_condition(self, path: jnl.Binary) -> jnl.Unary:
+        operator = self.operator()
+        if operator is None:
+            return q.has(path)
+        self.skip_ws()
+        literal = self.literal()
+        if operator in ("==", "!="):
+            doc = JSONTree.from_value(literal)
+            condition: jnl.Unary = jnl.EqDoc(path, doc)
+            return condition if operator == "==" else ~condition
+        if not isinstance(literal, int) or isinstance(literal, bool):
+            raise self.error(f"operator {operator} needs a number")
+        tests = {
+            ">": nt.MinVal(literal),
+            ">=": nt.MinVal(literal - 1),
+            "<": nt.MaxVal(literal),
+            "<=": nt.MaxVal(literal + 1),
+        }
+        return q.has(q.compose(path, q.test(q.atom(tests[operator]))))
+
+    def operator(self) -> str | None:
+        self.skip_ws()
+        for candidate in ("==", "!=", ">=", "<=", ">", "<"):
+            if self.text.startswith(candidate, self.pos):
+                self.pos += len(candidate)
+                return candidate
+        return None
+
+    def literal(self):
+        import json as _json
+
+        decoder = _json.JSONDecoder()
+        try:
+            value, end = decoder.raw_decode(self.text, self.pos)
+        except _json.JSONDecodeError as exc:
+            raise self.error(f"bad literal: {exc.msg}") from exc
+        self.pos = end
+        return value
+
+    # ------------------------------------------------------------------
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+
+def parse_jsonpath(text: str) -> jnl.Binary:
+    """Parse a JSONPath expression into a JNL path formula."""
+    parser = _JSONPathParser(text.strip())
+    path = parser.parse()
+    if parser.pos < len(parser.text):
+        raise parser.error("trailing input after JSONPath")
+    return path

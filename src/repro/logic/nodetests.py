@@ -1,0 +1,207 @@
+"""The ``NodeTests`` atomic predicates of the JSON Schema Logic.
+
+Section 5.2 defines the set NodeTests with the predicates ``Arr``,
+``Obj``, ``Str``, ``Int``, ``Unique``, ``Pattern(e)``, ``Min(i)``,
+``Max(i)``, ``MultOf(i)``, ``MinCh(k)``, ``MaxCh(k)`` and ``~(A)``.
+This module gives each a frozen dataclass and a single semantic entry
+point :func:`node_test_holds` implementing the ``|=`` relation of the
+paper verbatim:
+
+* ``Min(i)`` holds iff the value is a number **strictly greater** than
+  ``i`` (likewise ``Max(i)`` is strict);
+* ``MinCh(i)``/``MaxCh(i)`` count children of objects *and* arrays;
+* ``Unique`` holds on array nodes whose children are pairwise distinct
+  *as subtrees*;
+* ``~(A)`` compares the whole subtree with the constant document ``A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.keylang import KeyLang
+from repro.model.equality import all_children_distinct, canonical_hash, subtree_equal
+from repro.model.tree import JSONTree, Kind
+
+__all__ = [
+    "NodeTest",
+    "IsObject",
+    "IsArray",
+    "IsString",
+    "IsNumber",
+    "Unique",
+    "Pattern",
+    "MinVal",
+    "MaxVal",
+    "MultOf",
+    "MinCh",
+    "MaxCh",
+    "EqDocTest",
+    "node_test_holds",
+]
+
+
+class NodeTest:
+    """Base class of the atomic predicates in NodeTests."""
+
+    __slots__ = ()
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class IsObject(NodeTest):
+    """``Obj``: the node is an object."""
+
+    def describe(self) -> str:
+        return "Obj"
+
+
+@dataclass(frozen=True)
+class IsArray(NodeTest):
+    """``Arr``: the node is an array."""
+
+    def describe(self) -> str:
+        return "Arr"
+
+
+@dataclass(frozen=True)
+class IsString(NodeTest):
+    """``Str``: the node is a string."""
+
+    def describe(self) -> str:
+        return "Str"
+
+
+@dataclass(frozen=True)
+class IsNumber(NodeTest):
+    """``Int``: the node is a number."""
+
+    def describe(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class Unique(NodeTest):
+    """``Unique``: an array whose children are pairwise distinct values."""
+
+    def describe(self) -> str:
+        return "Unique"
+
+
+@dataclass(frozen=True)
+class Pattern(NodeTest):
+    """``Pattern(e)``: a string belonging to the language of ``e``."""
+
+    lang: KeyLang
+
+    def describe(self) -> str:
+        return f"Pattern({self.lang.describe()})"
+
+
+@dataclass(frozen=True)
+class MinVal(NodeTest):
+    """``Min(i)``: a number strictly greater than ``i``."""
+
+    bound: int
+
+    def describe(self) -> str:
+        return f"Min({self.bound})"
+
+
+@dataclass(frozen=True)
+class MaxVal(NodeTest):
+    """``Max(i)``: a number strictly smaller than ``i``."""
+
+    bound: int
+
+    def describe(self) -> str:
+        return f"Max({self.bound})"
+
+
+@dataclass(frozen=True)
+class MultOf(NodeTest):
+    """``MultOf(i)``: a number that is a multiple of ``i``."""
+
+    divisor: int
+
+    def describe(self) -> str:
+        return f"MultOf({self.divisor})"
+
+
+@dataclass(frozen=True)
+class MinCh(NodeTest):
+    """``MinCh(i)``: the node has at least ``i`` children."""
+
+    count: int
+
+    def describe(self) -> str:
+        return f"MinCh({self.count})"
+
+
+@dataclass(frozen=True)
+class MaxCh(NodeTest):
+    """``MaxCh(i)``: the node has at most ``i`` children."""
+
+    count: int
+
+    def describe(self) -> str:
+        return f"MaxCh({self.count})"
+
+
+@dataclass(frozen=True)
+class EqDocTest(NodeTest):
+    """``~(A)``: the subtree at the node equals the document ``A``."""
+
+    doc: JSONTree
+
+    def describe(self) -> str:
+        return f"~({self.doc.to_json()})"
+
+    def doc_hash(self) -> int:
+        return canonical_hash(self.doc, self.doc.root)
+
+
+def node_test_holds(
+    tree: JSONTree, node: int, test: NodeTest, *, exact_unique: bool = False
+) -> bool:
+    """The satisfaction relation ``(J, n) |= test`` of Section 5.2.
+
+    ``exact_unique=True`` switches ``Unique`` to the naive pairwise
+    comparison (the paper's quadratic bound) instead of hash grouping;
+    both are exact, only their running time differs.
+    """
+    kind = tree.kind(node)
+    if isinstance(test, IsObject):
+        return kind is Kind.OBJECT
+    if isinstance(test, IsArray):
+        return kind is Kind.ARRAY
+    if isinstance(test, IsString):
+        return kind is Kind.STRING
+    if isinstance(test, IsNumber):
+        return kind is Kind.NUMBER
+    if isinstance(test, Unique):
+        return kind is Kind.ARRAY and all_children_distinct(
+            tree, node, exact_pairwise=exact_unique
+        )
+    if isinstance(test, Pattern):
+        return kind is Kind.STRING and test.lang.matches(str(tree.value(node)))
+    if isinstance(test, MinVal):
+        return kind is Kind.NUMBER and int(tree.value(node)) > test.bound
+    if isinstance(test, MaxVal):
+        return kind is Kind.NUMBER and int(tree.value(node)) < test.bound
+    if isinstance(test, MultOf):
+        if kind is not Kind.NUMBER:
+            return False
+        value = int(tree.value(node))
+        if test.divisor == 0:
+            return value == 0
+        return value % test.divisor == 0
+    if isinstance(test, MinCh):
+        return tree.num_children(node) >= test.count
+    if isinstance(test, MaxCh):
+        return tree.num_children(node) <= test.count
+    if isinstance(test, EqDocTest):
+        return subtree_equal(tree, node, test.doc, test.doc.root)
+    raise TypeError(f"unknown node test {test!r}")

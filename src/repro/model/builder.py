@@ -1,0 +1,122 @@
+"""Incremental, event-driven construction of JSON trees.
+
+:class:`TreeBuilder` accepts the same event vocabulary the streaming
+tokenizer (:mod:`repro.streaming.events`) produces, so a token stream
+can be materialised into a :class:`~repro.model.tree.JSONTree` when an
+in-memory representation is wanted.  It enforces the data-model
+invariants (unique keys, leaf atomics) as events arrive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model.tree import JSONTree, Kind
+
+__all__ = ["TreeBuilder"]
+
+_NO_PARENT = -1
+
+
+class TreeBuilder:
+    """Builds a :class:`JSONTree` from begin/end/value events.
+
+    Usage::
+
+        builder = TreeBuilder()
+        builder.start_object()
+        builder.key("age")
+        builder.number(32)
+        builder.end_object()
+        tree = builder.result()
+    """
+
+    def __init__(self) -> None:
+        self._tree = JSONTree()
+        # Stack of open container node ids; parallel stack of pending keys.
+        self._open: list[int] = []
+        self._pending_key: list[str | None] = []
+        self._done = False
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, kind: Kind) -> int:
+        if self._done:
+            raise ModelError("document already complete")
+        tree = self._tree
+        if not self._open:
+            if len(tree) != 0:
+                raise ModelError("root already created")
+            return tree._new_node(kind, _NO_PARENT, None)
+        parent = self._open[-1]
+        if tree.kind(parent) is Kind.OBJECT:
+            key = self._pending_key[-1]
+            if key is None:
+                raise ModelError("object member requires a key() event first")
+            self._pending_key[-1] = None
+            node = tree._new_node(kind, parent, key)
+            tree._attach(parent, key, node)
+        else:
+            index = tree.array_length(parent)
+            node = tree._new_node(kind, parent, index)
+            tree._attach(parent, index, node)
+        return node
+
+    def _finish_if_root(self, node: int) -> None:
+        if self._tree.parent(node) is None and not self._open:
+            self._done = True
+
+    # ------------------------------------------------------------------
+    # Events.
+    # ------------------------------------------------------------------
+
+    def start_object(self) -> None:
+        node = self._enter(Kind.OBJECT)
+        self._open.append(node)
+        self._pending_key.append(None)
+
+    def end_object(self) -> None:
+        if not self._open or self._tree.kind(self._open[-1]) is not Kind.OBJECT:
+            raise ModelError("end_object without a matching start_object")
+        if self._pending_key[-1] is not None:
+            raise ModelError("dangling key with no value")
+        node = self._open.pop()
+        self._pending_key.pop()
+        self._finish_if_root(node)
+
+    def start_array(self) -> None:
+        node = self._enter(Kind.ARRAY)
+        self._open.append(node)
+        self._pending_key.append(None)
+
+    def end_array(self) -> None:
+        if not self._open or self._tree.kind(self._open[-1]) is not Kind.ARRAY:
+            raise ModelError("end_array without a matching start_array")
+        node = self._open.pop()
+        self._pending_key.pop()
+        self._finish_if_root(node)
+
+    def key(self, name: str) -> None:
+        if not self._open or self._tree.kind(self._open[-1]) is not Kind.OBJECT:
+            raise ModelError("key() outside of an object")
+        if self._pending_key[-1] is not None:
+            raise ModelError("two consecutive keys without a value")
+        self._pending_key[-1] = name
+
+    def string(self, value: str) -> None:
+        node = self._enter(Kind.STRING)
+        self._tree._values[node] = value
+        self._finish_if_root(node)
+
+    def number(self, value: int) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ModelError(f"number events carry ints, got {value!r}")
+        node = self._enter(Kind.NUMBER)
+        self._tree._values[node] = value
+        self._finish_if_root(node)
+
+    # ------------------------------------------------------------------
+
+    def result(self) -> JSONTree:
+        if not self._done:
+            raise ModelError("document is incomplete")
+        return self._tree

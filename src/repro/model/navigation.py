@@ -1,0 +1,125 @@
+"""JSON navigation instructions (Section 2 of the paper).
+
+The paper observes that *all* JSON systems share two primitives:
+
+* if ``J`` is an object, ``J[key]`` is the value under ``key``;
+* if ``J`` is an array, ``J[i]`` is its i-th element (random access).
+
+Crucially there is no instruction to list an object's keys nor to move
+between array siblings; this module mirrors exactly that interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NavigationError
+from repro.model.tree import JSONTree, JSONValue, Kind
+
+__all__ = ["navigate", "try_navigate", "fetch", "Navigator"]
+
+Step = str | int
+
+
+def try_navigate(
+    tree: JSONTree, steps: Sequence[Step], start: int | None = None
+) -> int | None:
+    """Follow navigation instructions; ``None`` when any step fails.
+
+    Each step is a key (``str``) applied to an object node or a position
+    (``int``, possibly negative) applied to an array node.  A key step
+    on a non-object node fails, as does an index step on a non-array
+    node -- navigation instructions are typed.
+    """
+    node: int | None = tree.root if start is None else start
+    for step in steps:
+        assert node is not None
+        if isinstance(step, str):
+            node = tree.object_child(node, step)
+        else:
+            node = tree.array_child(node, step)
+        if node is None:
+            return None
+    return node
+
+
+def navigate(tree: JSONTree, steps: Sequence[Step], start: int | None = None) -> int:
+    """Like :func:`try_navigate` but raises :class:`NavigationError`."""
+    node = tree.root if start is None else start
+    for position, step in enumerate(steps):
+        if isinstance(step, str):
+            next_node = tree.object_child(node, step)
+        else:
+            next_node = tree.array_child(node, step)
+        if next_node is None:
+            prefix = steps[: position + 1]
+            raise NavigationError(
+                f"navigation failed at step {step!r} (path so far: {list(prefix)})"
+            )
+        node = next_node
+    return node
+
+
+def fetch(tree: JSONTree, *steps: Step) -> JSONValue:
+    """Navigate and return the reached subtree as a Python value."""
+    return tree.to_value(navigate(tree, steps))
+
+
+class Navigator:
+    """A cursor giving the paper's ``J[key]`` / ``J[i]`` notation in Python.
+
+    >>> doc = Navigator.parse('{"name": {"first": "John"}, "age": 32}')
+    >>> doc["name"]["first"].value()
+    'John'
+    >>> doc["age"].value()
+    32
+
+    A failed step raises :class:`NavigationError`; use :meth:`get` for
+    an optional variant.
+    """
+
+    __slots__ = ("tree", "node")
+
+    def __init__(self, tree: JSONTree, node: int | None = None) -> None:
+        self.tree = tree
+        self.node = tree.root if node is None else node
+
+    @classmethod
+    def parse(cls, text: str) -> "Navigator":
+        return cls(JSONTree.from_json(text))
+
+    @classmethod
+    def from_value(cls, value: JSONValue) -> "Navigator":
+        return cls(JSONTree.from_value(value))
+
+    def __getitem__(self, step: Step) -> "Navigator":
+        return Navigator(self.tree, navigate(self.tree, [step], self.node))
+
+    def get(self, step: Step) -> "Navigator | None":
+        node = try_navigate(self.tree, [step], self.node)
+        return None if node is None else Navigator(self.tree, node)
+
+    def follow(self, steps: Iterable[Step]) -> "Navigator":
+        return Navigator(self.tree, navigate(self.tree, list(steps), self.node))
+
+    @property
+    def kind(self) -> Kind:
+        return self.tree.kind(self.node)
+
+    def value(self) -> str | int:
+        """Atomic value of a string/number node."""
+        return self.tree.value(self.node)
+
+    def to_value(self) -> JSONValue:
+        """The whole subtree as a Python value (``json(n)``)."""
+        return self.tree.to_value(self.node)
+
+    def json(self) -> JSONTree:
+        """The subtree as an independent JSON tree (``json(n)``)."""
+        return self.tree.subtree(self.node)
+
+    def __len__(self) -> int:
+        return self.tree.num_children(self.node)
+
+    def __repr__(self) -> str:
+        return f"Navigator(node={self.node}, kind={self.kind.name})"

@@ -1,0 +1,7 @@
+"""MongoDB ``find`` filters compiled onto JNL (Section 4.1), plus the
+Section-6 projection transformation."""
+
+from repro.mongo.find import Collection, compile_filter
+from repro.mongo.projection import Projection
+
+__all__ = ["Collection", "compile_filter", "Projection"]

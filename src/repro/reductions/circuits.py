@@ -1,0 +1,108 @@
+"""Proposition 9's PTIME-hardness reduction: circuit value --> recursive
+JSL evaluation.
+
+A boolean circuit with inputs ``IN1..INn`` becomes a recursive JSL
+expression with one definition per gate; an assignment becomes the flat
+JSON object ``{"IN1": "T", "IN2": "F", ...}``.  Gate definitions
+reference each other *outside* any modal operator -- the precedence
+graph is exactly the circuit's wiring DAG, so acyclicity of the circuit
+is precisely the well-formedness condition of Section 5.3, which makes
+this reduction a nice stress test of the unguarded-recursion machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.automata.keylang import KeyLang
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "random_circuit",
+    "evaluate_circuit",
+    "circuit_to_jsl",
+    "assignment_to_document",
+]
+
+Gate = tuple  # ("in", i) | ("and", a, b) | ("or", a, b) | ("not", a)
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """Gates in topological order; the last gate is the output."""
+
+    num_inputs: int
+    gates: tuple[Gate, ...]
+
+    def gate_name(self, index: int) -> str:
+        return f"g{index}"
+
+
+def random_circuit(num_inputs: int, num_gates: int, seed: int = 0) -> Circuit:
+    rng = random.Random(seed)
+    gates: list[Gate] = [("in", i + 1) for i in range(num_inputs)]
+    while len(gates) < num_inputs + num_gates:
+        kind = rng.choice(("and", "or", "not"))
+        if kind == "not":
+            gates.append(("not", rng.randrange(len(gates))))
+        else:
+            gates.append(
+                (kind, rng.randrange(len(gates)), rng.randrange(len(gates)))
+            )
+    return Circuit(num_inputs, tuple(gates))
+
+
+def evaluate_circuit(circuit: Circuit, inputs: dict[int, bool]) -> bool:
+    values: list[bool] = []
+    for gate in circuit.gates:
+        if gate[0] == "in":
+            values.append(inputs[gate[1]])
+        elif gate[0] == "and":
+            values.append(values[gate[1]] and values[gate[2]])
+        elif gate[0] == "or":
+            values.append(values[gate[1]] or values[gate[2]])
+        else:
+            values.append(not values[gate[1]])
+    return values[-1]
+
+
+_TRUE_DOC = JSONTree.from_value("T")
+
+
+def circuit_to_jsl(circuit: Circuit) -> jsl.RecursiveJSL:
+    """One definition per gate; base expression = the output gate."""
+    definitions: list[tuple[str, jsl.Formula]] = []
+    for index, gate in enumerate(circuit.gates):
+        if gate[0] == "in":
+            body: jsl.Formula = jsl.DiaKey(
+                KeyLang.word(f"IN{gate[1]}"),
+                jsl.TestAtom(nt.EqDocTest(_TRUE_DOC)),
+            )
+        elif gate[0] == "and":
+            body = jsl.And(
+                jsl.Ref(circuit.gate_name(gate[1])),
+                jsl.Ref(circuit.gate_name(gate[2])),
+            )
+        elif gate[0] == "or":
+            body = jsl.Or(
+                jsl.Ref(circuit.gate_name(gate[1])),
+                jsl.Ref(circuit.gate_name(gate[2])),
+            )
+        else:
+            body = jsl.Not(jsl.Ref(circuit.gate_name(gate[1])))
+        definitions.append((circuit.gate_name(index), body))
+    base = jsl.Ref(circuit.gate_name(len(circuit.gates) - 1))
+    return jsl.RecursiveJSL(tuple(definitions), base)
+
+
+def assignment_to_document(circuit: Circuit, inputs: dict[int, bool]) -> JSONTree:
+    value = {
+        f"IN{i}": "T" if inputs[i] else "F"
+        for i in range(1, circuit.num_inputs + 1)
+    }
+    return JSONTree.from_value(value)

@@ -1,0 +1,220 @@
+"""Proposition 4's undecidability encoding: two-counter machines in JNL.
+
+The proof reduces halting of a two-counter (Minsky) machine to the
+satisfiability of a recursive, non-deterministic JNL formula with
+``EQ(alpha, beta)``.  A halting run is encoded as a linked list of
+configuration objects::
+
+    {"state": "q0", "c1": "0", "c2": "0",
+     "next": {"state": ..., "c1": {"a": "0"}, ...}}
+
+where a counter value ``n`` is the ``a``-chain of depth ``n`` ending in
+the string ``"0"``.  Transitions are checked with subtree equalities:
+incrementing counter 1 is ``EQ(X_next o X_c1 o X_a, X_c1)`` -- the next
+configuration's counter, stripped of one level, equals the current one.
+
+Satisfiability for this fragment is undecidable, so
+:func:`repro.jnl.satisfiability.jnl_satisfiable` refuses such formulas;
+what *is* executable -- and what the tests and the E4 bench exercise --
+is the two halves of the reduction's correctness on concrete machines:
+a halting run's encoding satisfies the formula, and corrupted runs or
+non-halting prefixes do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jnl import ast as jnl
+from repro.jnl import builder as q
+from repro.model.tree import JSONTree, JSONValue
+
+__all__ = [
+    "TwoCounterMachine",
+    "run_machine",
+    "encode_run",
+    "machine_to_jnl",
+    "Instruction",
+]
+
+# ("inc", counter, next_state)
+# ("dec", counter, next_state)
+# ("jz", counter, state_if_zero, state_if_positive)
+# ("halt",)
+Instruction = tuple
+
+
+@dataclass(frozen=True)
+class TwoCounterMachine:
+    """A deterministic two-counter machine.
+
+    ``program`` maps a state name to its instruction; execution starts
+    in ``initial`` with both counters zero and halts on reaching
+    ``final``.
+    """
+
+    program: dict[str, Instruction]
+    initial: str
+    final: str
+
+
+Config = tuple[str, int, int]
+
+
+def run_machine(
+    machine: TwoCounterMachine, max_steps: int = 10_000
+) -> list[Config] | None:
+    """The run as a list of configurations, or ``None`` if no halt."""
+    state, c1, c2 = machine.initial, 0, 0
+    trace: list[Config] = [(state, c1, c2)]
+    for _ in range(max_steps):
+        if state == machine.final:
+            return trace
+        instruction = machine.program[state]
+        kind = instruction[0]
+        if kind == "inc":
+            if instruction[1] == 1:
+                c1 += 1
+            else:
+                c2 += 1
+            state = instruction[2]
+        elif kind == "dec":
+            if instruction[1] == 1:
+                c1 = max(0, c1 - 1)
+            else:
+                c2 = max(0, c2 - 1)
+            state = instruction[2]
+        elif kind == "jz":
+            counter = c1 if instruction[1] == 1 else c2
+            state = instruction[2] if counter == 0 else instruction[3]
+        else:
+            return None
+        trace.append((state, c1, c2))
+    return None
+
+
+def _counter_value(value: int) -> JSONValue:
+    encoded: JSONValue = "0"
+    for _ in range(value):
+        encoded = {"a": encoded}
+    return encoded
+
+
+def encode_run(trace: list[Config]) -> JSONTree:
+    """The proof's linked-list encoding of a run."""
+    document: JSONValue | None = None
+    for state, c1, c2 in reversed(trace):
+        config: dict[str, JSONValue] = {
+            "state": state,
+            "c1": _counter_value(c1),
+            "c2": _counter_value(c2),
+        }
+        if document is not None:
+            config["next"] = document
+        document = config
+    assert document is not None
+    return JSONTree.from_value(document)
+
+
+def _eq_state(name: str) -> jnl.Unary:
+    return q.eq_doc(q.key("state"), name)
+
+
+def _eq_next_state(name: str) -> jnl.Unary:
+    return q.eq_doc(q.compose(q.key("next"), q.key("state")), name)
+
+
+def _counter_key(counter: int) -> str:
+    return "c1" if counter == 1 else "c2"
+
+
+def _unchanged(counter: int) -> jnl.Unary:
+    key = _counter_key(counter)
+    return q.eq_path(q.key(key), q.compose(q.key("next"), q.key(key)))
+
+
+def machine_to_jnl(machine: TwoCounterMachine) -> jnl.Unary:
+    """The Proposition 4 formula: satisfied by encodings of halting runs.
+
+    The formula is ``[Q_init o (Q_trans o X_next)* o <final>]`` with the
+    transition disjunction of the proof.  It combines recursion,
+    non-trivial tests and ``EQ(alpha, beta)``, so
+    :func:`repro.jnl.satisfiability.jnl_satisfiable` rejects it -- by
+    design (Proposition 4).
+    """
+    transitions: list[jnl.Unary] = []
+    for state, instruction in machine.program.items():
+        kind = instruction[0]
+        if kind == "inc":
+            counter, target = instruction[1], instruction[2]
+            other = 2 if counter == 1 else 1
+            key = _counter_key(counter)
+            condition = q.conj(
+                [
+                    _eq_state(state),
+                    _eq_next_state(target),
+                    # next counter, stripped of one "a", equals current.
+                    q.eq_path(
+                        q.key(key),
+                        q.compose(q.key("next"), q.key(key), q.key("a")),
+                    ),
+                    _unchanged(other),
+                ]
+            )
+        elif kind == "dec":
+            counter, target = instruction[1], instruction[2]
+            other = 2 if counter == 1 else 1
+            key = _counter_key(counter)
+            decremented = q.eq_path(
+                q.compose(q.key(key), q.key("a")),
+                q.compose(q.key("next"), q.key(key)),
+            )
+            # dec on zero stays zero.
+            stays_zero = q.conj(
+                [q.eq_doc(q.key(key), "0"), q.eq_doc(
+                    q.compose(q.key("next"), q.key(key)), "0"
+                )]
+            )
+            condition = q.conj(
+                [
+                    _eq_state(state),
+                    _eq_next_state(target),
+                    q.disj([decremented, stays_zero]),
+                    _unchanged(other),
+                ]
+            )
+        elif kind == "jz":
+            counter = instruction[1]
+            zero_target, pos_target = instruction[2], instruction[3]
+            key = _counter_key(counter)
+            zero_case = q.conj(
+                [q.eq_doc(q.key(key), "0"), _eq_next_state(zero_target)]
+            )
+            positive_case = q.conj(
+                [
+                    q.has(q.compose(q.key(key), q.key("a"))),
+                    _eq_next_state(pos_target),
+                ]
+            )
+            condition = q.conj(
+                [
+                    _eq_state(state),
+                    q.disj([zero_case, positive_case]),
+                    _unchanged(1),
+                    _unchanged(2),
+                ]
+            )
+        else:  # halt: no outgoing transition
+            continue
+        transitions.append(condition)
+
+    initial = q.conj(
+        [
+            _eq_state(machine.initial),
+            q.eq_doc(q.key("c1"), "0"),
+            q.eq_doc(q.key("c2"), "0"),
+        ]
+    )
+    step = q.compose(q.test(q.disj(transitions)), q.key("next"))
+    final = q.test(_eq_state(machine.final))
+    return q.has(q.compose(q.test(initial), q.star(step), final))

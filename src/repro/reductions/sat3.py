@@ -1,0 +1,132 @@
+"""Proposition 2's NP-hardness reduction: 3SAT --> JNL satisfiability.
+
+The proof encodes a truth assignment in the *types* of the values
+under the variable keys: a variable ``p`` is true when the value under
+key ``p`` is an array (it has a child at index 0) and false when it is
+an object (it has a child under a fresh key ``w``).  The two cases are
+mutually exclusive because array edges carry numbers and object edges
+carry strings, and keys are unique -- the determinism the paper
+emphasises.  The resulting formula uses neither negation nor equality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+
+from repro.jnl import ast as jnl
+from repro.model.tree import JSONTree
+
+__all__ = [
+    "CNF3",
+    "random_3cnf",
+    "brute_force_sat",
+    "cnf_to_jnl",
+    "assignment_from_witness",
+    "evaluate_cnf",
+]
+
+FRESH_KEY = "__w"
+
+
+@dataclass(frozen=True)
+class CNF3:
+    """A 3CNF formula: clauses of three non-zero DIMACS-style literals.
+
+    Literal ``+i`` is variable ``i`` (1-based), ``-i`` its negation.
+    """
+
+    num_vars: int
+    clauses: tuple[tuple[int, int, int], ...]
+
+    def var_name(self, variable: int) -> str:
+        return f"p{variable}"
+
+
+def random_3cnf(num_vars: int, num_clauses: int, seed: int = 0) -> CNF3:
+    """A uniformly random 3CNF instance (distinct variables per clause)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k=min(3, num_vars))
+        while len(variables) < 3:
+            variables.append(variables[-1])
+        clause = tuple(
+            var if rng.random() < 0.5 else -var for var in variables
+        )
+        clauses.append(clause)
+    return CNF3(num_vars, tuple(clauses))
+
+
+def evaluate_cnf(cnf: CNF3, assignment: dict[int, bool]) -> bool:
+    return all(
+        any(
+            assignment[abs(literal)] == (literal > 0)
+            for literal in clause
+        )
+        for clause in cnf.clauses
+    )
+
+
+def brute_force_sat(cnf: CNF3) -> dict[int, bool] | None:
+    """Exhaustive 2^n search; the differential baseline for Prop 2."""
+    variables = list(range(1, cnf.num_vars + 1))
+    for values in product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if evaluate_cnf(cnf, assignment):
+            return assignment
+    return None
+
+
+def _truthy(var_key: str) -> jnl.Unary:
+    """``[X_p o <[X_0]>]``: the value under ``p`` is a non-empty array."""
+    return jnl.Exists(
+        jnl.Compose(jnl.Key(var_key), jnl.Test(jnl.Exists(jnl.Index(0))))
+    )
+
+
+def _falsy(var_key: str) -> jnl.Unary:
+    """``[X_p o <[X_w]>]``: the value under ``p`` is an object with ``w``."""
+    return jnl.Exists(
+        jnl.Compose(jnl.Key(var_key), jnl.Test(jnl.Exists(jnl.Key(FRESH_KEY))))
+    )
+
+
+def cnf_to_jnl(cnf: CNF3) -> jnl.Unary:
+    """The Proposition 2 reduction (negation- and equality-free)."""
+    parts: list[jnl.Unary] = []
+    for variable in range(1, cnf.num_vars + 1):
+        key = cnf.var_name(variable)
+        parts.append(jnl.Or(_truthy(key), _falsy(key)))
+    for clause in cnf.clauses:
+        literals: list[jnl.Unary] = []
+        for literal in clause:
+            key = cnf.var_name(abs(literal))
+            literals.append(_truthy(key) if literal > 0 else _falsy(key))
+        clause_formula = literals[0]
+        for extra in literals[1:]:
+            clause_formula = jnl.Or(clause_formula, extra)
+        parts.append(clause_formula)
+    formula = parts[0]
+    for part in parts[1:]:
+        formula = jnl.And(formula, part)
+    return formula
+
+
+def assignment_from_witness(cnf: CNF3, witness: JSONTree) -> dict[int, bool]:
+    """Decode a satisfying assignment from a model of the JNL formula."""
+    assignment: dict[int, bool] = {}
+    for variable in range(1, cnf.num_vars + 1):
+        child = witness.object_child(witness.root, cnf.var_name(variable))
+        assignment[variable] = child is not None and witness.is_array(child)
+    return assignment
+
+
+def assignment_to_document(cnf: CNF3, assignment: dict[int, bool]) -> JSONTree:
+    """The canonical model encoding an assignment (for round-trip tests)."""
+    value = {
+        cnf.var_name(variable): [0] if assignment[variable] else {FRESH_KEY: 0}
+        for variable in range(1, cnf.num_vars + 1)
+    }
+    return JSONTree.from_value(value)

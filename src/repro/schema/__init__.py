@@ -1,0 +1,61 @@
+"""JSON Schema (Table-1 core fragment) with Theorem-1/3 translations.
+
+* :mod:`repro.schema.ast` / :mod:`repro.schema.parser` -- typed schema
+  trees and parsing from JSON;
+* :mod:`repro.schema.validator` -- direct validation;
+* :mod:`repro.schema.to_jsl` / :mod:`repro.schema.from_jsl` -- the
+  Theorem-1 translations (both directions);
+* :mod:`repro.schema.refs` -- ``definitions``/``$ref`` well-formedness
+  (Theorem 3).
+"""
+
+from repro.schema.ast import (
+    AllOf,
+    AnyOf,
+    ArraySchema,
+    EnumSchema,
+    NotSchema,
+    NumberSchema,
+    ObjectSchema,
+    RefSchema,
+    Schema,
+    SchemaDocument,
+    StringSchema,
+    TrueSchema,
+)
+from repro.schema.from_jsl import jsl_formula_to_schema, jsl_to_schema
+from repro.schema.parser import parse_schema, parse_schema_fragment
+from repro.schema.refs import (
+    check_schema_well_formed,
+    is_schema_well_formed,
+    schema_precedence_graph,
+)
+from repro.schema.to_jsl import schema_fragment_to_jsl, schema_to_jsl
+from repro.schema.validator import SchemaValidator, validates, validates_value
+
+__all__ = [
+    "Schema",
+    "TrueSchema",
+    "StringSchema",
+    "NumberSchema",
+    "ObjectSchema",
+    "ArraySchema",
+    "AllOf",
+    "AnyOf",
+    "NotSchema",
+    "EnumSchema",
+    "RefSchema",
+    "SchemaDocument",
+    "parse_schema",
+    "parse_schema_fragment",
+    "SchemaValidator",
+    "validates",
+    "validates_value",
+    "schema_to_jsl",
+    "schema_fragment_to_jsl",
+    "jsl_to_schema",
+    "jsl_formula_to_schema",
+    "check_schema_well_formed",
+    "is_schema_well_formed",
+    "schema_precedence_graph",
+]

@@ -1,0 +1,220 @@
+"""Theorem 1, reverse direction: JSL --> JSON Schema.
+
+The appendix proof sketches this construction; two spots need repair to
+be correct under the paper's own semantics, and we implement the
+repaired version (differentially tested against the forward direction):
+
+* ``BOX_e phi`` as ``patternProperties`` only constrains *objects*,
+  but the JSL formula holds vacuously on strings, numbers and arrays --
+  so the schema is an ``anyOf`` of the non-object types and the object
+  form.  The same applies to index boxes.
+* ``DIA_{i:j} phi`` is existential; the sketch's ``items`` list (which
+  *requires* every listed position) is the box form.  We translate
+  diamonds by duality ``DIA = not BOX not``, keeping the special case
+  ``DIA_w T = required`` for readability.
+* array boxes respect array length: positions below ``i`` are free,
+  arrays shorter than ``i`` satisfy the box vacuously, so the
+  translation enumerates the short lengths explicitly (indices are in
+  unary, as in the paper's own MinCh/MaxCh constructions).
+
+Key languages that are not literal words/regexes (e.g. the complement
+language of ``additionalProperties``) are rendered back into a single
+``pattern`` string via DFA-to-regex extraction
+(:func:`repro.automata.regex.dfa_to_regex_text`).
+"""
+
+from __future__ import annotations
+
+from repro.automata.keylang import KeyLang
+from repro.errors import TranslationError
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+from repro.schema import ast
+
+__all__ = ["jsl_to_schema", "jsl_formula_to_schema"]
+
+_TRUE = ast.TrueSchema()
+_FALSE = ast.NotSchema(ast.TrueSchema())
+
+
+def jsl_to_schema(formula: jsl.Formula | jsl.RecursiveJSL) -> ast.SchemaDocument:
+    """Translate (possibly recursive) JSL into a schema document."""
+    if isinstance(formula, jsl.RecursiveJSL):
+        definitions = tuple(
+            (name, jsl_formula_to_schema(body))
+            for name, body in formula.definitions
+        )
+        return ast.SchemaDocument(jsl_formula_to_schema(formula.base), definitions)
+    return ast.SchemaDocument(jsl_formula_to_schema(formula), ())
+
+
+def jsl_formula_to_schema(formula: jsl.Formula) -> ast.Schema:
+    if isinstance(formula, jsl.Top):
+        return _TRUE
+    if isinstance(formula, jsl.Not):
+        return ast.NotSchema(jsl_formula_to_schema(formula.operand))
+    if isinstance(formula, jsl.And):
+        return ast.AllOf(
+            (
+                jsl_formula_to_schema(formula.left),
+                jsl_formula_to_schema(formula.right),
+            )
+        )
+    if isinstance(formula, jsl.Or):
+        return ast.AnyOf(
+            (
+                jsl_formula_to_schema(formula.left),
+                jsl_formula_to_schema(formula.right),
+            )
+        )
+    if isinstance(formula, jsl.TestAtom):
+        return _test_to_schema(formula.test)
+    if isinstance(formula, jsl.DiaKey):
+        return _dia_key_to_schema(formula)
+    if isinstance(formula, jsl.BoxKey):
+        return _box_key_to_schema(formula)
+    if isinstance(formula, jsl.DiaIdx):
+        # DIA_{i:j} = not BOX_{i:j} not.
+        return ast.NotSchema(
+            _box_idx_to_schema(
+                jsl.BoxIdx(formula.low, formula.high, jsl.Not(formula.body))
+            )
+        )
+    if isinstance(formula, jsl.BoxIdx):
+        return _box_idx_to_schema(formula)
+    if isinstance(formula, jsl.Ref):
+        return ast.RefSchema(formula.name)
+    raise TypeError(f"unknown JSL formula {formula!r}")
+
+
+def _test_to_schema(test: nt.NodeTest) -> ast.Schema:
+    if isinstance(test, nt.IsObject):
+        return ast.ObjectSchema()
+    if isinstance(test, nt.IsArray):
+        return ast.ArraySchema()
+    if isinstance(test, nt.IsString):
+        return ast.StringSchema()
+    if isinstance(test, nt.IsNumber):
+        return ast.NumberSchema()
+    if isinstance(test, nt.Unique):
+        return ast.ArraySchema(unique_items=True)
+    if isinstance(test, nt.Pattern):
+        pattern = test.lang.to_pattern_text()
+        if pattern is None:
+            return _FALSE  # Pattern over the empty language
+        return ast.StringSchema(pattern, KeyLang.regex(pattern))
+    if isinstance(test, nt.MinVal):
+        # Min(i): value > i, i.e. inclusive minimum i+1 (numbers are
+        # naturals, so a non-positive bound is vacuous on numbers).
+        if test.bound < 0:
+            return ast.NumberSchema()
+        return ast.NumberSchema(minimum=test.bound + 1)
+    if isinstance(test, nt.MaxVal):
+        # Max(i): value < i, i.e. inclusive maximum i-1.
+        if test.bound <= 0:
+            return _FALSE  # no natural number is < 0
+        return ast.NumberSchema(maximum=test.bound - 1)
+    if isinstance(test, nt.MultOf):
+        return ast.NumberSchema(multiple_of=test.divisor)
+    if isinstance(test, nt.MinCh):
+        if test.count <= 0:
+            return _TRUE
+        return ast.AnyOf(
+            (
+                ast.ObjectSchema(min_properties=test.count),
+                ast.ArraySchema(
+                    items=(_TRUE,) * test.count, additional_items=_TRUE
+                ),
+            )
+        )
+    if isinstance(test, nt.MaxCh):
+        arrays = tuple(
+            _exact_length_array((_TRUE,) * length)
+            for length in range(test.count + 1)
+        )
+        return ast.AnyOf(
+            (
+                ast.StringSchema(),
+                ast.NumberSchema(),
+                ast.ObjectSchema(max_properties=test.count),
+            )
+            + arrays
+        )
+    if isinstance(test, nt.EqDocTest):
+        return ast.EnumSchema((test.doc,))
+    raise TypeError(f"unknown node test {test!r}")
+
+
+def _exact_length_array(items: tuple[ast.Schema, ...]) -> ast.ArraySchema:
+    """An array of exactly these positions (items required, no extras)."""
+    return ast.ArraySchema(items=items, additional_items=None)
+
+
+def _pattern_of(lang: KeyLang) -> tuple[str, KeyLang]:
+    pattern = lang.to_pattern_text()
+    if pattern is None:
+        raise TranslationError(
+            "cannot render the empty key language as a pattern"
+        )
+    return pattern, lang
+
+
+def _non_object_types() -> tuple[ast.Schema, ...]:
+    return (ast.StringSchema(), ast.NumberSchema(), ast.ArraySchema())
+
+
+def _non_array_types() -> tuple[ast.Schema, ...]:
+    return (ast.StringSchema(), ast.NumberSchema(), ast.ObjectSchema())
+
+
+def _dia_key_to_schema(formula: jsl.DiaKey) -> ast.Schema:
+    word = formula.lang.single_word
+    if word is not None and isinstance(formula.body, jsl.Top):
+        return ast.ObjectSchema(required=(word,))
+    if formula.lang.is_empty():
+        return _FALSE
+    # DIA_e phi = not BOX_e not phi ... but the box translation is
+    # disjoined with non-object types, so restrict to objects first:
+    # DIA_e phi  =  Obj ^ not(BOX-as-schema(e, not phi) restricted).
+    box = _box_key_object_form(jsl.BoxKey(formula.lang, jsl.Not(formula.body)))
+    return ast.AllOf((ast.ObjectSchema(), ast.NotSchema(box)))
+
+
+def _box_key_object_form(formula: jsl.BoxKey) -> ast.Schema:
+    pattern, lang = _pattern_of(formula.lang)
+    body = jsl_formula_to_schema(formula.body)
+    return ast.ObjectSchema(
+        pattern_properties=((pattern, body),), pattern_langs=(lang,)
+    )
+
+
+def _box_key_to_schema(formula: jsl.BoxKey) -> ast.Schema:
+    if formula.lang.is_empty():
+        return _TRUE
+    return ast.AnyOf(_non_object_types() + (_box_key_object_form(formula),))
+
+
+def _box_idx_to_schema(formula: jsl.BoxIdx) -> ast.Schema:
+    body = jsl_formula_to_schema(formula.body)
+    low, high = formula.low, formula.high
+    # Arrays shorter than `low` satisfy the box vacuously.
+    short_arrays = tuple(
+        _exact_length_array((_TRUE,) * length) for length in range(low)
+    )
+    if high is None:
+        long_form: tuple[ast.Schema, ...] = (
+            ast.ArraySchema(items=(_TRUE,) * low, additional_items=body),
+        )
+    else:
+        # Lengths low..high constrain positions low..length-1 ...
+        mid_forms = tuple(
+            _exact_length_array((_TRUE,) * low + (body,) * (length - low))
+            for length in range(low, high + 1)
+        )
+        # ... and longer arrays constrain exactly positions low..high.
+        tail = ast.ArraySchema(
+            items=(_TRUE,) * low + (body,) * (high - low + 1),
+            additional_items=_TRUE,
+        )
+        long_form = mid_forms + (tail,)
+    return ast.AnyOf(_non_array_types() + short_arrays + long_form)

@@ -1,0 +1,238 @@
+"""Parsing JSON Schema documents into the Table-1 core fragment.
+
+``parse_schema`` accepts a Python dict (or JSON text) and produces a
+:class:`~repro.schema.ast.SchemaDocument`.  The parser is strict: any
+keyword outside the paper's core fragment raises
+:class:`~repro.errors.SchemaError` (annotation-only keywords such as
+``title`` / ``description`` / ``$schema`` are ignored, as they carry no
+validation semantics).
+"""
+
+from __future__ import annotations
+
+import json as _json
+from typing import Any
+
+from repro.automata.keylang import KeyLang
+from repro.errors import RegexParseError, SchemaError
+from repro.model.pointer import parse_pointer
+from repro.model.tree import JSONTree
+from repro.schema import ast
+
+__all__ = ["parse_schema", "parse_schema_fragment"]
+
+_ANNOTATIONS = {"title", "description", "$schema", "id", "$id", "default", "examples"}
+
+_STRING_KEYWORDS = {"type", "pattern"}
+_NUMBER_KEYWORDS = {"type", "minimum", "maximum", "multipleOf"}
+_OBJECT_KEYWORDS = {
+    "type",
+    "required",
+    "minProperties",
+    "maxProperties",
+    "properties",
+    "patternProperties",
+    "additionalProperties",
+}
+_ARRAY_KEYWORDS = {"type", "items", "additionalItems", "uniqueItems"}
+
+
+def parse_schema(source: Any) -> ast.SchemaDocument:
+    """Parse a top-level schema (dict or JSON text) with ``definitions``."""
+    if isinstance(source, str):
+        try:
+            source = _json.loads(source)
+        except _json.JSONDecodeError as exc:
+            raise SchemaError(f"invalid JSON: {exc}") from exc
+    if not isinstance(source, dict):
+        raise SchemaError(
+            f"a JSON Schema is a JSON object, got {type(source).__name__}"
+        )
+    definitions: list[tuple[str, ast.Schema]] = []
+    body = dict(source)
+    raw_definitions = body.pop("definitions", None)
+    if raw_definitions is not None:
+        if not isinstance(raw_definitions, dict):
+            raise SchemaError('"definitions" must be an object')
+        for name, sub in raw_definitions.items():
+            definitions.append((name, parse_schema_fragment(sub)))
+    root = parse_schema_fragment(body)
+    return ast.SchemaDocument(root, tuple(definitions))
+
+
+def parse_schema_fragment(source: Any) -> ast.Schema:
+    """Parse one schema object (no ``definitions`` section allowed)."""
+    if not isinstance(source, dict):
+        raise SchemaError(
+            f"a JSON Schema is a JSON object, got {type(source).__name__}"
+        )
+    body = {
+        key: value for key, value in source.items() if key not in _ANNOTATIONS
+    }
+    if not body:
+        return ast.TrueSchema()
+    if "$ref" in body:
+        return _parse_ref(body)
+    if "type" in body:
+        return _parse_typed(body)
+    return _parse_combinator(body)
+
+
+def _parse_ref(body: dict[str, Any]) -> ast.Schema:
+    _reject_extras(body, {"$ref"}, "$ref")
+    pointer = body["$ref"]
+    if not isinstance(pointer, str):
+        raise SchemaError('"$ref" must be a string')
+    tokens = parse_pointer(pointer)
+    if len(tokens) != 2 or tokens[0] != "definitions":
+        raise SchemaError(
+            f'only "#/definitions/<name>" references are in the core '
+            f"fragment, got {pointer!r}"
+        )
+    return ast.RefSchema(tokens[1])
+
+
+def _parse_combinator(body: dict[str, Any]) -> ast.Schema:
+    combinators = [key for key in ("allOf", "anyOf", "not", "enum") if key in body]
+    if not combinators:
+        raise SchemaError(
+            f"schema outside the core fragment (keywords: {sorted(body)})"
+        )
+    if len(body) != 1:
+        raise SchemaError(
+            f"a boolean-combination schema must use a single keyword, "
+            f"got {sorted(body)}"
+        )
+    keyword = combinators[0]
+    value = body[keyword]
+    if keyword == "not":
+        return ast.NotSchema(parse_schema_fragment(value))
+    if keyword == "enum":
+        if not isinstance(value, list) or not value:
+            raise SchemaError('"enum" must be a non-empty array')
+        return ast.EnumSchema(tuple(JSONTree.from_value(doc) for doc in value))
+    if not isinstance(value, list) or not value:
+        raise SchemaError(f'"{keyword}" must be a non-empty array of schemas')
+    schemas = tuple(parse_schema_fragment(sub) for sub in value)
+    return ast.AllOf(schemas) if keyword == "allOf" else ast.AnyOf(schemas)
+
+
+def _parse_typed(body: dict[str, Any]) -> ast.Schema:
+    type_name = body["type"]
+    if type_name == "string":
+        return _parse_string(body)
+    if type_name in ("number", "integer"):
+        return _parse_number(body)
+    if type_name == "object":
+        return _parse_object(body)
+    if type_name == "array":
+        return _parse_array(body)
+    raise SchemaError(f"unknown type {type_name!r}")
+
+
+def _reject_extras(body: dict[str, Any], allowed: set[str], kind: str) -> None:
+    extras = set(body) - allowed
+    if extras:
+        raise SchemaError(
+            f"keywords {sorted(extras)} are not allowed in a {kind} schema "
+            "(core fragment)"
+        )
+
+
+def _parse_pattern(pattern: Any, context: str) -> KeyLang:
+    if not isinstance(pattern, str):
+        raise SchemaError(f"{context} must be a string")
+    try:
+        return KeyLang.regex(pattern)
+    except RegexParseError as exc:
+        raise SchemaError(f"bad regular expression in {context}: {exc}") from exc
+
+
+def _parse_natural(value: Any, context: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise SchemaError(f"{context} must be a natural number, got {value!r}")
+    return value
+
+
+def _parse_string(body: dict[str, Any]) -> ast.Schema:
+    _reject_extras(body, _STRING_KEYWORDS, "string")
+    pattern = body.get("pattern")
+    if pattern is None:
+        return ast.StringSchema()
+    return ast.StringSchema(pattern, _parse_pattern(pattern, '"pattern"'))
+
+
+def _parse_number(body: dict[str, Any]) -> ast.Schema:
+    _reject_extras(body, _NUMBER_KEYWORDS, "number")
+    minimum = body.get("minimum")
+    maximum = body.get("maximum")
+    multiple_of = body.get("multipleOf")
+    return ast.NumberSchema(
+        None if minimum is None else _parse_natural(minimum, '"minimum"'),
+        None if maximum is None else _parse_natural(maximum, '"maximum"'),
+        None if multiple_of is None else _parse_natural(multiple_of, '"multipleOf"'),
+    )
+
+
+def _parse_object(body: dict[str, Any]) -> ast.Schema:
+    _reject_extras(body, _OBJECT_KEYWORDS, "object")
+    required = body.get("required", [])
+    if not isinstance(required, list) or not all(
+        isinstance(key, str) for key in required
+    ):
+        raise SchemaError('"required" must be an array of strings')
+    properties_raw = body.get("properties", {})
+    if not isinstance(properties_raw, dict):
+        raise SchemaError('"properties" must be an object')
+    properties = tuple(
+        (key, parse_schema_fragment(sub)) for key, sub in properties_raw.items()
+    )
+    patterns_raw = body.get("patternProperties", {})
+    if not isinstance(patterns_raw, dict):
+        raise SchemaError('"patternProperties" must be an object')
+    pattern_properties = tuple(
+        (pattern, parse_schema_fragment(sub)) for pattern, sub in patterns_raw.items()
+    )
+    pattern_langs = tuple(
+        _parse_pattern(pattern, '"patternProperties"') for pattern in patterns_raw
+    )
+    additional = body.get("additionalProperties")
+    min_properties = body.get("minProperties")
+    max_properties = body.get("maxProperties")
+    return ast.ObjectSchema(
+        required=tuple(required),
+        min_properties=None
+        if min_properties is None
+        else _parse_natural(min_properties, '"minProperties"'),
+        max_properties=None
+        if max_properties is None
+        else _parse_natural(max_properties, '"maxProperties"'),
+        properties=properties,
+        pattern_properties=pattern_properties,
+        additional_properties=None
+        if additional is None
+        else parse_schema_fragment(additional),
+        pattern_langs=pattern_langs,
+    )
+
+
+def _parse_array(body: dict[str, Any]) -> ast.Schema:
+    _reject_extras(body, _ARRAY_KEYWORDS, "array")
+    items_raw = body.get("items")
+    items: tuple[ast.Schema, ...] | None
+    if items_raw is None:
+        items = None
+    elif isinstance(items_raw, list):
+        items = tuple(parse_schema_fragment(sub) for sub in items_raw)
+    else:
+        raise SchemaError(
+            '"items" must be an array of schemas in the core fragment'
+        )
+    additional_raw = body.get("additionalItems")
+    additional = (
+        None if additional_raw is None else parse_schema_fragment(additional_raw)
+    )
+    unique = body.get("uniqueItems", False)
+    if unique not in (True, False):
+        raise SchemaError('"uniqueItems" must be true or false')
+    return ast.ArraySchema(items, additional, bool(unique))

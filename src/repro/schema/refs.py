@@ -1,0 +1,109 @@
+"""Well-formedness of recursive schemas (Section 5.3 / Theorem 3).
+
+A ``$ref`` is *guarded* when it sits under a structural keyword
+(``properties``, ``patternProperties``, ``additionalProperties``,
+``items``, ``additionalItems``) -- validation will only re-enter the
+referenced definition at a strictly deeper node.  References reachable
+through boolean combinators only (``allOf``/``anyOf``/``not``/top
+level) are unguarded; the precedence graph over unguarded references
+must be acyclic, mirroring the condition for recursive JSL.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.jsl.recursion import find_cycle
+from repro.schema import ast
+
+__all__ = [
+    "unguarded_schema_refs",
+    "schema_precedence_graph",
+    "check_schema_well_formed",
+    "is_schema_well_formed",
+    "all_schema_refs",
+]
+
+
+def unguarded_schema_refs(schema: ast.Schema) -> set[str]:
+    """Definition names referenced outside any structural keyword."""
+    refs: set[str] = set()
+    stack: list[ast.Schema] = [schema]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.RefSchema):
+            refs.add(current.name)
+        elif isinstance(current, (ast.AllOf, ast.AnyOf)):
+            stack.extend(current.schemas)
+        elif isinstance(current, ast.NotSchema):
+            stack.append(current.schema)
+        # Typed schemas guard their subschemas: do not descend.
+    return refs
+
+
+def all_schema_refs(schema: ast.Schema) -> set[str]:
+    """All definition names referenced anywhere in the schema."""
+    refs: set[str] = set()
+    stack: list[ast.Schema] = [schema]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.RefSchema):
+            refs.add(current.name)
+        elif isinstance(current, (ast.AllOf, ast.AnyOf)):
+            stack.extend(current.schemas)
+        elif isinstance(current, ast.NotSchema):
+            stack.append(current.schema)
+        elif isinstance(current, ast.ObjectSchema):
+            stack.extend(sub for _key, sub in current.properties)
+            stack.extend(sub for _pattern, sub in current.pattern_properties)
+            if current.additional_properties is not None:
+                stack.append(current.additional_properties)
+        elif isinstance(current, ast.ArraySchema):
+            if current.items is not None:
+                stack.extend(current.items)
+            if current.additional_items is not None:
+                stack.append(current.additional_items)
+        elif isinstance(current, ast.SchemaDocument):
+            stack.append(current.root)
+            stack.extend(sub for _name, sub in current.definitions)
+    return refs
+
+
+def schema_precedence_graph(document: ast.SchemaDocument) -> dict[str, set[str]]:
+    names = {name for name, _schema in document.definitions}
+    return {
+        name: unguarded_schema_refs(schema) & names
+        for name, schema in document.definitions
+    }
+
+
+def check_schema_well_formed(document: ast.SchemaDocument) -> None:
+    """Raise :class:`WellFormednessError` on bad recursion or bad refs."""
+    names = {name for name, _schema in document.definitions}
+    if len(names) != len(document.definitions):
+        raise WellFormednessError("duplicate definition names")
+    for name, schema in document.definitions:
+        missing = all_schema_refs(schema) - names
+        if missing:
+            raise WellFormednessError(
+                f"definition {name!r} references undefined schemas: "
+                f"{sorted(missing)}"
+            )
+    missing = all_schema_refs(document.root) - names
+    if missing:
+        raise WellFormednessError(
+            f"root schema references undefined schemas: {sorted(missing)}"
+        )
+    cycle = find_cycle(schema_precedence_graph(document))
+    if cycle is not None:
+        raise WellFormednessError(
+            "cyclic (unguarded) $ref precedence: "
+            + " -> ".join(cycle + [cycle[0]])
+        )
+
+
+def is_schema_well_formed(document: ast.SchemaDocument) -> bool:
+    try:
+        check_schema_well_formed(document)
+    except WellFormednessError:
+        return False
+    return True

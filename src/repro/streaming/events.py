@@ -1,0 +1,165 @@
+"""A streaming JSON tokenizer: text --> parse events.
+
+Produces the event vocabulary of :class:`~repro.model.builder.
+TreeBuilder` without materialising a tree, enabling the constant-memory
+validation Section 6 conjectures for the deterministic logics.
+
+Events are tuples: ``("start_object",)``, ``("key", name)``,
+``("end_object",)``, ``("start_array",)``, ``("end_array",)``,
+``("string", value)``, ``("number", value)``.
+
+The tokenizer enforces the paper's JSON abstraction: numbers are
+naturals (no sign, fraction or exponent) and the literals
+``true``/``false``/``null`` are rejected.  Duplicate keys within one
+object are detected (the determinism condition); pass
+``check_duplicates=False`` to trade that check for strictly
+depth-bounded memory.
+"""
+
+from __future__ import annotations
+
+from json.decoder import scanstring
+from typing import Iterator
+
+from repro.errors import DuplicateKeyError, StreamingError
+
+__all__ = ["Event", "tokenize"]
+
+Event = tuple
+
+_WS = " \t\n\r"
+
+# Parser modes (what we expect next at the top of the stack).
+_VALUE = 0          # a value
+_OBJ_KEY = 1        # a key or '}'
+_OBJ_COLON = 2      # ':'
+_OBJ_NEXT = 3       # ',' or '}'
+_ARR_NEXT = 4       # ',' or ']'
+
+
+def tokenize(text: str, *, check_duplicates: bool = True) -> Iterator[Event]:
+    """Yield parse events for one JSON document.
+
+    Raises :class:`StreamingError` on malformed input and
+    :class:`DuplicateKeyError` on a repeated object key.
+    """
+    pos = 0
+    length = len(text)
+    # Stack of container modes; parallel stack of per-object key sets.
+    modes: list[int] = [_VALUE]
+    keys: list[set[str] | None] = []
+
+    def skip_ws(position: int) -> int:
+        while position < length and text[position] in _WS:
+            position += 1
+        return position
+
+    while modes:
+        pos = skip_ws(pos)
+        if pos >= length:
+            raise StreamingError("unexpected end of input")
+        mode = modes.pop()
+        char = text[pos]
+
+        if mode == _VALUE:
+            if char == "{":
+                pos += 1
+                yield ("start_object",)
+                modes.append(_OBJ_KEY)
+                keys.append(set() if check_duplicates else None)
+            elif char == "[":
+                pos += 1
+                yield ("start_array",)
+                modes.append(_ARR_NEXT)
+                pos = skip_ws(pos)
+                if pos < length and text[pos] == "]":
+                    pos += 1
+                    modes.pop()
+                    yield ("end_array",)
+                else:
+                    modes.append(_VALUE)
+            elif char == '"':
+                value, pos = _scan_string(text, pos)
+                yield ("string", value)
+            elif char.isdigit():
+                start = pos
+                while pos < length and text[pos].isdigit():
+                    pos += 1
+                if pos < length and text[pos] in ".eE":
+                    raise StreamingError(
+                        "the paper's JSON abstraction has no floats "
+                        f"(at position {start})"
+                    )
+                yield ("number", int(text[start:pos]))
+            elif char == "-":
+                raise StreamingError(
+                    f"negative numbers are not naturals (at position {pos})"
+                )
+            elif text.startswith(("true", "false", "null"), pos):
+                raise StreamingError(
+                    "true/false/null are outside the paper's abstraction "
+                    f"(at position {pos})"
+                )
+            else:
+                raise StreamingError(f"unexpected character {char!r} at {pos}")
+
+        elif mode == _OBJ_KEY:
+            if char == "}":
+                pos += 1
+                keys.pop()
+                yield ("end_object",)
+            elif char == '"':
+                key, pos = _scan_string(text, pos)
+                seen = keys[-1]
+                if seen is not None:
+                    if key in seen:
+                        raise DuplicateKeyError(key)
+                    seen.add(key)
+                yield ("key", key)
+                modes.append(_OBJ_NEXT)
+                modes.append(_VALUE)
+                pos = skip_ws(pos)
+                if pos >= length or text[pos] != ":":
+                    raise StreamingError(f"expected ':' at position {pos}")
+                pos += 1
+            else:
+                raise StreamingError(
+                    f"expected a key or '}}' at position {pos}"
+                )
+
+        elif mode == _OBJ_NEXT:
+            if char == ",":
+                pos += 1
+                modes.append(_OBJ_KEY)
+            elif char == "}":
+                pos += 1
+                keys.pop()
+                yield ("end_object",)
+            else:
+                raise StreamingError(
+                    f"expected ',' or '}}' at position {pos}"
+                )
+
+        elif mode == _ARR_NEXT:
+            if char == ",":
+                pos += 1
+                modes.append(_ARR_NEXT)
+                modes.append(_VALUE)
+            elif char == "]":
+                pos += 1
+                yield ("end_array",)
+            else:
+                raise StreamingError(
+                    f"expected ',' or ']' at position {pos}"
+                )
+
+    pos = skip_ws(pos)
+    if pos != length:
+        raise StreamingError(f"trailing input at position {pos}")
+
+
+def _scan_string(text: str, pos: int) -> tuple[str, int]:
+    try:
+        return scanstring(text, pos + 1)
+    except ValueError as exc:
+        raise StreamingError(f"bad string literal at {pos}: {exc}") from exc

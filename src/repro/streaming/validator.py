@@ -1,0 +1,262 @@
+"""Streaming validation of deterministic JSL (Section 6 outlook).
+
+The paper conjectures that the deterministic fragments of JNL/JSL "might
+actually be shown to be evaluated in a streaming context with constant
+memory requirements when tree equality is excluded".  This module
+implements exactly that evaluator: a single pass over the token stream
+of :mod:`repro.streaming.events`, keeping one *frame* per open
+container.
+
+A frame records, for the node being parsed: which modal subformulas of
+the parent it must answer (its *origin*), which of its own modal
+subformulas still await a matching child, the node's kind / value /
+child count, and the truths of modal bodies reported back by completed
+children.  Because the fragment is deterministic -- every modality
+addresses a single key or a single position -- each modal operator
+matches at most one child, so child results fold in as children close.
+Memory is ``O(depth x |phi|)``: constant in the document's breadth and
+total size, which the S1 benchmark measures with ``tracemalloc``.
+
+Excluded, with :class:`UnsupportedFragmentError`: the subtree-equality
+test ``~(A)`` and ``Unique`` (both need unbounded buffering -- the
+"tree equality" the conjecture rules out), and non-deterministic
+modalities.  Recursive definitions *are* supported: reference expansion
+is same-node and well-formedness makes it acyclic, so frames stay
+bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import StreamingError, UnsupportedFragmentError
+from repro.jsl import ast
+from repro.jsl.recursion import check_well_formed
+from repro.logic import nodetests as nt
+from repro.streaming.events import Event, tokenize
+
+__all__ = ["StreamingJSLValidator"]
+
+Modal = ast.DiaKey | ast.BoxKey | ast.DiaIdx | ast.BoxIdx
+
+
+class _Frame:
+    __slots__ = (
+        "origin",
+        "requests",
+        "key_modals",
+        "idx_modals",
+        "modal_truth",
+        "kind",
+        "value",
+        "child_count",
+        "memo",
+    )
+
+    def __init__(self, origin: list[Modal], requests: list[ast.Formula]) -> None:
+        self.origin = origin
+        self.requests = requests
+        self.key_modals: dict[str, list[Modal]] = {}
+        self.idx_modals: dict[int, list[Modal]] = {}
+        self.modal_truth: dict[ast.Formula, bool] = {}
+        self.kind = ""
+        self.value: str | int | None = None
+        self.child_count = 0
+        self.memo: dict[ast.Formula, bool] = {}
+
+
+class StreamingJSLValidator:
+    """Validates a token stream against a deterministic JSL formula."""
+
+    def __init__(self, formula: ast.Formula | ast.RecursiveJSL) -> None:
+        if isinstance(formula, ast.RecursiveJSL):
+            check_well_formed(formula)
+            self.definitions = formula.definition_map()
+            self.base = formula.base
+            bodies = [self.base, *self.definitions.values()]
+        else:
+            self.definitions = {}
+            self.base = formula
+            bodies = [formula]
+        for body in bodies:
+            self._check_fragment(body)
+        self.max_depth = 0  # observed frame-stack high-water mark
+
+    @staticmethod
+    def _check_fragment(formula: ast.Formula) -> None:
+        for sub in ast.subformulas(formula):
+            if isinstance(sub, ast.TestAtom) and isinstance(
+                sub.test, (nt.Unique, nt.EqDocTest)
+            ):
+                raise UnsupportedFragmentError(
+                    "streaming validation excludes tree equality "
+                    f"({sub.test.describe()}), as in the Section 6 conjecture"
+                )
+            if isinstance(sub, (ast.DiaKey, ast.BoxKey)):
+                if sub.lang.single_word is None:
+                    raise UnsupportedFragmentError(
+                        "streaming validation needs the deterministic "
+                        "fragment: key modalities must address single words"
+                    )
+            if isinstance(sub, (ast.DiaIdx, ast.BoxIdx)):
+                if sub.high != sub.low:
+                    raise UnsupportedFragmentError(
+                        "streaming validation needs the deterministic "
+                        "fragment: index modalities must address single "
+                        "positions"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def validate_text(self, text: str, *, check_duplicates: bool = True) -> bool:
+        return self.validate_events(
+            tokenize(text, check_duplicates=check_duplicates)
+        )
+
+    def validate_events(self, events: Iterable[Event]) -> bool:
+        stack: list[_Frame] = []
+        pending_key: str | None = None
+        result: bool | None = None
+        self.max_depth = 0
+
+        def origin_modals() -> list[Modal]:
+            if not stack:
+                return []
+            parent = stack[-1]
+            if parent.kind == "object":
+                assert pending_key is not None
+                return parent.key_modals.get(pending_key, [])
+            return parent.idx_modals.get(parent.child_count, [])
+
+        def open_frame(kind: str) -> _Frame:
+            nonlocal pending_key
+            origin = origin_modals()
+            if stack:
+                requests = [modal.body for modal in origin]
+            else:
+                requests = [self.base]
+            frame = _Frame(origin, requests)
+            frame.kind = kind
+            self._index_modals(frame)
+            stack.append(frame)
+            self.max_depth = max(self.max_depth, len(stack))
+            pending_key = None
+            return frame
+
+        def close_frame() -> None:
+            nonlocal result
+            frame = stack.pop()
+            truths = [self._eval(frame, request) for request in frame.requests]
+            if not stack:
+                result = truths[0] if truths else True
+                return
+            parent = stack[-1]
+            for modal, truth in zip(frame.origin, truths):
+                parent.modal_truth[modal] = truth
+            parent.child_count += 1
+
+        for event in events:
+            tag = event[0]
+            if tag in ("start_object", "start_array"):
+                open_frame("object" if tag == "start_object" else "array")
+            elif tag in ("end_object", "end_array"):
+                close_frame()
+            elif tag == "key":
+                pending_key = event[1]
+            elif tag in ("string", "number"):
+                frame = open_frame(tag)
+                frame.value = event[1]
+                close_frame()
+            else:  # pragma: no cover - defensive
+                raise StreamingError(f"unknown event {event!r}")
+
+        if result is None:
+            raise StreamingError("empty event stream")
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _index_modals(self, frame: _Frame) -> None:
+        """Collect the modal subformulas active at this node.
+
+        Same-node traversal through booleans and (acyclic) reference
+        expansion; modal bodies stay opaque until a child matches.
+        """
+        seen: set[ast.Formula] = set()
+        stack = list(frame.requests)
+        while stack:
+            formula = stack.pop()
+            if formula in seen:
+                continue
+            seen.add(formula)
+            if isinstance(formula, ast.Not):
+                stack.append(formula.operand)
+            elif isinstance(formula, (ast.And, ast.Or)):
+                stack.append(formula.left)
+                stack.append(formula.right)
+            elif isinstance(formula, ast.Ref):
+                stack.append(self.definitions[formula.name])
+            elif isinstance(formula, (ast.DiaKey, ast.BoxKey)):
+                word = formula.lang.single_word
+                assert word is not None
+                frame.key_modals.setdefault(word, []).append(formula)
+            elif isinstance(formula, (ast.DiaIdx, ast.BoxIdx)):
+                frame.idx_modals.setdefault(formula.low, []).append(formula)
+
+    def _eval(self, frame: _Frame, formula: ast.Formula) -> bool:
+        cached = frame.memo.get(formula)
+        if cached is not None:
+            return cached
+        result = self._eval_inner(frame, formula)
+        frame.memo[formula] = result
+        return result
+
+    def _eval_inner(self, frame: _Frame, formula: ast.Formula) -> bool:
+        if isinstance(formula, ast.Top):
+            return True
+        if isinstance(formula, ast.Not):
+            return not self._eval(frame, formula.operand)
+        if isinstance(formula, ast.And):
+            return self._eval(frame, formula.left) and self._eval(
+                frame, formula.right
+            )
+        if isinstance(formula, ast.Or):
+            return self._eval(frame, formula.left) or self._eval(
+                frame, formula.right
+            )
+        if isinstance(formula, ast.Ref):
+            return self._eval(frame, self.definitions[formula.name])
+        if isinstance(formula, (ast.DiaKey, ast.DiaIdx)):
+            return frame.modal_truth.get(formula, False)
+        if isinstance(formula, (ast.BoxKey, ast.BoxIdx)):
+            return frame.modal_truth.get(formula, True)
+        if isinstance(formula, ast.TestAtom):
+            return self._eval_test(frame, formula.test)
+        raise TypeError(f"unknown JSL formula {formula!r}")
+
+    @staticmethod
+    def _eval_test(frame: _Frame, test: nt.NodeTest) -> bool:
+        if isinstance(test, nt.IsObject):
+            return frame.kind == "object"
+        if isinstance(test, nt.IsArray):
+            return frame.kind == "array"
+        if isinstance(test, nt.IsString):
+            return frame.kind == "string"
+        if isinstance(test, nt.IsNumber):
+            return frame.kind == "number"
+        if isinstance(test, nt.Pattern):
+            return frame.kind == "string" and test.lang.matches(str(frame.value))
+        if isinstance(test, nt.MinVal):
+            return frame.kind == "number" and int(frame.value) > test.bound  # type: ignore[arg-type]
+        if isinstance(test, nt.MaxVal):
+            return frame.kind == "number" and int(frame.value) < test.bound  # type: ignore[arg-type]
+        if isinstance(test, nt.MultOf):
+            if frame.kind != "number":
+                return False
+            value = int(frame.value)  # type: ignore[arg-type]
+            return value == 0 if test.divisor == 0 else value % test.divisor == 0
+        if isinstance(test, nt.MinCh):
+            return frame.child_count >= test.count
+        if isinstance(test, nt.MaxCh):
+            return frame.child_count <= test.count
+        raise UnsupportedFragmentError(test.describe())

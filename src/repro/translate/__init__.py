@@ -1,0 +1,6 @@
+"""Theorem-2 translations between JNL and JSL."""
+
+from repro.translate.jnl_to_jsl import JNLToJSL, jnl_to_jsl
+from repro.translate.jsl_to_jnl import jsl_to_jnl
+
+__all__ = ["jnl_to_jsl", "JNLToJSL", "jsl_to_jnl"]

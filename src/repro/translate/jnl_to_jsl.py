@@ -1,0 +1,195 @@
+"""Theorem 2, hard direction: JNL --> JSL (worst-case exponential).
+
+The appendix proof threads a "top symbol" through binary formulas; the
+equivalent and slightly cleaner implementation here is a translation
+with an explicit *continuation*: ``T(alpha, k)`` is a JSL formula
+meaning "some alpha-path ends at a node satisfying k".
+
+    T(eps, k)        = k
+    T(<phi>, k)      = U(phi) ^ k
+    T(X_e, k)        = DIA_e k
+    T(X_{i:j}, k)    = DIA_{i:j} k
+    T(a o b, k)      = T(a, T(b, k))
+    T(a u b, k)      = T(a, k) v T(b, k)
+
+Compositions under tests duplicate continuations, which is where the
+theorem's exponential blow-up comes from (measured in the T2 bench).
+
+**Recursion (extension).**  Theorem 2 is about the non-recursive
+logics, but the same scheme extends to the Kleene star by emitting a
+fresh *recursive JSL definition* -- on trees, a star iteration either
+moves strictly downward or stays put, and stationary iterations can
+simply be skipped, so:
+
+    T(a*, k)  =  gamma   with   gamma := k  v  M(a, gamma)
+
+where ``M(a, c)`` ("move") captures the alpha-passes making at least
+one downward step:
+
+    M(X_e, c)     = DIA_e c            M(eps, c) = M(<phi>, c) = false
+    M(a o b, c)   = M(a, T(b, c))  v  (S(a) ^ M(b, c))
+    M(a u b, c)   = M(a, c) v M(b, c)
+    M(a*, c)      = M(a, T(a*, c))
+
+and ``S(a)`` is the stationary condition of one alpha-pass
+(``S(<phi>) = U(phi)``, ``S(eps) = S(a*) = T``, composition is
+conjunction, axes are false).  Every occurrence of ``gamma`` produced
+by ``M`` sits under a DIA, so the generated definitions are guarded and
+the result is well-formed recursive JSL.  This route powers the
+Proposition 5 satisfiability procedure (recursive JNL -> recursive JSL
+-> Proposition 10 engine), exactly as the paper's proof suggests
+("introducing definitions ... we can eliminate this blowup").
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFragmentError
+from repro.jnl import ast as jnl
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+
+__all__ = ["jnl_to_jsl", "JNLToJSL"]
+
+
+class JNLToJSL:
+    """Stateful translator accumulating star definitions."""
+
+    def __init__(self) -> None:
+        self.definitions: list[tuple[str, jsl.Formula]] = []
+        self._star_memo: dict[tuple[jnl.Binary, jsl.Formula], jsl.Ref] = {}
+        self._counter = 0
+
+    # -- public -------------------------------------------------------------
+
+    def translate(self, formula: jnl.Unary) -> jsl.Formula | jsl.RecursiveJSL:
+        base = self.unary(formula)
+        if not self.definitions:
+            return base
+        return jsl.RecursiveJSL(tuple(self.definitions), base)
+
+    # -- U(phi): unary JNL -> JSL --------------------------------------------
+
+    def unary(self, formula: jnl.Unary) -> jsl.Formula:
+        if isinstance(formula, jnl.Top):
+            return jsl.Top()
+        if isinstance(formula, jnl.Not):
+            return jsl.Not(self.unary(formula.operand))
+        if isinstance(formula, jnl.And):
+            return jsl.And(self.unary(formula.left), self.unary(formula.right))
+        if isinstance(formula, jnl.Or):
+            return jsl.Or(self.unary(formula.left), self.unary(formula.right))
+        if isinstance(formula, jnl.Exists):
+            return self.path(formula.path, jsl.Top())
+        if isinstance(formula, jnl.EqDoc):
+            return self.path(
+                formula.path, jsl.TestAtom(nt.EqDocTest(formula.doc))
+            )
+        if isinstance(formula, jnl.EqPath):
+            raise UnsupportedFragmentError(
+                "Theorem 2 excludes EQ(alpha, beta): JSL cannot express it "
+                "(Section 5.2)"
+            )
+        if isinstance(formula, jnl.Atom):
+            return jsl.TestAtom(formula.test)
+        raise TypeError(f"unknown unary formula {formula!r}")
+
+    # -- T(alpha, k) ----------------------------------------------------------
+
+    def path(self, path: jnl.Binary, continuation: jsl.Formula) -> jsl.Formula:
+        if isinstance(path, jnl.Eps):
+            return continuation
+        if isinstance(path, jnl.Test):
+            return jsl.And(self.unary(path.condition), continuation)
+        if isinstance(path, jnl.Key):
+            from repro.automata.keylang import KeyLang
+
+            return jsl.DiaKey(KeyLang.word(path.word), continuation)
+        if isinstance(path, jnl.KeyRegex):
+            return jsl.DiaKey(path.lang, continuation)
+        if isinstance(path, jnl.Index):
+            if path.position < 0:
+                raise UnsupportedFragmentError(
+                    "JSL index modalities cannot address positions from "
+                    "the end of an array"
+                )
+            return jsl.DiaIdx(path.position, path.position, continuation)
+        if isinstance(path, jnl.IndexRange):
+            return jsl.DiaIdx(path.low, path.high, continuation)
+        if isinstance(path, jnl.Compose):
+            return self.path(path.left, self.path(path.right, continuation))
+        if isinstance(path, jnl.Union):
+            return jsl.Or(
+                self.path(path.left, continuation),
+                self.path(path.right, continuation),
+            )
+        if isinstance(path, jnl.Star):
+            return self._star(path, continuation)
+        raise TypeError(f"unknown binary formula {path!r}")
+
+    def _star(self, path: jnl.Star, continuation: jsl.Formula) -> jsl.Formula:
+        memo_key = (path, continuation)
+        cached = self._star_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        name = f"star_{self._counter}"
+        self._counter += 1
+        ref = jsl.Ref(name)
+        self._star_memo[memo_key] = ref
+        # gamma := k v M(inner, gamma); register the name first so the
+        # recursive occurrence inside M resolves to the same symbol.
+        body = jsl.Or(continuation, self.moving(path.inner, ref))
+        self.definitions.append((name, body))
+        return ref
+
+    # -- M(alpha, c): at least one downward move -------------------------------
+
+    def moving(self, path: jnl.Binary, continuation: jsl.Formula) -> jsl.Formula:
+        if isinstance(path, (jnl.Eps, jnl.Test)):
+            return jsl.bottom()
+        if isinstance(path, (jnl.Key, jnl.KeyRegex, jnl.Index, jnl.IndexRange)):
+            return self.path(path, continuation)
+        if isinstance(path, jnl.Compose):
+            left_moves = self.moving(
+                path.left, self.path(path.right, continuation)
+            )
+            left_stays = self.stationary(path.left)
+            right_moves = self.moving(path.right, continuation)
+            return jsl.Or(left_moves, jsl.And(left_stays, right_moves))
+        if isinstance(path, jnl.Union):
+            return jsl.Or(
+                self.moving(path.left, continuation),
+                self.moving(path.right, continuation),
+            )
+        if isinstance(path, jnl.Star):
+            return self.moving(path.inner, self._star(path, continuation))
+        raise TypeError(f"unknown binary formula {path!r}")
+
+    # -- S(alpha): one alpha-pass may stay at the node --------------------------
+
+    def stationary(self, path: jnl.Binary) -> jsl.Formula:
+        if isinstance(path, jnl.Eps):
+            return jsl.Top()
+        if isinstance(path, jnl.Test):
+            return self.unary(path.condition)
+        if isinstance(path, (jnl.Key, jnl.KeyRegex, jnl.Index, jnl.IndexRange)):
+            return jsl.bottom()
+        if isinstance(path, jnl.Compose):
+            return jsl.And(
+                self.stationary(path.left), self.stationary(path.right)
+            )
+        if isinstance(path, jnl.Union):
+            return jsl.Or(
+                self.stationary(path.left), self.stationary(path.right)
+            )
+        if isinstance(path, jnl.Star):
+            return jsl.Top()  # zero iterations
+        raise TypeError(f"unknown binary formula {path!r}")
+
+
+def jnl_to_jsl(formula: jnl.Unary) -> jsl.Formula | jsl.RecursiveJSL:
+    """Translate unary JNL (without ``EQ(alpha, beta)``) into JSL.
+
+    Star-free input yields a plain formula; Kleene stars yield a
+    well-formed recursive JSL expression (see the module docstring).
+    """
+    return JNLToJSL().translate(formula)

@@ -1,0 +1,82 @@
+"""Theorem 2, easy direction: JSL --> JNL (polynomial time).
+
+The appendix construction: ``DIA_e phi`` becomes ``[X_e <phi'>]``,
+``BOX`` is the dual, ``~(A)`` becomes ``EQ(eps, A)``, booleans map to
+booleans.  The theorem statement restricts JSL to the ``~(A)`` node
+test; with ``strict=True`` this module enforces that restriction, and
+by default it carries the other node tests across through the
+:class:`~repro.jnl.ast.Atom` extension (Theorem 2's point is exactly
+that only the atomic predicates differ).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFragmentError
+from repro.jnl import ast as jnl
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+
+__all__ = ["jsl_to_jnl"]
+
+
+def jsl_to_jnl(formula: jsl.Formula, *, strict: bool = False) -> jnl.Unary:
+    """Translate a (non-recursive) JSL formula into unary JNL.
+
+    ``strict=True`` allows only the ``~(A)`` node test, matching the
+    exact statement of Theorem 2; otherwise NodeTests are carried
+    across as :class:`~repro.jnl.ast.Atom` atoms.
+    """
+    if isinstance(formula, jsl.Top):
+        return jnl.Top()
+    if isinstance(formula, jsl.Not):
+        return jnl.Not(jsl_to_jnl(formula.operand, strict=strict))
+    if isinstance(formula, jsl.And):
+        return jnl.And(
+            jsl_to_jnl(formula.left, strict=strict),
+            jsl_to_jnl(formula.right, strict=strict),
+        )
+    if isinstance(formula, jsl.Or):
+        return jnl.Or(
+            jsl_to_jnl(formula.left, strict=strict),
+            jsl_to_jnl(formula.right, strict=strict),
+        )
+    if isinstance(formula, jsl.TestAtom):
+        if isinstance(formula.test, nt.EqDocTest):
+            return jnl.EqDoc(jnl.Eps(), formula.test.doc)
+        if strict:
+            raise UnsupportedFragmentError(
+                f"Theorem 2 admits only the ~(A) node test, found "
+                f"{formula.test.describe()}"
+            )
+        return jnl.Atom(formula.test)
+    if isinstance(formula, jsl.DiaKey):
+        body = jsl_to_jnl(formula.body, strict=strict)
+        return jnl.Exists(jnl.Compose(jnl.KeyRegex(formula.lang), jnl.Test(body)))
+    if isinstance(formula, jsl.DiaIdx):
+        body = jsl_to_jnl(formula.body, strict=strict)
+        return jnl.Exists(
+            jnl.Compose(
+                jnl.IndexRange(formula.low, formula.high), jnl.Test(body)
+            )
+        )
+    if isinstance(formula, jsl.BoxKey):
+        # BOX_e phi  =  not DIA_e not phi.
+        negated = jsl_to_jnl(jsl.Not(formula.body), strict=strict)
+        return jnl.Not(
+            jnl.Exists(jnl.Compose(jnl.KeyRegex(formula.lang), jnl.Test(negated)))
+        )
+    if isinstance(formula, jsl.BoxIdx):
+        negated = jsl_to_jnl(jsl.Not(formula.body), strict=strict)
+        return jnl.Not(
+            jnl.Exists(
+                jnl.Compose(
+                    jnl.IndexRange(formula.low, formula.high), jnl.Test(negated)
+                )
+            )
+        )
+    if isinstance(formula, jsl.Ref):
+        raise UnsupportedFragmentError(
+            "Theorem 2 relates the non-recursive logics; recursive JSL "
+            "definitions have no JNL counterpart (Section 5.3)"
+        )
+    raise TypeError(f"unknown JSL formula {formula!r}")

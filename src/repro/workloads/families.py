@@ -1,0 +1,128 @@
+"""Structured document families used by the benchmarks.
+
+Each family grows along one dimension so scaling measurements isolate
+one cost: depth (chains), breadth (wide objects/arrays), balanced bulk
+(complete trees), duplicate density (``Unique`` workloads), and a
+realistic API-records collection echoing the paper's motivating
+examples (Figure 1's person documents).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.tree import JSONTree, JSONValue
+
+__all__ = [
+    "deep_chain",
+    "wide_object",
+    "wide_array",
+    "balanced_tree",
+    "even_depth_tree",
+    "complete_binary_array_tree",
+    "duplicate_heavy_array",
+    "person_record",
+    "people_collection",
+    "counter_chain",
+]
+
+
+def deep_chain(depth: int, key: str = "a", leaf: JSONValue = "0") -> JSONTree:
+    """Nested single-key objects: ``{"a": {"a": ... "0"}}``."""
+    value: JSONValue = leaf
+    for _ in range(depth):
+        value = {key: value}
+    return JSONTree.from_value(value)
+
+
+def wide_object(width: int, child: JSONValue = 0) -> JSONTree:
+    return JSONTree.from_value({f"k{i}": child for i in range(width)})
+
+
+def wide_array(width: int, child: JSONValue = 0) -> JSONTree:
+    return JSONTree.from_value([child] * width)
+
+
+def balanced_tree(branching: int, depth: int) -> JSONTree:
+    """A complete object tree with ``branching^depth`` leaves."""
+
+    def build(level: int) -> JSONValue:
+        if level >= depth:
+            return level
+        return {f"c{i}": build(level + 1) for i in range(branching)}
+
+    return JSONTree.from_value(build(0))
+
+
+def even_depth_tree(depth: int, branching: int = 2) -> JSONTree:
+    """All root-to-leaf paths have length ``depth`` (Example 2 workload)."""
+
+    def build(level: int) -> JSONValue:
+        if level >= depth:
+            return {}
+        return {f"b{i}": build(level + 1) for i in range(branching)}
+
+    return JSONTree.from_value(build(0))
+
+
+def complete_binary_array_tree(depth: int) -> JSONTree:
+    """The complete binary trees of Example 5 (arrays, equal siblings)."""
+
+    def build(level: int) -> JSONValue:
+        if level >= depth:
+            return []
+        child = build(level + 1)
+        return [child, child]
+
+    return JSONTree.from_value(build(0))
+
+
+def duplicate_heavy_array(
+    width: int, distinct: int, seed: int = 0
+) -> JSONTree:
+    """An array of ``width`` objects drawn from ``distinct`` templates.
+
+    The adversarial ``Unique`` workload: many equal subtrees make the
+    naive pairwise comparison quadratic.
+    """
+    rng = random.Random(seed)
+    templates = [
+        {"id": i, "payload": [i, i + 1], "tag": f"t{i}"} for i in range(distinct)
+    ]
+    return JSONTree.from_value(
+        [templates[rng.randrange(distinct)] for _ in range(width)]
+    )
+
+
+def person_record(index: int, rng: random.Random) -> JSONValue:
+    """A Figure-1-style person document."""
+    first_names = ("John", "Sue", "Ana", "Li", "Omar", "Mia")
+    last_names = ("Doe", "Reyes", "Chen", "Novak", "Diaz")
+    hobby_pool = ("fishing", "yoga", "chess", "running", "painting")
+    hobbies = rng.sample(hobby_pool, k=rng.randrange(0, 4))
+    return {
+        "id": index,
+        "name": {
+            "first": rng.choice(first_names),
+            "last": rng.choice(last_names),
+        },
+        "age": rng.randint(18, 90),
+        "hobbies": hobbies,
+        "address": {
+            "city": rng.choice(("Santiago", "Lille", "Oxford", "Talca")),
+            "zip": str(rng.randint(10000, 99999)),
+        },
+    }
+
+
+def people_collection(count: int, seed: int = 0) -> list[JSONValue]:
+    rng = random.Random(seed)
+    return [person_record(i, rng) for i in range(count)]
+
+
+def counter_chain(length: int) -> JSONTree:
+    """A run-shaped linked list (Proposition 4 workloads)."""
+    value: JSONValue = {"state": "qf", "c1": "0", "c2": "0"}
+    for i in range(length - 1, 0, -1):
+        value = {"state": f"q{i % 3}", "c1": "0", "c2": "0", "next": value}
+    return JSONTree.from_value(value)

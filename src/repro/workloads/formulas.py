@@ -1,0 +1,220 @@
+"""Seeded random formulas and schemas for property-based testing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.keylang import KeyLang
+from repro.jnl import ast as jnl
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree
+
+__all__ = ["random_jnl_unary", "random_jnl_path", "random_jsl_formula", "random_schema_value"]
+
+_KEYS = ("name", "age", "tags", "first", "items", "a", "b")
+_REGEXES = ("a.*", "t.*s", "[a-n]+", "name|age")
+_DOCS = ("x", 0, 1, [0], {"a": 0})
+
+
+def random_jnl_path(
+    rng: random.Random,
+    depth: int,
+    *,
+    deterministic: bool = False,
+    allow_star: bool = True,
+    allow_eqpath: bool = True,
+) -> jnl.Binary:
+    if depth <= 0:
+        choices = ["eps", "key", "index"]
+        if not deterministic:
+            choices += ["regex", "range"]
+        kind = rng.choice(choices)
+        if kind == "eps":
+            return jnl.Eps()
+        if kind == "key":
+            return jnl.Key(rng.choice(_KEYS))
+        if kind == "index":
+            return jnl.Index(rng.randrange(3))
+        if kind == "regex":
+            return jnl.KeyRegex(KeyLang.regex(rng.choice(_REGEXES)))
+        high = rng.choice([None, rng.randrange(4) + 1])
+        low = rng.randrange(2)
+        if high is not None and high < low:
+            high = low
+        return jnl.IndexRange(low, high)
+    choices = ["compose", "test", "base"]
+    if not deterministic:
+        choices.append("union")
+        if allow_star:
+            choices.append("star")
+    kind = rng.choice(choices)
+    if kind == "compose":
+        return jnl.Compose(
+            random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                            allow_star=allow_star, allow_eqpath=allow_eqpath),
+            random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                            allow_star=allow_star, allow_eqpath=allow_eqpath),
+        )
+    if kind == "union":
+        return jnl.Union(
+            random_jnl_path(rng, depth - 1, allow_star=allow_star,
+                            allow_eqpath=allow_eqpath),
+            random_jnl_path(rng, depth - 1, allow_star=allow_star,
+                            allow_eqpath=allow_eqpath),
+        )
+    if kind == "star":
+        return jnl.Star(
+            random_jnl_path(rng, depth - 1, allow_star=False,
+                            allow_eqpath=allow_eqpath)
+        )
+    if kind == "test":
+        return jnl.Test(
+            random_jnl_unary(rng, depth - 1, deterministic=deterministic,
+                             allow_star=allow_star, allow_eqpath=allow_eqpath)
+        )
+    return random_jnl_path(rng, 0, deterministic=deterministic)
+
+
+def random_jnl_unary(
+    rng: random.Random,
+    depth: int,
+    *,
+    deterministic: bool = False,
+    allow_star: bool = True,
+    allow_eqpath: bool = True,
+) -> jnl.Unary:
+    if depth <= 0:
+        if rng.random() < 0.5:
+            return jnl.Top()
+        return jnl.EqDoc(
+            jnl.Key(rng.choice(_KEYS)), JSONTree.from_value(rng.choice(_DOCS))
+        )
+    kind = rng.choice(
+        ["not", "and", "or", "exists", "eqdoc"]
+        + (["eqpath"] if allow_eqpath else [])
+    )
+    if kind == "not":
+        return jnl.Not(
+            random_jnl_unary(rng, depth - 1, deterministic=deterministic,
+                             allow_star=allow_star, allow_eqpath=allow_eqpath)
+        )
+    if kind in ("and", "or"):
+        cls = jnl.And if kind == "and" else jnl.Or
+        return cls(
+            random_jnl_unary(rng, depth - 1, deterministic=deterministic,
+                             allow_star=allow_star, allow_eqpath=allow_eqpath),
+            random_jnl_unary(rng, depth - 1, deterministic=deterministic,
+                             allow_star=allow_star, allow_eqpath=allow_eqpath),
+        )
+    if kind == "exists":
+        return jnl.Exists(
+            random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                            allow_star=allow_star, allow_eqpath=allow_eqpath)
+        )
+    if kind == "eqdoc":
+        return jnl.EqDoc(
+            random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                            allow_star=allow_star, allow_eqpath=allow_eqpath),
+            JSONTree.from_value(rng.choice(_DOCS)),
+        )
+    return jnl.EqPath(
+        random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                        allow_star=allow_star, allow_eqpath=allow_eqpath),
+        random_jnl_path(rng, depth - 1, deterministic=deterministic,
+                        allow_star=allow_star, allow_eqpath=allow_eqpath),
+    )
+
+
+def random_jsl_formula(rng: random.Random, depth: int) -> jsl.Formula:
+    if depth <= 0:
+        tests: list[nt.NodeTest] = [
+            nt.IsObject(), nt.IsArray(), nt.IsString(), nt.IsNumber(),
+            nt.Unique(), nt.Pattern(KeyLang.regex(rng.choice(_REGEXES))),
+            nt.MinVal(rng.randrange(50)), nt.MaxVal(rng.randrange(1, 100)),
+            nt.MultOf(rng.randrange(1, 7)), nt.MinCh(rng.randrange(4)),
+            nt.MaxCh(rng.randrange(5)),
+            nt.EqDocTest(JSONTree.from_value(rng.choice(_DOCS))),
+        ]
+        if rng.random() < 0.2:
+            return jsl.Top()
+        return jsl.TestAtom(rng.choice(tests))
+    kind = rng.choice(["not", "and", "or", "dia_key", "box_key", "dia_idx", "box_idx"])
+    if kind == "not":
+        return jsl.Not(random_jsl_formula(rng, depth - 1))
+    if kind in ("and", "or"):
+        cls = jsl.And if kind == "and" else jsl.Or
+        return cls(
+            random_jsl_formula(rng, depth - 1),
+            random_jsl_formula(rng, depth - 1),
+        )
+    body = random_jsl_formula(rng, depth - 1)
+    if kind in ("dia_key", "box_key"):
+        if rng.random() < 0.6:
+            lang = KeyLang.word(rng.choice(_KEYS))
+        else:
+            lang = KeyLang.regex(rng.choice(_REGEXES))
+        return jsl.DiaKey(lang, body) if kind == "dia_key" else jsl.BoxKey(lang, body)
+    low = rng.randrange(3)
+    high = rng.choice([None, low + rng.randrange(3)])
+    return (
+        jsl.DiaIdx(low, high, body)
+        if kind == "dia_idx"
+        else jsl.BoxIdx(low, high, body)
+    )
+
+
+def random_schema_value(rng: random.Random, depth: int) -> dict:
+    """A random core-fragment JSON Schema (as a Python dict)."""
+    if depth <= 0:
+        return rng.choice(
+            [
+                {},
+                {"type": "string"},
+                {"type": "string", "pattern": rng.choice(_REGEXES)},
+                {"type": "number", "minimum": rng.randrange(10)},
+                {"type": "number", "maximum": rng.randrange(5, 60),
+                 "multipleOf": rng.randrange(1, 5)},
+                {"enum": [rng.choice(list(_DOCS))]},
+            ]
+        )
+    kind = rng.choice(["object", "array", "allOf", "anyOf", "not"])
+    if kind == "object":
+        schema: dict = {"type": "object"}
+        if rng.random() < 0.6:
+            schema["properties"] = {
+                rng.choice(_KEYS): random_schema_value(rng, depth - 1)
+            }
+        if rng.random() < 0.4:
+            schema["required"] = [rng.choice(_KEYS)]
+        if rng.random() < 0.3:
+            schema["patternProperties"] = {
+                rng.choice(_REGEXES): random_schema_value(rng, depth - 1)
+            }
+        if rng.random() < 0.3:
+            schema["additionalProperties"] = random_schema_value(rng, depth - 1)
+        if rng.random() < 0.25:
+            schema["minProperties"] = rng.randrange(3)
+        if rng.random() < 0.25:
+            schema["maxProperties"] = rng.randrange(1, 5)
+        return schema
+    if kind == "array":
+        schema = {"type": "array"}
+        if rng.random() < 0.6:
+            schema["items"] = [
+                random_schema_value(rng, depth - 1)
+                for _ in range(rng.randrange(1, 3))
+            ]
+        if rng.random() < 0.5:
+            schema["additionalItems"] = random_schema_value(rng, depth - 1)
+        if rng.random() < 0.3:
+            schema["uniqueItems"] = True
+        return schema
+    if kind in ("allOf", "anyOf"):
+        return {
+            kind: [
+                random_schema_value(rng, depth - 1)
+                for _ in range(rng.randrange(1, 3))
+            ]
+        }
+    return {"not": random_schema_value(rng, depth - 1)}

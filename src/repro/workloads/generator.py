@@ -1,0 +1,83 @@
+"""Seeded random JSON documents for tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.model.tree import JSONTree, JSONValue
+
+__all__ = ["TreeShape", "random_value", "random_tree"]
+
+_DEFAULT_KEYS = (
+    "name", "age", "id", "tags", "address", "city", "email", "items",
+    "price", "title", "first", "last", "status", "count", "data",
+)
+_DEFAULT_STRINGS = (
+    "alpha", "beta", "gamma", "delta", "x", "y", "json", "tree",
+    "fishing", "yoga", "Sue", "John",
+)
+
+
+@dataclass
+class TreeShape:
+    """Knobs for random document generation."""
+
+    max_depth: int = 5
+    max_children: int = 5
+    object_weight: float = 0.35
+    array_weight: float = 0.25
+    string_weight: float = 0.2
+    # remaining weight is numbers
+    key_pool: tuple[str, ...] = _DEFAULT_KEYS
+    string_pool: tuple[str, ...] = _DEFAULT_STRINGS
+    int_range: tuple[int, int] = (0, 99)
+    extra_key_entropy: int = 0  # >0 adds numbered fresh keys
+    _weights: tuple[float, float, float, float] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        number_weight = max(
+            0.0,
+            1.0 - self.object_weight - self.array_weight - self.string_weight,
+        )
+        self._weights = (
+            self.object_weight,
+            self.array_weight,
+            self.string_weight,
+            number_weight,
+        )
+
+
+def random_value(
+    rng: random.Random, shape: TreeShape | None = None, depth: int = 0
+) -> JSONValue:
+    """A random JSON value (Python form) under the given shape."""
+    shape = shape or TreeShape()
+    kinds = ("object", "array", "string", "number")
+    if depth >= shape.max_depth:
+        kind = rng.choice(("string", "number"))
+    else:
+        kind = rng.choices(kinds, weights=shape._weights, k=1)[0]
+    if kind == "object":
+        count = rng.randrange(shape.max_children + 1)
+        keys = list(shape.key_pool)
+        if shape.extra_key_entropy:
+            keys += [f"k{i}" for i in range(shape.extra_key_entropy)]
+        rng.shuffle(keys)
+        return {
+            key: random_value(rng, shape, depth + 1)
+            for key in keys[:count]
+        }
+    if kind == "array":
+        count = rng.randrange(shape.max_children + 1)
+        return [random_value(rng, shape, depth + 1) for _ in range(count)]
+    if kind == "string":
+        return rng.choice(shape.string_pool)
+    low, high = shape.int_range
+    return rng.randint(low, high)
+
+
+def random_tree(seed: int, shape: TreeShape | None = None) -> JSONTree:
+    """A random JSON tree; same seed, same tree."""
+    rng = random.Random(seed)
+    return JSONTree.from_value(random_value(rng, shape))

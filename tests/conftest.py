@@ -1,0 +1,41 @@
+"""Shared fixtures: the paper's running examples as documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.tree import JSONTree
+
+
+@pytest.fixture
+def figure1_doc() -> JSONTree:
+    """The document of Figure 1."""
+    return JSONTree.from_json(
+        '{"name": {"first": "John", "last": "Doe"}, '
+        '"age": 32, "hobbies": ["fishing", "yoga"]}'
+    )
+
+
+@pytest.fixture
+def section3_doc() -> JSONTree:
+    """The five-value document of Section 3.1."""
+    return JSONTree.from_value(
+        {"name": {"first": "John", "last": "Doe"}, "age": 32}
+    )
+
+
+@pytest.fixture
+def store_doc() -> JSONTree:
+    """A JSONPath-style bookstore document."""
+    return JSONTree.from_value(
+        {
+            "store": {
+                "book": [
+                    {"title": "Sayings", "price": 8, "author": "N"},
+                    {"title": "Sword", "price": 12, "author": "E"},
+                    {"title": "Moby", "price": 9, "author": "H"},
+                ],
+                "bicycle": {"price": 19},
+            }
+        }
+    )

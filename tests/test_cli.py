@@ -1,0 +1,151 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def doc_file(tmp_path):
+    path = tmp_path / "doc.json"
+    path.write_text(
+        json.dumps(
+            {"name": {"first": "John"}, "age": 32,
+             "hobbies": ["fishing", "yoga"]}
+        )
+    )
+    return str(path)
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = tmp_path / "people.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"name": "Sue", "age": 35},
+                {"name": "Bob", "age": 28},
+            ]
+        )
+    )
+    return str(path)
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "schema.json"
+    path.write_text(
+        json.dumps(
+            {
+                "type": "object",
+                "required": ["name"],
+                "properties": {"age": {"type": "number", "maximum": 120}},
+            }
+        )
+    )
+    return str(path)
+
+
+class TestQuery:
+    def test_jnl_true(self, doc_file, capsys):
+        assert main(["query", doc_file, "--jnl", "has(.name.first)"]) == 0
+        assert "name" in capsys.readouterr().out
+
+    def test_jnl_false(self, doc_file):
+        assert main(["query", doc_file, "--jnl", "has(.missing)"]) == 1
+
+    def test_jsonpath(self, doc_file, capsys):
+        assert main(["query", doc_file, "--jsonpath", "$.hobbies[*]"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ['"fishing"', '"yoga"']
+
+    def test_path_with_node_ids(self, doc_file, capsys):
+        assert main(
+            ["query", doc_file, "--path", ".hobbies[0]", "--node-ids"]
+        ) == 0
+        assert capsys.readouterr().out.strip().isdigit()
+
+    def test_parse_error_exit_code(self, doc_file):
+        assert main(["query", doc_file, "--jnl", "has("]) == 2
+
+    def test_missing_file(self):
+        assert main(["query", "/nope.json", "--jnl", "true"]) == 2
+
+
+class TestValidate:
+    def test_valid(self, doc_file, schema_file, capsys):
+        assert main(["validate", doc_file, "--schema", schema_file]) == 0
+        assert capsys.readouterr().out.strip() == "valid"
+
+    def test_invalid(self, tmp_path, schema_file, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"age": 200, "name": "x"}')
+        assert main(["validate", str(bad), "--schema", schema_file]) == 1
+        assert capsys.readouterr().out.strip() == "invalid"
+
+    def test_streaming_mode(self, doc_file, schema_file, capsys):
+        assert main(
+            ["validate", doc_file, "--schema", schema_file, "--streaming"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "valid"
+
+
+class TestFind:
+    def test_filter(self, collection_file, capsys):
+        assert main(
+            ["find", collection_file, "--filter", '{"age": {"$gt": 30}}']
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sue" in out and "Bob" not in out
+
+    def test_projection(self, collection_file, capsys):
+        assert main(
+            ["find", collection_file, "--filter", "{}",
+             "--project", '{"name": 1}']
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert lines == [{"name": "Sue"}, {"name": "Bob"}]
+
+    def test_no_match_exit_code(self, collection_file):
+        assert main(
+            ["find", collection_file, "--filter", '{"age": {"$gt": 99}}']
+        ) == 1
+
+    def test_non_array_collection(self, doc_file):
+        assert main(["find", doc_file, "--filter", "{}"]) == 2
+
+
+class TestSat:
+    def test_jsl_sat_with_witness(self, capsys):
+        assert main(["sat", "--jsl", "some(.a, number and min(4))"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("satisfiable")
+        witness = json.loads(out.splitlines()[1])
+        assert witness["a"] > 4
+
+    def test_jsl_unsat(self, capsys):
+        assert main(["sat", "--jsl", "string and number", "--quiet"]) == 1
+        assert capsys.readouterr().out.strip() == "unsatisfiable"
+
+    def test_jnl_sat(self, capsys):
+        assert main(["sat", "--jnl", "has(.a[1])", "--quiet"]) == 0
+
+    def test_schema_sat(self, tmp_path, capsys):
+        broken = tmp_path / "broken.json"
+        broken.write_text(
+            json.dumps(
+                {"allOf": [{"type": "number", "minimum": 9},
+                           {"type": "number", "maximum": 3}]}
+            )
+        )
+        assert main(["sat", "--schema", str(broken)]) == 1
+
+    def test_recursive_jsl_program(self, capsys):
+        program = (
+            "def g := value(\"end\") or some(.next, $g); some(.next, $g)"
+        )
+        assert main(["sat", "--jsl", program, "--quiet"]) == 0

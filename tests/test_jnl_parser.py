@@ -1,0 +1,176 @@
+"""The JNL concrete syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.jnl import ast
+from repro.jnl.parser import parse_jnl, parse_jnl_path, parse_node_test_text
+from repro.logic import nodetests as nt
+
+
+class TestUnaryParsing:
+    def test_constants(self):
+        assert parse_jnl("true") == ast.Top()
+        assert parse_jnl("false") == ast.Not(ast.Top())
+
+    def test_has_path(self):
+        formula = parse_jnl("has(.name.first)")
+        assert formula == ast.Exists(
+            ast.Compose(ast.Key("name"), ast.Key("first"))
+        )
+
+    def test_matches_literal(self):
+        formula = parse_jnl("matches(.age, 32)")
+        assert isinstance(formula, ast.EqDoc)
+        assert formula.doc.to_value() == 32
+
+    def test_matches_object_literal(self):
+        formula = parse_jnl('matches(.name, {"first": "John"})')
+        assert isinstance(formula, ast.EqDoc)
+        assert formula.doc.to_value() == {"first": "John"}
+
+    def test_eq_paths(self):
+        formula = parse_jnl("eq(.a, .b)")
+        assert formula == ast.EqPath(ast.Key("a"), ast.Key("b"))
+
+    def test_precedence_or_under_and(self):
+        formula = parse_jnl("true and false or true")
+        # 'and' binds tighter: (true and false) or true.
+        assert isinstance(formula, ast.Or)
+        assert isinstance(formula.left, ast.And)
+
+    def test_not_binds_tightest(self):
+        formula = parse_jnl("not true and false")
+        assert isinstance(formula, ast.And)
+        assert isinstance(formula.left, ast.Not)
+
+    def test_parenthesised(self):
+        formula = parse_jnl("not (true or false)")
+        assert isinstance(formula, ast.Not)
+        assert isinstance(formula.operand, ast.Or)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "has(", "has(.a,)", "matches(.a)", "true or", "has(.a) extra"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_jnl(text)
+
+
+class TestPathParsing:
+    def test_quoted_key(self):
+        assert parse_jnl_path('."first name"') == ast.Key("first name")
+
+    def test_regex_key(self):
+        path = parse_jnl_path("./a(b|c)a/")
+        assert isinstance(path, ast.KeyRegex)
+        assert path.lang.matches("aba")
+
+    def test_regex_key_with_escaped_slash(self):
+        path = parse_jnl_path("./a\\/b/")
+        assert isinstance(path, ast.KeyRegex)
+        assert path.lang.matches("a/b")
+
+    def test_any_key(self):
+        path = parse_jnl_path(".*")
+        assert isinstance(path, ast.KeyRegex)
+        assert path.lang.matches("anything")
+
+    def test_indices(self):
+        assert parse_jnl_path("[3]") == ast.Index(3)
+        assert parse_jnl_path("[-1]") == ast.Index(-1)
+        assert parse_jnl_path("[1:4]") == ast.IndexRange(1, 4)
+        assert parse_jnl_path("[2:]") == ast.IndexRange(2, None)
+        assert parse_jnl_path("[:3]") == ast.IndexRange(0, 3)
+        assert parse_jnl_path("[*]") == ast.IndexRange(0, None)
+
+    def test_composition_by_juxtaposition(self):
+        path = parse_jnl_path(".a[0].b")
+        assert path == ast.Compose(
+            ast.Compose(ast.Key("a"), ast.Index(0)), ast.Key("b")
+        )
+
+    def test_star_postfix(self):
+        path = parse_jnl_path("(.a)*")
+        assert path == ast.Star(ast.Key("a"))
+
+    def test_union(self):
+        path = parse_jnl_path(".a | [0]")
+        assert path == ast.Union(ast.Key("a"), ast.Index(0))
+
+    def test_test_brackets(self):
+        path = parse_jnl_path(".a<true>")
+        assert path == ast.Compose(ast.Key("a"), ast.Test(ast.Top()))
+
+    def test_eps(self):
+        assert parse_jnl_path("eps") == ast.Eps()
+
+    def test_invalid_range(self):
+        with pytest.raises(ParseError):
+            parse_jnl_path("[4:2]")
+
+
+class TestNodeTestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("object", nt.IsObject()),
+            ("array", nt.IsArray()),
+            ("string", nt.IsString()),
+            ("number", nt.IsNumber()),
+            ("unique", nt.Unique()),
+            ("min(4)", nt.MinVal(4)),
+            ("max(9)", nt.MaxVal(9)),
+            ("multipleof(3)", nt.MultOf(3)),
+            ("minch(2)", nt.MinCh(2)),
+            ("maxch(5)", nt.MaxCh(5)),
+        ],
+    )
+    def test_atoms(self, text, expected):
+        assert parse_node_test_text(text) == expected
+
+    def test_pattern(self):
+        test = parse_node_test_text('pattern("ab*")')
+        assert isinstance(test, nt.Pattern)
+        assert test.lang.matches("abb")
+
+    def test_value(self):
+        test = parse_node_test_text("value([1, 2])")
+        assert isinstance(test, nt.EqDocTest)
+        assert test.doc.to_value() == [1, 2]
+
+    def test_unknown(self):
+        with pytest.raises(ParseError):
+            parse_node_test_text("frobnicate(2)")
+
+
+class TestClassification:
+    def test_deterministic(self):
+        assert ast.is_deterministic(parse_jnl("has(.a[0].b)"))
+        assert not ast.is_deterministic(parse_jnl("has(./a.*/)"))
+        assert not ast.is_deterministic(parse_jnl("has([0:2])"))
+        assert not ast.is_deterministic(parse_jnl("has((.a)*)"))
+
+    def test_recursive(self):
+        assert ast.is_recursive(parse_jnl("has((.a)*)"))
+        assert not ast.is_recursive(parse_jnl("has(.a)"))
+
+    def test_uses_eqpath(self):
+        assert ast.uses_eqpath(parse_jnl("eq(.a, .b)"))
+        assert not ast.uses_eqpath(parse_jnl("matches(.a, 1)"))
+
+    def test_purity(self):
+        assert ast.is_pure(parse_jnl("has(.a)"))
+        assert not ast.is_pure(parse_jnl("test(number)"))
+        assert not ast.is_pure(parse_jnl("has(.a | .b)"))
+
+    def test_formula_size_counts_nodes(self):
+        assert ast.formula_size(parse_jnl("true")) == 1
+        assert ast.formula_size(parse_jnl("has(.a.b)")) == 4
+
+    def test_axis_depth(self):
+        assert ast.axis_depth(parse_jnl("has(.a.b.c)")) == 3
+        assert ast.axis_depth(parse_jnl("true")) == 0

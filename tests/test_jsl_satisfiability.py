@@ -1,0 +1,221 @@
+"""The Proposition 7/10 satisfiability engine.
+
+Soundness is certified internally (every SAT carries a verified
+witness); these tests focus on decision correctness -- including a
+brute-force differential over an exhaustively enumerated model space --
+and on the paper's Examples 2 and 5.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.jsl import ast
+from repro.jsl.bottom_up import satisfies_recursive
+from repro.jsl.evaluator import satisfies
+from repro.jsl.parser import parse_jsl, parse_jsl_formula
+from repro.jsl.satisfiability import SolverConfig, jsl_satisfiable
+from repro.model.tree import JSONTree
+from repro.workloads import random_jsl_formula
+
+
+class TestAtomicSatisfiability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true", True),
+            ("false", False),
+            ("string and number", False),
+            ('string and pattern("(01)+")', True),
+            ('pattern("a") and pattern("b")', False),
+            ('string and not pattern(".*")', False),
+            ("number and min(10) and max(14) and multipleof(4)", True),
+            ("number and min(10) and max(12) and multipleof(4)", False),
+            ("number and min(5) and max(5)", False),
+            ("number and multipleof(0) and min(0)", False),
+            ("number and multipleof(0)", True),
+            ("object and string", False),
+            ("not object and not array and not string and not number", False),
+            ("value(7) and value(8)", False),
+            ("value(7) and number", True),
+            ("value(7) and string", False),
+        ],
+    )
+    def test_cases(self, text, expected):
+        result = jsl_satisfiable(parse_jsl_formula(text))
+        assert result.satisfiable == expected
+        if expected:
+            assert result.witness is not None
+
+    def test_unsat_simple_cases_are_complete(self):
+        result = jsl_satisfiable(parse_jsl_formula("string and number"))
+        assert not result.satisfiable and result.complete
+
+
+class TestObjectSatisfiability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("some(.name, string) and all(.name, number)", False),
+            ("some(.name, string) and all(.*, string)", True),
+            ("object and minch(2) and maxch(1)", False),
+            ("object and minch(3)", True),
+            ("some(.a, some(.b, some(.c, value(5))))", True),
+            ("not some(.a, true) and minch(1) and object", True),
+            ('value({"a": 1}) and some(.a, value(2))', False),
+            ("some(.a, number) and not some(.a, multipleof(1))", False),
+            # Paper's Prop 2 insight: a key's value cannot be two kinds.
+            ("some(.a, array) and some(.a, object)", False),
+            ("some(./x+/, number) and all(./x.*/, string)", False),
+            ("some(./x+/, number) and all(./y.*/, string)", True),
+        ],
+    )
+    def test_cases(self, text, expected):
+        result = jsl_satisfiable(parse_jsl_formula(text))
+        assert result.satisfiable == expected
+
+    def test_witness_respects_boxes(self):
+        result = jsl_satisfiable(
+            parse_jsl_formula(
+                "minch(2) and object and all(.*, number and min(9))"
+            )
+        )
+        assert result.satisfiable
+        value = result.witness.to_value()
+        assert len(value) >= 2
+        assert all(isinstance(v, int) and v > 9 for v in value.values())
+
+
+class TestArraySatisfiability:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("array and minch(2) and unique and all([0:], number and max(2))", True),
+            ("array and minch(3) and unique and all([0:], number and max(2))", False),
+            ("array and not unique and minch(2) and all([0:], value(7))", True),
+            ("array and not unique and maxch(1)", False),
+            ("some([1:1], string) and all([0:], number)", False),
+            ("all([0:2], string) and some([1:3], number)", True),
+            ("unique and minch(4) and maxch(4) and all([0:], number and max(3))", False),
+            ("some([0:0], string) and some([0:0], number)", False),
+            ("array and maxch(0) and some([0:], true)", False),
+        ],
+    )
+    def test_cases(self, text, expected):
+        result = jsl_satisfiable(parse_jsl_formula(text))
+        assert result.satisfiable == expected
+
+    def test_unique_witness_has_distinct_children(self):
+        result = jsl_satisfiable(
+            parse_jsl_formula("unique and minch(3) and all([0:], number)")
+        )
+        assert result.satisfiable
+        children = result.witness.to_value()
+        assert len(children) >= 3
+        assert len(set(map(str, children))) == len(children)
+
+
+class TestRecursiveSatisfiability:
+    def test_example2_even_paths(self):
+        delta = parse_jsl(
+            "def g1 := all(.*, $g2);"
+            "def g2 := some(.*, true) and all(.*, $g1);"
+            "object and $g1 and some(.*, true)"
+        )
+        result = jsl_satisfiable(delta)
+        assert result.satisfiable
+        # Witness tree must have all paths of even length >= 2.
+        assert result.witness.height() % 2 == 0
+
+    def test_example5_complete_binary_trees(self):
+        delta = parse_jsl(
+            "def g := not some([0:0], true) or "
+            "(minch(2) and maxch(2) and not unique and all([0:1], $g));"
+            "array and minch(2) and $g"
+        )
+        result = jsl_satisfiable(delta)
+        assert result.satisfiable
+        value = result.witness.to_value()
+        assert isinstance(value, list) and len(value) == 2
+        assert value[0] == value[1]  # the not-Unique constraint
+
+    def test_unsatisfiable_recursion(self):
+        delta = parse_jsl(
+            "def g := some(.a, $g);"  # infinite descent required
+            "$g"
+        )
+        result = jsl_satisfiable(delta)
+        assert not result.satisfiable
+
+    def test_witness_verified_against_expression(self):
+        delta = parse_jsl(
+            "def chain := value(\"end\") or some(.next, $chain);"
+            "some(.next, $chain) and object"
+        )
+        result = jsl_satisfiable(delta)
+        assert result.satisfiable
+        assert satisfies_recursive(result.witness, delta)
+
+
+def _enumerate_small_values():
+    """Every JSON value over a tiny universe (for brute-force ground truth)."""
+    atoms = [0, 1, "a"]
+    level0 = list(atoms)
+    level1 = list(level0)
+    for size in range(3):
+        for combo in product(level0, repeat=size):
+            level1.append(list(combo))
+    for keys in [(), ("a",), ("b",), ("a", "b")]:
+        for values in product(level0, repeat=len(keys)):
+            level1.append(dict(zip(keys, values)))
+    return level1
+
+
+_SMALL_SPACE = [_v for _v in _enumerate_small_values()]
+
+
+class TestBruteForceDifferential:
+    """If any small value satisfies phi, the solver must say SAT; if the
+    solver says UNSAT *completely*, no small value may satisfy phi."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_against_enumeration(self, seed):
+        rng = random.Random(seed)
+        formula = random_jsl_formula(rng, depth=2)
+        trees = [JSONTree.from_value(value) for value in _SMALL_SPACE]
+        any_small_model = any(satisfies(tree, formula) for tree in trees)
+        result = jsl_satisfiable(formula)
+        if any_small_model:
+            assert result.satisfiable, (
+                f"solver missed a model for seed {seed}"
+            )
+        if not result.satisfiable and result.complete:
+            assert not any_small_model, (
+                f"solver claimed complete UNSAT despite a model, seed {seed}"
+            )
+
+    @pytest.mark.parametrize("seed", range(40, 60))
+    def test_witnesses_satisfy(self, seed):
+        rng = random.Random(seed)
+        formula = random_jsl_formula(rng, depth=3)
+        result = jsl_satisfiable(formula)
+        if result.satisfiable:
+            assert satisfies(result.witness, formula)
+
+
+class TestSolverConfig:
+    def test_tight_limits_flag_incompleteness(self):
+        config = SolverConfig(max_rounds=1, goal_limit=3, dnf_limit=2)
+        formula = parse_jsl_formula(
+            "some(.a, some(.b, true)) and (string or number or object)"
+        )
+        result = jsl_satisfiable(formula, config)
+        if not result.satisfiable:
+            assert not result.complete
+
+    def test_result_truthiness(self):
+        assert jsl_satisfiable(parse_jsl_formula("true"))
+        assert not jsl_satisfiable(parse_jsl_formula("false"))

@@ -1,0 +1,118 @@
+"""The JSONPath front-end (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.jnl import ast
+from repro.jsonpath import jsonpath_nodes, jsonpath_query, parse_jsonpath
+
+
+class TestBasicSteps:
+    def test_root_only(self, store_doc):
+        assert jsonpath_query(store_doc, "$") == [store_doc.to_value()]
+
+    def test_member(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.bicycle.price") == [19]
+
+    def test_bracket_member(self, store_doc):
+        assert jsonpath_query(store_doc, "$['store']['bicycle']") == [
+            {"price": 19}
+        ]
+
+    def test_index(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[0].title") == ["Sayings"]
+
+    def test_negative_index(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[-1].title") == ["Moby"]
+
+    def test_wildcard_object(self, store_doc):
+        results = jsonpath_query(store_doc, "$.store.*")
+        assert len(results) == 2
+
+    def test_wildcard_array(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[*].price") == [8, 12, 9]
+
+
+class TestSlicesAndUnions:
+    def test_slice_end_exclusive(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[1:3].title") == [
+            "Sword", "Moby",
+        ]
+
+    def test_open_slices(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[1:].title") == [
+            "Sword", "Moby",
+        ]
+        assert jsonpath_query(store_doc, "$.store.book[:2].title") == [
+            "Sayings", "Sword",
+        ]
+
+    def test_empty_slice(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[2:2]") == []
+
+    def test_index_union(self, store_doc):
+        assert jsonpath_query(store_doc, "$.store.book[0,2].title") == [
+            "Sayings", "Moby",
+        ]
+
+
+class TestRecursiveDescent:
+    def test_descendant_key(self, store_doc):
+        assert jsonpath_query(store_doc, "$..price") == [8, 12, 9, 19]
+
+    def test_descendant_wildcard_counts_all(self, store_doc):
+        # ..* selects every node except the root.
+        results = jsonpath_nodes(store_doc, "$..*")
+        assert len(results) == len(store_doc) - 1
+
+    def test_descendant_index(self, store_doc):
+        assert jsonpath_query(store_doc, "$..[0].title") == ["Sayings"]
+
+
+class TestFilters:
+    def test_numeric_comparison(self, store_doc):
+        assert jsonpath_query(
+            store_doc, "$.store.book[?(@.price < 10)].title"
+        ) == ["Sayings", "Moby"]
+        assert jsonpath_query(
+            store_doc, "$.store.book[?(@.price >= 9)].title"
+        ) == ["Sword", "Moby"]
+
+    def test_equality_filter(self, store_doc):
+        assert jsonpath_query(
+            store_doc, '$.store.book[?(@.author == "E")].title'
+        ) == ["Sword"]
+        assert jsonpath_query(
+            store_doc, '$.store.book[?(@.author != "E")].title'
+        ) == ["Sayings", "Moby"]
+
+    def test_existence_filter(self, store_doc):
+        # Children of any store member that carry a "title".
+        titles = jsonpath_query(store_doc, "$.store.*[?(@.title)]")
+        assert [book["title"] for book in titles] == ["Sayings", "Sword", "Moby"]
+        assert len(jsonpath_query(store_doc, "$..[?(@.price > 0)]")) == 4
+
+    def test_document_order(self, store_doc):
+        # Results come back in preorder document order.
+        prices = jsonpath_query(store_doc, "$..price")
+        assert prices == [8, 12, 9, 19]
+
+
+class TestCompilation:
+    def test_descent_compiles_to_star(self):
+        path = parse_jsonpath("$..x")
+        assert ast.is_recursive(path)
+
+    def test_plain_path_is_deterministic(self):
+        path = parse_jsonpath("$.a.b[3]")
+        assert ast.is_deterministic(path)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "store.book", "$[", "$.a[?(@..x > 1)]", "$.a[?(@.x >)]", "$.a[1:x]"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_jsonpath(bad)

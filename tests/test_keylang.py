@@ -1,0 +1,120 @@
+"""Key languages: the boolean algebra over regular key sets."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.keylang import (
+    KeyLang,
+    any_key,
+    disjoint_cells,
+    regex_key,
+    word_key,
+)
+
+
+class TestMembership:
+    def test_word(self):
+        lang = word_key("name")
+        assert lang.matches("name")
+        assert not lang.matches("names")
+        assert lang.single_word == "name"
+
+    def test_regex(self):
+        lang = regex_key("a(b|c)a")
+        assert lang.matches("aba") and lang.matches("aca")
+        assert not lang.matches("ada")
+        assert lang.single_word is None
+
+    def test_any_and_none(self):
+        assert any_key().matches("anything")
+        assert any_key().matches("")
+        assert not KeyLang.none().matches("")
+
+    def test_complement(self):
+        lang = word_key("x").complement()
+        assert not lang.matches("x")
+        assert lang.matches("y")
+        # Double complement cancels syntactically.
+        assert lang.complement() == word_key("x")
+
+    def test_union_intersection(self):
+        lang = KeyLang.union([word_key("a"), word_key("b")])
+        assert lang.matches("a") and lang.matches("b") and not lang.matches("c")
+        both = KeyLang.intersection([regex_key("a.*"), regex_key(".*z")])
+        assert both.matches("az") and both.matches("abz")
+        assert not both.matches("ab")
+
+    def test_simplifications(self):
+        assert KeyLang.union([]) == KeyLang.none()
+        assert KeyLang.intersection([]) == KeyLang.any()
+        assert KeyLang.union([word_key("a"), KeyLang.any()]) == KeyLang.any()
+        assert (
+            KeyLang.intersection([word_key("a"), KeyLang.none()])
+            == KeyLang.none()
+        )
+
+
+class TestDecisionProcedures:
+    def test_emptiness(self):
+        assert KeyLang.intersection([word_key("a"), word_key("b")]).is_empty()
+        assert not word_key("a").is_empty()
+        assert KeyLang.none().is_empty()
+
+    def test_witness_in_language(self):
+        lang = KeyLang.union([word_key("name"), regex_key("x+")]).complement()
+        witness = lang.witness()
+        assert witness is not None
+        assert lang.matches(witness)
+
+    def test_count_words(self):
+        assert word_key("a").count_words(5) == 1
+        assert regex_key("a|b|c").count_words(5) == 3
+        assert regex_key("a*").count_words(5) == 5
+
+    def test_sample_words_are_members(self):
+        lang = regex_key("[ab]{1,2}")
+        words = lang.sample_words(4)
+        assert len(set(words)) == 4
+        assert all(lang.matches(word) for word in words)
+
+    def test_pattern_text_round_trip(self):
+        lang = KeyLang.union([word_key("a+b"), regex_key("c.")]).complement()
+        text = lang.to_pattern_text()
+        assert text is not None
+        reparsed = regex_key(text)
+        for word in ["a+b", "cc", "cd", "zz", "", "a"]:
+            assert lang.matches(word) == reparsed.matches(word)
+
+    def test_pattern_text_escapes_words(self):
+        assert word_key("a.b").to_pattern_text() == "a\\.b"
+        assert regex_key(word_key("a.b").to_pattern_text()).matches("a.b")
+
+
+class TestDisjointCells:
+    def test_cells_partition(self):
+        langs = [word_key("name"), regex_key("a(b|c)a")]
+        cells = disjoint_cells(langs)
+        memberships = {members for members, _cell in cells}
+        assert frozenset() in memberships          # keys outside both
+        assert frozenset({0}) in memberships       # exactly "name"
+        assert frozenset({1}) in memberships       # the regex
+        # "name" does not match a(b|c)a, so no overlap cell.
+        assert frozenset({0, 1}) not in memberships
+
+    def test_cell_witnesses_respect_membership(self):
+        langs = [regex_key("a.*"), regex_key(".*z")]
+        for members, cell in disjoint_cells(langs):
+            witness = cell.witness()
+            assert witness is not None
+            for index, lang in enumerate(langs):
+                assert lang.matches(witness) == (index in members)
+
+
+@given(st.sampled_from(["a", "ab", "a.*", "[ab]+", "x|y"]),
+       st.text(alphabet="abxy.", max_size=5))
+@settings(max_examples=80, deadline=None)
+def test_complement_is_pointwise_negation(pattern, word):
+    lang = regex_key(pattern)
+    assert lang.complement().matches(word) == (not lang.matches(word))

@@ -1,0 +1,98 @@
+"""Event-driven tree construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateKeyError, ModelError
+from repro.model.builder import TreeBuilder
+
+
+def test_build_object():
+    builder = TreeBuilder()
+    builder.start_object()
+    builder.key("age")
+    builder.number(32)
+    builder.key("name")
+    builder.string("Sue")
+    builder.end_object()
+    assert builder.result().to_value() == {"age": 32, "name": "Sue"}
+
+
+def test_build_nested():
+    builder = TreeBuilder()
+    builder.start_array()
+    builder.number(1)
+    builder.start_object()
+    builder.key("k")
+    builder.start_array()
+    builder.end_array()
+    builder.end_object()
+    builder.end_array()
+    assert builder.result().to_value() == [1, {"k": []}]
+
+
+def test_atomic_root():
+    builder = TreeBuilder()
+    builder.string("x")
+    assert builder.result().to_value() == "x"
+
+
+def test_duplicate_key_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    builder.key("a")
+    builder.number(1)
+    builder.key("a")
+    with pytest.raises(DuplicateKeyError):
+        builder.number(2)
+
+
+def test_value_without_key_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    with pytest.raises(ModelError):
+        builder.number(1)
+
+
+def test_two_keys_in_a_row_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    builder.key("a")
+    with pytest.raises(ModelError):
+        builder.key("b")
+
+
+def test_mismatched_end_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    with pytest.raises(ModelError):
+        builder.end_array()
+
+
+def test_dangling_key_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    builder.key("a")
+    with pytest.raises(ModelError):
+        builder.end_object()
+
+
+def test_incomplete_result_rejected():
+    builder = TreeBuilder()
+    builder.start_object()
+    with pytest.raises(ModelError):
+        builder.result()
+
+
+def test_events_after_completion_rejected():
+    builder = TreeBuilder()
+    builder.number(5)
+    with pytest.raises(ModelError):
+        builder.number(6)
+
+
+def test_boolean_number_rejected():
+    builder = TreeBuilder()
+    with pytest.raises(ModelError):
+        builder.number(True)  # type: ignore[arg-type]

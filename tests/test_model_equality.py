@@ -1,0 +1,126 @@
+"""Subtree-equality semantics: value = the whole subtree (Section 3.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.equality import (
+    all_children_distinct,
+    canonical_hash,
+    structural_equal,
+    subtree_equal,
+    trees_equal,
+)
+from repro.model.tree import JSONTree
+
+json_values = st.recursive(
+    st.one_of(st.integers(min_value=0, max_value=50), st.text(max_size=4)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=3), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestObjectOrderIrrelevance:
+    def test_key_order_does_not_matter(self):
+        left = JSONTree.from_value({"a": 1, "b": 2})
+        right = JSONTree.from_value({"b": 2, "a": 1})
+        assert trees_equal(left, right)
+        assert canonical_hash(left, left.root) == canonical_hash(
+            right, right.root
+        )
+
+    def test_array_order_matters(self):
+        left = JSONTree.from_value([1, 2])
+        right = JSONTree.from_value([2, 1])
+        assert not trees_equal(left, right)
+
+    def test_nested_reordering(self):
+        left = JSONTree.from_value({"o": {"x": [1, {"a": 0, "b": 1}]}})
+        right = JSONTree.from_value({"o": {"x": [1, {"b": 1, "a": 0}]}})
+        assert trees_equal(left, right)
+
+
+class TestSubtreeEqual:
+    def test_within_one_tree(self):
+        tree = JSONTree.from_value({"a": {"x": 1}, "b": {"x": 1}, "c": {"x": 2}})
+        a = tree.object_child(tree.root, "a")
+        b = tree.object_child(tree.root, "b")
+        c = tree.object_child(tree.root, "c")
+        assert subtree_equal(tree, a, tree, b)
+        assert not subtree_equal(tree, a, tree, c)
+
+    def test_across_trees(self):
+        left = JSONTree.from_value({"x": [1, "q"]})
+        right = JSONTree.from_value({"x": [1, "q"]})
+        assert subtree_equal(left, left.root, right, right.root)
+
+    def test_kind_mismatch(self):
+        left = JSONTree.from_value([])
+        right = JSONTree.from_value({})
+        assert not subtree_equal(left, left.root, right, right.root)
+
+    def test_string_vs_number(self):
+        left = JSONTree.from_value("1")
+        right = JSONTree.from_value(1)
+        assert not subtree_equal(left, left.root, right, right.root)
+
+
+class TestUnique:
+    def test_distinct_children(self):
+        tree = JSONTree.from_value([1, 2, "1"])
+        assert all_children_distinct(tree, tree.root)
+
+    def test_duplicate_children(self):
+        tree = JSONTree.from_value([{"a": 1}, {"a": 1}])
+        assert not all_children_distinct(tree, tree.root)
+
+    def test_exact_pairwise_agrees_with_hashed(self):
+        for value in ([1, 1], [1, 2], [[0], [0], [1]], [], [5]):
+            tree = JSONTree.from_value(value)
+            assert all_children_distinct(
+                tree, tree.root, exact_pairwise=True
+            ) == all_children_distinct(tree, tree.root, exact_pairwise=False)
+
+    def test_fewer_than_two_children(self):
+        assert all_children_distinct(JSONTree.from_value([]), 0)
+        assert all_children_distinct(JSONTree.from_value([7]), 0)
+
+    def test_object_duplicates_by_value_allowed(self):
+        # Unique concerns arrays; objects can't repeat keys but can
+        # repeat values -- those children are NOT distinct.
+        tree = JSONTree.from_value({"a": 1, "b": 1})
+        assert not all_children_distinct(tree, tree.root)
+
+
+class TestHypothesisRoundTrips:
+    @given(json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_build_serialize_round_trip(self, value):
+        tree = JSONTree.from_value(value)
+        tree.validate()
+        assert tree.to_value() == value
+
+    @given(json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_json_text_round_trip(self, value):
+        tree = JSONTree.from_value(value)
+        assert JSONTree.from_json(tree.to_json()) == tree
+
+    @given(json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_structural_equal_is_reflexive(self, value):
+        tree = JSONTree.from_value(value)
+        copy = JSONTree.from_value(value)
+        assert structural_equal(tree, tree.root, copy, copy.root)
+        assert canonical_hash(tree, tree.root) == canonical_hash(copy, copy.root)
+
+    @given(json_values, json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_equality_matches_value_equality(self, left_value, right_value):
+        left = JSONTree.from_value(left_value)
+        right = JSONTree.from_value(right_value)
+        assert trees_equal(left, right) == (left_value == right_value)

@@ -1,0 +1,101 @@
+"""JSON navigation instructions (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.model.navigation import Navigator, fetch, navigate, try_navigate
+from repro.model.pointer import (
+    parse_pointer,
+    resolve_in_value,
+    resolve_pointer,
+)
+from repro.model.tree import JSONTree, Kind
+
+
+class TestNavigate:
+    def test_key_then_key(self, figure1_doc):
+        node = navigate(figure1_doc, ["name", "first"])
+        assert figure1_doc.value(node) == "John"
+
+    def test_key_then_index(self, figure1_doc):
+        node = navigate(figure1_doc, ["hobbies", 1])
+        assert figure1_doc.value(node) == "yoga"
+
+    def test_missing_key_raises(self, figure1_doc):
+        with pytest.raises(NavigationError):
+            navigate(figure1_doc, ["nope"])
+
+    def test_index_on_object_fails(self, figure1_doc):
+        # Navigation instructions are typed: J[0] on an object fails.
+        assert try_navigate(figure1_doc, [0]) is None
+
+    def test_key_on_array_fails(self, figure1_doc):
+        assert try_navigate(figure1_doc, ["hobbies", "x"]) is None
+
+    def test_try_navigate_none_on_failure(self, figure1_doc):
+        assert try_navigate(figure1_doc, ["name", "middle"]) is None
+
+    def test_fetch_returns_subdocument(self, figure1_doc):
+        assert fetch(figure1_doc, "name") == {"first": "John", "last": "Doe"}
+
+    def test_no_sibling_traversal_primitive(self, figure1_doc):
+        # The API deliberately offers no "next sibling": only random
+        # access by position, as the paper stresses.
+        assert not hasattr(figure1_doc, "next_sibling")
+
+
+class TestNavigator:
+    def test_chained_getitem(self, figure1_doc):
+        doc = Navigator(figure1_doc)
+        assert doc["name"]["first"].value() == "John"
+        assert doc["hobbies"][0].value() == "fishing"
+        assert doc["hobbies"][-1].value() == "yoga"
+
+    def test_kind_and_len(self, figure1_doc):
+        doc = Navigator(figure1_doc)
+        assert doc.kind is Kind.OBJECT
+        assert len(doc["hobbies"]) == 2
+
+    def test_get_is_optional(self, figure1_doc):
+        doc = Navigator(figure1_doc)
+        assert doc.get("missing") is None
+        assert doc.get("age").value() == 32
+
+    def test_json_returns_independent_subtree(self, figure1_doc):
+        sub = Navigator(figure1_doc)["name"].json()
+        sub.validate()
+        assert sub.to_value() == {"first": "John", "last": "Doe"}
+
+    def test_parse_classmethod(self):
+        doc = Navigator.parse('{"k": [5]}')
+        assert doc["k"][0].value() == 5
+
+    def test_follow(self, figure1_doc):
+        assert Navigator(figure1_doc).follow(["name", "last"]).value() == "Doe"
+
+
+class TestPointer:
+    def test_parse_tokens(self):
+        assert parse_pointer("#/definitions/email") == ["definitions", "email"]
+        assert parse_pointer("/a~1b/c~0d") == ["a/b", "c~d"]
+        assert parse_pointer("#") == []
+
+    def test_resolve_on_tree(self, figure1_doc):
+        node = resolve_pointer(figure1_doc, "#/name/first")
+        assert figure1_doc.value(node) == "John"
+
+    def test_resolve_array_token(self, figure1_doc):
+        node = resolve_pointer(figure1_doc, "#/hobbies/1")
+        assert figure1_doc.value(node) == "yoga"
+
+    def test_resolve_in_value(self):
+        value = {"definitions": {"email": {"type": "string"}}}
+        assert resolve_in_value(value, "#/definitions/email") == {
+            "type": "string"
+        }
+
+    def test_resolve_failure(self, figure1_doc):
+        with pytest.raises(NavigationError):
+            resolve_pointer(figure1_doc, "#/nope")

@@ -1,0 +1,111 @@
+"""MongoDB projection: the Section-6 JSON-to-JSON transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.model.tree import JSONTree
+from repro.mongo import Collection, Projection
+
+DOC = {
+    "name": {"first": "John", "last": "Doe"},
+    "age": 32,
+    "hobbies": ["fishing", "yoga"],
+    "friends": [
+        {"name": "Sue", "age": 35},
+        {"name": "Bob", "age": 28},
+    ],
+}
+
+
+class TestInclusion:
+    def test_top_level_field(self):
+        assert Projection({"age": 1}).apply_value(DOC) == {"age": 32}
+
+    def test_nested_path(self):
+        assert Projection({"name.first": 1}).apply_value(DOC) == {
+            "name": {"first": "John"}
+        }
+
+    def test_multiple_paths(self):
+        projected = Projection({"name.last": 1, "age": 1}).apply_value(DOC)
+        assert projected == {"name": {"last": "Doe"}, "age": 32}
+
+    def test_whole_subtree(self):
+        assert Projection({"name": 1}).apply_value(DOC)["name"] == DOC["name"]
+
+    def test_through_arrays(self):
+        projected = Projection({"friends.name": 1}).apply_value(DOC)
+        assert projected == {"friends": [{"name": "Sue"}, {"name": "Bob"}]}
+
+    def test_missing_path_projects_empty(self):
+        assert Projection({"ghost": 1}).apply_value(DOC) == {}
+
+    def test_atomic_document(self):
+        assert Projection({"x": 1}).apply_value(42) == {}
+
+
+class TestExclusion:
+    def test_drop_field(self):
+        projected = Projection({"age": 0}).apply_value(DOC)
+        assert "age" not in projected
+        assert projected["name"] == DOC["name"]
+
+    def test_drop_nested(self):
+        projected = Projection({"name.first": 0}).apply_value(DOC)
+        assert projected["name"] == {"last": "Doe"}
+        assert projected["age"] == 32
+
+    def test_drop_through_arrays(self):
+        projected = Projection({"friends.age": 0}).apply_value(DOC)
+        assert projected["friends"] == [{"name": "Sue"}, {"name": "Bob"}]
+
+    def test_atomic_untouched(self):
+        assert Projection({"x": 0}).apply_value("scalar") == "scalar"
+
+
+class TestValidation:
+    def test_mixed_modes_rejected(self):
+        with pytest.raises(ParseError):
+            Projection({"a": 1, "b": 0})
+
+    def test_bad_flag_rejected(self):
+        with pytest.raises(ParseError):
+            Projection({"a": 2})
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ParseError):
+            Projection({"": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ParseError):
+            Projection([1])  # type: ignore[arg-type]
+
+
+class TestTreeInterface:
+    def test_apply_returns_valid_tree(self):
+        tree = JSONTree.from_value(DOC)
+        projected = Projection({"name.first": 1}).apply(tree)
+        projected.validate()
+        assert projected.to_value() == {"name": {"first": "John"}}
+
+
+class TestFindWithProjection:
+    def test_paper_style_find(self):
+        people = Collection([DOC, {"name": {"first": "Amy"}, "age": 20}])
+        results = people.find(
+            {"age": {"$gt": 30}}, {"name.first": 1, "age": 1}
+        )
+        assert results == [{"name": {"first": "John"}, "age": 32}]
+
+    def test_exclusion_in_find(self):
+        people = Collection([DOC])
+        results = people.find({}, {"friends": 0, "hobbies": 0})
+        assert results == [
+            {"name": {"first": "John", "last": "Doe"}, "age": 32}
+        ]
+
+    def test_empty_projection_means_whole_documents(self):
+        people = Collection([DOC])
+        assert people.find({}, {}) == [DOC]

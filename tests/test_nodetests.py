@@ -1,0 +1,108 @@
+"""Direct unit tests of the shared NodeTests vocabulary (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.keylang import KeyLang
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree
+
+
+def holds(value, test, **kwargs) -> bool:
+    tree = JSONTree.from_value(value)
+    return nt.node_test_holds(tree, tree.root, test, **kwargs)
+
+
+class TestKindTests:
+    @pytest.mark.parametrize(
+        "value,test,expected",
+        [
+            ({}, nt.IsObject(), True),
+            ([], nt.IsObject(), False),
+            ([], nt.IsArray(), True),
+            ("x", nt.IsString(), True),
+            (0, nt.IsNumber(), True),
+            (0, nt.IsString(), False),
+        ],
+    )
+    def test_kinds(self, value, test, expected):
+        assert holds(value, test) == expected
+
+
+class TestValueTests:
+    def test_min_is_strict(self):
+        assert holds(5, nt.MinVal(4))
+        assert not holds(4, nt.MinVal(4))
+
+    def test_max_is_strict(self):
+        assert holds(3, nt.MaxVal(4))
+        assert not holds(4, nt.MaxVal(4))
+
+    def test_min_max_only_on_numbers(self):
+        assert not holds("5", nt.MinVal(0))
+        assert not holds([5], nt.MaxVal(99))
+
+    def test_multof_zero_means_zero(self):
+        assert holds(0, nt.MultOf(0))
+        assert not holds(2, nt.MultOf(0))
+
+    def test_pattern_on_strings_only(self):
+        pattern = nt.Pattern(KeyLang.regex("[0-9]+"))
+        assert holds("123", pattern)
+        assert not holds(123, pattern)
+
+    def test_eqdoc_structural(self):
+        test = nt.EqDocTest(JSONTree.from_value({"a": [1]}))
+        assert holds({"a": [1]}, test)
+        assert not holds({"a": [2]}, test)
+        assert test.doc_hash() == nt.EqDocTest(
+            JSONTree.from_value({"a": [1]})
+        ).doc_hash()
+
+
+class TestChildCounts:
+    def test_minch_counts_objects_and_arrays(self):
+        assert holds({"a": 1, "b": 2}, nt.MinCh(2))
+        assert holds([1, 2, 3], nt.MinCh(3))
+        assert not holds([1], nt.MinCh(2))
+
+    def test_maxch_on_leaves(self):
+        assert holds("leaf", nt.MaxCh(0))
+        assert holds(7, nt.MaxCh(5))
+
+    def test_unique_requires_array(self):
+        assert not holds({"a": 1}, nt.Unique())
+        assert holds([1, 2], nt.Unique())
+        assert not holds([1, 1], nt.Unique())
+
+    def test_unique_exact_mode_agrees(self):
+        for value in ([1, 1], [1, 2, 3], [[0], [0]]):
+            assert holds(value, nt.Unique(), exact_unique=True) == holds(
+                value, nt.Unique(), exact_unique=False
+            )
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "test,expected",
+        [
+            (nt.IsObject(), "Obj"),
+            (nt.IsArray(), "Arr"),
+            (nt.IsString(), "Str"),
+            (nt.IsNumber(), "Int"),
+            (nt.Unique(), "Unique"),
+            (nt.MinVal(3), "Min(3)"),
+            (nt.MaxVal(9), "Max(9)"),
+            (nt.MultOf(2), "MultOf(2)"),
+            (nt.MinCh(1), "MinCh(1)"),
+            (nt.MaxCh(4), "MaxCh(4)"),
+        ],
+    )
+    def test_descriptions(self, test, expected):
+        assert test.describe() == expected
+
+    def test_hashable_and_interned_equal(self):
+        assert nt.MinVal(3) == nt.MinVal(3)
+        assert hash(nt.MinVal(3)) == hash(nt.MinVal(3))
+        assert nt.MinVal(3) != nt.MaxVal(3)

@@ -1,0 +1,182 @@
+"""The regex engine: parsing, automata operations, extraction."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import regex as rx
+from repro.errors import RegexParseError
+
+
+def _matches(pattern: str, word: str) -> bool:
+    nfa = rx.nfa_from_regex(rx.parse_regex(pattern))
+    return rx.nfa_matches(nfa, word)
+
+
+class TestParserFeatures:
+    @pytest.mark.parametrize(
+        "pattern,word,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "ab", False),
+            ("a|b", "b", True),
+            ("a*", "", True),
+            ("a*", "aaaa", True),
+            ("a+", "", False),
+            ("a?b", "b", True),
+            ("a?b", "ab", True),
+            (".", "x", True),
+            (".", "", False),
+            ("[a-c]x", "bx", True),
+            ("[a-c]x", "dx", False),
+            ("[^a-c]", "d", True),
+            ("[^a-c]", "b", False),
+            ("a{3}", "aaa", True),
+            ("a{3}", "aa", False),
+            ("a{2,}", "aaaa", True),
+            ("a{2,3}", "aaaa", False),
+            ("(ab)+", "abab", True),
+            ("(ab)+", "aba", False),
+            ("\\d+", "123", True),
+            ("\\d+", "12a", False),
+            ("\\w+", "ab_1", True),
+            ("\\W", "!", True),
+            ("a\\.b", "a.b", True),
+            ("a\\.b", "axb", False),
+            ("(?:ab|cd)e", "cde", True),
+            ("^anchored$", "anchored", True),
+            ("[]a]", "]", True),
+            ("\\n", "\n", True),
+            ("", "", True),
+            ("", "x", False),
+        ],
+    )
+    def test_membership(self, pattern, word, expected):
+        assert _matches(pattern, word) == expected
+
+    @pytest.mark.parametrize(
+        "pattern", ["(", "a)", "[abc", "a{2,1}", "*a", "a\\", "a{,}"]
+    )
+    def test_malformed(self, pattern):
+        with pytest.raises(RegexParseError):
+            rx.parse_regex(pattern)
+
+    def test_paper_email_pattern(self):
+        assert _matches("[A-z]*@ciws\\.cl", "john@ciws.cl")
+        assert not _matches("[A-z]*@ciws\\.cl", "john@ciwsxcl")
+
+
+class TestDFAOperations:
+    def _dfa(self, pattern: str) -> rx.DFA:
+        return rx.determinize(rx.nfa_from_regex(rx.parse_regex(pattern)))
+
+    def test_determinize_preserves_language(self):
+        dfa = self._dfa("a(b|c)*d")
+        for word, expected in [
+            ("ad", True),
+            ("abcd", True),
+            ("abd", True),
+            ("a", False),
+            ("abce", False),
+        ]:
+            assert dfa.accepts(word) == expected
+
+    def test_complement(self):
+        dfa = rx.dfa_complement(self._dfa("ab*"))
+        assert not dfa.accepts("abb")
+        assert dfa.accepts("ba")
+        assert dfa.accepts("")
+
+    def test_product_intersection(self):
+        product = rx.dfa_product(self._dfa("[ab]*"), self._dfa(".{2}"))
+        assert product.accepts("ab")
+        assert not product.accepts("abc")
+        assert not product.accepts("xy")
+
+    def test_product_union_and_difference(self):
+        union = rx.dfa_product(self._dfa("a"), self._dfa("b"), "union")
+        assert union.accepts("a") and union.accepts("b")
+        diff = rx.dfa_product(self._dfa("[ab]"), self._dfa("b"), "difference")
+        assert diff.accepts("a") and not diff.accepts("b")
+
+    def test_emptiness(self):
+        empty = rx.dfa_product(self._dfa("[ab]"), self._dfa("[cd]"))
+        assert rx.dfa_is_empty(empty)
+        assert not rx.dfa_is_empty(self._dfa("a*"))
+
+    def test_witness_is_shortest(self):
+        assert rx.dfa_witness(self._dfa("a{3}")) == "aaa"
+        assert rx.dfa_witness(self._dfa("x|yy")) == "x"
+        assert rx.dfa_witness(self._dfa("a*")) == ""
+
+    def test_count_words_finite(self):
+        assert rx.dfa_count_words(self._dfa("a|b|c"), 10) == 3
+        assert rx.dfa_count_words(self._dfa("[ab]{2}"), 10) == 4
+
+    def test_count_words_infinite_hits_limit(self):
+        assert rx.dfa_count_words(self._dfa("a*"), 7) == 7
+
+    def test_count_words_empty(self):
+        empty = rx.dfa_product(self._dfa("a"), self._dfa("b"))
+        assert rx.dfa_count_words(empty, 5) == 0
+
+    def test_sample_words_distinct_and_accepted(self):
+        dfa = self._dfa("[ab]+")
+        words = rx.dfa_sample_words(dfa, 6)
+        assert len(words) == 6
+        assert len(set(words)) == 6
+        assert all(dfa.accepts(word) for word in words)
+
+
+class TestRegexExtraction:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["a", "abc", "a|bc", "a*", "(ab)+c?", "[a-d]{2}", "x(y|z)*"],
+    )
+    def test_round_trip(self, pattern):
+        dfa = rx.determinize(rx.nfa_from_regex(rx.parse_regex(pattern)))
+        extracted = rx.dfa_to_regex_text(dfa)
+        assert extracted is not None
+        renfa = rx.nfa_from_regex(rx.parse_regex(extracted))
+        for word in ["", "a", "b", "ab", "abc", "aa", "xyz", "xz", "ad", "cc"]:
+            assert rx.nfa_matches(renfa, word) == dfa.accepts(word)
+
+    def test_empty_language_extracts_none(self):
+        empty = rx.dfa_product(
+            rx.determinize(rx.nfa_from_regex(rx.parse_regex("a"))),
+            rx.determinize(rx.nfa_from_regex(rx.parse_regex("b"))),
+        )
+        assert rx.dfa_to_regex_text(empty) is None
+
+
+# A small strategy of safe regex patterns with their Python equivalent.
+_pattern_fragments = st.sampled_from(
+    ["a", "b", "c", "ab", "[ab]", "[a-c]", "a*", "b+", "c?", "(ab)*", "a|b"]
+)
+
+
+@st.composite
+def regex_and_python(draw):
+    parts = draw(st.lists(_pattern_fragments, min_size=1, max_size=4))
+    return "".join(parts)
+
+
+class TestAgainstPythonRe:
+    @given(regex_and_python(), st.text(alphabet="abcx", max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_python_fullmatch(self, pattern, word):
+        ours = _matches(pattern, word)
+        theirs = re.fullmatch(pattern, word) is not None
+        assert ours == theirs
+
+    @given(regex_and_python(), st.text(alphabet="abcx", max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_dfa_agrees_with_nfa(self, pattern, word):
+        regex = rx.parse_regex(pattern)
+        nfa = rx.nfa_from_regex(regex)
+        dfa = rx.determinize(nfa)
+        assert rx.nfa_matches(nfa, word) == dfa.accepts(word)
