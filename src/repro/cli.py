@@ -87,26 +87,19 @@ def _load_tree(path: str):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.jnl.efficient import JNLEvaluator
-    from repro.jnl.parser import parse_jnl, parse_jnl_path
+    from repro.query import compile_query
 
     tree = _load_tree(args.document)
-    evaluator = JNLEvaluator(tree)
     if args.jnl:
-        formula = parse_jnl(args.jnl)
-        nodes = sorted(evaluator.nodes_satisfying(formula))
+        query = compile_query(args.jnl, "jnl")
+        nodes = query.select(tree)  # document order (root first if selected)
         verdict = tree.root in nodes
     else:
         if args.jsonpath:
-            from repro.jsonpath.parser import parse_jsonpath
-
-            path = parse_jsonpath(args.jsonpath)
+            query = compile_query(args.jsonpath, "jsonpath")
         else:
-            path = parse_jnl_path(args.path)
-        selected = evaluator.target_nodes(path)
-        nodes = [
-            node for node in tree.descendants(tree.root) if node in selected
-        ]
+            query = compile_query(args.path, "jnl-path")
+        nodes = query.select(tree)
         verdict = bool(nodes)
     for node in nodes:
         if args.node_ids:

@@ -27,10 +27,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TypeVar
 
 from repro.automata.keylang import KeyLang
 from repro.logic.nodetests import NodeTest
 from repro.model.tree import JSONTree
+
+_T = TypeVar("_T", bound=type)
+
+
+def _cached_hash(cls: _T) -> _T:
+    """Memoise the dataclass-generated ``__hash__`` on the instance.
+
+    The evaluators key their memo tables on formula objects, so every
+    cache lookup re-hashes the whole subtree of the formula -- including
+    any :class:`~repro.model.tree.JSONTree` inside an :class:`EqDoc` --
+    which turns O(1) dictionary hits into O(|phi|) work.  Formulas are
+    frozen, so the hash is computed once and stored on the instance.
+    """
+    generated = cls.__hash__
+
+    def __hash__(self) -> int:
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = generated(self)
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    cls.__hash__ = __hash__
+    return cls
 
 __all__ = [
     "Unary",
@@ -95,28 +120,33 @@ class Binary:
 # ---------------------------------------------------------------------------
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Top(Unary):
     """The formula ``T``, true at every node."""
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Not(Unary):
     operand: Unary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class And(Unary):
     left: Unary
     right: Unary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Or(Unary):
     left: Unary
     right: Unary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Exists(Unary):
     """``[alpha]``: some node is reachable through ``alpha``."""
@@ -124,6 +154,7 @@ class Exists(Unary):
     path: Binary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class EqDoc(Unary):
     """``EQ(alpha, A)``: ``alpha`` reaches a node whose subtree equals ``A``."""
@@ -132,6 +163,7 @@ class EqDoc(Unary):
     doc: JSONTree
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class EqPath(Unary):
     """``EQ(alpha, beta)``: the two paths reach equal subtrees."""
@@ -140,6 +172,7 @@ class EqPath(Unary):
     right: Binary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Atom(Unary):
     """Extension: a NodeTest as an atomic unary formula (see module doc)."""
@@ -152,11 +185,13 @@ class Atom(Unary):
 # ---------------------------------------------------------------------------
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Eps(Binary):
     """``eps``: the identity relation."""
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Test(Binary):
     """``<phi>``: stay at the node if ``phi`` holds there."""
@@ -164,6 +199,7 @@ class Test(Binary):
     condition: Unary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Key(Binary):
     """``X_w``: follow the object edge labelled with the word ``w``."""
@@ -171,6 +207,7 @@ class Key(Binary):
     word: str
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Index(Binary):
     """``X_i``: follow the array edge at position ``i``.
@@ -183,6 +220,7 @@ class Index(Binary):
     position: int
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class KeyRegex(Binary):
     """``X_e``: follow any object edge whose key lies in ``e`` (non-det)."""
@@ -190,6 +228,7 @@ class KeyRegex(Binary):
     lang: KeyLang
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class IndexRange(Binary):
     """``X_{i:j}``: follow any array edge at a position in ``[i, j]``.
@@ -202,12 +241,14 @@ class IndexRange(Binary):
     high: int | None
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Compose(Binary):
     left: Binary
     right: Binary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Union(Binary):
     """Extension: union of two paths (``alpha u beta``).
@@ -222,6 +263,7 @@ class Union(Binary):
     right: Binary
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Star(Binary):
     """``(alpha)*``: the reflexive-transitive closure (recursion)."""

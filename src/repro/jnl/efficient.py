@@ -25,19 +25,17 @@ the paper's Proposition 1 proof sketches.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.jnl import ast
 from repro.jnl.paths import (
     EPS,
-    INDEX,
-    INDEX_RANGE,
-    KEY,
-    KEY_LANG,
     TEST,
     PathAutomaton,
     compile_path,
     edge_matches,
 )
-from repro.logic.nodetests import node_test_holds
+from repro.logic.nodetests import node_test_holds, nodes_satisfying_test
 from repro.model.equality import canonical_hash, compute_all_hashes, subtree_equal
 from repro.model.tree import JSONTree
 
@@ -52,11 +50,23 @@ class JNLEvaluator:
     cached.
     """
 
-    def __init__(self, tree: JSONTree, *, exact_unique: bool = False) -> None:
+    def __init__(
+        self,
+        tree: JSONTree,
+        *,
+        exact_unique: bool = False,
+        automata: dict[ast.Binary, PathAutomaton] | None = None,
+    ) -> None:
         self.tree = tree
         self.exact_unique = exact_unique
         self._node_sets: dict[ast.Unary, frozenset[int]] = {}
-        self._automata: dict[ast.Binary, PathAutomaton] = {}
+        self._point_memo: dict[tuple[int, ast.Unary], bool] = {}
+        # ``automata`` may be a shared cache (e.g. a CompiledQuery's):
+        # path automata are tree-independent, so compiled ones can be
+        # reused across evaluators, and new compilations flow back.
+        self._automata: dict[ast.Binary, PathAutomaton] = (
+            automata if automata is not None else {}
+        )
 
     # ------------------------------------------------------------------
     # Public API.
@@ -75,12 +85,39 @@ class JNLEvaluator:
         """The Evaluation problem: is ``node`` in ``[[formula]]_J``?"""
         return node in self.nodes_satisfying(formula)
 
+    def satisfies_at(self, node: int, formula: ast.Unary) -> bool:
+        """Point evaluation: like :meth:`satisfies`, but top-down.
+
+        Instead of materialising the node set of every subformula,
+        modal subformulas run the automaton *forward* from the probed
+        node, so only the part of the tree actually reachable through
+        the paths is visited.  Verdicts are memoised per ``(node,
+        formula)``, and any full node set already computed by
+        :meth:`nodes_satisfying` is reused, so interleaving both styles
+        on one evaluator never repeats work.  This is what a compiled
+        query's root-match (the document-store filter predicate) calls:
+        on small selective queries it touches a handful of nodes where
+        the bottom-up pass would scan ``|J| * |phi|``.
+
+        Recursion depth follows the *unary* nesting of the formula
+        (path composition stays iterative); for the adversarially deep
+        formulas of the hardness reductions, prefer :meth:`satisfies`.
+        """
+        cached = self._node_sets.get(formula)
+        if cached is not None:
+            return node in cached
+        key = (node, formula)
+        verdict = self._point_memo.get(key)
+        if verdict is None:
+            verdict = self._compute_at(node, formula)
+            self._point_memo[key] = verdict
+        return verdict
+
     def target_nodes(self, path: ast.Binary, start: int | None = None) -> frozenset[int]:
         """Nodes reachable from ``start`` through ``path`` (forward run)."""
         automaton = self._automaton(path)
-        test_sets = self._test_sets(automaton)
         origin = self.tree.root if start is None else start
-        return frozenset(self._forward_targets(automaton, origin, test_sets))
+        return frozenset(self._forward_targets(automaton, origin))
 
     # ------------------------------------------------------------------
     # Formula dispatch.
@@ -107,12 +144,57 @@ class JNLEvaluator:
         if isinstance(formula, ast.EqPath):
             return self._eval_eqpath(formula)
         if isinstance(formula, ast.Atom):
-            return frozenset(
-                node
-                for node in tree.nodes()
-                if node_test_holds(
-                    tree, node, formula.test, exact_unique=self.exact_unique
-                )
+            return nodes_satisfying_test(
+                tree, formula.test, exact_unique=self.exact_unique
+            )
+        raise TypeError(f"unknown unary formula {formula!r}")
+
+    def _compute_at(self, node: int, formula: ast.Unary) -> bool:
+        """Uncached point verdict (see :meth:`satisfies_at`)."""
+        tree = self.tree
+        if isinstance(formula, ast.Top):
+            return True
+        if isinstance(formula, ast.Not):
+            return not self.satisfies_at(node, formula.operand)
+        if isinstance(formula, ast.And):
+            return self.satisfies_at(node, formula.left) and self.satisfies_at(
+                node, formula.right
+            )
+        if isinstance(formula, ast.Or):
+            return self.satisfies_at(node, formula.left) or self.satisfies_at(
+                node, formula.right
+            )
+        if isinstance(formula, ast.Exists):
+            return bool(self._forward_targets(self._automaton(formula.path), node))
+        if isinstance(formula, ast.EqDoc):
+            targets = self._forward_targets(self._automaton(formula.path), node)
+            if not targets:
+                return False
+            doc = formula.doc
+            target_hash = canonical_hash(doc, doc.root)
+            hashes = compute_all_hashes(tree)
+            return any(
+                hashes[target] == target_hash
+                and subtree_equal(tree, target, doc, doc.root)
+                for target in targets
+            )
+        if isinstance(formula, ast.EqPath):
+            targets_left = self._forward_targets(
+                self._automaton(formula.left), node
+            )
+            if not targets_left:
+                return False
+            targets_right = self._forward_targets(
+                self._automaton(formula.right), node
+            )
+            if not targets_right:
+                return False
+            return self._value_sets_intersect(
+                targets_left, targets_right, compute_all_hashes(tree)
+            )
+        if isinstance(formula, ast.Atom):
+            return node_test_holds(
+                tree, node, formula.test, exact_unique=self.exact_unique
             )
         raise TypeError(f"unknown unary formula {formula!r}")
 
@@ -141,89 +223,143 @@ class JNLEvaluator:
         """
         tree = self.tree
         automaton = self._automaton(path)
+        if automaton.deterministic:
+            return self._eval_reach_deterministic(path, doc)
         test_sets = self._test_sets(automaton)
+        num_states = automaton.num_states
+        accept = automaton.accept
 
         if doc is None:
-            seeds = [(node, automaton.accept) for node in tree.nodes()]
+            seed_nodes: Iterable[int] = tree.nodes()
         else:
             target_hash = canonical_hash(doc, doc.root)
             hashes = compute_all_hashes(tree)
-            seeds = [
-                (node, automaton.accept)
+            seed_nodes = [
+                node
                 for node in tree.nodes()
                 if hashes[node] == target_hash
                 and subtree_equal(tree, node, doc, doc.root)
             ]
 
-        reached: set[tuple[int, int]] = set(seeds)
-        worklist = list(seeds)
+        # Product configurations are packed as ``node * num_states +
+        # state`` into a bytearray visited-map and an int worklist: the
+        # loop below runs once per (config, incoming transition) and
+        # tuple/set overhead dominated profiles on the compiled path.
+        reached = bytearray(len(tree) * num_states)
+        worklist: list[int] = []
+        for node in seed_nodes:
+            config = node * num_states + accept
+            reached[config] = 1
+            worklist.append(config)
         incoming = automaton.incoming
+        parents = tree.node_parents()
+        labels = tree.node_labels()
         while worklist:
-            node, state = worklist.pop()
+            config = worklist.pop()
+            node, state = divmod(config, num_states)
             for transition in incoming[state]:
                 kind = transition.kind
                 if kind == EPS:
-                    config = (node, transition.source)
-                    if config not in reached:
-                        reached.add(config)
-                        worklist.append(config)
+                    target = config - state + transition.source
+                    if not reached[target]:
+                        reached[target] = 1
+                        worklist.append(target)
                 elif kind == TEST:
                     if node in test_sets[transition.payload]:  # type: ignore[index]
-                        config = (node, transition.source)
-                        if config not in reached:
-                            reached.add(config)
-                            worklist.append(config)
+                        target = config - state + transition.source
+                        if not reached[target]:
+                            reached[target] = 1
+                            worklist.append(target)
                 else:
-                    parent = tree.parent(node)
-                    if parent is None:
+                    parent = parents[node]
+                    if parent < 0:
                         continue
-                    label = tree.edge_label(node)
+                    label = labels[node]
                     assert label is not None
                     if edge_matches(tree, parent, label, kind, transition.payload):
-                        config = (parent, transition.source)
-                        if config not in reached:
-                            reached.add(config)
-                            worklist.append(config)
+                        target = parent * num_states + transition.source
+                        if not reached[target]:
+                            reached[target] = 1
+                            worklist.append(target)
         start = automaton.start
-        return frozenset(node for node in tree.nodes() if (node, start) in reached)
+        return frozenset(
+            node
+            for node in tree.nodes()
+            if reached[node * num_states + start]
+        )
 
-    def _forward_targets(
-        self,
-        automaton: PathAutomaton,
-        origin: int,
-        test_sets: dict[ast.Unary, frozenset[int]],
-    ) -> set[int]:
-        """Nodes reachable at the accept state from ``(origin, start)``."""
+    def _eval_reach_deterministic(
+        self, path: ast.Binary, doc: JSONTree | None
+    ) -> frozenset[int]:
+        """``[alpha]`` / ``EQ(alpha, A)`` for deterministic ``alpha``.
+
+        A deterministic path has at most one target per origin, so each
+        node is checked by following the unique chain of steps --
+        ``O(|J| * |alpha|)`` like the product construction, but without
+        materialising the product graph.
+        """
         tree = self.tree
-        start_config = (origin, automaton.start)
-        reached = {start_config}
+        if doc is None:
+            return frozenset(
+                node
+                for node in tree.nodes()
+                if self._follow_deterministic(node, path) is not None
+            )
+        target_hash = canonical_hash(doc, doc.root)
+        hashes = compute_all_hashes(tree)
+        result: set[int] = set()
+        for node in tree.nodes():
+            target = self._follow_deterministic(node, path)
+            if (
+                target is not None
+                and hashes[target] == target_hash
+                and subtree_equal(tree, target, doc, doc.root)
+            ):
+                result.add(node)
+        return frozenset(result)
+
+    def _forward_targets(self, automaton: PathAutomaton, origin: int) -> set[int]:
+        """Nodes reachable at the accept state from ``(origin, start)``.
+
+        Test transitions are decided lazily via :meth:`satisfies_at`,
+        so only nodes the traversal actually visits are ever probed --
+        a forward run from one origin touches the reachable part of the
+        product, not the whole tree.
+        """
+        tree = self.tree
+        num_states = automaton.num_states
+        accept = automaton.accept
+        outgoing = automaton.outgoing
+        start_config = origin * num_states + automaton.start
+        reached = bytearray(len(tree) * num_states)
+        reached[start_config] = 1
         worklist = [start_config]
         results: set[int] = set()
-        accept = automaton.accept
         while worklist:
-            node, state = worklist.pop()
+            config = worklist.pop()
+            node, state = divmod(config, num_states)
             if state == accept:
                 results.add(node)
-            for transition in automaton.outgoing[state]:
+            for transition in outgoing[state]:
                 kind = transition.kind
                 if kind == EPS:
-                    config = (node, transition.target)
-                    if config not in reached:
-                        reached.add(config)
-                        worklist.append(config)
+                    target = config - state + transition.target
+                    if not reached[target]:
+                        reached[target] = 1
+                        worklist.append(target)
                 elif kind == TEST:
-                    if node in test_sets[transition.payload]:  # type: ignore[index]
-                        config = (node, transition.target)
-                        if config not in reached:
-                            reached.add(config)
-                            worklist.append(config)
+                    if self.satisfies_at(node, transition.payload):  # type: ignore[arg-type]
+                        target = config - state + transition.target
+                        if not reached[target]:
+                            reached[target] = 1
+                            worklist.append(target)
                 else:
                     for label, child in tree.edges(node):
                         if edge_matches(tree, node, label, kind, transition.payload):
-                            config = (child, transition.target)
-                            if config not in reached:
-                                reached.add(config)
-                                worklist.append(config)
+                            target = child * num_states + transition.target
+                            if not reached[target]:
+                                reached[target] = 1
+                                worklist.append(target)
         return results
 
     # ------------------------------------------------------------------
@@ -238,14 +374,12 @@ class JNLEvaluator:
         hashes = compute_all_hashes(tree)
         automaton_left = self._automaton(left)
         automaton_right = self._automaton(right)
-        tests_left = self._test_sets(automaton_left)
-        tests_right = self._test_sets(automaton_right)
         result: set[int] = set()
         for node in tree.nodes():
-            targets_left = self._forward_targets(automaton_left, node, tests_left)
+            targets_left = self._forward_targets(automaton_left, node)
             if not targets_left:
                 continue
-            targets_right = self._forward_targets(automaton_right, node, tests_right)
+            targets_right = self._forward_targets(automaton_right, node)
             if not targets_right:
                 continue
             if self._value_sets_intersect(

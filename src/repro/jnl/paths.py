@@ -54,7 +54,15 @@ class Transition:
 class PathAutomaton:
     """An NFA over path labels with a single start and accept state."""
 
-    __slots__ = ("num_states", "start", "accept", "outgoing", "incoming", "tests")
+    __slots__ = (
+        "num_states",
+        "start",
+        "accept",
+        "outgoing",
+        "incoming",
+        "tests",
+        "deterministic",
+    )
 
     def __init__(self) -> None:
         self.num_states = 0
@@ -64,6 +72,10 @@ class PathAutomaton:
         self.incoming: list[list[Transition]] = []
         # All distinct unary test formulas appearing on transitions.
         self.tests: list[ast.Unary] = []
+        # Set by compile_path: a deterministic source formula lets the
+        # evaluators follow unique targets instead of running the
+        # product reachability (same asymptotics, smaller constants).
+        self.deterministic = False
 
     def new_state(self) -> int:
         self.outgoing.append([])
@@ -148,6 +160,7 @@ def compile_path(path: ast.Binary) -> PathAutomaton:
     start, accept = build(path)
     automaton.start = start
     automaton.accept = accept
+    automaton.deterministic = ast.is_deterministic(path)
     return automaton
 
 

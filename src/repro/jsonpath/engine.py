@@ -1,23 +1,31 @@
-"""Executing JSONPath queries over JSON trees."""
+"""Executing JSONPath queries over JSON trees.
+
+Both entry points are thin wrappers over the compiled-query subsystem
+(:mod:`repro.query`): the parse and the automaton construction go
+through the process-wide LRU cache, so repeated evaluation of the same
+path text only pays the product reachability of Proposition 1.  Results
+come back in document order via the tree's precomputed preorder ranks
+(``O(k log k)`` in the size of the selected set, not ``O(|J|)``).
+"""
 
 from __future__ import annotations
 
-from repro.jnl.efficient import JNLEvaluator
-from repro.jsonpath.parser import parse_jsonpath
 from repro.model.tree import JSONTree, JSONValue
+from repro.query.compiled import DIALECT_JSONPATH, compile_query
 
-__all__ = ["jsonpath_nodes", "jsonpath_query"]
+__all__ = ["jsonpath_nodes", "jsonpath_query", "compile_jsonpath"]
+
+
+def compile_jsonpath(path_text: str):
+    """The cached compiled plan for a JSONPath expression."""
+    return compile_query(path_text, DIALECT_JSONPATH)
 
 
 def jsonpath_nodes(tree: JSONTree, path_text: str) -> list[int]:
     """Node ids selected by a JSONPath query, in document order."""
-    path = parse_jsonpath(path_text)
-    evaluator = JNLEvaluator(tree)
-    selected = evaluator.target_nodes(path)
-    # Document order is preorder over the tree, not node-id order.
-    return [node for node in tree.descendants(tree.root) if node in selected]
+    return compile_jsonpath(path_text).select(tree)
 
 
 def jsonpath_query(tree: JSONTree, path_text: str) -> list[JSONValue]:
     """Subdocuments selected by a JSONPath query, in document order."""
-    return [tree.to_value(node) for node in jsonpath_nodes(tree, path_text)]
+    return compile_jsonpath(path_text).values(tree)

@@ -72,6 +72,7 @@ class JSONTree:
         "_values",
         "_hashes",
         "_heights",
+        "_preorder",
     )
 
     def __init__(self) -> None:
@@ -85,6 +86,7 @@ class JSONTree:
         self._values: list[str | int | None] = []
         self._hashes: list[int] | None = None  # lazily computed by equality
         self._heights: list[int] | None = None
+        self._preorder: list[int] | None = None  # lazily computed ranks
 
     # ------------------------------------------------------------------
     # Construction (used by this module and repro.model.builder only).
@@ -234,6 +236,29 @@ class JSONTree:
         parent = self._parents[node]
         return None if parent == _NO_PARENT else parent
 
+    # ------------------------------------------------------------------
+    # Arena views (read-only!).  The evaluators' inner loops run over
+    # every node; exposing the flat arrays avoids a Python method call
+    # per node.  Callers must never mutate the returned lists.
+    # ------------------------------------------------------------------
+
+    def node_kinds(self) -> list[Kind]:
+        """``kinds[node]`` for every node (do not mutate)."""
+        return self._kinds
+
+    def node_values(self) -> list[str | int | None]:
+        """``val`` per node, ``None`` on non-leaves (do not mutate)."""
+        return self._values
+
+    def node_parents(self) -> list[int]:
+        """Parent ids per node, ``-1`` at the root (do not mutate)."""
+        return self._parents
+
+    def node_labels(self) -> list[str | int | None]:
+        """Incoming edge labels per node, ``None`` at the root (do not
+        mutate)."""
+        return self._labels
+
     def edge_label(self, node: int) -> str | int | None:
         """Label of the edge reaching ``node`` (None for the root)."""
         return self._labels[node]
@@ -362,6 +387,28 @@ class JSONTree:
             current = stack.pop()
             yield current
             stack.extend(reversed(self.children(current)))
+
+    def preorder_ranks(self) -> list[int]:
+        """``ranks[node]`` = position of ``node`` in preorder (document order).
+
+        Node ids are allocation order, which is *not* preorder (children
+        are expanded through a LIFO stack), so document-order output
+        needs an explicit rank.  The ranks depend only on the tree
+        structure and are computed once, then cached -- sorting a
+        selected set of ``k`` nodes into document order is ``O(k log k)``
+        instead of the ``O(|J|)`` full-tree scan per query.
+        """
+        if self._preorder is None:
+            ranks = [0] * len(self._kinds)
+            for rank, node in enumerate(self.descendants(self.root)):
+                ranks[node] = rank
+            self._preorder = ranks
+        return self._preorder
+
+    def document_order(self, nodes: Iterable[int]) -> list[int]:
+        """Sort node ids into document (preorder) order."""
+        ranks = self.preorder_ranks()
+        return sorted(nodes, key=ranks.__getitem__)
 
     def postorder(self) -> Iterator[int]:
         """All nodes, children before parents (iterative)."""

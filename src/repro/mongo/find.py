@@ -25,7 +25,6 @@ from repro.automata.keylang import KeyLang
 from repro.errors import ParseError
 from repro.jnl import ast as jnl
 from repro.jnl import builder as q
-from repro.jnl.efficient import JNLEvaluator
 from repro.logic import nodetests as nt
 from repro.model.tree import JSONTree, JSONValue
 
@@ -187,6 +186,12 @@ def compile_filter(filter_doc: dict[str, Any]) -> jnl.Unary:
 class Collection:
     """A queryable collection of JSON documents.
 
+    Queries go through the compiled-query subsystem
+    (:mod:`repro.query`): the filter is compiled to a plan once (and
+    cached process-wide, keyed on its canonical JSON text), then batch-
+    evaluated over the collection, so a repeated ``find`` pays only the
+    per-document Proposition-1 reachability.
+
     >>> people = Collection([{"name": "Sue"}, {"name": "Bob"}])
     >>> people.find({"name": {"$eq": "Sue"}})
     [{'name': 'Sue'}]
@@ -209,29 +214,20 @@ class Collection:
         JSON-to-JSON transformation); see
         :class:`repro.mongo.projection.Projection`.
         """
-        formula = compile_filter(filter_doc)
-        project = None
-        if projection:
-            from repro.mongo.projection import Projection
+        from repro.query.batch import filter_many
+        from repro.query.compiled import compile_mongo_find
 
-            project = Projection(projection)
-        matches: list[JSONValue] = []
-        for tree in self.trees:
-            evaluator = JNLEvaluator(tree)
-            if evaluator.satisfies(tree.root, formula):
-                value = tree.to_value()
-                matches.append(
-                    project.apply_value(value) if project else value
-                )
-        return matches
+        return filter_many(compile_mongo_find(filter_doc, projection), self.trees)
 
     def count(self, filter_doc: dict[str, Any]) -> int:
-        return len(self.find(filter_doc))
+        from repro.query.batch import match_many
+        from repro.query.compiled import compile_mongo_find
+
+        return sum(match_many(compile_mongo_find(filter_doc), self.trees))
 
     def find_trees(self, filter_doc: dict[str, Any]) -> list[JSONTree]:
-        formula = compile_filter(filter_doc)
-        return [
-            tree
-            for tree in self.trees
-            if JNLEvaluator(tree).satisfies(tree.root, formula)
-        ]
+        from repro.query.batch import match_many
+        from repro.query.compiled import compile_mongo_find
+
+        flags = match_many(compile_mongo_find(filter_doc), self.trees)
+        return [tree for tree, keep in zip(self.trees, flags) if keep]

@@ -1,0 +1,61 @@
+"""Compiled query plans with cross-call caching and batch evaluation.
+
+The compile-once / run-many subsystem behind every front-end:
+
+* :class:`~repro.query.compiled.CompiledQuery` -- a reusable plan
+  holding the parsed AST and its path automata;
+* :func:`~repro.query.compiled.compile_query` /
+  :func:`~repro.query.compiled.compile_mongo_find` -- cached compilers
+  for the JNL, JSONPath and Mongo-find dialects;
+* :mod:`~repro.query.batch` -- one plan over many trees, or many plans
+  over one tree with a shared traversal;
+* :mod:`~repro.query.cache` -- the instrumented LRU compile cache.
+"""
+
+from repro.query.batch import (
+    evaluate_many,
+    evaluate_queries,
+    filter_many,
+    match_many,
+    select_many,
+    select_queries,
+)
+from repro.query.cache import (
+    DEFAULT_CAPACITY,
+    CacheStats,
+    LRUCache,
+    clear_query_cache,
+    configure_query_cache,
+    query_cache,
+    query_cache_stats,
+)
+from repro.query.compiled import (
+    DIALECTS,
+    CompiledQuery,
+    compile_formula,
+    compile_mongo_find,
+    compile_path_query,
+    compile_query,
+)
+
+__all__ = [
+    "CompiledQuery",
+    "DIALECTS",
+    "compile_query",
+    "compile_formula",
+    "compile_path_query",
+    "compile_mongo_find",
+    "select_many",
+    "evaluate_many",
+    "match_many",
+    "filter_many",
+    "select_queries",
+    "evaluate_queries",
+    "LRUCache",
+    "CacheStats",
+    "DEFAULT_CAPACITY",
+    "query_cache",
+    "query_cache_stats",
+    "clear_query_cache",
+    "configure_query_cache",
+]

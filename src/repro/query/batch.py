@@ -1,0 +1,107 @@
+"""Batch evaluation: amortise one plan over many trees, or many plans
+over one tree.
+
+Two batching axes mirror how document stores execute queries:
+
+* **one query, many documents** -- the collection scan.  The plan's
+  automata are built once; each document only pays the product
+  reachability of Proposition 1.
+* **many queries, one document** -- the multi-tenant read.  All plans
+  share a *single* :class:`~repro.jnl.efficient.JNLEvaluator`, so the
+  arena is traversed once per distinct subformula rather than once per
+  query: node sets of shared tests (``[alpha]``, atoms, booleans) are
+  memoised across plans, and the document-order ranks are computed once
+  for the whole batch.
+
+No evaluation state survives a batch call: results are recomputed from
+the trees passed in, so mutated or rebuilt documents can never yield
+stale answers (the compile cache only ever stores tree-independent
+plans).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.jnl.efficient import JNLEvaluator
+from repro.model.tree import JSONTree, JSONValue
+from repro.query.compiled import CompiledQuery
+
+__all__ = [
+    "select_many",
+    "evaluate_many",
+    "match_many",
+    "filter_many",
+    "select_queries",
+    "evaluate_queries",
+]
+
+
+# ---------------------------------------------------------------------------
+# One compiled query, many trees.
+# ---------------------------------------------------------------------------
+
+
+def select_many(
+    query: CompiledQuery, trees: Iterable[JSONTree]
+) -> list[list[int]]:
+    """Per-tree document-order node ids selected by ``query``."""
+    return [query.select(tree) for tree in trees]
+
+
+def evaluate_many(
+    query: CompiledQuery, trees: Iterable[JSONTree]
+) -> list[list[JSONValue]]:
+    """Per-tree document-order subdocuments selected by ``query``."""
+    return [query.values(tree) for tree in trees]
+
+
+def match_many(query: CompiledQuery, trees: Iterable[JSONTree]) -> list[bool]:
+    """Per-tree root-match verdicts (the collection-scan predicate)."""
+    return [query.matches(tree) for tree in trees]
+
+
+def filter_many(
+    query: CompiledQuery, trees: Iterable[JSONTree]
+) -> list[JSONValue]:
+    """Mongo ``find`` over a collection: the (projected) matching docs."""
+    results: list[JSONValue] = []
+    for tree in trees:
+        value = query.apply(tree)
+        if value is not None:
+            results.append(value)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Many compiled queries, one tree.
+# ---------------------------------------------------------------------------
+
+
+def _shared_evaluator(
+    queries: Sequence[CompiledQuery], tree: JSONTree
+) -> JNLEvaluator:
+    """One evaluator for the whole batch, seeded with every plan's automata."""
+    automata = {}
+    for query in queries:
+        automata.update(query.automata)
+    return JNLEvaluator(tree, automata=automata)
+
+
+def select_queries(
+    queries: Sequence[CompiledQuery], tree: JSONTree
+) -> list[list[int]]:
+    """Run many plans over one tree with one shared evaluator.
+
+    Returns one document-order node-id list per query, in order.
+    """
+    evaluator = _shared_evaluator(queries, tree)
+    return [query.select(tree, evaluator=evaluator) for query in queries]
+
+
+def evaluate_queries(
+    queries: Sequence[CompiledQuery], tree: JSONTree
+) -> list[list[JSONValue]]:
+    """Like :func:`select_queries` but returning subdocument values."""
+    evaluator = _shared_evaluator(queries, tree)
+    return [query.values(tree, evaluator=evaluator) for query in queries]
