@@ -119,6 +119,18 @@ def amortised_speedups() -> dict[str, float]:
     return {label: speedup for label, _, _, speedup in _rows()}
 
 
+def check_targets() -> list[str]:
+    """Pinned-target regression check (``run_all.py --check-targets``)."""
+    speedups = amortised_speedups()
+    best = max(speedups.values())
+    if best < 5.0:
+        return [
+            "bench_compiled_queries: best amortised speedup "
+            f"{best:.1f}x < 5x target ({speedups})"
+        ]
+    return []
+
+
 # ---------------------------------------------------------------------------
 # pytest-benchmark entry points (pytest benchmarks/ --benchmark-only).
 # ---------------------------------------------------------------------------

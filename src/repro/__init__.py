@@ -53,7 +53,7 @@ from repro.model import (
     try_navigate,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "JSONTree",
@@ -82,6 +82,10 @@ __all__ = [
     "evaluate_jsl",
     "CompiledQuery",
     "compile_query",
+    "CompiledValidator",
+    "compile_schema_validator",
+    "compile_jsl_validator",
+    "validate_corpus",
 ]
 
 
@@ -108,6 +112,15 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.query import compile_query
 
         return compile_query
+    if name in (
+        "CompiledValidator",
+        "compile_schema_validator",
+        "compile_jsl_validator",
+        "validate_corpus",
+    ):
+        import repro.validate as _validate
+
+        return getattr(_validate, name)
     if name == "parse_jsl":
         from repro.jsl.parser import parse_jsl
 

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the raw text as a token stream "
         "(deterministic schemas only)",
     )
+    validate.add_argument(
+        "--corpus",
+        action="store_true",
+        help="treat the document file as a JSON array and validate "
+        "each element (exit 0 only if every element is valid)",
+    )
 
     find = commands.add_parser(
         "find", help="MongoDB-style find over a JSON array of documents"
@@ -112,25 +118,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.schema.parser import parse_schema
 
+    if args.corpus and args.streaming:
+        print("error: --corpus cannot be combined with --streaming", file=sys.stderr)
+        return 2
     with open(args.schema, encoding="utf-8") as handle:
         schema = parse_schema(handle.read())
     if args.streaming:
-        from repro.jsl.ast import RecursiveJSL
-        from repro.schema.to_jsl import schema_to_jsl
-        from repro.streaming.validator import StreamingJSLValidator
+        from repro.validate import compile_stream_validator
 
-        formula = schema_to_jsl(schema)
-        validator = StreamingJSLValidator(
-            formula
-            if isinstance(formula, RecursiveJSL)
-            else formula
-        )
+        validator = compile_stream_validator(schema)
         with open(args.document, encoding="utf-8") as handle:
             verdict = validator.validate_text(handle.read())
     else:
-        from repro.schema.validator import SchemaValidator
+        from repro.validate import compile_schema_validator
 
-        verdict = SchemaValidator(schema).validate(_load_tree(args.document))
+        compiled = compile_schema_validator(schema)
+        tree = _load_tree(args.document)
+        if args.corpus:
+            if not tree.is_array(tree.root):
+                raise ReproError("--corpus requires a JSON array document")
+            verdicts = [
+                compiled.validate_tree(tree, child)
+                for child in tree.array_children(tree.root)
+            ]
+            for index, ok in enumerate(verdicts):
+                print(f"{index}: {'valid' if ok else 'invalid'}")
+            return 0 if all(verdicts) else 1
+        verdict = compiled.validate_tree(tree)
     print("valid" if verdict else "invalid")
     return 0 if verdict else 1
 

@@ -142,11 +142,17 @@ def satisfies(
 ) -> bool:
     """The boolean Evaluation problem ``J |= phi`` (Proposition 6).
 
-    Accepts plain formulas and recursive expressions (the latter are
-    dispatched to the Proposition 9 bottom-up evaluator).
+    Accepts plain formulas and recursive expressions.  Routed through
+    the compiled-validator cache: the formula compiles once into
+    point-evaluation closures (top-down from ``node``, visiting only
+    the nodes the modalities reach) and repeated calls reuse the
+    program.  JSL is downward-looking, so point evaluation agrees with
+    the set-at-a-time reference :class:`JSLEvaluator`, which stays
+    available (and differentially tested) as the paper-faithful
+    interpreter.
     """
-    if isinstance(formula, ast.RecursiveJSL):
-        from repro.jsl.bottom_up import satisfies_recursive
+    from repro.validate import compile_jsl_validator
 
-        return satisfies_recursive(tree, formula, node, exact_unique=exact_unique)
-    return JSLEvaluator(tree, exact_unique=exact_unique).satisfies(formula, node)
+    return compile_jsl_validator(
+        formula, exact_unique=exact_unique
+    ).validate_tree(tree, node)

@@ -135,6 +135,32 @@ class JSONTree:
         The construction is iterative, so arbitrarily deep documents are
         supported.
         """
+        return cls._from_value(value, extended, None)
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[JSONValue], *, extended: bool = False
+    ) -> list["JSONTree"]:
+        """Batch ingestion: one tree per value, with shared interning.
+
+        Real corpora repeat the same keys and short string atoms across
+        every document; building the trees through one shared intern
+        table stores a single ``str`` object per distinct key/atom, so
+        a corpus costs memory proportional to its *distinct* strings
+        and the per-tree key dictionaries hit CPython's identity fast
+        path on lookup.  Used by :func:`repro.validate.validate_corpus`
+        and the validation benchmarks.
+        """
+        interned: dict[str, str] = {}
+        return [cls._from_value(value, extended, interned) for value in values]
+
+    @classmethod
+    def _from_value(
+        cls,
+        value: JSONValue,
+        extended: bool,
+        interned: dict[str, str] | None,
+    ) -> "JSONTree":
         tree = cls()
         root = tree._new_node(_kind_of(value, extended), _NO_PARENT, None)
         # Work stack of (node_id, python_value) still to expand.
@@ -148,6 +174,8 @@ class JSONTree:
                         raise UnsupportedValueError(
                             f"object keys must be strings, got {type(key).__name__}"
                         )
+                    if interned is not None:
+                        key = interned.setdefault(key, key)
                     child = tree._new_node(_kind_of(sub, extended), node, key)
                     tree._attach(node, key, child)
                     stack.append((child, sub))
@@ -157,7 +185,10 @@ class JSONTree:
                     tree._attach(node, index, child)
                     stack.append((child, sub))
             elif kind is Kind.STRING:
-                tree._values[node] = _coerce_string(val)
+                text = _coerce_string(val)
+                if interned is not None:
+                    text = interned.setdefault(text, text)
+                tree._values[node] = text
             else:  # Kind.NUMBER
                 tree._values[node] = val
         return tree

@@ -28,12 +28,12 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any
 
+from repro.cache import USE_DEFAULT_CACHE, resolve_cache
 from repro.errors import ParseError
 from repro.jnl import ast as jnl
 from repro.jnl.efficient import JNLEvaluator
 from repro.jnl.paths import PathAutomaton, compile_path
 from repro.model.tree import JSONTree, JSONValue
-from repro.query.cache import LRUCache, query_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (frontends)
     from repro.mongo.projection import Projection
@@ -56,7 +56,7 @@ DIALECT_MONGO_FIND = "mongo-find"
 DIALECTS = (DIALECT_JNL, DIALECT_JNL_PATH, DIALECT_JSONPATH)
 
 # Sentinel distinguishing "use the global cache" from "no caching".
-_DEFAULT_CACHE = object()
+_DEFAULT_CACHE = USE_DEFAULT_CACHE
 
 
 def _collect_paths(root: jnl.Unary | jnl.Binary) -> list[jnl.Binary]:
@@ -239,12 +239,7 @@ def _compile_mongo(
 # ---------------------------------------------------------------------------
 
 
-def _resolve_cache(cache: object) -> LRUCache | None:
-    if cache is _DEFAULT_CACHE:
-        return query_cache()
-    if cache is None or isinstance(cache, LRUCache):
-        return cache
-    raise TypeError(f"cache must be an LRUCache or None, got {cache!r}")
+_resolve_cache = resolve_cache
 
 
 def compile_query(

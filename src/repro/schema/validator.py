@@ -38,6 +38,11 @@ class SchemaValidator:
             self.definitions = {}
         self.document = document
         self.exact_unique = exact_unique
+        # Property maps per object schema, built once per validator
+        # instead of once per visited object node per call.  Keyed by
+        # identity: the schemas are reachable from ``self.document``,
+        # so the ids stay valid for the validator's lifetime.
+        self._prop_maps: dict[int, dict[str, ast.Schema]] = {}
 
     # ------------------------------------------------------------------
 
@@ -140,7 +145,10 @@ class SchemaValidator:
         for required_key in schema.required:
             if tree.object_child(node, required_key) is None:
                 return False
-        properties = dict(schema.properties)
+        properties = self._prop_maps.get(id(schema))
+        if properties is None:
+            properties = dict(schema.properties)
+            self._prop_maps[id(schema)] = properties
         for label, child in tree.edges(node):
             assert isinstance(label, str)
             constrained = False
@@ -206,10 +214,30 @@ class SchemaValidator:
 def validates(
     document: ast.Schema, tree: JSONTree, node: int | None = None
 ) -> bool:
-    """One-shot validation of a tree against a schema."""
-    return SchemaValidator(document).validate(tree, node)
+    """One-shot validation of a tree against a schema.
+
+    Routed through the compiled-validator cache: repeated calls with a
+    structurally equal schema reuse one compiled program instead of
+    re-checking well-formedness and re-interpreting the AST.
+    """
+    from repro.validate import compile_schema_validator
+
+    return compile_schema_validator(document).validate_tree(tree, node)
 
 
 def validates_value(document: ast.Schema, value: JSONValue) -> bool:
-    """One-shot validation of a Python value against a schema."""
-    return SchemaValidator(document).validate_value(value)
+    """One-shot validation of a Python value against a schema.
+
+    The compiled program is cached, but the value is still materialised
+    as a :class:`JSONTree` so values outside the paper's abstraction
+    (floats, booleans, ``null``) are rejected anywhere in the document,
+    exactly like the seed path.  For the no-tree fast path (which
+    checks values lazily, where the schema inspects them) call
+    :meth:`~repro.validate.CompiledValidator.validate_value` on a
+    compiled validator directly.
+    """
+    from repro.validate import compile_schema_validator
+
+    return compile_schema_validator(document).validate_tree(
+        JSONTree.from_value(value)
+    )

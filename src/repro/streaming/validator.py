@@ -53,9 +53,10 @@ class _Frame:
         "memo",
     )
 
-    def __init__(self, origin: list[Modal], requests: list[ast.Formula]) -> None:
+    def __init__(self, origin: list[Modal], requests: tuple[ast.Formula, ...]) -> None:
         self.origin = origin
         self.requests = requests
+        # Shared, read-only modal indexes assigned by the validator.
         self.key_modals: dict[str, list[Modal]] = {}
         self.idx_modals: dict[int, list[Modal]] = {}
         self.modal_truth: dict[ast.Formula, bool] = {}
@@ -81,6 +82,22 @@ class StreamingJSLValidator:
         for body in bodies:
             self._check_fragment(body)
         self.max_depth = 0  # observed frame-stack high-water mark
+        # Compile-time modal indexing.  The same-node expansion of a
+        # request formula (through booleans and acyclic references) is
+        # a pure function of the formula, and the set of request tuples
+        # a document can produce is drawn from the formula's modal
+        # bodies -- so both are memoised on the validator and shared by
+        # every frame of every call, instead of re-walking the formula
+        # DAG once per frame as the seed did.
+        self._expansions: dict[
+            ast.Formula, tuple[dict[str, list[Modal]], dict[int, list[Modal]]]
+        ] = {}
+        self._request_index: dict[
+            tuple[ast.Formula, ...],
+            tuple[dict[str, list[Modal]], dict[int, list[Modal]]],
+        ] = {}
+        self._base_requests: tuple[ast.Formula, ...] = (self.base,)
+        self._indexed(self._base_requests)  # warm the root frame's index
 
     @staticmethod
     def _check_fragment(formula: ast.Formula) -> None:
@@ -132,12 +149,12 @@ class StreamingJSLValidator:
             nonlocal pending_key
             origin = origin_modals()
             if stack:
-                requests = [modal.body for modal in origin]
+                requests = tuple(modal.body for modal in origin)
             else:
-                requests = [self.base]
+                requests = self._base_requests
             frame = _Frame(origin, requests)
             frame.kind = kind
-            self._index_modals(frame)
+            frame.key_modals, frame.idx_modals = self._indexed(requests)
             stack.append(frame)
             self.max_depth = max(self.max_depth, len(stack))
             pending_key = None
@@ -176,32 +193,74 @@ class StreamingJSLValidator:
 
     # ------------------------------------------------------------------
 
-    def _index_modals(self, frame: _Frame) -> None:
-        """Collect the modal subformulas active at this node.
+    def _expansion(
+        self, formula: ast.Formula
+    ) -> tuple[dict[str, list[Modal]], dict[int, list[Modal]]]:
+        """The modal subformulas active at a node requesting ``formula``.
 
         Same-node traversal through booleans and (acyclic) reference
         expansion; modal bodies stay opaque until a child matches.
+        Memoised per formula -- the returned maps are shared and must
+        never be mutated.
         """
+        cached = self._expansions.get(formula)
+        if cached is not None:
+            return cached
+        key_modals: dict[str, list[Modal]] = {}
+        idx_modals: dict[int, list[Modal]] = {}
         seen: set[ast.Formula] = set()
-        stack = list(frame.requests)
+        stack = [formula]
         while stack:
-            formula = stack.pop()
-            if formula in seen:
+            current = stack.pop()
+            if current in seen:
                 continue
-            seen.add(formula)
-            if isinstance(formula, ast.Not):
-                stack.append(formula.operand)
-            elif isinstance(formula, (ast.And, ast.Or)):
-                stack.append(formula.left)
-                stack.append(formula.right)
-            elif isinstance(formula, ast.Ref):
-                stack.append(self.definitions[formula.name])
-            elif isinstance(formula, (ast.DiaKey, ast.BoxKey)):
-                word = formula.lang.single_word
+            seen.add(current)
+            if isinstance(current, ast.Not):
+                stack.append(current.operand)
+            elif isinstance(current, (ast.And, ast.Or)):
+                stack.append(current.left)
+                stack.append(current.right)
+            elif isinstance(current, ast.Ref):
+                stack.append(self.definitions[current.name])
+            elif isinstance(current, (ast.DiaKey, ast.BoxKey)):
+                word = current.lang.single_word
                 assert word is not None
-                frame.key_modals.setdefault(word, []).append(formula)
-            elif isinstance(formula, (ast.DiaIdx, ast.BoxIdx)):
-                frame.idx_modals.setdefault(formula.low, []).append(formula)
+                key_modals.setdefault(word, []).append(current)
+            elif isinstance(current, (ast.DiaIdx, ast.BoxIdx)):
+                idx_modals.setdefault(current.low, []).append(current)
+        result = (key_modals, idx_modals)
+        self._expansions[formula] = result
+        return result
+
+    def _indexed(
+        self, requests: tuple[ast.Formula, ...]
+    ) -> tuple[dict[str, list[Modal]], dict[int, list[Modal]]]:
+        """The merged modal index of a frame's request tuple (memoised)."""
+        cached = self._request_index.get(requests)
+        if cached is not None:
+            return cached
+        if len(requests) == 1:
+            result = self._expansion(requests[0])
+        else:
+            key_modals: dict[str, list[Modal]] = {}
+            idx_modals: dict[int, list[Modal]] = {}
+            merged: set[Modal] = set()
+            for request in requests:
+                for word, modals in self._expansion(request)[0].items():
+                    bucket = key_modals.setdefault(word, [])
+                    for modal in modals:
+                        if modal not in merged:
+                            merged.add(modal)
+                            bucket.append(modal)
+                for low, modals in self._expansion(request)[1].items():
+                    bucket = idx_modals.setdefault(low, [])
+                    for modal in modals:
+                        if modal not in merged:
+                            merged.add(modal)
+                            bucket.append(modal)
+            result = (key_modals, idx_modals)
+        self._request_index[requests] = result
+        return result
 
     def _eval(self, frame: _Frame, formula: ast.Formula) -> bool:
         cached = frame.memo.get(formula)

@@ -1,0 +1,51 @@
+"""Compiled validation pipeline: compile once, validate many.
+
+The validation-side twin of :mod:`repro.query`:
+
+* :class:`~repro.validate.compiled.CompiledValidator` -- a schema or
+  JSL formula lowered to a flat program of per-kind closures, with a
+  raw-value fast path that never materialises a
+  :class:`~repro.model.tree.JSONTree`;
+* :func:`~repro.validate.compiled.compile_schema_validator` /
+  :func:`~repro.validate.compiled.compile_jsl_validator` /
+  :func:`~repro.validate.compiled.compile_stream_validator` -- cached
+  compilers sharing the process-wide artifact cache of
+  :mod:`repro.cache` with the query plans;
+* :mod:`~repro.validate.bulk` -- corpus validation (one validator,
+  many documents; streaming verdicts; early exit) and multi-schema
+  validation (many validators, one document).
+"""
+
+from repro.cache import (
+    artifact_cache,
+    artifact_cache_stats,
+    clear_artifact_cache,
+    configure_artifact_cache,
+)
+from repro.validate.bulk import (
+    CorpusReport,
+    iter_validate,
+    validate_corpus,
+    validate_document,
+)
+from repro.validate.compiled import (
+    CompiledValidator,
+    compile_jsl_validator,
+    compile_schema_validator,
+    compile_stream_validator,
+)
+
+__all__ = [
+    "CompiledValidator",
+    "compile_schema_validator",
+    "compile_jsl_validator",
+    "compile_stream_validator",
+    "CorpusReport",
+    "iter_validate",
+    "validate_corpus",
+    "validate_document",
+    "artifact_cache",
+    "artifact_cache_stats",
+    "clear_artifact_cache",
+    "configure_artifact_cache",
+]

@@ -1,0 +1,153 @@
+"""Bulk validation: one validator over a corpus, or many over one doc.
+
+The two batching axes mirror the document-store workloads that
+"Validation of Modern JSON Schema" and the MongoDB-standard report
+(PAPERS.md) treat as the ones that matter:
+
+* **one validator, many documents** -- schema enforcement over a
+  collection.  The compiled program is shared; each document pays only
+  its own single pass.  Results stream (:func:`iter_validate`), or
+  aggregate into a :class:`CorpusReport` with optional early exit on
+  the first invalid document (:func:`validate_corpus`).
+* **many validators, one document** -- multi-tenant ingestion, where
+  each consumer pins its own schema.  The document is materialised (or
+  kept raw) once and every compiled program runs over the same
+  representation (:func:`validate_document`).
+
+Raw Python values run on the validators' no-tree fast path by default.
+When trees are wanted (``as_trees=True``, or ``extended=True`` which
+needs leaf coercion), the corpus is batch-ingested through
+:meth:`JSONTree.from_values`, sharing one intern table for keys and
+string atoms across all documents.
+
+No validation state survives a call, so a mutated corpus can never
+yield stale verdicts -- the artifact cache only ever stores
+document-independent programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.model.tree import JSONTree, JSONValue
+from repro.validate.compiled import CompiledValidator
+
+__all__ = [
+    "CorpusReport",
+    "iter_validate",
+    "validate_corpus",
+    "validate_document",
+]
+
+
+@dataclass(frozen=True)
+class CorpusReport:
+    """Aggregate outcome of a corpus validation run.
+
+    ``verdicts`` has one entry per *checked* document; with
+    ``early_exit=True`` the run stops right after the first invalid
+    document, so ``checked`` can be smaller than the corpus.
+    """
+
+    verdicts: tuple[bool, ...]
+    checked: int
+    valid: int
+    first_invalid: int | None
+
+    @property
+    def all_valid(self) -> bool:
+        return self.first_invalid is None
+
+    @property
+    def invalid(self) -> int:
+        return self.checked - self.valid
+
+
+def iter_validate(
+    validator: CompiledValidator,
+    documents: Iterable["JSONTree | JSONValue"],
+    *,
+    extended: bool = False,
+) -> Iterator[bool]:
+    """Lazily yield one verdict per document (trees or raw values).
+
+    The generator form is the streaming bulk API: verdicts come out as
+    documents go in, so a pipeline can consume them incrementally and
+    abandon the iteration at any point.
+    """
+    validate_tree = validator.validate_tree
+    validate_value = validator.validate_value
+    for document in documents:
+        if isinstance(document, JSONTree):
+            yield validate_tree(document)
+        else:
+            yield validate_value(document, extended=extended)
+
+
+def validate_corpus(
+    validator: CompiledValidator,
+    documents: Iterable["JSONTree | JSONValue"],
+    *,
+    early_exit: bool = False,
+    extended: bool = False,
+    as_trees: bool = False,
+) -> CorpusReport:
+    """One validator over many documents, aggregated.
+
+    ``early_exit=True`` stops at the first invalid document (the
+    "reject the batch" ingestion mode).  ``as_trees=True`` materialises
+    raw values through :meth:`JSONTree.from_values` (shared interning)
+    before validating -- useful when the trees will be reused; it is
+    implied by ``extended=True``, which needs leaf coercion.
+    """
+    if as_trees or extended:
+        documents = _materialised(documents, extended)
+        extended = False
+    verdicts: list[bool] = []
+    first_invalid: int | None = None
+    valid = 0
+    for index, verdict in enumerate(
+        iter_validate(validator, documents, extended=extended)
+    ):
+        verdicts.append(verdict)
+        if verdict:
+            valid += 1
+        elif first_invalid is None:
+            first_invalid = index
+            if early_exit:
+                break
+    return CorpusReport(tuple(verdicts), len(verdicts), valid, first_invalid)
+
+
+def validate_document(
+    validators: Sequence[CompiledValidator],
+    document: "JSONTree | JSONValue",
+    *,
+    extended: bool = False,
+) -> list[bool]:
+    """Many validators over one document, in order.
+
+    The document is converted (at most) once, so ``n`` validators cost
+    ``n`` passes over one shared representation rather than ``n``
+    materialisations.
+    """
+    if not isinstance(document, JSONTree) and extended:
+        document = JSONTree.from_value(document, extended=True)
+    if isinstance(document, JSONTree):
+        return [validator.validate_tree(document) for validator in validators]
+    return [validator.validate_value(document) for validator in validators]
+
+
+def _materialised(
+    documents: Iterable["JSONTree | JSONValue"], extended: bool
+) -> list[JSONTree]:
+    """Batch-ingest the non-tree documents with one shared intern table."""
+    items = list(documents)
+    trees = iter(
+        JSONTree.from_values(
+            [doc for doc in items if not isinstance(doc, JSONTree)],
+            extended=extended,
+        )
+    )
+    return [doc if isinstance(doc, JSONTree) else next(trees) for doc in items]

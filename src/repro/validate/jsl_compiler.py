@@ -1,0 +1,395 @@
+"""Compile JSL formulas into a flat validator program.
+
+The Proposition-6 evaluator is set-at-a-time: every subformula costs a
+pass over the whole arena, which is the right shape for
+``nodes_satisfying`` but wasteful for the boolean Evaluation problem
+``J |= phi`` -- a root check only ever needs the nodes the modalities
+can reach.  This compiler turns a formula (or a well-formed recursive
+expression) into point-evaluation closures, one per subformula, with
+everything tree-independent prebuilt:
+
+* key-modal matchers are bound once (``DIA_w`` / ``BOX_w`` over a
+  single word become a plain dict lookup, general languages a prebuilt
+  DFA membership test);
+* index modalities become range slices;
+* node tests compile to specialised closures (no isinstance ladder per
+  node per call);
+* recursive definitions get slots, with per-call ``(slot, node)``
+  memoisation; unguarded expansion terminates because the precedence
+  graph is acyclic (Section 5.3).
+
+Like the schema program, each subformula yields a tree closure and a
+raw-value closure, so corpus validation can skip tree materialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TranslationError
+from repro.jsl import ast
+from repro.jsl.recursion import check_well_formed
+from repro.logic import nodetests as nt
+from repro.model.equality import all_children_distinct, subtree_equal
+from repro.model.tree import JSONTree, Kind
+from repro.validate.schema_compiler import (
+    TreeFn,
+    ValueFn,
+    _value_children_distinct,
+)
+from repro.validate.values import canonical_value, check_supported, children_count
+
+__all__ = ["compile_jsl_program"]
+
+_OBJECT = Kind.OBJECT
+_ARRAY = Kind.ARRAY
+_STRING = Kind.STRING
+_NUMBER = Kind.NUMBER
+
+_MISSING = object()
+
+
+def compile_jsl_program(
+    formula: ast.Formula | ast.RecursiveJSL, *, exact_unique: bool = False
+) -> tuple[TreeFn, ValueFn]:
+    """Compile a (possibly recursive) JSL formula into its two closures."""
+    if isinstance(formula, ast.RecursiveJSL):
+        check_well_formed(formula)
+        compiler = _JSLCompiler(formula.definition_map(), exact_unique)
+        base = formula.base
+    else:
+        compiler = _JSLCompiler({}, exact_unique)
+        base = formula
+    compiler.compile_definitions()
+    return compiler.compile(base)
+
+
+class _JSLCompiler:
+    def __init__(
+        self, definitions: dict[str, ast.Formula], exact_unique: bool
+    ) -> None:
+        self.definitions = definitions
+        self.exact_unique = exact_unique
+        self.slot_of = {name: i for i, name in enumerate(definitions)}
+        self.tree_slots: list[TreeFn | None] = [None] * len(definitions)
+        self.value_slots: list[ValueFn | None] = [None] * len(definitions)
+
+    def compile_definitions(self) -> None:
+        for name, body in self.definitions.items():
+            slot = self.slot_of[name]
+            self.tree_slots[slot], self.value_slots[slot] = self.compile(body)
+
+    # ------------------------------------------------------------------
+
+    def compile(self, formula: ast.Formula) -> tuple[TreeFn, ValueFn]:
+        if isinstance(formula, ast.Top):
+            return (lambda tree, node, ctx: True), (lambda value, ctx: True)
+        if isinstance(formula, ast.Not):
+            sub_tree, sub_value = self.compile(formula.operand)
+            return (
+                lambda tree, node, ctx: not sub_tree(tree, node, ctx),
+                lambda value, ctx: not sub_value(value, ctx),
+            )
+        if isinstance(formula, ast.And):
+            lt, lv = self.compile(formula.left)
+            rt, rv = self.compile(formula.right)
+            return (
+                lambda tree, node, ctx: lt(tree, node, ctx)
+                and rt(tree, node, ctx),
+                lambda value, ctx: lv(value, ctx) and rv(value, ctx),
+            )
+        if isinstance(formula, ast.Or):
+            lt, lv = self.compile(formula.left)
+            rt, rv = self.compile(formula.right)
+            return (
+                lambda tree, node, ctx: lt(tree, node, ctx)
+                or rt(tree, node, ctx),
+                lambda value, ctx: lv(value, ctx) or rv(value, ctx),
+            )
+        if isinstance(formula, ast.TestAtom):
+            return self._compile_test(formula.test)
+        if isinstance(formula, ast.DiaKey):
+            return self._compile_key_modal(formula, existential=True)
+        if isinstance(formula, ast.BoxKey):
+            return self._compile_key_modal(formula, existential=False)
+        if isinstance(formula, ast.DiaIdx):
+            return self._compile_idx_modal(formula, existential=True)
+        if isinstance(formula, ast.BoxIdx):
+            return self._compile_idx_modal(formula, existential=False)
+        if isinstance(formula, ast.Ref):
+            return self._compile_ref(formula)
+        raise TypeError(f"unknown JSL formula {formula!r}")
+
+    # ------------------------------------------------------------------
+
+    def _compile_test(self, test: nt.NodeTest) -> tuple[TreeFn, ValueFn]:
+        if isinstance(test, nt.IsObject):
+            return (
+                lambda tree, node, ctx: tree.kind(node) is _OBJECT,
+                lambda value, ctx: isinstance(value, dict)
+                or (check_supported(value) or False),
+            )
+        if isinstance(test, nt.IsArray):
+            return (
+                lambda tree, node, ctx: tree.kind(node) is _ARRAY,
+                lambda value, ctx: isinstance(value, (list, tuple))
+                or (check_supported(value) or False),
+            )
+        if isinstance(test, nt.IsString):
+            return (
+                lambda tree, node, ctx: tree.kind(node) is _STRING,
+                lambda value, ctx: isinstance(value, str)
+                or (check_supported(value) or False),
+            )
+        if isinstance(test, nt.IsNumber):
+            return (
+                lambda tree, node, ctx: tree.kind(node) is _NUMBER,
+                lambda value, ctx: (
+                    isinstance(value, int) and not isinstance(value, bool)
+                )
+                or (check_supported(value) or False),
+            )
+        if isinstance(test, nt.Pattern):
+            matches = test.lang.matches
+
+            def tree_pattern(tree: JSONTree, node: int, ctx: dict) -> bool:
+                return tree.kind(node) is _STRING and matches(tree.value(node))
+
+            def value_pattern(value: Any, ctx: dict) -> bool:
+                if isinstance(value, str):
+                    return matches(value)
+                check_supported(value)
+                return False
+
+            return tree_pattern, value_pattern
+        if isinstance(test, (nt.MinVal, nt.MaxVal, nt.MultOf)):
+            return self._compile_numeric_test(test)
+        if isinstance(test, nt.MinCh):
+            count = test.count
+            return (
+                lambda tree, node, ctx: tree.num_children(node) >= count,
+                lambda value, ctx: children_count(value) >= count,
+            )
+        if isinstance(test, nt.MaxCh):
+            count = test.count
+            return (
+                lambda tree, node, ctx: tree.num_children(node) <= count,
+                lambda value, ctx: children_count(value) <= count,
+            )
+        if isinstance(test, nt.Unique):
+            exact = self.exact_unique
+
+            def tree_unique(tree: JSONTree, node: int, ctx: dict) -> bool:
+                return tree.kind(node) is _ARRAY and all_children_distinct(
+                    tree, node, exact_pairwise=exact
+                )
+
+            def value_unique(value: Any, ctx: dict) -> bool:
+                if isinstance(value, (list, tuple)):
+                    return _value_children_distinct(value, exact)
+                check_supported(value)
+                return False
+
+            return tree_unique, value_unique
+        if isinstance(test, nt.EqDocTest):
+            doc = test.doc
+            canon = canonical_value(doc.to_value())
+
+            def tree_eq(tree: JSONTree, node: int, ctx: dict) -> bool:
+                return subtree_equal(tree, node, doc, doc.root)
+
+            def value_eq(value: Any, ctx: dict) -> bool:
+                return canonical_value(value) == canon
+
+            return tree_eq, value_eq
+        raise TypeError(f"unknown node test {test!r}")
+
+    @staticmethod
+    def _compile_numeric_test(
+        test: "nt.MinVal | nt.MaxVal | nt.MultOf",
+    ) -> tuple[TreeFn, ValueFn]:
+        if isinstance(test, nt.MinVal):
+            bound = test.bound
+            accepts = lambda value: value > bound  # noqa: E731 - tight closure
+        elif isinstance(test, nt.MaxVal):
+            bound = test.bound
+            accepts = lambda value: value < bound  # noqa: E731
+        else:
+            divisor = test.divisor
+            if divisor == 0:
+                accepts = lambda value: value == 0  # noqa: E731
+            else:
+                accepts = lambda value: value % divisor == 0  # noqa: E731
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            return tree.kind(node) is _NUMBER and accepts(tree.value(node))
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return accepts(value)
+            check_supported(value)
+            return False
+
+        return tree_fn, value_fn
+
+    # ------------------------------------------------------------------
+
+    def _compile_key_modal(
+        self, formula: "ast.DiaKey | ast.BoxKey", *, existential: bool
+    ) -> tuple[TreeFn, ValueFn]:
+        body_tree, body_value = self.compile(formula.body)
+        word = formula.lang.single_word
+        if word is not None:
+            # Deterministic fragment: the modality addresses one key, so
+            # membership is a dict lookup instead of a language test.
+            if existential:
+
+                def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                    child = tree.object_child(node, word)
+                    return child is not None and body_tree(tree, child, ctx)
+
+                def value_fn(value: Any, ctx: dict) -> bool:
+                    if not isinstance(value, dict):
+                        return False
+                    child = value.get(word, _MISSING)
+                    return child is not _MISSING and body_value(child, ctx)
+
+            else:
+
+                def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                    child = tree.object_child(node, word)
+                    return child is None or body_tree(tree, child, ctx)
+
+                def value_fn(value: Any, ctx: dict) -> bool:
+                    if not isinstance(value, dict):
+                        return True
+                    child = value.get(word, _MISSING)
+                    return child is _MISSING or body_value(child, ctx)
+
+            return tree_fn, value_fn
+
+        matches = formula.lang.matches
+        if existential:
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                if tree.kind(node) is not _OBJECT:
+                    return False
+                for label, child in tree.edges(node):
+                    if matches(label) and body_tree(tree, child, ctx):
+                        return True
+                return False
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if not isinstance(value, dict):
+                    return False
+                for key, child in value.items():
+                    if matches(key) and body_value(child, ctx):
+                        return True
+                return False
+
+        else:
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                if tree.kind(node) is not _OBJECT:
+                    return True
+                for label, child in tree.edges(node):
+                    if matches(label) and not body_tree(tree, child, ctx):
+                        return False
+                return True
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if not isinstance(value, dict):
+                    return True
+                for key, child in value.items():
+                    if matches(key) and not body_value(child, ctx):
+                        return False
+                return True
+
+        return tree_fn, value_fn
+
+    def _compile_idx_modal(
+        self, formula: "ast.DiaIdx | ast.BoxIdx", *, existential: bool
+    ) -> tuple[TreeFn, ValueFn]:
+        body_tree, body_value = self.compile(formula.body)
+        low, high = formula.low, formula.high
+        if existential and high == low and low >= 0:
+            # Deterministic fragment: one position, one lookup.
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                child = tree.array_child(node, low)
+                return child is not None and body_tree(tree, child, ctx)
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if isinstance(value, (list, tuple)) and low < len(value):
+                    return body_value(value[low], ctx)
+                return False
+
+            return tree_fn, value_fn
+
+        def positions(length: int) -> range:
+            stop = length if high is None else min(high + 1, length)
+            return range(max(low, 0), stop)
+
+        if existential:
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                children = tree.array_children(node)
+                for index in positions(len(children)):
+                    if body_tree(tree, children[index], ctx):
+                        return True
+                return False
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if not isinstance(value, (list, tuple)):
+                    return False
+                for index in positions(len(value)):
+                    if body_value(value[index], ctx):
+                        return True
+                return False
+
+        else:
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                children = tree.array_children(node)
+                for index in positions(len(children)):
+                    if not body_tree(tree, children[index], ctx):
+                        return False
+                return True
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if not isinstance(value, (list, tuple)):
+                    return True
+                for index in positions(len(value)):
+                    if not body_value(value[index], ctx):
+                        return False
+                return True
+
+        return tree_fn, value_fn
+
+    def _compile_ref(self, formula: ast.Ref) -> tuple[TreeFn, ValueFn]:
+        slot = self.slot_of.get(formula.name)
+        if slot is None:
+            raise TranslationError(
+                f"reference {formula.name!r} in a non-recursive evaluation; "
+                "use repro.jsl.bottom_up for recursive JSL expressions"
+            )
+        tree_slots = self.tree_slots
+        value_slots = self.value_slots
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            key = (slot, node)
+            cached = ctx.get(key)
+            if cached is None:
+                cached = tree_slots[slot](tree, node, ctx)
+                ctx[key] = cached
+            return cached
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            key = (slot, id(value))
+            cached = ctx.get(key)
+            if cached is None:
+                cached = value_slots[slot](value, ctx)
+                ctx[key] = cached
+            return cached
+
+        return tree_fn, value_fn

@@ -1,0 +1,407 @@
+"""Compile parsed JSON Schema into a flat validator program.
+
+The seed interpreter (:class:`repro.schema.validator.SchemaValidator`)
+re-discovers the schema's shape on every visited node of every call: an
+``isinstance`` ladder per schema node, a ``dict(schema.properties)``
+rebuild per object node, a definition-map lookup per ``$ref``.  This
+compiler does all of that once, at compile time:
+
+* ``$ref`` well-formedness is checked and every reference resolved to a
+  definition *slot* up front;
+* key sets (``required``), property maps, pattern matchers and ``enum``
+  canonical forms are prebuilt;
+* every schema node becomes a pair of closures -- one running over a
+  :class:`~repro.model.tree.JSONTree` arena, one directly over raw
+  Python values -- so per-node dispatch is a single call, not a ladder.
+
+Both closures take a per-call context dict used to memoise reference
+results (``(slot, node)`` on trees, ``(slot, id(value))`` on values),
+which keeps validation polynomial exactly like the seed's memo; plain
+re-entry through guarded references always reaches a strictly deeper
+node, so recursion terminates by well-formedness (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SchemaError, UnsupportedValueError
+from repro.model.equality import all_children_distinct, subtree_equal
+from repro.model.tree import JSONTree, Kind
+from repro.schema import ast
+from repro.schema.refs import check_schema_well_formed
+from repro.validate.values import canonical_value, check_supported
+
+__all__ = ["compile_schema_program", "TreeFn", "ValueFn"]
+
+# The two backends' closure signatures.  ``ctx`` is the per-call memo.
+TreeFn = Callable[[JSONTree, int, dict], bool]
+ValueFn = Callable[[Any, dict], bool]
+
+_OBJECT = Kind.OBJECT
+_ARRAY = Kind.ARRAY
+_STRING = Kind.STRING
+_NUMBER = Kind.NUMBER
+
+
+def compile_schema_program(
+    document: ast.Schema, *, exact_unique: bool = False
+) -> tuple[TreeFn, ValueFn]:
+    """Compile a schema (document or fragment) into its two entry closures."""
+    if isinstance(document, ast.SchemaDocument):
+        check_schema_well_formed(document)
+        compiler = _SchemaCompiler(document.definition_map(), exact_unique)
+        root = document.root
+    else:
+        compiler = _SchemaCompiler({}, exact_unique)
+        root = document
+    compiler.compile_definitions()
+    return compiler.compile(root)
+
+
+class _SchemaCompiler:
+    """One compilation pass; holds the definition slots."""
+
+    def __init__(
+        self, definitions: dict[str, ast.Schema], exact_unique: bool
+    ) -> None:
+        self.definitions = definitions
+        self.exact_unique = exact_unique
+        self.slot_of = {name: i for i, name in enumerate(definitions)}
+        self.tree_slots: list[TreeFn | None] = [None] * len(definitions)
+        self.value_slots: list[ValueFn | None] = [None] * len(definitions)
+
+    def compile_definitions(self) -> None:
+        """Fill every definition slot (before the root, so that the
+        reference closures' late slot lookups always succeed)."""
+        for name, schema in self.definitions.items():
+            slot = self.slot_of[name]
+            self.tree_slots[slot], self.value_slots[slot] = self.compile(schema)
+
+    # ------------------------------------------------------------------
+
+    def compile(self, schema: ast.Schema) -> tuple[TreeFn, ValueFn]:
+        if isinstance(schema, ast.TrueSchema):
+            return (lambda tree, node, ctx: True), (lambda value, ctx: True)
+        if isinstance(schema, ast.StringSchema):
+            return self._compile_string(schema)
+        if isinstance(schema, ast.NumberSchema):
+            return self._compile_number(schema)
+        if isinstance(schema, ast.ObjectSchema):
+            return self._compile_object(schema)
+        if isinstance(schema, ast.ArraySchema):
+            return self._compile_array(schema)
+        if isinstance(schema, ast.AllOf):
+            return self._compile_junction(schema.schemas, want=False)
+        if isinstance(schema, ast.AnyOf):
+            return self._compile_junction(schema.schemas, want=True)
+        if isinstance(schema, ast.NotSchema):
+            sub_tree, sub_value = self.compile(schema.schema)
+            return (
+                lambda tree, node, ctx: not sub_tree(tree, node, ctx),
+                lambda value, ctx: not sub_value(value, ctx),
+            )
+        if isinstance(schema, ast.EnumSchema):
+            return self._compile_enum(schema)
+        if isinstance(schema, ast.RefSchema):
+            return self._compile_ref(schema)
+        if isinstance(schema, ast.SchemaDocument):
+            raise SchemaError("nested schema documents are not allowed")
+        raise TypeError(f"unknown schema {schema!r}")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _compile_string(schema: ast.StringSchema) -> tuple[TreeFn, ValueFn]:
+        if schema.lang is None:
+
+            def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+                return tree.kind(node) is _STRING
+
+            def value_fn(value: Any, ctx: dict) -> bool:
+                if isinstance(value, str):
+                    return True
+                check_supported(value)
+                return False
+
+            return tree_fn, value_fn
+
+        matches = schema.lang.matches
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            return tree.kind(node) is _STRING and matches(tree.value(node))
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            if isinstance(value, str):
+                return matches(value)
+            check_supported(value)
+            return False
+
+        return tree_fn, value_fn
+
+    @staticmethod
+    def _compile_number(schema: ast.NumberSchema) -> tuple[TreeFn, ValueFn]:
+        minimum, maximum, multiple = (
+            schema.minimum,
+            schema.maximum,
+            schema.multiple_of,
+        )
+
+        def accepts(value: int) -> bool:
+            if minimum is not None and value < minimum:
+                return False
+            if maximum is not None and value > maximum:
+                return False
+            if multiple is not None:
+                if multiple == 0:
+                    return value == 0
+                return value % multiple == 0
+            return True
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            return tree.kind(node) is _NUMBER and accepts(tree.value(node))
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return accepts(value)
+            check_supported(value)
+            return False
+
+        return tree_fn, value_fn
+
+    def _compile_object(self, schema: ast.ObjectSchema) -> tuple[TreeFn, ValueFn]:
+        required = schema.required
+        min_p, max_p = schema.min_properties, schema.max_properties
+        prop_tree: dict[str, TreeFn] = {}
+        prop_value: dict[str, ValueFn] = {}
+        for key, sub in schema.properties:
+            prop_tree[key], prop_value[key] = self.compile(sub)
+        patterns_tree: list[tuple[Callable[[str], bool], TreeFn]] = []
+        patterns_value: list[tuple[Callable[[str], bool], ValueFn]] = []
+        for lang, (_pattern, sub) in zip(
+            schema.pattern_langs, schema.pattern_properties
+        ):
+            sub_tree, sub_value = self.compile(sub)
+            patterns_tree.append((lang.matches, sub_tree))
+            patterns_value.append((lang.matches, sub_value))
+        if schema.additional_properties is not None:
+            addl_tree, addl_value = self.compile(schema.additional_properties)
+        else:
+            addl_tree = addl_value = None
+        # Whether visiting the children can change the verdict at all.
+        per_child = bool(prop_tree or patterns_tree or addl_tree is not None)
+        get_prop_tree = prop_tree.get
+        get_prop_value = prop_value.get
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            if tree.kind(node) is not _OBJECT:
+                return False
+            count = tree.num_children(node)
+            if min_p is not None and count < min_p:
+                return False
+            if max_p is not None and count > max_p:
+                return False
+            for key in required:
+                if tree.object_child(node, key) is None:
+                    return False
+            if not per_child:
+                return True
+            for label, child in tree.edges(node):
+                constrained = False
+                sub = get_prop_tree(label)
+                if sub is not None:
+                    constrained = True
+                    if not sub(tree, child, ctx):
+                        return False
+                for matches, pat in patterns_tree:
+                    if matches(label):
+                        constrained = True
+                        if not pat(tree, child, ctx):
+                            return False
+                if not constrained and addl_tree is not None:
+                    if not addl_tree(tree, child, ctx):
+                        return False
+            return True
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            if not isinstance(value, dict):
+                check_supported(value)
+                return False
+            count = len(value)
+            if min_p is not None and count < min_p:
+                return False
+            if max_p is not None and count > max_p:
+                return False
+            for key in required:
+                if key not in value:
+                    return False
+            if not per_child:
+                return True
+            for key, sub_value_item in value.items():
+                if not isinstance(key, str):
+                    raise UnsupportedValueError(
+                        f"object keys must be strings, got {type(key).__name__}"
+                    )
+                constrained = False
+                sub = get_prop_value(key)
+                if sub is not None:
+                    constrained = True
+                    if not sub(sub_value_item, ctx):
+                        return False
+                for matches, pat in patterns_value:
+                    if matches(key):
+                        constrained = True
+                        if not pat(sub_value_item, ctx):
+                            return False
+                if not constrained and addl_value is not None:
+                    if not addl_value(sub_value_item, ctx):
+                        return False
+            return True
+
+        return tree_fn, value_fn
+
+    def _compile_array(self, schema: ast.ArraySchema) -> tuple[TreeFn, ValueFn]:
+        exact = self.exact_unique
+        unique = schema.unique_items
+        if schema.items is not None:
+            item_fns = [self.compile(sub) for sub in schema.items]
+            items_tree = tuple(fn for fn, _ in item_fns)
+            items_value = tuple(fn for _, fn in item_fns)
+        else:
+            items_tree = items_value = None
+        if schema.additional_items is not None:
+            addl_tree, addl_value = self.compile(schema.additional_items)
+        else:
+            addl_tree = addl_value = None
+        n_items = len(items_tree) if items_tree is not None else 0
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            if tree.kind(node) is not _ARRAY:
+                return False
+            if unique and not all_children_distinct(
+                tree, node, exact_pairwise=exact
+            ):
+                return False
+            children = tree.array_children(node)
+            if items_tree is None:
+                if addl_tree is not None:
+                    return all(
+                        addl_tree(tree, child, ctx) for child in children
+                    )
+                return True
+            # Paper's Theorem-1 semantics: the first len(items) positions
+            # are required (DIA_{i:i}); extras need additionalItems.
+            if len(children) < n_items:
+                return False
+            for sub, child in zip(items_tree, children):
+                if not sub(tree, child, ctx):
+                    return False
+            if len(children) == n_items:
+                return True
+            if addl_tree is None:
+                return False
+            return all(
+                addl_tree(tree, child, ctx) for child in children[n_items:]
+            )
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            if not isinstance(value, (list, tuple)):
+                check_supported(value)
+                return False
+            if unique and not _value_children_distinct(value, exact):
+                return False
+            if items_value is None:
+                if addl_value is not None:
+                    return all(addl_value(child, ctx) for child in value)
+                return True
+            if len(value) < n_items:
+                return False
+            for sub, child in zip(items_value, value):
+                if not sub(child, ctx):
+                    return False
+            if len(value) == n_items:
+                return True
+            if addl_value is None:
+                return False
+            return all(addl_value(child, ctx) for child in value[n_items:])
+
+        return tree_fn, value_fn
+
+    def _compile_junction(
+        self, schemas: tuple[ast.Schema, ...], *, want: bool
+    ) -> tuple[TreeFn, ValueFn]:
+        """``anyOf`` (``want=True``) / ``allOf`` (``want=False``)."""
+        pairs = [self.compile(sub) for sub in schemas]
+        tree_fns = tuple(fn for fn, _ in pairs)
+        value_fns = tuple(fn for _, fn in pairs)
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            for fn in tree_fns:
+                if fn(tree, node, ctx) is want:
+                    return want
+            return not want
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            for fn in value_fns:
+                if fn(value, ctx) is want:
+                    return want
+            return not want
+
+        return tree_fn, value_fn
+
+    @staticmethod
+    def _compile_enum(schema: ast.EnumSchema) -> tuple[TreeFn, ValueFn]:
+        documents = schema.documents
+        canons = frozenset(
+            canonical_value(doc.to_value()) for doc in documents
+        )
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            return any(
+                subtree_equal(tree, node, doc, doc.root) for doc in documents
+            )
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            return canonical_value(value) in canons
+
+        return tree_fn, value_fn
+
+    def _compile_ref(self, schema: ast.RefSchema) -> tuple[TreeFn, ValueFn]:
+        slot = self.slot_of.get(schema.name)
+        if slot is None:
+            raise SchemaError(f"unresolved $ref #/definitions/{schema.name}")
+        tree_slots = self.tree_slots
+        value_slots = self.value_slots
+
+        def tree_fn(tree: JSONTree, node: int, ctx: dict) -> bool:
+            key = (slot, node)
+            cached = ctx.get(key)
+            if cached is None:
+                cached = tree_slots[slot](tree, node, ctx)
+                ctx[key] = cached
+            return cached
+
+        def value_fn(value: Any, ctx: dict) -> bool:
+            key = (slot, id(value))
+            cached = ctx.get(key)
+            if cached is None:
+                cached = value_slots[slot](value, ctx)
+                ctx[key] = cached
+            return cached
+
+        return tree_fn, value_fn
+
+
+def _value_children_distinct(value: Any, exact_pairwise: bool) -> bool:
+    """``uniqueItems`` over raw values, via exact canonical forms."""
+    if len(value) < 2:
+        return True
+    canons = [canonical_value(child) for child in value]
+    if exact_pairwise:
+        # The paper's quadratic pairwise comparison (ablation parity).
+        for i, left in enumerate(canons):
+            for right in canons[i + 1 :]:
+                if left == right:
+                    return False
+        return True
+    return len(set(canons)) == len(canons)

@@ -93,6 +93,39 @@ class TestValidate:
         ) == 0
         assert capsys.readouterr().out.strip() == "valid"
 
+    def test_corpus_all_valid(self, tmp_path, schema_file, capsys):
+        corpus = tmp_path / "corpus.json"
+        corpus.write_text(
+            json.dumps([{"name": "a", "age": 10}, {"name": "b"}])
+        )
+        assert main(
+            ["validate", str(corpus), "--schema", schema_file, "--corpus"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["0: valid", "1: valid"]
+
+    def test_corpus_with_invalid_member(self, tmp_path, schema_file, capsys):
+        corpus = tmp_path / "corpus.json"
+        corpus.write_text(
+            json.dumps([{"name": "a"}, {"name": "b", "age": 200}])
+        )
+        assert main(
+            ["validate", str(corpus), "--schema", schema_file, "--corpus"]
+        ) == 1
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["0: valid", "1: invalid"]
+
+    def test_corpus_requires_array(self, doc_file, schema_file):
+        assert main(
+            ["validate", doc_file, "--schema", schema_file, "--corpus"]
+        ) == 2
+
+    def test_corpus_streaming_conflict(self, doc_file, schema_file):
+        assert main(
+            ["validate", doc_file, "--schema", schema_file,
+             "--corpus", "--streaming"]
+        ) == 2
+
 
 class TestFind:
     def test_filter(self, collection_file, capsys):
