@@ -1,0 +1,169 @@
+"""F4 -- Indexed collections: prune with indexes, scan only survivors.
+
+Reproduction target: the store layer must make *selective* queries over
+a many-document collection cheap.  The PR-1 batch APIs already amortise
+compilation, but still evaluate every document; the store's secondary
+indexes (path/value/kind/key-presence postings over the stripped key
+paths of :mod:`repro.query.ir`) let the planner intersect a handful of
+postings and run the compiled evaluation on the few candidate
+documents only.  On a 10k-document collection, selective queries must
+run >= 10x faster index-backed than the PR-1 full batch scan -- with
+identical results, pinned by the differential tests in
+``tests/test_planner.py`` and re-asserted here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table, measure, smoke_mode
+from repro.query import compile_mongo_find, compile_query, filter_many
+from repro.store import Collection
+from repro.workloads import people_collection
+
+DOCS = 300 if smoke_mode() else 10_000
+
+_PEOPLE = people_collection(DOCS, seed=11)
+COLLECTION = Collection(_PEOPLE)
+TREES = COLLECTION.trees  # The PR-1 view: same trees, no indexes.
+
+# Selective workloads: equality postings cut 10k documents to a few
+# dozen candidates before any tree is evaluated.  The JSONPath one
+# looks up a near-unique zip code through a wildcard filter (pruned by
+# the anywhere-value posting).
+MONGO_FILTER = {
+    "name.first": "Sue",
+    "name.last": "Chen",
+    "address.city": "Santiago",
+}
+_ZIP = _PEOPLE[DOCS // 2]["address"]["zip"]
+JSONPATH_TEXT = f'$.address[?(@ == "{_ZIP}")]'
+JNL_TEXT = 'matches(.address.city, "Talca") and has(.age<test(min(84))>)'
+
+
+def _rows():
+    rows = []
+    for label, query, batch_scan in [
+        (
+            f"Mongo find, 3-way eq ({DOCS} docs)",
+            compile_mongo_find(MONGO_FILTER),
+            lambda query: filter_many(query, TREES),
+        ),
+        (
+            f"JNL filter, eq + range ({DOCS} docs)",
+            compile_query(JNL_TEXT, "jnl"),
+            lambda query: [tree.to_value() for tree in TREES if query.matches(tree)],
+        ),
+        (
+            f"JSONPath tail filter ({DOCS} docs)",
+            compile_query(JSONPATH_TEXT, "jsonpath"),
+            lambda query: [values for tree in TREES if (values := query.values(tree))],
+        ),
+    ]:
+        from repro.query import planner
+
+        def indexed(query=query):
+            return planner.find_documents(COLLECTION, query)
+
+        def scan(query=query, batch_scan=batch_scan):
+            return batch_scan(query)
+
+        cold = measure(scan)
+        warm = measure(indexed)
+        rows.append((label, cold, warm, cold / warm))
+    return rows
+
+
+def _check_results_identical() -> None:
+    """Index-backed results must equal the full scan, document for
+    document (the planner only ever *skips* non-matches)."""
+    from repro.query import planner
+
+    query = compile_mongo_find(MONGO_FILTER)
+    assert planner.find_documents(COLLECTION, query) == filter_many(query, TREES)
+
+
+def speedups() -> dict[str, float]:
+    """Per-workload scan/indexed ratios (used by tests and CI)."""
+    _check_results_identical()
+    return {label: ratio for label, _, _, ratio in _rows()}
+
+
+# Every workload is gated individually -- the three stress different
+# posting tables (eq+tails, eq+range, anywhere-value), so a max() gate
+# would let a single-table pruning regression slip.  The JNL floor is
+# lower: its range predicate unions postings per distinct value, which
+# is inherently costlier than a point equality lookup.
+_FLOORS = {"Mongo": 10.0, "JSONPath": 10.0, "JNL": 5.0}
+
+
+def _floor_for(label: str) -> float:
+    for prefix, floor in _FLOORS.items():
+        if label.startswith(prefix):
+            return floor
+    return 10.0
+
+
+def check_targets() -> list[str]:
+    """Pinned-target regression check (``run_all.py --check-targets``)."""
+    failures = []
+    for label, ratio in speedups().items():
+        floor = _floor_for(label)
+        if ratio < floor:
+            failures.append(
+                f"bench_collection_queries: {label} index-backed speedup "
+                f"{ratio:.1f}x < {floor:.0f}x target"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/ --benchmark-only).
+# ---------------------------------------------------------------------------
+
+
+def test_indexed_find(benchmark):
+    from repro.query import planner
+
+    query = compile_mongo_find(MONGO_FILTER)
+    results = benchmark(lambda: planner.find_documents(COLLECTION, query))
+    assert all(doc["name"]["first"] == "Sue" for doc in results)
+
+
+def test_batch_scan_find(benchmark):
+    query = compile_mongo_find(MONGO_FILTER)
+    results = benchmark(lambda: filter_many(query, TREES))
+    assert all(doc["name"]["first"] == "Sue" for doc in results)
+
+
+@pytest.mark.skipif(smoke_mode(), reason="timings are meaningless in smoke mode")
+def test_indexed_speedup_target():
+    assert not check_targets(), speedups()
+
+
+def main() -> str:
+    _check_results_identical()
+    rows = _rows()
+    table = format_table(
+        "F4 / indexed collection queries: selective query latency "
+        "(target: >= 10x for index-backed vs PR-1 batch scan)",
+        ["workload", "batch scan", "index-backed", "speedup"],
+        [
+            [label, f"{cold * 1e3:.2f} ms", f"{warm * 1e3:.2f} ms", f"{ratio:.1f}x"]
+            for label, cold, warm, ratio in rows
+        ],
+    )
+    stats = COLLECTION.index_stats()
+    if stats is not None:
+        table += (
+            f"\n(indexes: {stats.paths} paths, {stats.eq_entries} eq entries, "
+            f"{stats.keys} keys over {stats.documents} documents)"
+        )
+    if not smoke_mode():
+        best = max(ratio for _, _, _, ratio in rows)
+        table += f"\n(best index-backed speedup: {best:.1f}x)"
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

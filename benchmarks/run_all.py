@@ -35,6 +35,7 @@ MODULES = [
     "bench_frontends",
     "bench_compiled_queries",
     "bench_schema_validation",
+    "bench_collection_queries",
     "bench_ablations",
 ]
 

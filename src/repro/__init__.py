@@ -16,6 +16,9 @@ depend on:
 * :mod:`repro.reductions` -- executable hardness reductions (Props 2/4/7/9);
 * :mod:`repro.mongo`, :mod:`repro.jsonpath` -- the surveyed front-ends
   compiled onto JNL;
+* :mod:`repro.query`, :mod:`repro.store` -- the compiled-query
+  subsystem (shared logical-plan IR, planner) and the indexed document
+  collections it serves;
 * :mod:`repro.streaming` -- streaming validation (Section 6 outlook);
 * :mod:`repro.workloads`, :mod:`repro.bench` -- generators and the
   benchmark harness.
@@ -53,7 +56,7 @@ from repro.model import (
     try_navigate,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "JSONTree",
@@ -82,6 +85,7 @@ __all__ = [
     "evaluate_jsl",
     "CompiledQuery",
     "compile_query",
+    "Collection",
     "CompiledValidator",
     "compile_schema_validator",
     "compile_jsl_validator",
@@ -112,6 +116,10 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.query import compile_query
 
         return compile_query
+    if name == "Collection":
+        from repro.store import Collection
+
+        return Collection
     if name in (
         "CompiledValidator",
         "compile_schema_validator",

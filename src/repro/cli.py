@@ -4,10 +4,17 @@ Usage (also via ``python -m repro``)::
 
     repro query  doc.json --jnl  'has(.name.first)'
     repro query  doc.json --jsonpath '$..price'
+    repro query  --collection corpus.jsonl --jsonpath '$..price'
     repro validate doc.json --schema schema.json [--streaming]
     repro find   people.json --filter '{"age": {"$gt": 30}}' \
                  [--project '{"name": 1}']
+    repro find   --collection corpus.jsonl --filter '{"age": {"$gt": 30}}'
     repro sat    --jsl 'some(.a, number)' [--schema schema.json]
+
+``--collection`` takes a JSON-lines corpus (one document per line),
+loads it into an indexed :class:`repro.store.Collection` and answers
+through the query planner: lines are ``<doc-id><TAB><match>``, one per
+per-document match.
 
 Exit status: 0 on success/true, 1 on a false verdict, 2 on usage or
 input errors — so the commands compose in shell pipelines.
@@ -38,7 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser(
         "query", help="evaluate a JNL formula or JSONPath over a document"
     )
-    query.add_argument("document", help="path to a JSON file")
+    query.add_argument(
+        "document", nargs="?", help="path to a JSON file (or use --collection)"
+    )
+    query.add_argument(
+        "--collection",
+        metavar="FILE",
+        help="JSON-lines corpus: evaluate per document via the planner",
+    )
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--jnl", help="a unary JNL formula (node filter)")
     group.add_argument("--path", help="a binary JNL path (selects nodes)")
@@ -68,7 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     find = commands.add_parser(
         "find", help="MongoDB-style find over a JSON array of documents"
     )
-    find.add_argument("collection", help="path to a JSON array file")
+    find.add_argument(
+        "documents",
+        nargs="?",
+        metavar="collection",
+        help="path to a JSON array file (or use --collection)",
+    )
+    find.add_argument(
+        "--collection",
+        metavar="FILE",
+        help="JSON-lines corpus: find per document via the planner",
+    )
     find.add_argument("--filter", default="{}", help="find filter (JSON)")
     find.add_argument("--project", help="projection document (JSON)")
 
@@ -92,27 +116,80 @@ def _load_tree(path: str):
         return JSONTree.from_json(handle.read())
 
 
+def _load_collection(path: str):
+    """A JSON-lines corpus as an indexed store collection.
+
+    Strict parsing (duplicate keys and floats rejected), matching the
+    single-document code path, with the store's shared key interning.
+    """
+    from repro.store import Collection
+
+    with open(path, encoding="utf-8") as handle:
+        return Collection.from_json_lines(handle.read())
+
+
+def _bad_input_combo(args: argparse.Namespace, positional: str) -> bool:
+    """Exactly one of the positional file / ``--collection`` is required."""
+    if (getattr(args, positional) is None) == (args.collection is None):
+        print(
+            f"error: give either a {positional} file or --collection "
+            "(exactly one)",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.query import compile_query
 
-    tree = _load_tree(args.document)
+    if _bad_input_combo(args, "document"):
+        return 2
     if args.jnl:
         query = compile_query(args.jnl, "jnl")
-        nodes = query.select(tree)  # document order (root first if selected)
-        verdict = tree.root in nodes
+    elif args.jsonpath:
+        query = compile_query(args.jsonpath, "jsonpath")
     else:
-        if args.jsonpath:
-            query = compile_query(args.jsonpath, "jsonpath")
-        else:
-            query = compile_query(args.path, "jnl-path")
-        nodes = query.select(tree)
-        verdict = bool(nodes)
+        query = compile_query(args.path, "jnl-path")
+
+    if args.collection is not None:
+        return _query_collection(args, query)
+
+    tree = _load_tree(args.document)
+    nodes = query.select(tree)  # document order (root first if selected)
+    verdict = tree.root in nodes if args.jnl else bool(nodes)
     for node in nodes:
         if args.node_ids:
             print(node)
         else:
             print(tree.to_json(node))
     return 0 if verdict else 1
+
+
+def _query_collection(args: argparse.Namespace, query) -> int:
+    """Per-document matches over a JSON-lines corpus, via the planner."""
+    from repro.query import planner
+
+    collection = _load_collection(args.collection)
+    if args.jnl:
+        # A JNL filter matches documents (at the root), like `find`.
+        matched = planner.match_ids(collection, query)
+        for doc_id in matched:
+            if args.node_ids:
+                print(doc_id)
+            else:
+                print(f"{doc_id}\t{collection.get(doc_id).to_json()}")
+        return 0 if matched else 1
+    any_match = False
+    for doc_id, nodes in planner.select_nodes(collection, query):
+        tree = collection.get(doc_id) if nodes else None
+        for node in nodes:
+            any_match = True
+            if args.node_ids:
+                print(f"{doc_id}\t{node}")
+            else:
+                print(f"{doc_id}\t{tree.to_json(node)}")
+    return 0 if any_match else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -152,13 +229,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_find(args: argparse.Namespace) -> int:
     from repro.mongo.find import Collection
 
-    with open(args.collection, encoding="utf-8") as handle:
+    if _bad_input_combo(args, "documents"):
+        return 2
+    filter_doc = json.loads(args.filter)
+    projection = json.loads(args.project) if args.project else None
+
+    if args.collection is not None:
+        from repro.query import compile_mongo_find, planner
+
+        corpus = _load_collection(args.collection)
+        query = compile_mongo_find(filter_doc, projection)
+        matched = planner.match_ids(corpus, query)
+        applied = query.projection
+        for doc_id in matched:
+            value = corpus.get(doc_id).to_value()
+            if applied is not None:
+                value = applied.apply_value(value)
+            print(f"{doc_id}\t{json.dumps(value)}")
+        return 0 if matched else 1
+
+    with open(args.documents, encoding="utf-8") as handle:
         documents = json.load(handle)
     if not isinstance(documents, list):
         raise ReproError("the collection file must hold a JSON array")
-    collection = Collection(documents)
-    filter_doc = json.loads(args.filter)
-    projection = json.loads(args.project) if args.project else None
+    # One query over a throwaway collection: building secondary indexes
+    # would cost more than the single scan they could save.
+    collection = Collection(documents, indexed=False)
     results = collection.find(filter_doc, projection)
     for result in results:
         print(json.dumps(result))

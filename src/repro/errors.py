@@ -94,3 +94,24 @@ class SolverLimitError(ReproError):
 
 class StreamingError(ReproError):
     """The streaming tokenizer or validator rejected its input."""
+
+
+class StoreError(ReproError):
+    """An operation on an indexed document collection failed."""
+
+
+class DocumentRejectedError(StoreError):
+    """A schema-enforced collection refused to ingest a document.
+
+    Raised by :meth:`repro.store.Collection.insert` (and the bulk
+    constructor path) when the collection's compiled validator rejects
+    the document; nothing is inserted and the indexes are untouched.
+    """
+
+    def __init__(self, position: int, message: str | None = None) -> None:
+        super().__init__(
+            message
+            or f"document at position {position} rejected by the "
+            "collection schema"
+        )
+        self.position = position

@@ -1,6 +1,15 @@
 """JSONPath compiled onto JNL (Section 4.1)."""
 
-from repro.jsonpath.engine import jsonpath_nodes, jsonpath_query
+from repro.jsonpath.engine import (
+    jsonpath_collection,
+    jsonpath_nodes,
+    jsonpath_query,
+)
 from repro.jsonpath.parser import parse_jsonpath
 
-__all__ = ["parse_jsonpath", "jsonpath_nodes", "jsonpath_query"]
+__all__ = [
+    "parse_jsonpath",
+    "jsonpath_nodes",
+    "jsonpath_query",
+    "jsonpath_collection",
+]

@@ -13,7 +13,12 @@ from __future__ import annotations
 from repro.model.tree import JSONTree, JSONValue
 from repro.query.compiled import DIALECT_JSONPATH, compile_query
 
-__all__ = ["jsonpath_nodes", "jsonpath_query", "compile_jsonpath"]
+__all__ = [
+    "jsonpath_nodes",
+    "jsonpath_query",
+    "jsonpath_collection",
+    "compile_jsonpath",
+]
 
 
 def compile_jsonpath(path_text: str):
@@ -29,3 +34,18 @@ def jsonpath_nodes(tree: JSONTree, path_text: str) -> list[int]:
 def jsonpath_query(tree: JSONTree, path_text: str) -> list[JSONValue]:
     """Subdocuments selected by a JSONPath query, in document order."""
     return compile_jsonpath(path_text).values(tree)
+
+
+def jsonpath_collection(
+    collection, path_text: str
+) -> list[tuple[int, list[JSONValue]]]:
+    """Per-document JSONPath results over a :class:`repro.store.Collection`.
+
+    Routed through the planner: the path's sargable prefix prunes
+    candidate documents via the collection's indexes, and only the
+    survivors run the compiled selection.  Returns one
+    ``(doc_id, values)`` row per live document (empty list = no match).
+    """
+    from repro.query import planner
+
+    return planner.select_values(collection, compile_jsonpath(path_text))

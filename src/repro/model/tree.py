@@ -139,7 +139,11 @@ class JSONTree:
 
     @classmethod
     def from_values(
-        cls, values: Iterable[JSONValue], *, extended: bool = False
+        cls,
+        values: Iterable[JSONValue],
+        *,
+        extended: bool = False,
+        interned: dict[str, str] | None = None,
     ) -> list["JSONTree"]:
         """Batch ingestion: one tree per value, with shared interning.
 
@@ -148,11 +152,16 @@ class JSONTree:
         table stores a single ``str`` object per distinct key/atom, so
         a corpus costs memory proportional to its *distinct* strings
         and the per-tree key dictionaries hit CPython's identity fast
-        path on lookup.  Used by :func:`repro.validate.validate_corpus`
-        and the validation benchmarks.
+        path on lookup.  Used by :func:`repro.validate.validate_corpus`,
+        the validation benchmarks and the document store.
+
+        ``interned`` lets a long-lived owner (a
+        :class:`repro.store.Collection`) pass its own table so interning
+        extends *across* batches: documents inserted later share the
+        keys of everything ingested before them.
         """
-        interned: dict[str, str] = {}
-        return [cls._from_value(value, extended, interned) for value in values]
+        table: dict[str, str] = {} if interned is None else interned
+        return [cls._from_value(value, extended, table) for value in values]
 
     @classmethod
     def _from_value(
@@ -193,15 +202,16 @@ class JSONTree:
                 tree._values[node] = val
         return tree
 
-    @classmethod
-    def from_json(cls, text: str, *, extended: bool = False) -> "JSONTree":
-        """Parse JSON text into a tree.
+    @staticmethod
+    def value_from_json(text: str) -> JSONValue:
+        """Parse JSON text into a Python value, with the strict checks.
 
         Duplicate keys inside one object raise :class:`DuplicateKeyError`
         (Python's ``json`` silently keeps the last one, which would hide
-        violations of the paper's determinism condition).  Floats are
-        rejected; ``true``/``false``/``null`` are rejected unless
-        ``extended=True``.
+        violations of the paper's determinism condition); floats are
+        rejected outright.  Used by :meth:`from_json` and by batch
+        ingestion paths that want strict parsing *before* interned tree
+        construction (:meth:`repro.store.Collection.from_json_lines`).
         """
 
         def pairs_hook(pairs: list[tuple[str, Any]]) -> dict[str, Any]:
@@ -218,12 +228,19 @@ class JSONTree:
             )
 
         try:
-            value = _json.loads(
+            return _json.loads(
                 text, object_pairs_hook=pairs_hook, parse_float=reject_float
             )
         except _json.JSONDecodeError as exc:
             raise ModelError(f"invalid JSON text: {exc}") from exc
-        return cls.from_value(value, extended=extended)
+
+    @classmethod
+    def from_json(cls, text: str, *, extended: bool = False) -> "JSONTree":
+        """Parse JSON text into a tree (strict: see :meth:`value_from_json`).
+
+        ``true``/``false``/``null`` are rejected unless ``extended=True``.
+        """
+        return cls.from_value(cls.value_from_json(text), extended=extended)
 
     # ------------------------------------------------------------------
     # Node inspection.

@@ -19,7 +19,7 @@ Dotted paths navigate keys; an all-digit segment is an array index
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any
 
 from repro.automata.keylang import KeyLang
 from repro.errors import ParseError
@@ -27,6 +27,7 @@ from repro.jnl import ast as jnl
 from repro.jnl import builder as q
 from repro.logic import nodetests as nt
 from repro.model.tree import JSONTree, JSONValue
+from repro.store.collection import Collection as _StoreCollection
 
 __all__ = ["compile_filter", "Collection"]
 
@@ -183,51 +184,18 @@ def compile_filter(filter_doc: dict[str, Any]) -> jnl.Unary:
     return q.conj(parts)
 
 
-class Collection:
-    """A queryable collection of JSON documents.
+class Collection(_StoreCollection):
+    """A queryable collection of JSON documents (the Mongo-facing view).
 
-    Queries go through the compiled-query subsystem
-    (:mod:`repro.query`): the filter is compiled to a plan once (and
-    cached process-wide, keyed on its canonical JSON text), then batch-
-    evaluated over the collection, so a repeated ``find`` pays only the
-    per-document Proposition-1 reachability.
+    Since the store refactor this is the indexed
+    :class:`repro.store.Collection`: filters compile once through the
+    shared logical-plan IR (cached process-wide, keyed on canonical
+    JSON text), the planner prunes candidate documents via the
+    secondary indexes, and only the survivors pay the per-document
+    Proposition-1 reachability.  The class is kept as a thin alias so
+    Mongo-flavoured call sites read naturally.
 
     >>> people = Collection([{"name": "Sue"}, {"name": "Bob"}])
     >>> people.find({"name": {"$eq": "Sue"}})
     [{'name': 'Sue'}]
     """
-
-    def __init__(self, documents: Iterable[JSONValue]) -> None:
-        self.trees = [
-            doc if isinstance(doc, JSONTree) else JSONTree.from_value(doc)
-            for doc in documents
-        ]
-
-    def find(
-        self,
-        filter_doc: dict[str, Any],
-        projection: dict[str, Any] | None = None,
-    ) -> list[JSONValue]:
-        """MongoDB's ``db.collection.find(filter, projection)``.
-
-        The optional second argument is the Section-6 projection (a
-        JSON-to-JSON transformation); see
-        :class:`repro.mongo.projection.Projection`.
-        """
-        from repro.query.batch import filter_many
-        from repro.query.compiled import compile_mongo_find
-
-        return filter_many(compile_mongo_find(filter_doc, projection), self.trees)
-
-    def count(self, filter_doc: dict[str, Any]) -> int:
-        from repro.query.batch import match_many
-        from repro.query.compiled import compile_mongo_find
-
-        return sum(match_many(compile_mongo_find(filter_doc), self.trees))
-
-    def find_trees(self, filter_doc: dict[str, Any]) -> list[JSONTree]:
-        from repro.query.batch import match_many
-        from repro.query.compiled import compile_mongo_find
-
-        flags = match_many(compile_mongo_find(filter_doc), self.trees)
-        return [tree for tree, keep in zip(self.trees, flags) if keep]

@@ -2,16 +2,32 @@
 
 The compile-once / run-many subsystem behind every front-end:
 
+* :mod:`~repro.query.ir` -- the shared logical-plan IR the JSONPath,
+  Mongo-find and JNL front-ends all lower into;
 * :class:`~repro.query.compiled.CompiledQuery` -- a reusable plan
-  holding the parsed AST and its path automata;
+  holding the parsed AST, its logical plan and its path automata;
 * :func:`~repro.query.compiled.compile_query` /
   :func:`~repro.query.compiled.compile_mongo_find` -- cached compilers
   for the JNL, JSONPath and Mongo-find dialects;
-* :mod:`~repro.query.batch` -- one plan over many trees, or many plans
-  over one tree with a shared traversal;
-* :mod:`~repro.query.cache` -- the instrumented LRU compile cache.
+* :mod:`~repro.query.planner` -- index-backed pruning of collection
+  queries down to the documents that can possibly match;
+* :mod:`~repro.query.batch` -- one plan over many trees (or an indexed
+  collection), or many plans over one tree with a shared traversal.
+
+The compile cache lives in :mod:`repro.cache` (the process-wide
+artifact cache); the ``query_cache*`` names below are kept as aliases
+(their old home, :mod:`repro.query.cache`, is deprecated).
 """
 
+from repro.cache import (
+    DEFAULT_CAPACITY,
+    CacheStats,
+    LRUCache,
+    artifact_cache as query_cache,
+    artifact_cache_stats as query_cache_stats,
+    clear_artifact_cache as clear_query_cache,
+    configure_artifact_cache as configure_query_cache,
+)
 from repro.query.batch import (
     evaluate_many,
     evaluate_queries,
@@ -19,15 +35,6 @@ from repro.query.batch import (
     match_many,
     select_many,
     select_queries,
-)
-from repro.query.cache import (
-    DEFAULT_CAPACITY,
-    CacheStats,
-    LRUCache,
-    clear_query_cache,
-    configure_query_cache,
-    query_cache,
-    query_cache_stats,
 )
 from repro.query.compiled import (
     DIALECTS,
@@ -37,9 +44,13 @@ from repro.query.compiled import (
     compile_path_query,
     compile_query,
 )
+from repro.query.ir import LogicalPlan
+from repro.query.planner import PlanExplain
 
 __all__ = [
     "CompiledQuery",
+    "LogicalPlan",
+    "PlanExplain",
     "DIALECTS",
     "compile_query",
     "compile_formula",

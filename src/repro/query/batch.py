@@ -17,6 +17,14 @@ No evaluation state survives a batch call: results are recomputed from
 the trees passed in, so mutated or rebuilt documents can never yield
 stale answers (the compile cache only ever stores tree-independent
 plans).
+
+Since the store refactor, every one-plan/many-trees function also
+accepts an indexed :class:`repro.store.Collection` in place of the
+tree iterable: the call is then routed through the planner
+(:mod:`repro.query.planner`), which prunes candidate documents via the
+collection's secondary indexes before falling back to the per-tree
+compiled evaluation below -- same results, aligned with the
+collection's live-document order.
 """
 
 from __future__ import annotations
@@ -26,6 +34,14 @@ from typing import Iterable, Sequence
 from repro.jnl.efficient import JNLEvaluator
 from repro.model.tree import JSONTree, JSONValue
 from repro.query.compiled import CompiledQuery
+
+
+def _as_collection(trees: object):
+    """The store Collection behind ``trees``, if it is one (lazy import:
+    the store builds on this module, not vice versa)."""
+    from repro.store.collection import Collection
+
+    return trees if isinstance(trees, Collection) else None
 
 __all__ = [
     "select_many",
@@ -43,28 +59,52 @@ __all__ = [
 
 
 def select_many(
-    query: CompiledQuery, trees: Iterable[JSONTree]
+    query: CompiledQuery, trees: "Iterable[JSONTree]"
 ) -> list[list[int]]:
     """Per-tree document-order node ids selected by ``query``."""
+    collection = _as_collection(trees)
+    if collection is not None:
+        from repro.query import planner
+
+        return [nodes for _, nodes in planner.select_nodes(collection, query)]
     return [query.select(tree) for tree in trees]
 
 
 def evaluate_many(
-    query: CompiledQuery, trees: Iterable[JSONTree]
+    query: CompiledQuery, trees: "Iterable[JSONTree]"
 ) -> list[list[JSONValue]]:
     """Per-tree document-order subdocuments selected by ``query``."""
+    collection = _as_collection(trees)
+    if collection is not None:
+        from repro.query import planner
+
+        return [
+            values for _, values in planner.select_values(collection, query)
+        ]
     return [query.values(tree) for tree in trees]
 
 
-def match_many(query: CompiledQuery, trees: Iterable[JSONTree]) -> list[bool]:
+def match_many(
+    query: CompiledQuery, trees: "Iterable[JSONTree]"
+) -> list[bool]:
     """Per-tree root-match verdicts (the collection-scan predicate)."""
+    collection = _as_collection(trees)
+    if collection is not None:
+        from repro.query import planner
+
+        return planner.match_flags(collection, query)
     return [query.matches(tree) for tree in trees]
 
 
 def filter_many(
-    query: CompiledQuery, trees: Iterable[JSONTree]
+    query: CompiledQuery, trees: "Iterable[JSONTree]"
 ) -> list[JSONValue]:
     """Mongo ``find`` over a collection: the (projected) matching docs."""
+    collection = _as_collection(trees)
+    if collection is not None:
+        from repro.query import planner
+
+        return planner.find_documents(collection, query)
     results: list[JSONValue] = []
     for tree in trees:
         value = query.apply(tree)

@@ -1,14 +1,23 @@
-"""Query-facing view of the shared compiled-artifact cache.
+"""Deprecated query-facing view of the shared compiled-artifact cache.
 
 PR 1 introduced this module as the compiled-query subsystem's private
 LRU; the compiled-validation subsystem generalised it into the
 process-wide artifact cache of :mod:`repro.cache`, shared by query
-plans *and* validators with unified hit/miss/eviction stats.  This
-module re-exports the cache machinery under its original names so the
-query API is unchanged: :func:`query_cache` *is* the artifact cache.
+plans, validators *and* logical plans, with unified hit/miss/eviction
+stats.  This shim re-exports the cache machinery under its original
+names only for backwards compatibility.
+
+.. deprecated:: 1.3
+   Import from :mod:`repro.cache` instead (``artifact_cache``,
+   ``artifact_cache_stats``, ``clear_artifact_cache``,
+   ``configure_artifact_cache``, ``LRUCache``, ``CacheStats``,
+   ``DEFAULT_CAPACITY``).  The aliases here will be removed in a
+   future release.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.cache import (
     DEFAULT_CAPACITY,
@@ -29,3 +38,11 @@ __all__ = [
     "clear_query_cache",
     "configure_query_cache",
 ]
+
+warnings.warn(
+    "repro.query.cache is deprecated; import the artifact cache from "
+    "repro.cache instead (query_cache -> artifact_cache, "
+    "query_cache_stats -> artifact_cache_stats, ...)",
+    DeprecationWarning,
+    stacklevel=2,
+)

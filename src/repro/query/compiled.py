@@ -6,7 +6,10 @@ over millions of documents pays parsing and automaton construction only
 once.  A :class:`CompiledQuery` captures exactly the reusable,
 tree-independent part of a query:
 
-* the parsed JNL AST (a unary *filter* or a binary *selector* path);
+* the shared logical-plan IR (:mod:`repro.query.ir`) every front-end
+  lowers into -- carrying the parsed JNL AST (a unary *filter* or a
+  binary *selector* path) plus the sargable predicates the collection
+  planner prunes with;
 * the path automata of every ``[alpha]`` / ``EQ(alpha, .)`` subformula,
   built eagerly by the same Thompson construction the evaluator uses
   (:mod:`repro.jnl.paths`);
@@ -19,8 +22,8 @@ documents, threads and mutations.
 Three surface dialects compile to plans: JNL text (``jnl`` for unary
 formulas, ``jnl-path`` for paths), JSONPath (``jsonpath``) and MongoDB
 find filters (:func:`compile_mongo_find`).  The module-level entry
-points consult the process-wide LRU cache of :mod:`repro.query.cache`
-keyed on ``(dialect, canonical query text)``.
+points consult the process-wide LRU cache of :mod:`repro.cache` keyed
+on ``(dialect, canonical query text)``.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import TYPE_CHECKING, Any
 from repro.cache import USE_DEFAULT_CACHE, resolve_cache
 from repro.errors import ParseError
 from repro.jnl import ast as jnl
+from repro.query import ir
 from repro.jnl.efficient import JNLEvaluator
 from repro.jnl.paths import PathAutomaton, compile_path
 from repro.model.tree import JSONTree, JSONValue
@@ -89,7 +93,15 @@ class CompiledQuery:
     processes matched documents (Mongo find's second argument).
     """
 
-    __slots__ = ("dialect", "source", "formula", "path", "projection", "automata")
+    __slots__ = (
+        "dialect",
+        "source",
+        "formula",
+        "path",
+        "_plan",
+        "projection",
+        "automata",
+    )
 
     def __init__(
         self,
@@ -106,6 +118,7 @@ class CompiledQuery:
         self.source = source
         self.formula = formula
         self.path = path
+        self._plan: ir.LogicalPlan | None = None
         self.projection = projection
         # Eagerly build every path automaton the evaluator needs, so no
         # per-evaluation call ever pays the Thompson construction.
@@ -113,6 +126,22 @@ class CompiledQuery:
         for subpath in _collect_paths(formula if formula is not None else path):
             if subpath not in self.automata:
                 self.automata[subpath] = compile_path(subpath)
+
+    @property
+    def plan(self) -> ir.LogicalPlan:
+        """The shared logical-plan IR this query lowers into.
+
+        Lowered lazily on first use (only collection-level execution
+        needs it; per-tree evaluation reads the payload directly) and
+        registered in the process-wide artifact cache keyed on the AST,
+        so structurally equal queries compiled through any front-end
+        share one plan.
+        """
+        plan = self._plan
+        if plan is None:
+            plan = ir.plan_for(formula=self.formula, path=self.path)
+            self._plan = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Evaluation.
@@ -250,7 +279,7 @@ def compile_query(
     ``dialect`` is ``"jnl"`` (unary formula), ``"jnl-path"`` (binary
     path) or ``"jsonpath"``.  Pass ``cache=None`` to force a fresh,
     uncached compilation (the old one-shot behaviour), or an explicit
-    :class:`~repro.query.cache.LRUCache` to use a private cache.
+    :class:`~repro.cache.LRUCache` to use a private cache.
     """
     resolved = _resolve_cache(cache)
     if resolved is None:

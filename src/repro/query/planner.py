@@ -1,0 +1,254 @@
+"""The collection query planner: prune via indexes, evaluate survivors.
+
+The execution model for a query over an indexed collection
+(:class:`repro.store.Collection`) has three stages:
+
+1. **Plan** -- the front-end's compiled query carries a
+   :class:`~repro.query.ir.LogicalPlan` whose predicates are necessary
+   conditions for a match (sargable path/value/kind/key facts);
+2. **Prune** -- :func:`candidate_ids` folds the predicate tree over
+   the collection's secondary indexes: leaves look up postings,
+   conjunctions intersect (smallest first), disjunctions union, and
+   anything unindexable dissolves to "all documents";
+3. **Scan survivors** -- the PR-1 compiled per-tree evaluation
+   (``matches``/``select``/``apply``) runs on the candidates only, in
+   document-id order, so results are *identical* to a full scan -- the
+   indexes never decide a match, they only skip documents that provably
+   cannot match.
+
+Candidates are recomputed from the live indexes on every call (plans
+are tree-independent and cached process-wide; candidate sets never
+are), so a mutated collection can never serve stale answers.
+
+The module is deliberately ignorant of :mod:`repro.store` internals:
+anything with ``indexes``/``documents()``/``version`` duck-types as a
+collection, which keeps the import graph acyclic (store builds on the
+planner, not vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.model.tree import JSONTree, JSONValue
+from repro.query import ir
+from repro.query.compiled import CompiledQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.store.collection import Collection
+    from repro.store.indexes import DocumentIndexes
+
+__all__ = [
+    "PlanExplain",
+    "candidate_ids",
+    "match_ids",
+    "match_flags",
+    "count_matches",
+    "find_documents",
+    "select_nodes",
+    "select_values",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class PlanExplain:
+    """What the planner did for one query over one collection."""
+
+    dialect: str
+    source: str
+    total: int
+    candidates: int | None  # None = unindexable, full scan
+    scanned: int
+    matched: int
+
+    @property
+    def pruned(self) -> int:
+        return self.total - self.scanned
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: predicate -> candidate document ids.
+# ---------------------------------------------------------------------------
+
+
+def candidate_ids(
+    predicate: ir.Pred, indexes: "DocumentIndexes"
+) -> set[int] | None:
+    """Documents possibly satisfying ``predicate``; ``None`` = all.
+
+    Sound by construction: the returned set is a superset of the
+    documents where the predicate holds, hence (the predicate being a
+    necessary condition) of the documents the query matches.
+    """
+    if isinstance(predicate, ir.TruePred):
+        return None
+    if isinstance(predicate, ir.AndPred):
+        narrowed = [
+            sets
+            for part in predicate.parts
+            if (sets := candidate_ids(part, indexes)) is not None
+        ]
+        if not narrowed:
+            return None
+        narrowed.sort(key=len)
+        result = set(narrowed[0])
+        for other in narrowed[1:]:
+            result &= other
+            if not result:
+                break
+        return result
+    if isinstance(predicate, ir.OrPred):
+        result: set[int] = set()
+        for part in predicate.parts:
+            sets = candidate_ids(part, indexes)
+            if sets is None:
+                return None
+            result |= sets
+        return result
+    if isinstance(predicate, ir.PathExists):
+        return set(indexes.docs_with_path(predicate.path))
+    if isinstance(predicate, ir.PathEq):
+        return set(indexes.docs_with_value(predicate.path, predicate.value))
+    if isinstance(predicate, ir.PathKind):
+        return set(indexes.docs_with_kind(predicate.path, predicate.kind))
+    if isinstance(predicate, ir.PathRange):
+        return indexes.docs_in_range(
+            predicate.path, predicate.low, predicate.high
+        )
+    if isinstance(predicate, ir.HasKey):
+        return set(indexes.docs_with_key(predicate.key))
+    if isinstance(predicate, ir.TailEq):
+        return set(indexes.docs_with_tail_value(predicate.key, predicate.value))
+    if isinstance(predicate, ir.AnyEq):
+        return set(indexes.docs_with_any_value(predicate.value))
+    return None  # Unknown predicate: never prune on it.
+
+
+def _survivors(
+    collection: "Collection", predicate: ir.Pred
+) -> tuple[list[tuple[int, JSONTree]], int | None]:
+    """Live ``(doc_id, tree)`` pairs to scan, in document-id order."""
+    indexes = collection.indexes
+    candidates = None
+    if indexes is not None:
+        candidates = candidate_ids(predicate, indexes)
+    if candidates is None:
+        return list(collection.documents()), None
+    return (
+        [(doc_id, tree) for doc_id, tree in collection.documents()
+         if doc_id in candidates],
+        len(candidates),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: evaluate the compiled payload on the survivors.
+# ---------------------------------------------------------------------------
+
+
+def _matching(
+    collection: "Collection", query: CompiledQuery
+) -> Iterable[tuple[int, JSONTree]]:
+    survivors, _ = _survivors(collection, query.plan.match_predicate)
+    for doc_id, tree in survivors:
+        if query.matches(tree):
+            yield doc_id, tree
+
+
+def match_ids(collection: "Collection", query: CompiledQuery) -> list[int]:
+    """Ids of the documents the query matches (root match / non-empty
+    selection), in document-id order."""
+    return [doc_id for doc_id, _ in _matching(collection, query)]
+
+
+def match_flags(collection: "Collection", query: CompiledQuery) -> list[bool]:
+    """One verdict per live document, aligned with ``documents()`` order.
+
+    Pruned documents are reported ``False`` without being evaluated --
+    the planner's equivalent of :func:`repro.query.batch.match_many`.
+    """
+    matched = set(match_ids(collection, query))
+    return [doc_id in matched for doc_id, _ in collection.documents()]
+
+
+def count_matches(collection: "Collection", query: CompiledQuery) -> int:
+    return sum(1 for _ in _matching(collection, query))
+
+
+def find_documents(
+    collection: "Collection", query: CompiledQuery
+) -> list[JSONValue]:
+    """Mongo ``find`` over a collection: (projected) matching documents."""
+    results: list[JSONValue] = []
+    projection = query.projection
+    for _, tree in _matching(collection, query):
+        value = tree.to_value()
+        results.append(projection.apply_value(value) if projection else value)
+    return results
+
+
+def find_trees(
+    collection: "Collection", query: CompiledQuery
+) -> list[JSONTree]:
+    """The matching documents as trees (no projection applied)."""
+    return [tree for _, tree in _matching(collection, query)]
+
+
+def select_nodes(
+    collection: "Collection", query: CompiledQuery
+) -> list[tuple[int, list[int]]]:
+    """Per-document selected node ids, one row per live document.
+
+    Pruning uses the plan's *node* predicate for filter plans (a nested
+    node can satisfy a formula whose root-anchored condition fails) and
+    the root-anchored predicate for selector plans.  Pruned documents
+    get an empty selection without being evaluated.
+    """
+    predicate = (
+        query.plan.node_predicate
+        if query.plan.mode == ir.MODE_FILTER
+        else query.plan.match_predicate
+    )
+    survivors, _ = _survivors(collection, predicate)
+    surviving = {doc_id for doc_id, _ in survivors}
+    rows: list[tuple[int, list[int]]] = []
+    for doc_id, tree in collection.documents():
+        nodes = query.select(tree) if doc_id in surviving else []
+        rows.append((doc_id, nodes))
+    return rows
+
+
+def select_values(
+    collection: "Collection", query: CompiledQuery
+) -> list[tuple[int, list[JSONValue]]]:
+    """Like :func:`select_nodes` but materialising the subdocuments."""
+    rows: list[tuple[int, list[JSONValue]]] = []
+    for doc_id, nodes in select_nodes(collection, query):
+        if not nodes:
+            rows.append((doc_id, []))
+            continue
+        tree = collection.get(doc_id)
+        rows.append((doc_id, [tree.to_value(node) for node in nodes]))
+    return rows
+
+
+def explain(collection: "Collection", query: CompiledQuery) -> PlanExplain:
+    """Run the match pipeline, reporting pruning effectiveness."""
+    survivors, candidates = _survivors(
+        collection, query.plan.match_predicate
+    )
+    matched = sum(1 for _, tree in survivors if query.matches(tree))
+    return PlanExplain(
+        dialect=query.dialect,
+        source=query.source,
+        total=len(collection),
+        candidates=candidates,
+        scanned=len(survivors),
+        matched=matched,
+    )

@@ -1,0 +1,23 @@
+"""Indexed document collections: the store layer over the query stack.
+
+The architectural seam between one-tree evaluation and many-document
+serving::
+
+    front-ends (JSONPath / Mongo find / JNL)
+        |  lower into
+    logical-plan IR (repro.query.ir)
+        |  pruned by                 \\  evaluated by
+    secondary indexes (store.indexes)  compiled plans (repro.query)
+        |
+    Collection (store.collection): interned trees, incremental index
+    maintenance, schema enforcement on ingest, planner-routed queries
+
+* :class:`~repro.store.collection.Collection` -- the document store;
+* :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
+  key-presence postings with incremental maintenance.
+"""
+
+from repro.store.collection import Collection
+from repro.store.indexes import DocumentIndexes, IndexStats, index_entries
+
+__all__ = ["Collection", "DocumentIndexes", "IndexStats", "index_entries"]

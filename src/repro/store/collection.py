@@ -1,0 +1,283 @@
+"""An indexed collection of JSON trees: the document-store layer.
+
+A :class:`Collection` owns a set of documents (as
+:class:`~repro.model.tree.JSONTree` arenas built through one shared
+key/atom intern table), keeps the secondary indexes of
+:mod:`repro.store.indexes` consistent under insert/remove, optionally
+enforces a schema through the PR-2 compiled-validation pipeline
+(reject-on-insert), and answers queries from any front-end through the
+planner of :mod:`repro.query.planner`:
+
+>>> from repro.store import Collection
+>>> people = Collection([
+...     {"name": "Sue", "age": 35},
+...     {"name": "Bob", "age": 28},
+... ])
+>>> people.find({"name": "Sue"})
+[{'name': 'Sue', 'age': 35}]
+>>> [value for _, values in people.select("$.name") for value in values]
+['Sue', 'Bob']
+
+Documents get dense integer ids in insertion order; ids are never
+reused, so removed slots stay tombstoned and every query answers in
+id (= insertion) order.  Mutations bump :attr:`version` -- and because
+cached plans are tree-independent while candidates are recomputed from
+the live indexes per call, a mutated collection can never serve stale
+answers.
+"""
+
+from __future__ import annotations
+
+import json as _json
+from typing import Any, Iterable, Iterator
+
+from repro.errors import DocumentRejectedError, StoreError
+from repro.model.tree import JSONTree, JSONValue
+from repro.query import planner
+from repro.query.compiled import (
+    CompiledQuery,
+    compile_mongo_find,
+    compile_query,
+)
+from repro.store.indexes import DocumentIndexes, IndexStats
+from repro.validate.bulk import validate_corpus
+from repro.validate.compiled import CompiledValidator, compile_schema_validator
+
+__all__ = ["Collection"]
+
+
+def _compile_schema(schema: Any) -> CompiledValidator:
+    from repro.schema.parser import parse_schema
+
+    return compile_schema_validator(parse_schema(schema))
+
+
+class Collection:
+    """A queryable, indexed, optionally schema-enforced document set.
+
+    ``documents`` may mix Python values and prebuilt trees.  ``schema``
+    (a JSON Schema as dict/text) or ``validator`` (a prebuilt
+    :class:`~repro.validate.compiled.CompiledValidator`) switches on
+    ingestion-time validation: invalid documents raise
+    :class:`~repro.errors.DocumentRejectedError` and nothing of the
+    offending batch is inserted.  ``indexed=False`` keeps the same API
+    but skips index maintenance -- every query falls back to the
+    compiled full scan.
+    """
+
+    __slots__ = ("_trees", "_alive", "_interned", "_indexes", "_validator",
+                 "_extended", "_version")
+
+    def __init__(
+        self,
+        documents: Iterable["JSONTree | JSONValue"] = (),
+        *,
+        schema: Any | None = None,
+        validator: CompiledValidator | None = None,
+        extended: bool = False,
+        indexed: bool = True,
+    ) -> None:
+        if schema is not None and validator is not None:
+            raise StoreError("pass either schema or validator, not both")
+        self._trees: list[JSONTree | None] = []
+        self._alive = 0
+        self._interned: dict[str, str] = {}
+        self._indexes: DocumentIndexes | None = (
+            DocumentIndexes() if indexed else None
+        )
+        self._validator = (
+            _compile_schema(schema) if schema is not None else validator
+        )
+        self._extended = extended
+        self._version = 0
+        self.insert_many(documents)
+
+    # ------------------------------------------------------------------
+    # Ingestion and removal.
+    # ------------------------------------------------------------------
+
+    def _materialise(
+        self, documents: Iterable["JSONTree | JSONValue"]
+    ) -> list[JSONTree]:
+        """Values -> trees through the collection's shared intern table."""
+        items = list(documents)
+        built = iter(
+            JSONTree.from_values(
+                [doc for doc in items if not isinstance(doc, JSONTree)],
+                extended=self._extended,
+                interned=self._interned,
+            )
+        )
+        return [doc if isinstance(doc, JSONTree) else next(built)
+                for doc in items]
+
+    def insert_many(
+        self, documents: Iterable["JSONTree | JSONValue"]
+    ) -> list[int]:
+        """Ingest a batch atomically; returns the new document ids.
+
+        With schema enforcement on, the whole batch is validated
+        through the bulk pipeline (early exit on the first offender)
+        *before* anything is inserted, so a rejection leaves the
+        collection and its indexes untouched.
+        """
+        trees = self._materialise(documents)
+        if self._validator is not None and trees:
+            report = validate_corpus(self._validator, trees, early_exit=True)
+            if not report.all_valid:
+                assert report.first_invalid is not None
+                raise DocumentRejectedError(report.first_invalid)
+        ids: list[int] = []
+        for tree in trees:
+            doc_id = len(self._trees)
+            self._trees.append(tree)
+            self._alive += 1
+            if self._indexes is not None:
+                self._indexes.add(doc_id, tree)
+            ids.append(doc_id)
+        if trees:
+            self._version += 1
+        return ids
+
+    def insert(self, document: "JSONTree | JSONValue") -> int:
+        """Ingest one document (validated when the collection has a
+        schema); returns its id."""
+        return self.insert_many([document])[0]
+
+    def remove(self, doc_id: int) -> JSONTree:
+        """Remove a document by id, unwinding its index postings."""
+        tree = self.get(doc_id)
+        self._trees[doc_id] = None
+        self._alive -= 1
+        if self._indexes is not None:
+            self._indexes.remove(doc_id, tree)
+        self._version += 1
+        return tree
+
+    # ------------------------------------------------------------------
+    # Inspection.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._alive
+
+    def __contains__(self, doc_id: int) -> bool:
+        return 0 <= doc_id < len(self._trees) and self._trees[doc_id] is not None
+
+    def get(self, doc_id: int) -> JSONTree:
+        if not isinstance(doc_id, int) or not 0 <= doc_id < len(self._trees):
+            raise StoreError(f"unknown document id {doc_id}")
+        tree = self._trees[doc_id]
+        if tree is None:
+            raise StoreError(f"document {doc_id} was removed")
+        return tree
+
+    def doc_ids(self) -> list[int]:
+        return [i for i, tree in enumerate(self._trees) if tree is not None]
+
+    def documents(self) -> Iterator[tuple[int, JSONTree]]:
+        """Live ``(doc_id, tree)`` pairs in id (= insertion) order."""
+        for doc_id, tree in enumerate(self._trees):
+            if tree is not None:
+                yield doc_id, tree
+
+    @property
+    def trees(self) -> list[JSONTree]:
+        """The live trees in id order (the PR-1 batch-API view)."""
+        return [tree for _, tree in self.documents()]
+
+    @property
+    def indexes(self) -> DocumentIndexes | None:
+        return self._indexes
+
+    @property
+    def version(self) -> int:
+        """Bumped on every mutation (insert batch / remove)."""
+        return self._version
+
+    @property
+    def schema_enforced(self) -> bool:
+        return self._validator is not None
+
+    def index_stats(self) -> IndexStats | None:
+        return self._indexes.stats() if self._indexes is not None else None
+
+    def interned_strings(self) -> int:
+        """Distinct keys/atoms in the shared intern table."""
+        return len(self._interned)
+
+    # ------------------------------------------------------------------
+    # Querying (all routes go through the planner).
+    # ------------------------------------------------------------------
+
+    def find(
+        self,
+        filter_doc: dict[str, Any],
+        projection: dict[str, Any] | None = None,
+    ) -> list[JSONValue]:
+        """MongoDB's ``db.collection.find(filter, projection)``."""
+        return planner.find_documents(
+            self, compile_mongo_find(filter_doc, projection)
+        )
+
+    def find_trees(self, filter_doc: dict[str, Any]) -> list[JSONTree]:
+        return planner.find_trees(self, compile_mongo_find(filter_doc))
+
+    def count(self, filter_doc: dict[str, Any]) -> int:
+        return planner.count_matches(self, compile_mongo_find(filter_doc))
+
+    def match_ids(self, query: "CompiledQuery | str", dialect: str = "jnl") -> list[int]:
+        """Ids of documents matched by a compiled or textual query."""
+        return planner.match_ids(self, self._as_query(query, dialect))
+
+    def select(
+        self, query: "CompiledQuery | str", dialect: str = "jsonpath"
+    ) -> list[tuple[int, list[JSONValue]]]:
+        """Per-document selected values (one row per live document)."""
+        return planner.select_values(self, self._as_query(query, dialect))
+
+    def explain(
+        self, query: "CompiledQuery | str | dict", dialect: str = "jsonpath"
+    ) -> planner.PlanExplain:
+        """Pruning report for a query (dicts compile as Mongo filters)."""
+        if isinstance(query, dict):
+            return planner.explain(self, compile_mongo_find(query))
+        return planner.explain(self, self._as_query(query, dialect))
+
+    @staticmethod
+    def _as_query(query: "CompiledQuery | str", dialect: str) -> CompiledQuery:
+        if isinstance(query, CompiledQuery):
+            return query
+        return compile_query(query, dialect)
+
+    def __repr__(self) -> str:
+        enforced = ", schema-enforced" if self.schema_enforced else ""
+        indexed = "indexed" if self._indexes is not None else "unindexed"
+        return (
+            f"Collection({self._alive} documents, {indexed}{enforced}, "
+            f"v{self._version})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation helpers (the CLI's JSON-lines corpus format).
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_json_lines(
+        cls, text: str, *, strict: bool = True, **kwargs: Any
+    ) -> "Collection":
+        """Build a collection from JSON-lines text (one doc per line).
+
+        ``strict`` (the default) parses lines through
+        :meth:`JSONTree.value_from_json` -- duplicate keys and floats
+        rejected, like every other ingestion path; ``strict=False``
+        falls back to plain ``json.loads``.  Either way the documents
+        are materialised through the collection's shared intern table.
+        """
+        loads = JSONTree.value_from_json if strict else _json.loads
+        documents = [
+            loads(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        return cls(documents, **kwargs)

@@ -1,0 +1,255 @@
+"""Secondary indexes over a collection of JSON trees.
+
+The planner's pruning questions (:mod:`repro.query.ir`) are all phrased
+over *stripped key paths* -- the object keys along a root-to-node walk
+with array positions dropped -- so one walk per document feeds five
+posting tables:
+
+* ``paths``    -- stripped path        -> documents with a node there;
+* ``eq``       -- stripped path        -> leaf value -> documents;
+* ``kinds``    -- stripped path        -> node kind  -> documents;
+* ``keys``     -- object key           -> documents using it anywhere
+  (the key-presence index over the automata alphabet, what unanchored
+  axes like ``$..author`` prune with);
+* ``tails``    -- innermost key        -> leaf value -> documents
+  (what floating equality tests like ``[?(@.age == 5)]`` prune with);
+* ``values``   -- leaf value           -> documents containing it
+  (the anywhere-equality fallback for wildcard/descendant contexts).
+
+Maintenance is incremental: :meth:`DocumentIndexes.add` unions a
+document's entry set into the postings, :meth:`DocumentIndexes.remove`
+re-derives the same entry set from the stored tree and discards the
+document id, deleting postings that empty out -- so after any
+insert/remove sequence the tables equal a from-scratch rebuild over the
+live documents (pinned by ``tests/test_store.py``).
+
+Postings are sets of document ids.  All lookups return live sets;
+callers (the planner) must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.tree import JSONTree, Kind
+from repro.query.ir import KeyPath
+
+__all__ = ["IndexEntries", "IndexStats", "DocumentIndexes", "index_entries"]
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class IndexEntries:
+    """The index-entry set one document contributes (deduplicated)."""
+
+    paths: frozenset[KeyPath]
+    leaves: frozenset[tuple[KeyPath, str | int]]
+    kinds: frozenset[tuple[KeyPath, Kind]]
+    keys: frozenset[str]
+    tails: frozenset[tuple[str, str | int]]
+
+
+def index_entries(tree: JSONTree) -> IndexEntries:
+    """One top-down walk computing every posting the tree belongs in."""
+    node_kinds = tree.node_kinds()
+    labels = tree.node_labels()
+    parents = tree.node_parents()
+    values = tree.node_values()
+    # Stripped path per node; parents precede children in id order.
+    path_of: list[KeyPath] = [()] * len(node_kinds)
+    paths: set[KeyPath] = set()
+    leaves: set[tuple[KeyPath, str | int]] = set()
+    kinds: set[tuple[KeyPath, Kind]] = set()
+    keys: set[str] = set()
+    tails: set[tuple[str, str | int]] = set()
+    for node, kind in enumerate(node_kinds):
+        if node:
+            label = labels[node]
+            path = path_of[parents[node]]
+            if isinstance(label, str):
+                path = path + (label,)
+                keys.add(label)
+            path_of[node] = path
+        else:
+            path = ()
+        paths.add(path)
+        kinds.add((path, kind))
+        value = values[node]
+        if value is not None:
+            leaves.add((path, value))
+            if path:
+                tails.add((path[-1], value))
+    return IndexEntries(
+        frozenset(paths),
+        frozenset(leaves),
+        frozenset(kinds),
+        frozenset(keys),
+        frozenset(tails),
+    )
+
+
+@dataclass
+class IndexStats:
+    """Size counters for introspection, tests and benchmarks."""
+
+    documents: int
+    paths: int
+    eq_entries: int
+    kind_entries: int
+    keys: int
+    tail_entries: int
+    values: int
+
+
+class DocumentIndexes:
+    """Incrementally maintained postings over a document collection."""
+
+    __slots__ = ("_paths", "_eq", "_kinds", "_keys", "_tails", "_values",
+                 "_documents")
+
+    def __init__(self) -> None:
+        self._paths: dict[KeyPath, set[int]] = {}
+        self._eq: dict[KeyPath, dict[str | int, set[int]]] = {}
+        self._kinds: dict[KeyPath, dict[Kind, set[int]]] = {}
+        self._keys: dict[str, set[int]] = {}
+        self._tails: dict[str, dict[str | int, set[int]]] = {}
+        self._values: dict[str | int, set[int]] = {}
+        self._documents = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+
+    def add(self, doc_id: int, tree: JSONTree) -> None:
+        entries = index_entries(tree)
+        for path in entries.paths:
+            self._paths.setdefault(path, set()).add(doc_id)
+        for path, value in entries.leaves:
+            self._eq.setdefault(path, {}).setdefault(value, set()).add(doc_id)
+            self._values.setdefault(value, set()).add(doc_id)
+        for path, kind in entries.kinds:
+            self._kinds.setdefault(path, {}).setdefault(kind, set()).add(doc_id)
+        for key in entries.keys:
+            self._keys.setdefault(key, set()).add(doc_id)
+        for key, value in entries.tails:
+            self._tails.setdefault(key, {}).setdefault(value, set()).add(doc_id)
+        self._documents += 1
+
+    def remove(self, doc_id: int, tree: JSONTree) -> None:
+        """Discard a document's postings (``tree`` as it was indexed)."""
+        entries = index_entries(tree)
+        for path in entries.paths:
+            self._discard(self._paths, path, doc_id)
+        for path, value in entries.leaves:
+            self._discard_nested(self._eq, path, value, doc_id)
+        for value in {value for _, value in entries.leaves}:
+            self._discard(self._values, value, doc_id)
+        for path, kind in entries.kinds:
+            self._discard_nested(self._kinds, path, kind, doc_id)
+        for key in entries.keys:
+            self._discard(self._keys, key, doc_id)
+        for key, value in entries.tails:
+            self._discard_nested(self._tails, key, value, doc_id)
+        self._documents -= 1
+
+    @staticmethod
+    def _discard(table: dict, key, doc_id: int) -> None:
+        postings = table.get(key)
+        if postings is not None:
+            postings.discard(doc_id)
+            if not postings:
+                del table[key]
+
+    @staticmethod
+    def _discard_nested(table: dict, outer, inner, doc_id: int) -> None:
+        nested = table.get(outer)
+        if nested is None:
+            return
+        postings = nested.get(inner)
+        if postings is not None:
+            postings.discard(doc_id)
+            if not postings:
+                del nested[inner]
+        if not nested:
+            del table[outer]
+
+    # ------------------------------------------------------------------
+    # Lookups (read-only sets; callers must not mutate).
+    # ------------------------------------------------------------------
+
+    def docs_with_path(self, path: KeyPath) -> Iterable[int]:
+        return self._paths.get(path, _EMPTY)
+
+    def docs_with_value(self, path: KeyPath, value: str | int) -> Iterable[int]:
+        return self._eq.get(path, {}).get(value, _EMPTY)
+
+    def docs_with_kind(self, path: KeyPath, kind: Kind) -> Iterable[int]:
+        return self._kinds.get(path, {}).get(kind, _EMPTY)
+
+    def docs_with_key(self, key: str) -> Iterable[int]:
+        return self._keys.get(key, _EMPTY)
+
+    def docs_with_tail_value(self, key: str, value: str | int) -> Iterable[int]:
+        return self._tails.get(key, {}).get(value, _EMPTY)
+
+    def docs_with_any_value(self, value: str | int) -> Iterable[int]:
+        return self._values.get(value, _EMPTY)
+
+    def docs_in_range(
+        self, path: KeyPath, low: int | None, high: int | None
+    ) -> set[int]:
+        """Documents with a number leaf at ``path`` in ``(low, high)``.
+
+        Bounds are exclusive (the NodeTest ``Min``/``Max`` convention);
+        ``None`` means unbounded.  Cost is linear in the number of
+        distinct values recorded at the path.
+        """
+        result: set[int] = set()
+        for value, postings in self._eq.get(path, {}).items():
+            if not isinstance(value, int):
+                continue
+            if low is not None and value <= low:
+                continue
+            if high is not None and value >= high:
+                continue
+            result |= postings
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        return IndexStats(
+            documents=self._documents,
+            paths=len(self._paths),
+            eq_entries=sum(len(values) for values in self._eq.values()),
+            kind_entries=sum(len(kinds) for kinds in self._kinds.values()),
+            keys=len(self._keys),
+            tail_entries=sum(len(values) for values in self._tails.values()),
+            values=len(self._values),
+        )
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every table (test/debug equality aid)."""
+        return {
+            "paths": {path: set(docs) for path, docs in self._paths.items()},
+            "eq": {
+                path: {value: set(docs) for value, docs in values.items()}
+                for path, values in self._eq.items()
+            },
+            "kinds": {
+                path: {kind: set(docs) for kind, docs in kinds.items()}
+                for path, kinds in self._kinds.items()
+            },
+            "keys": {key: set(docs) for key, docs in self._keys.items()},
+            "tails": {
+                key: {value: set(docs) for value, docs in values.items()}
+                for key, values in self._tails.items()
+            },
+            "values": {
+                value: set(docs) for value, docs in self._values.items()
+            },
+        }

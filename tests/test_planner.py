@@ -1,0 +1,295 @@
+"""The collection planner: differential correctness and real pruning.
+
+The acceptance bar for the store refactor: every front-end, routed
+through IR -> planner -> indexes, returns results *identical* to the
+pre-refactor per-tree engines over a differential corpus -- and the
+candidate sets are always supersets of the true matches (pruning can
+skip work, never answers).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.query import batch, compile_mongo_find, compile_query, planner
+from repro.store import Collection
+from repro.workloads import people_collection
+
+# A corpus mixing realistic records with structural edge cases: missing
+# keys, nested arrays, scalar and array roots, empty containers, values
+# repeated at different paths.
+TRICKY = [
+    {"a": {"b": [5, {"c": 1}]}},
+    {"a": {"b": 5}},
+    {"a": [{"b": 5}], "c": 1},
+    {"b": 5},
+    {"a": {}},
+    {},
+    ["top", "level", {"a": {"b": [7]}}],
+    "scalar-doc",
+    7,
+    {"deep": {"deep": {"deep": {"needle": "x"}}}},
+    {"mixed": [0, "0", [0], {"zero": 0}]},
+]
+
+DOCS = people_collection(60, seed=3) + TRICKY
+
+MONGO_FILTERS = [
+    {},
+    {"name.first": "Sue"},
+    {"age": {"$gte": 30, "$lt": 60}},
+    {"hobbies": "yoga"},  # scalar-vs-array containment
+    {"age": {"$ne": 28}},
+    {"name.first": {"$exists": False}},
+    {"$or": [{"name.last": "Chen"}, {"age": {"$gt": 80}}]},
+    {"hobbies": {"$elemMatch": {"$regex": "yo"}}},
+    {"hobbies": {"$size": 2}},
+    {"a.b": 5},
+    {"a.b.c": 1},
+    {"a.0.b": 5},
+    {"age": {"$type": "number"}},
+    {"name": {"first": "Sue", "last": "Doe"}},  # exact object equality
+    {"mixed": 0},
+]
+
+JSONPATHS = [
+    "$.name.first",
+    "$..first",
+    "$.hobbies[*]",
+    '$.hobbies[?(@ == "yoga")]',
+    "$.a.b[1].c",
+    "$.*.first",
+    "$.hobbies[0:2]",
+    "$..b",
+    "$[0,2]",
+    "$..[1]",
+    "$.deep.deep.deep.needle",
+]
+
+JNL_FORMULAS = [
+    "has(.name.first)",
+    'matches(.name.first, "Sue") or matches(.name.first, "Ana")',
+    "not has(.name)",
+    "has(.hobbies[0:5])",
+    "has((.*|[*])* .c)",
+    "matches(.a.b, 5)",
+    "has(.age<test(min(50))>)",
+]
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return Collection(DOCS)
+
+
+def all_queries():
+    for filter_doc in MONGO_FILTERS:
+        yield compile_mongo_find(filter_doc)
+    for text in JSONPATHS:
+        yield compile_query(text, "jsonpath")
+    for text in JNL_FORMULAS:
+        yield compile_query(text, "jnl")
+
+
+class TestDifferential:
+    """Planner-backed answers == pre-refactor per-tree evaluation."""
+
+    def test_match_flags_identical(self, collection):
+        for query in all_queries():
+            reference = [query.matches(tree) for tree in collection.trees]
+            assert planner.match_flags(collection, query) == reference, (
+                query.dialect,
+                query.source,
+            )
+
+    def test_selected_nodes_identical(self, collection):
+        for query in all_queries():
+            reference = [query.select(tree) for tree in collection.trees]
+            rows = [nodes for _, nodes in planner.select_nodes(collection, query)]
+            assert rows == reference, (query.dialect, query.source)
+
+    def test_find_documents_identical(self, collection):
+        for filter_doc in MONGO_FILTERS:
+            query = compile_mongo_find(filter_doc)
+            reference = [
+                value
+                for tree in collection.trees
+                if (value := query.apply(tree)) is not None
+            ]
+            assert planner.find_documents(collection, query) == reference
+
+    def test_projection_applies(self, collection):
+        query = compile_mongo_find({"name.last": "Doe"}, {"name": 1})
+        results = planner.find_documents(collection, query)
+        assert results and all(set(doc) == {"name"} for doc in results)
+
+    def test_indexed_and_unindexed_agree(self):
+        indexed = Collection(DOCS)
+        unindexed = Collection(DOCS, indexed=False)
+        for query in all_queries():
+            assert planner.match_ids(indexed, query) == planner.match_ids(
+                unindexed, query
+            ), (query.dialect, query.source)
+
+
+class TestSoundness:
+    """Candidates are always supersets of the true matches."""
+
+    def test_match_candidates_cover_matches(self, collection):
+        for query in all_queries():
+            candidates = planner.candidate_ids(
+                query.plan.match_predicate, collection.indexes
+            )
+            if candidates is None:
+                continue
+            matched = set(planner.match_ids(collection, query))
+            assert matched <= candidates, (query.dialect, query.source)
+
+    def test_node_candidates_cover_selections(self, collection):
+        for query in all_queries():
+            predicate = (
+                query.plan.node_predicate
+                if query.plan.mode == "filter"
+                else query.plan.match_predicate
+            )
+            candidates = planner.candidate_ids(predicate, collection.indexes)
+            if candidates is None:
+                continue
+            selecting = {
+                doc_id
+                for doc_id, tree in collection.documents()
+                if query.select(tree)
+            }
+            assert selecting <= candidates, (query.dialect, query.source)
+
+
+class TestPruningEffectiveness:
+    def test_selective_equality_prunes(self, collection):
+        explain = planner.explain(
+            collection, compile_mongo_find({"deep.deep.deep.needle": "x"})
+        )
+        assert explain.used_indexes
+        assert explain.scanned == 1
+        assert explain.matched == 1
+        assert explain.pruned == explain.total - 1
+
+    def test_opaque_query_falls_back_to_full_scan(self, collection):
+        query = compile_mongo_find({"a": {"$exists": False}})
+        explain = planner.explain(collection, query)
+        assert not explain.used_indexes
+        assert explain.scanned == explain.total
+
+    def test_explain_counts_are_consistent(self, collection):
+        for query in all_queries():
+            explain = planner.explain(collection, query)
+            assert explain.total == len(collection)
+            assert explain.matched <= explain.scanned <= explain.total
+            assert explain.matched == len(planner.match_ids(collection, query))
+
+
+class TestBatchRouting:
+    """The PR-1 batch APIs route collections through the planner."""
+
+    def test_match_many_accepts_collections(self, collection):
+        query = compile_mongo_find({"name.last": "Doe"})
+        assert batch.match_many(query, collection) == batch.match_many(
+            query, collection.trees
+        )
+
+    def test_filter_many_accepts_collections(self, collection):
+        query = compile_mongo_find({"age": {"$gt": 40}})
+        assert batch.filter_many(query, collection) == batch.filter_many(
+            query, collection.trees
+        )
+
+    def test_select_and_evaluate_many_accept_collections(self, collection):
+        query = compile_query("$.hobbies[*]", "jsonpath")
+        assert batch.select_many(query, collection) == batch.select_many(
+            query, collection.trees
+        )
+        assert batch.evaluate_many(query, collection) == batch.evaluate_many(
+            query, collection.trees
+        )
+
+    def test_jsonpath_collection_helper(self, collection):
+        from repro.jsonpath import jsonpath_collection
+
+        rows = jsonpath_collection(collection, "$.name.first")
+        reference = {
+            doc_id: compile_query("$.name.first", "jsonpath").values(tree)
+            for doc_id, tree in collection.documents()
+        }
+        assert dict(rows) == reference
+
+
+class TestCollectionCLI:
+    @pytest.fixture
+    def corpus_file(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        lines = [
+            {"name": {"first": "Sue"}, "age": 35},
+            {"name": {"first": "Bob"}, "age": 28},
+            {"name": {"first": "Ana"}, "age": 61, "tags": ["x"]},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines))
+        return str(path)
+
+    def test_query_collection_jsonpath(self, corpus_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["query", "--collection", corpus_file, "--jsonpath", "$.tags[*]"]
+        ) == 0
+        assert capsys.readouterr().out.splitlines() == ['2\t"x"']
+
+    def test_query_collection_jnl_matches_docs(self, corpus_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["query", "--collection", corpus_file, "--jnl",
+             "has(.age<test(min(30))>)"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert [line.split("\t")[0] for line in out] == ["0", "2"]
+
+    def test_query_collection_node_ids(self, corpus_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["query", "--collection", corpus_file, "--path", ".tags[0]",
+             "--node-ids"]
+        ) == 0
+        doc_id, node = capsys.readouterr().out.split()
+        assert doc_id == "2" and node.isdigit()
+
+    def test_find_collection(self, corpus_file, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["find", "--collection", corpus_file,
+             "--filter", '{"age": {"$gt": 30}}',
+             "--project", '{"name": 1}']
+        ) == 0
+        rows = [
+            line.split("\t") for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [row[0] for row in rows] == ["0", "2"]
+        assert json.loads(rows[0][1]) == {"name": {"first": "Sue"}}
+
+    def test_find_collection_no_match_exit(self, corpus_file):
+        from repro.cli import main
+
+        assert main(
+            ["find", "--collection", corpus_file,
+             "--filter", '{"age": {"$gt": 99}}']
+        ) == 1
+
+    def test_both_inputs_rejected(self, corpus_file):
+        from repro.cli import main
+
+        assert main(
+            ["query", corpus_file, "--collection", corpus_file, "--jnl", "true"]
+        ) == 2
+        assert main(["find", "--filter", "{}"]) == 2

@@ -21,7 +21,7 @@ from repro.query import (
     query_cache,
     query_cache_stats,
 )
-from repro.query.cache import DEFAULT_CAPACITY
+from repro.cache import DEFAULT_CAPACITY
 
 
 @pytest.fixture

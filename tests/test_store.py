@@ -1,0 +1,222 @@
+"""The document store: collections, index maintenance, schema enforcement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DocumentRejectedError, StoreError
+from repro.model.tree import JSONTree
+from repro.store import Collection, DocumentIndexes
+from repro.store.indexes import index_entries
+
+PEOPLE = [
+    {"name": {"first": "Sue", "last": "Doe"}, "age": 35,
+     "hobbies": ["yoga", "chess"]},
+    {"name": {"first": "Bob", "last": "Chen"}, "age": 28, "hobbies": []},
+    {"name": {"first": "Ana", "last": "Doe"}, "age": 61,
+     "address": {"city": "Talca"}},
+]
+
+
+def rebuilt(collection: Collection) -> DocumentIndexes:
+    """Full-rescan reference: fresh indexes over the live documents."""
+    fresh = DocumentIndexes()
+    for doc_id, tree in collection.documents():
+        fresh.add(doc_id, tree)
+    return fresh
+
+
+class TestCollectionBasics:
+    def test_insert_assigns_dense_ids(self):
+        collection = Collection(PEOPLE)
+        assert collection.doc_ids() == [0, 1, 2]
+        assert len(collection) == 3
+        new_id = collection.insert({"name": {"first": "Li"}})
+        assert new_id == 3
+
+    def test_ids_never_reused_after_remove(self):
+        collection = Collection(PEOPLE)
+        collection.remove(1)
+        assert collection.doc_ids() == [0, 2]
+        assert collection.insert({"x": 1}) == 3
+        assert 1 not in collection
+        with pytest.raises(StoreError):
+            collection.get(1)
+
+    def test_version_bumps_on_mutation_only(self):
+        collection = Collection(PEOPLE)
+        v0 = collection.version
+        collection.find({"age": {"$gt": 30}})
+        assert collection.version == v0
+        collection.insert({"a": 1})
+        collection.remove(0)
+        assert collection.version == v0 + 2
+
+    def test_accepts_prebuilt_trees(self):
+        tree = JSONTree.from_value({"k": "v"})
+        collection = Collection([tree])
+        assert collection.get(0) is tree
+
+    def test_shared_interning_across_batches(self):
+        collection = Collection([{"name": "a"}])
+        before = collection.interned_strings()
+        collection.insert({"name": "b"})
+        # "name" was already interned; only "b" is new.
+        assert collection.interned_strings() == before + 1
+        key_a = next(iter(collection.get(0).object_keys(0)))
+        key_b = next(iter(collection.get(1).object_keys(0)))
+        assert key_a is key_b
+
+    def test_unindexed_collection_still_answers(self):
+        collection = Collection(PEOPLE, indexed=False)
+        assert collection.indexes is None
+        assert collection.count({"name.last": "Doe"}) == 2
+        explain = collection.explain({"name.last": "Doe"})
+        assert not explain.used_indexes
+        assert explain.scanned == 3
+
+    def test_from_json_lines(self):
+        text = '{"a": 1}\n\n{"a": 2}\n'
+        collection = Collection.from_json_lines(text)
+        assert len(collection) == 2
+        assert collection.count({"a": 2}) == 1
+
+    def test_from_json_lines_is_strict_by_default(self):
+        from repro.errors import DuplicateKeyError
+
+        with pytest.raises(DuplicateKeyError):
+            Collection.from_json_lines('{"a": 1, "a": 2}')
+        lenient = Collection.from_json_lines('{"a": 1, "a": 2}', strict=False)
+        assert lenient.count({"a": 2}) == 1  # json.loads keeps the last
+
+
+class TestIndexMaintenance:
+    def test_insert_matches_full_rescan(self):
+        collection = Collection(PEOPLE)
+        assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
+
+    def test_remove_unwinds_postings(self):
+        collection = Collection(PEOPLE)
+        collection.remove(0)
+        assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
+
+    def test_remove_everything_empties_every_table(self):
+        collection = Collection(PEOPLE)
+        for doc_id in collection.doc_ids():
+            collection.remove(doc_id)
+        snapshot = collection.indexes.snapshot()
+        assert all(not table for table in snapshot.values())
+
+    def test_random_mutation_sequence_matches_rescan(self):
+        rng = random.Random(20260727)
+        collection = Collection()
+        pool = [
+            {"user": {"id": i, "tag": f"t{i % 7}"},
+             "scores": [i % 5, (i * 3) % 11],
+             "meta": {"active": "yes" if i % 2 else "no"}}
+            for i in range(40)
+        ]
+        for step, doc in enumerate(pool):
+            collection.insert(doc)
+            alive = collection.doc_ids()
+            if alive and rng.random() < 0.4:
+                collection.remove(rng.choice(alive))
+            if step % 10 == 9:
+                assert (
+                    collection.indexes.snapshot()
+                    == rebuilt(collection).snapshot()
+                )
+        assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
+
+    def test_entries_strip_array_positions(self):
+        entries = index_entries(JSONTree.from_value({"a": {"b": [5, [6]]}}))
+        assert ("a", "b") in entries.paths
+        assert (("a", "b"), 5) in entries.leaves
+        assert (("a", "b"), 6) in entries.leaves  # nested array, same path
+        assert ("b", 5) in entries.tails
+        assert entries.keys == frozenset({"a", "b"})
+
+    def test_stats_counters(self):
+        stats = Collection(PEOPLE).index_stats()
+        assert stats.documents == 3
+        assert stats.keys >= 6  # name, first, last, age, hobbies, ...
+
+
+class TestMutationFreshness:
+    """Mutated collections never serve stale answers through cached plans."""
+
+    FILTER = {"name.first": "Sue"}
+
+    def test_results_track_inserts_and_removes(self):
+        collection = Collection(PEOPLE)
+        assert collection.count(self.FILTER) == 1
+        new_id = collection.insert(
+            {"name": {"first": "Sue", "last": "Novak"}, "age": 50}
+        )
+        # Same filter text -> same cached plan; fresh candidates.
+        assert collection.count(self.FILTER) == 2
+        collection.remove(new_id)
+        collection.remove(0)
+        assert collection.count(self.FILTER) == 0
+
+    def test_two_collections_share_plans_not_results(self):
+        left = Collection([{"k": "match"}])
+        right = Collection([{"k": "other"}])
+        assert left.count({"k": "match"}) == 1
+        assert right.count({"k": "match"}) == 0
+
+    def test_select_tracks_mutations(self):
+        collection = Collection(PEOPLE)
+        rows = dict(collection.select("$.hobbies[*]"))
+        assert rows[0] == ["yoga", "chess"]
+        collection.remove(0)
+        rows = dict(collection.select("$.hobbies[*]"))
+        assert 0 not in rows
+
+
+class TestSchemaEnforcement:
+    SCHEMA = {
+        "type": "object",
+        "required": ["name"],
+        "properties": {"age": {"type": "number", "maximum": 120}},
+    }
+
+    def test_valid_documents_ingest(self):
+        collection = Collection(
+            [{"name": "a", "age": 10}], schema=self.SCHEMA
+        )
+        assert len(collection) == 1
+        assert collection.schema_enforced
+
+    def test_reject_on_insert(self):
+        collection = Collection(schema=self.SCHEMA)
+        with pytest.raises(DocumentRejectedError):
+            collection.insert({"age": 10})
+        assert len(collection) == 0
+
+    def test_batch_rejection_is_atomic(self):
+        collection = Collection(schema=self.SCHEMA)
+        with pytest.raises(DocumentRejectedError) as excinfo:
+            collection.insert_many(
+                [{"name": "ok"}, {"name": "bad", "age": 200}, {"name": "ok2"}]
+            )
+        assert excinfo.value.position == 1
+        assert len(collection) == 0
+        assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
+        assert collection.version == 0
+
+    def test_prebuilt_validator(self):
+        from repro.schema.parser import parse_schema
+        from repro.validate import compile_schema_validator
+
+        validator = compile_schema_validator(parse_schema(self.SCHEMA))
+        collection = Collection(validator=validator)
+        collection.insert({"name": "x"})
+        with pytest.raises(DocumentRejectedError):
+            collection.insert({})
+
+    def test_schema_and_validator_conflict(self):
+        with pytest.raises(StoreError):
+            Collection(schema=self.SCHEMA, validator=object())
