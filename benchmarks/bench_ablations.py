@@ -11,8 +11,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import format_table, measure
 from repro.jnl.efficient import JNLEvaluator, evaluate_unary
 from repro.jnl.evaluator import eval_unary

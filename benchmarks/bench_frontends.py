@@ -7,14 +7,12 @@ claim that JNL is the common core of those systems, made measurable.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import format_table, measure
 from repro.jnl.efficient import JNLEvaluator
 from repro.jnl.parser import parse_jnl
 from repro.jsonpath import jsonpath_query, parse_jsonpath
 from repro.model.tree import JSONTree
-from repro.mongo import Collection, compile_filter
+from repro.mongo import Collection
 from repro.query import compile_formula, match_many
 from repro.workloads import people_collection
 

@@ -8,12 +8,7 @@ the arena representation.
 
 from __future__ import annotations
 
-import random
-
-import pytest
-
 from repro.bench.harness import format_table, measure
-from repro.model.navigation import navigate
 from repro.model.tree import JSONTree
 from repro.workloads import people_collection
 

@@ -13,7 +13,6 @@ import pytest
 
 from repro.automata.jautomata import from_recursive_jsl
 from repro.bench.harness import format_table, measure
-from repro.jsl import ast
 from repro.jsl.parser import parse_jsl
 from repro.jsl.satisfiability import jsl_satisfiable
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import SeriesPoint, format_table, loglog_slope, run_series
+from repro.bench.harness import format_table, loglog_slope, run_series
 from repro.jsl.evaluator import satisfies
 from repro.jsl.parser import parse_jsl_formula
 from repro.model.tree import JSONTree

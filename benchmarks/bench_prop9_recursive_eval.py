@@ -16,10 +16,9 @@ from repro.bench.harness import (
     SeriesPoint,
     format_table,
     loglog_slope,
-    measure,
     run_series,
 )
-from repro.jsl import ast, formula_size
+from repro.jsl import formula_size
 from repro.jsl.bottom_up import satisfies_recursive
 from repro.jsl.parser import parse_jsl
 from repro.jsl.unfold import unfold

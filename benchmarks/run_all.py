@@ -36,6 +36,7 @@ MODULES = [
     "bench_compiled_queries",
     "bench_schema_validation",
     "bench_collection_queries",
+    "bench_aggregation",
     "bench_ablations",
 ]
 
@@ -52,6 +53,12 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="run every registered benchmark's pinned-target check "
         "(real timings) and exit non-zero on any regression",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="with --check-targets: also write the gate's verdict "
+        "(checked modules, failures) as JSON (uploaded as a CI artifact)",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -75,23 +82,44 @@ def main(argv: list[str] | None = None) -> None:
         # so one noisy-neighbour timing on a shared CI runner cannot
         # sink the build while a persistent regression still does.
         failures: list[str] = []
-        checked = 0
+        checked: list[str] = []
+        remeasured: list[str] = []
         for name in MODULES:
             module = importlib.import_module(name)
             check = getattr(module, "check_targets", None)
             if check is None:
                 continue
-            checked += 1
+            checked.append(name)
             first_try = check()
             if first_try:
                 for failure in first_try:
                     print(f"target missed, re-measuring: {failure}")
+                remeasured.append(name)
                 failures.extend(check())
+        if args.json:
+            # The artifact records exactly the verdict this gate
+            # reached -- never a separate re-measurement, which would
+            # double the runtime and could disagree with the gate.
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "mode": "check-targets",
+                        "checked": checked,
+                        "remeasured": remeasured,
+                        "failures": failures,
+                        "ok": not failures,
+                    },
+                    handle,
+                    indent=2,
+                )
+            print(f"(wrote {args.json})")
         if failures:
             for failure in failures:
                 print(f"TARGET REGRESSION: {failure}")
             sys.exit(1)
-        print(f"all pinned benchmark targets hold ({checked} checked)")
+        print(f"all pinned benchmark targets hold ({len(checked)} checked)")
         return
 
     started = time.perf_counter()

@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     repro find   people.json --filter '{"age": {"$gt": 30}}' \
                  [--project '{"name": 1}']
     repro find   --collection corpus.jsonl --filter '{"age": {"$gt": 30}}'
+    repro aggregate --collection corpus.jsonl \
+                 --pipeline '[{"$match": {"age": {"$gt": 30}}},
+                              {"$group": {"_id": "$city", "n": {"$sum": 1}}}]'
     repro sat    --jsl 'some(.a, number)' [--schema schema.json]
 
 ``--collection`` takes a JSON-lines corpus (one document per line),
@@ -95,6 +98,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     find.add_argument("--filter", default="{}", help="find filter (JSON)")
     find.add_argument("--project", help="projection document (JSON)")
+
+    aggregate = commands.add_parser(
+        "aggregate",
+        help="MongoDB-style aggregation pipeline over documents",
+    )
+    aggregate.add_argument(
+        "documents",
+        nargs="?",
+        metavar="collection",
+        help="path to a JSON array file (or use --collection)",
+    )
+    aggregate.add_argument(
+        "--collection",
+        metavar="FILE",
+        help="JSON-lines corpus: aggregate via the planner "
+        "(leading $match stages pruned by the secondary indexes)",
+    )
+    aggregate.add_argument(
+        "--pipeline",
+        required=True,
+        help="the aggregation pipeline (a JSON array of stages)",
+    )
+    aggregate.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the stage report (index-pruned vs streamed) "
+        "instead of results",
+    )
 
     sat = commands.add_parser(
         "sat", help="satisfiability of a JSL/JNL formula or a schema"
@@ -261,6 +292,43 @@ def _cmd_find(args: argparse.Namespace) -> int:
     return 0 if results else 1
 
 
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from repro.mongo.aggregate import compile_pipeline
+
+    if _bad_input_combo(args, "documents"):
+        return 2
+    pipeline = json.loads(args.pipeline)
+    compiled = compile_pipeline(pipeline)
+
+    if args.collection is not None:
+        corpus = _load_collection(args.collection)
+    else:
+        from repro.store import Collection
+
+        with open(args.documents, encoding="utf-8") as handle:
+            documents = json.load(handle)
+        if not isinstance(documents, list):
+            raise ReproError("the collection file must hold a JSON array")
+        # One pipeline over a throwaway collection: skip index builds.
+        corpus = Collection(documents, indexed=False)
+
+    if args.explain:
+        report = compiled.explain(corpus)
+        for position, stage in enumerate(report.stages, start=1):
+            print(f"stage {position}\t{stage.op}\t{stage.mode}")
+        print(
+            f"total={report.total} candidates="
+            f"{'all' if report.candidates is None else report.candidates} "
+            f"scanned={report.scanned} matched={report.matched} "
+            f"results={report.results}"
+        )
+        return 0
+    results = compiled.execute(corpus)
+    for row in results:
+        print(json.dumps(row))
+    return 0 if results else 1
+
+
 def _cmd_sat(args: argparse.Namespace) -> int:
     from repro.jsl.satisfiability import jsl_satisfiable
 
@@ -294,6 +362,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "validate": _cmd_validate,
     "find": _cmd_find,
+    "aggregate": _cmd_aggregate,
     "sat": _cmd_sat,
 }
 

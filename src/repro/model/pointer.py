@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.errors import NavigationError, ParseError
-from repro.model.navigation import navigate
 from repro.model.tree import JSONTree
 
 __all__ = ["parse_pointer", "resolve_pointer", "resolve_in_value", "pointer_to_steps"]

@@ -499,24 +499,57 @@ class JSONTree:
         return tree
 
     def to_value(self, node: int | None = None) -> JSONValue:
-        """Serialise the subtree at ``node`` back to Python values."""
+        """Serialise the subtree at ``node`` back to Python values.
+
+        Top-down with an explicit stack (no recursion-depth limit):
+        each container is allocated when first seen and filled in
+        place, leaves are inlined -- one pass, no per-node result
+        table.  This is a hot path for collection scans (every matched
+        document materialises through it).
+        """
         start = self.root if node is None else node
-        result: dict[int, JSONValue] = {}
-        # Post-order over the subtree: build children first.
-        order = list(self.descendants(start))
-        for current in reversed(order):
-            kind = self._kinds[current]
-            if kind is Kind.OBJECT:
-                obj = self._obj_children[current]
+        kinds = self._kinds
+        values = self._values
+        obj_children = self._obj_children
+        arr_children = self._arr_children
+        kind = kinds[start]
+        if kind is Kind.STRING or kind is Kind.NUMBER:
+            return values[start]
+        root_out: JSONValue = {} if kind is Kind.OBJECT else []
+        stack: list[tuple[int, dict | list]] = [(start, root_out)]
+        while stack:
+            current, out = stack.pop()
+            if isinstance(out, dict):
+                obj = obj_children[current]
                 assert obj is not None
-                result[current] = {key: result[child] for key, child in obj.items()}
-            elif kind is Kind.ARRAY:
-                arr = self._arr_children[current]
-                assert arr is not None
-                result[current] = [result[child] for child in arr]
+                for key, child in obj.items():
+                    child_kind = kinds[child]
+                    if child_kind is Kind.OBJECT:
+                        sub: JSONValue = {}
+                        out[key] = sub
+                        stack.append((child, sub))
+                    elif child_kind is Kind.ARRAY:
+                        sub = []
+                        out[key] = sub
+                        stack.append((child, sub))
+                    else:
+                        out[key] = values[child]
             else:
-                result[current] = self._values[current]
-        return result[start]
+                arr = arr_children[current]
+                assert arr is not None
+                for child in arr:
+                    child_kind = kinds[child]
+                    if child_kind is Kind.OBJECT:
+                        sub = {}
+                        out.append(sub)
+                        stack.append((child, sub))
+                    elif child_kind is Kind.ARRAY:
+                        sub = []
+                        out.append(sub)
+                        stack.append((child, sub))
+                    else:
+                        out.append(values[child])
+        return root_out
 
     def to_json(self, node: int | None = None, *, indent: int | None = None) -> str:
         return _json.dumps(self.to_value(node), indent=indent, sort_keys=False)

@@ -1,7 +1,26 @@
-"""MongoDB ``find`` filters compiled onto JNL (Section 4.1), plus the
-Section-6 projection transformation."""
+"""MongoDB ``find`` filters compiled onto JNL (Section 4.1), the
+Section-6 projection transformation, and aggregation pipelines compiled
+onto the store/IR/planner stack."""
 
+from repro.mongo.aggregate import (
+    AggregateExplain,
+    CompiledPipeline,
+    aggregate,
+    compile_pipeline,
+    match_value,
+    naive_aggregate,
+)
 from repro.mongo.find import Collection, compile_filter
 from repro.mongo.projection import Projection
 
-__all__ = ["Collection", "compile_filter", "Projection"]
+__all__ = [
+    "Collection",
+    "compile_filter",
+    "Projection",
+    "AggregateExplain",
+    "CompiledPipeline",
+    "aggregate",
+    "compile_pipeline",
+    "match_value",
+    "naive_aggregate",
+]

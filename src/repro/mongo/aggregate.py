@@ -1,0 +1,857 @@
+"""MongoDB-style aggregation pipelines, compiled and index-pruned.
+
+The paper's MongoDB treatment stops at ``find``-style navigation;
+production document-database traffic is dominated by multi-stage
+*aggregation*, a composable stage algebra over whole collections.  This
+module implements its practical core -- ``$match``, ``$project``,
+``$unwind``, ``$group`` (with ``$sum``/``$count``/``$min``/``$max``/
+``$avg``/``$push`` accumulators), ``$sort``, ``$skip``/``$limit`` and
+``$count`` -- on top of the existing store/IR/planner stack:
+
+* a pipeline compiles **once** into a :class:`CompiledPipeline`
+  (registered in the process-wide artifact cache of :mod:`repro.cache`
+  under the ``"mongo-aggregate"`` namespace, keyed on the canonical
+  JSON text of the pipeline);
+* the **leading run of ``$match`` stages** is merged into one find
+  filter and compiled through :func:`repro.query.compiled.
+  compile_mongo_find` -- so it lowers into the shared logical-plan IR,
+  and over an indexed collection the planner prunes candidates via the
+  secondary indexes before any per-document work, exactly like ``find``;
+* every **downstream stage** runs as a streaming generator
+  (:mod:`repro.query.stages`) over the surviving documents -- nothing
+  is materialised between stages except where ``$sort``/``$group``/
+  ``$count`` inherently must.
+
+All ``$match`` evaluation happens in value space (the compiled
+:func:`compile_value_filter` closures; :func:`match_value` is the
+per-call interpreter the naive reference uses) with the same operator
+semantics as the ``find`` filter compiler -- the compiled JNL form of
+the leading run exists for its logical plan, i.e. for index pruning.
+One caveat: a *leading* ``$match`` must also compile through
+:func:`repro.mongo.find.compile_filter`, whose ``$regex`` dialect is
+the KeyLang subset, so a leading regex outside that subset (e.g.
+``(?i)``) is rejected at compile time while the same stage later in
+the pipeline runs with Python ``re`` semantics.  :func:`naive_aggregate`
+is the reference evaluator -- eager, list-at-a-time, no compilation,
+no pruning -- that the differential tests pit the staged executor
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.cache import USE_DEFAULT_CACHE, resolve_cache
+from repro.errors import ParseError
+from repro.model.tree import JSONTree
+from repro.mongo.find import _is_operator_doc
+from repro.mongo.projection import Projection
+from repro.query import planner
+from repro.query.compiled import CompiledQuery, compile_mongo_find
+from repro.query.stages import (
+    MISSING,
+    ACCUMULATORS,
+    CountStage,
+    FilterStage,
+    GroupStage,
+    LimitStage,
+    ProjectStage,
+    SkipStage,
+    SortStage,
+    Stage,
+    UnwindStage,
+    compile_expr,
+    canonical_group_key,
+    resolve_path,
+    run_stages,
+    set_path,
+    sort_key,
+    split_field_path,
+    values_equal,
+)
+
+__all__ = [
+    "STAGE_OPS",
+    "AggregateExplain",
+    "StageExplain",
+    "CompiledPipeline",
+    "compile_pipeline",
+    "pipeline_cache_key",
+    "parse_pipeline",
+    "aggregate",
+    "explain_pipeline",
+    "match_value",
+    "compile_value_filter",
+    "naive_aggregate",
+]
+
+STAGE_OPS = (
+    "$match",
+    "$project",
+    "$unwind",
+    "$group",
+    "$sort",
+    "$skip",
+    "$limit",
+    "$count",
+)
+
+_DIALECT = "mongo-aggregate"
+
+
+# ---------------------------------------------------------------------------
+# Value-space find filters (non-leading $match and the naive reference).
+#
+# Semantics mirror repro.mongo.find.compile_filter: a dotted path
+# resolves to at most one node (digit segments are array indexes), a
+# navigated condition requires the node to exist, and a scalar equality
+# also matches arrays containing the value (one array level, like the
+# compiled ``X_{0:inf}`` axis).
+# ---------------------------------------------------------------------------
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _require_number(operator: str, operand: Any) -> None:
+    if isinstance(operand, bool) or not isinstance(operand, int):
+        raise ParseError(f"{operator} takes a number, got {operand!r}")
+
+
+def _require_list(operator: str, operand: Any) -> None:
+    if not isinstance(operand, list):
+        raise ParseError(f"{operator} takes an array, got {operand!r}")
+
+
+def _eq_mongo(node: Any, operand: Any) -> bool:
+    """MongoDB equality at a node: exact, or array-containment for
+    scalar operands."""
+    if values_equal(node, operand):
+        return True
+    if isinstance(operand, (dict, list)):
+        return False
+    return isinstance(node, list) and any(
+        values_equal(element, operand) for element in node
+    )
+
+
+_TYPE_CHECKS = {
+    "object": lambda node: isinstance(node, dict),
+    "array": lambda node: isinstance(node, list),
+    "string": lambda node: isinstance(node, str),
+    "number": _is_number,
+    "int": _is_number,
+}
+
+
+def _op_holds(operator: str, operand: Any, node: Any) -> bool:
+    if operator == "$eq":
+        return _eq_mongo(node, operand)
+    if operator == "$ne":
+        return not _eq_mongo(node, operand)
+    if operator == "$gt":
+        _require_number(operator, operand)
+        return _is_number(node) and node > operand
+    if operator == "$gte":
+        _require_number(operator, operand)
+        return _is_number(node) and node >= operand
+    if operator == "$lt":
+        _require_number(operator, operand)
+        return _is_number(node) and node < operand
+    if operator == "$lte":
+        _require_number(operator, operand)
+        return _is_number(node) and node <= operand
+    if operator == "$in":
+        _require_list(operator, operand)
+        return any(_eq_mongo(node, item) for item in operand)
+    if operator == "$nin":
+        _require_list(operator, operand)
+        return not any(_eq_mongo(node, item) for item in operand)
+    if operator == "$type":
+        check = _TYPE_CHECKS.get(operand)
+        if check is None:
+            raise ParseError(f"unsupported $type operand {operand!r}")
+        return check(node)
+    if operator == "$size":
+        _require_number(operator, operand)
+        return isinstance(node, list) and len(node) == operand
+    if operator == "$regex":
+        if not isinstance(operand, str):
+            raise ParseError("$regex takes a string")
+        return isinstance(node, str) and re.search(operand, node) is not None
+    if operator == "$elemMatch":
+        if not isinstance(operand, dict):
+            raise ParseError("$elemMatch takes a filter document")
+        if not isinstance(node, list):
+            return False
+        if _is_operator_doc(operand):
+            return any(
+                all(_op_holds(op, arg, element) for op, arg in operand.items())
+                for element in node
+            )
+        return any(match_value(operand, element) for element in node)
+    if operator == "$not":
+        if not isinstance(operand, dict):
+            raise ParseError("$not takes an operator document")
+        return not all(
+            _op_holds(op, arg, node) for op, arg in operand.items()
+        )
+    raise ParseError(f"unsupported operator {operator!r}")
+
+
+def _match_field(value: Any, path: str, spec: dict[str, Any]) -> bool:
+    node = resolve_path(value, split_field_path(path))
+    exists_flag = spec.get("$exists")
+    rest = {op: arg for op, arg in spec.items() if op != "$exists"}
+    if exists_flag is not None and bool(exists_flag) != (node is not MISSING):
+        return False
+    if rest:
+        if node is MISSING:
+            return False
+        return all(_op_holds(op, arg, node) for op, arg in rest.items())
+    return True
+
+
+def match_value(filter_doc: dict[str, Any], value: Any) -> bool:
+    """Evaluate a ``find`` filter directly on a Python JSON value.
+
+    The value-space twin of :func:`repro.mongo.find.compile_filter`
+    (same operator subset, same one-node path semantics), used for
+    ``$match`` stages past the pipeline head -- where documents are
+    pipeline products, not collection members -- and by the naive
+    reference evaluator the differential tests compare against.
+    """
+    if not isinstance(filter_doc, dict):
+        raise ParseError("a find filter is a JSON object")
+    for key, spec in filter_doc.items():
+        if key == "$and":
+            _require_list(key, spec)
+            if not all(match_value(sub, value) for sub in spec):
+                return False
+        elif key == "$or":
+            _require_list(key, spec)
+            if not any(match_value(sub, value) for sub in spec):
+                return False
+        elif key == "$nor":
+            _require_list(key, spec)
+            if any(match_value(sub, value) for sub in spec):
+                return False
+        elif key.startswith("$"):
+            raise ParseError(f"unsupported top-level operator {key!r}")
+        elif _is_operator_doc(spec):
+            if not _match_field(value, key, spec):
+                return False
+        else:
+            node = resolve_path(value, split_field_path(key))
+            if not _eq_mongo(node, spec):
+                return False
+    return True
+
+
+def compile_value_filter(filter_doc: dict[str, Any]) -> Any:
+    """Compile a find filter into a value-space predicate closure.
+
+    Same semantics as :func:`match_value` (which interprets the filter
+    document per call -- the naive reference path), but field paths are
+    split, operator documents classified and boolean structure resolved
+    **once**: the staged executor matches each candidate with plain
+    closure calls.  The differential tests pit the two against each
+    other on every randomised pipeline.
+    """
+    if not isinstance(filter_doc, dict):
+        raise ParseError("a find filter is a JSON object")
+    predicates: list[Any] = []
+    for key, spec in filter_doc.items():
+        if key in ("$and", "$or", "$nor"):
+            _require_list(key, spec)
+            compiled = [compile_value_filter(sub) for sub in spec]
+            if key == "$and":
+                predicates.append(
+                    lambda value, c=compiled: all(p(value) for p in c)
+                )
+            elif key == "$or":
+                predicates.append(
+                    lambda value, c=compiled: any(p(value) for p in c)
+                )
+            else:
+                predicates.append(
+                    lambda value, c=compiled: not any(p(value) for p in c)
+                )
+        elif key.startswith("$"):
+            raise ParseError(f"unsupported top-level operator {key!r}")
+        elif _is_operator_doc(spec):
+            predicates.append(_compile_field_ops(key, spec))
+        else:
+            segments = split_field_path(key)
+            predicates.append(
+                lambda value, s=segments, operand=spec: _eq_mongo(
+                    resolve_path(value, s), operand
+                )
+            )
+    if len(predicates) == 1:
+        return predicates[0]
+    return lambda value: all(p(value) for p in predicates)
+
+
+_FIELD_OPS = (
+    "$eq",
+    "$ne",
+    "$gt",
+    "$gte",
+    "$lt",
+    "$lte",
+    "$in",
+    "$nin",
+    "$type",
+    "$size",
+    "$regex",
+    "$elemMatch",
+    "$not",
+)
+
+
+def _validate_operand(operator: str, operand: Any) -> None:
+    """Eager operand checks, so a bad filter fails at *compile* time
+    regardless of stage position or whether any row ever reaches it."""
+    if operator in ("$gt", "$gte", "$lt", "$lte", "$size"):
+        _require_number(operator, operand)
+    elif operator in ("$in", "$nin"):
+        _require_list(operator, operand)
+    elif operator == "$type":
+        if operand not in _TYPE_CHECKS:
+            raise ParseError(f"unsupported $type operand {operand!r}")
+    elif operator == "$regex":
+        if not isinstance(operand, str):
+            raise ParseError("$regex takes a string")
+        try:
+            re.compile(operand)
+        except re.error as exc:
+            raise ParseError(f"invalid $regex pattern {operand!r}: {exc}") from exc
+    elif operator == "$elemMatch":
+        if not isinstance(operand, dict):
+            raise ParseError("$elemMatch takes a filter document")
+        if _is_operator_doc(operand):
+            _validate_operator_doc(operand)
+        else:
+            compile_value_filter(operand)
+    elif operator == "$not":
+        if not isinstance(operand, dict):
+            raise ParseError("$not takes an operator document")
+        _validate_operator_doc(operand)
+    # $eq / $ne accept any operand.
+
+
+def _validate_operator_doc(spec: dict[str, Any]) -> None:
+    for operator, operand in spec.items():
+        if operator not in _FIELD_OPS:
+            raise ParseError(f"unsupported operator {operator!r}")
+        _validate_operand(operator, operand)
+
+
+def _compile_field_ops(key: str, spec: dict[str, Any]) -> Any:
+    segments = split_field_path(key)
+    exists_flag = spec.get("$exists")
+    rest = tuple((op, arg) for op, arg in spec.items() if op != "$exists")
+    for op, arg in rest:
+        if op not in _FIELD_OPS:
+            raise ParseError(f"unsupported operator {op!r}")
+        _validate_operand(op, arg)
+
+    def predicate(value: Any) -> bool:
+        node = resolve_path(value, segments)
+        if exists_flag is not None and bool(exists_flag) != (
+            node is not MISSING
+        ):
+            return False
+        if rest:
+            if node is MISSING:
+                return False
+            return all(_op_holds(op, arg, node) for op, arg in rest)
+        return True
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Pipeline parsing and stage construction.
+# ---------------------------------------------------------------------------
+
+
+def parse_pipeline(pipeline: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalise a pipeline into ``(op, spec)`` pairs, shape-checked."""
+    if not isinstance(pipeline, list):
+        raise ParseError("a pipeline is a JSON array of stage documents")
+    parsed: list[tuple[str, Any]] = []
+    for position, stage in enumerate(pipeline):
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise ParseError(
+                f"stage {position} must be a single-operator document, "
+                f"got {stage!r}"
+            )
+        ((op, spec),) = stage.items()
+        if op not in STAGE_OPS:
+            raise ParseError(
+                f"unsupported pipeline stage {op!r} "
+                f"(supported: {', '.join(STAGE_OPS)})"
+            )
+        parsed.append((op, spec))
+    return tuple(parsed)
+
+
+def _group_field_name(name: Any) -> str:
+    if (
+        not isinstance(name, str)
+        or not name
+        or name.startswith("$")
+        or "." in name
+    ):
+        raise ParseError(f"invalid $group output field {name!r}")
+    return name
+
+
+def _build_group(spec: Any) -> GroupStage:
+    if not isinstance(spec, dict) or "_id" not in spec:
+        raise ParseError("$group takes a document with an _id expression")
+    fields = []
+    for name, accumulator_spec in spec.items():
+        if name == "_id":
+            continue
+        _group_field_name(name)
+        if not isinstance(accumulator_spec, dict) or len(accumulator_spec) != 1:
+            raise ParseError(
+                f"$group field {name!r} takes one accumulator, "
+                f"got {accumulator_spec!r}"
+            )
+        ((accumulator, operand),) = accumulator_spec.items()
+        factory = ACCUMULATORS.get(accumulator)
+        if factory is None:
+            raise ParseError(
+                f"unsupported accumulator {accumulator!r} "
+                f"(supported: {', '.join(sorted(ACCUMULATORS))})"
+            )
+        if accumulator == "$count":
+            if operand != {}:
+                raise ParseError("$count (accumulator) takes {}")
+            expr = compile_expr(None)
+        else:
+            expr = compile_expr(operand)
+        fields.append((name, factory, expr))
+    return GroupStage(compile_expr(spec["_id"]), tuple(fields))
+
+
+def _build_sort(spec: Any) -> SortStage:
+    if not isinstance(spec, dict) or not spec:
+        raise ParseError("$sort takes a non-empty document of path: 1|-1")
+    keys = []
+    for path, direction in spec.items():
+        if direction not in (1, -1) or isinstance(direction, bool):
+            raise ParseError(
+                f"$sort direction for {path!r} must be 1 or -1, "
+                f"got {direction!r}"
+            )
+        keys.append((split_field_path(path), direction == -1))
+    return SortStage(tuple(keys))
+
+
+def _unwind_segments(spec: Any) -> tuple[str, ...]:
+    if isinstance(spec, dict):
+        spec = spec.get("path")
+    if not isinstance(spec, str) or not spec.startswith("$"):
+        raise ParseError(
+            f'$unwind takes a "$path" string (or {{"path": "$path"}}), '
+            f"got {spec!r}"
+        )
+    return split_field_path(spec[1:])
+
+
+def _build_stage(op: str, spec: Any) -> Stage:
+    """Validate one non-leading stage spec and build its executor."""
+    if op == "$match":
+        return FilterStage(compile_value_filter(spec))
+    if op == "$project":
+        return ProjectStage(Projection(spec).apply_value)
+    if op == "$unwind":
+        return UnwindStage(_unwind_segments(spec))
+    if op == "$group":
+        return _build_group(spec)
+    if op == "$sort":
+        return _build_sort(spec)
+    if op == "$skip":
+        if isinstance(spec, bool) or not isinstance(spec, int) or spec < 0:
+            raise ParseError(f"$skip takes a non-negative integer, got {spec!r}")
+        return SkipStage(spec)
+    if op == "$limit":
+        if isinstance(spec, bool) or not isinstance(spec, int) or spec < 1:
+            raise ParseError(f"$limit takes a positive integer, got {spec!r}")
+        return LimitStage(spec)
+    if op == "$count":
+        if not isinstance(spec, str) or not spec or spec.startswith("$") or "." in spec:
+            raise ParseError(f"$count takes an output field name, got {spec!r}")
+        return CountStage(spec)
+    raise ParseError(f"unsupported pipeline stage {op!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# The compiled pipeline.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageExplain:
+    """One pipeline stage in the explain report."""
+
+    op: str
+    mode: str  # "index-pruned" | "streamed" | "materialised"
+
+
+@dataclass(frozen=True)
+class AggregateExplain:
+    """What the staged executor did for one pipeline over one collection.
+
+    The leading-``$match`` fields mirror :class:`repro.query.planner.
+    PlanExplain`: ``candidates`` is the index-pruned candidate count
+    (``None`` when no index could answer the filter's predicates),
+    ``scanned`` how many documents paid the compiled evaluation, and
+    ``matched`` how many entered the streamed stages.
+    """
+
+    dialect: str
+    source: str
+    total: int
+    candidates: int | None
+    scanned: int
+    matched: int
+    results: int
+    stages: tuple[StageExplain, ...]
+
+    @property
+    def pruned(self) -> int:
+        return self.total - self.scanned
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
+
+
+class CompiledPipeline:
+    """An executable aggregation plan, reusable across collections.
+
+    ``lead_query`` is the merged leading-``$match`` run compiled as a
+    Mongo find filter (``None`` when the pipeline does not start with a
+    match): it carries the shared logical-plan IR, so collection
+    execution prunes candidates through the secondary indexes exactly
+    like ``find``.  ``stages`` are the downstream physical stages, run
+    as a generator chain over the survivors.  No evaluation state lives
+    on the compiled object, so one pipeline can be shared freely across
+    collections and mutations.
+    """
+
+    __slots__ = (
+        "source",
+        "lead_filter",
+        "lead_pred",
+        "lead_count",
+        "lead_query",
+        "stages",
+    )
+
+    def __init__(self, pipeline: list[Any]) -> None:
+        self.source = pipeline_cache_key(pipeline)
+        parsed = parse_pipeline(pipeline)
+        lead: list[dict[str, Any]] = []
+        split = 0
+        for op, spec in parsed:
+            if op != "$match":
+                break
+            if not isinstance(spec, dict):
+                raise ParseError("$match takes a filter document")
+            lead.append(spec)
+            split += 1
+        self.lead_count = split
+        self.lead_filter: dict[str, Any] | None = None
+        self.lead_query: CompiledQuery | None = None
+        self.lead_pred = None
+        if lead:
+            self.lead_filter = lead[0] if len(lead) == 1 else {"$and": lead}
+            self.lead_query = compile_mongo_find(self.lead_filter)
+            # The value-space twin, compiled to closures: candidates
+            # are verified with it, so an operator only one of the two
+            # engines rejects fails here, at compile time.
+            self.lead_pred = compile_value_filter(self.lead_filter)
+        self.stages: tuple[Stage, ...] = tuple(
+            _build_stage(op, spec) for op, spec in parsed[split:]
+        )
+
+    # ------------------------------------------------------------------
+
+    def _collection_rows(self, collection: Any) -> Iterator[Any]:
+        """Leading-match survivors of a store collection, index-pruned.
+
+        Candidates come from folding the compiled filter's sargable
+        predicates over the secondary indexes (a sound superset); the
+        final verdict per candidate is the value-space matcher, so only
+        the handful of candidate documents are ever materialised --
+        the loop never touches the pruned ids at all.
+        """
+        lead_pred = self.lead_pred
+        if lead_pred is None:
+            for _, tree in collection.documents():
+                yield tree.to_value()
+            return
+        candidates = self._candidates(collection)
+        if candidates is None:
+            for _, tree in collection.documents():
+                value = tree.to_value()
+                if lead_pred(value):
+                    yield value
+            return
+        for doc_id in sorted(candidates):
+            value = collection.get(doc_id).to_value()
+            if lead_pred(value):
+                yield value
+
+    def _candidates(self, collection: Any) -> set[int] | None:
+        indexes = collection.indexes
+        if indexes is None or self.lead_query is None:
+            return None
+        return planner.candidate_ids(
+            self.lead_query.plan.match_predicate, indexes
+        )
+
+    def _item_rows(self, items: Iterable[Any]) -> Iterator[Any]:
+        """Leading-match survivors of bare trees/values (no indexes).
+
+        Trees materialise first and are matched by the same value-space
+        predicate as every other path, so a pipeline yields identical
+        rows whatever flavour the input arrives in.
+        """
+        for item in items:
+            if isinstance(item, JSONTree):
+                item = item.to_value()
+            if self.lead_pred is None or self.lead_pred(item):
+                yield item
+
+    def _rows(self, source: Any) -> Iterator[Any]:
+        if hasattr(source, "documents") and hasattr(source, "indexes"):
+            return self._collection_rows(source)
+        return self._item_rows(source)
+
+    def execute(self, source: Any) -> list[Any]:
+        """Run the pipeline over a collection (index-pruned) or an
+        iterable of trees/values (streamed), returning the result rows."""
+        return list(self.stream(source))
+
+    def stream(self, source: Any) -> Iterator[Any]:
+        """Lazy variant of :meth:`execute` (one generator per stage)."""
+        return run_stages(self.stages, self._rows(source))
+
+    def explain(self, collection: Any) -> AggregateExplain:
+        """Run over an indexed collection, reporting what was pruned
+        by indexes versus streamed (PlanExplain's aggregation sibling)."""
+        total = len(collection)
+        candidates = self._candidates(collection)
+        if self.lead_pred is None:
+            scanned = total
+            survivors = [tree.to_value() for _, tree in collection.documents()]
+        else:
+            if candidates is None:
+                scanned = total
+                pool = (tree.to_value() for _, tree in collection.documents())
+            else:
+                scanned = len(candidates)
+                pool = (
+                    collection.get(doc_id).to_value()
+                    for doc_id in sorted(candidates)
+                )
+            survivors = [value for value in pool if self.lead_pred(value)]
+        results = sum(1 for _ in run_stages(self.stages, iter(survivors)))
+        lead_mode = "index-pruned" if candidates is not None else "streamed"
+        reports = [StageExplain("$match", lead_mode)] * self.lead_count
+        reports.extend(
+            StageExplain(stage.op, "materialised" if stage.blocking else "streamed")
+            for stage in self.stages
+        )
+        return AggregateExplain(
+            dialect=_DIALECT,
+            source=self.source,
+            total=total,
+            candidates=candidates if candidates is None else len(candidates),
+            scanned=scanned,
+            matched=len(survivors),
+            results=results,
+            stages=tuple(reports),
+        )
+
+    def __repr__(self) -> str:
+        source = self.source if len(self.source) <= 40 else self.source[:37] + "..."
+        return f"CompiledPipeline({source!r})"
+
+
+# ---------------------------------------------------------------------------
+# Cached entry points.
+# ---------------------------------------------------------------------------
+
+
+def pipeline_cache_key(pipeline: Any) -> str:
+    """Canonical JSON text of a pipeline, the compile-cache key."""
+    return json.dumps(
+        pipeline, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+def compile_pipeline(
+    pipeline: list[Any], *, cache: object = USE_DEFAULT_CACHE
+) -> CompiledPipeline:
+    """Compile an aggregation pipeline, through the artifact cache.
+
+    Keyed on the canonical JSON text in the ``"mongo-aggregate"``
+    namespace of the process-wide artifact cache, alongside query plans
+    and validators.  Pass ``cache=None`` to force a fresh compilation.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return CompiledPipeline(pipeline)
+    key = (_DIALECT, pipeline_cache_key(pipeline))
+    return resolved.get_or_compute(key, lambda: CompiledPipeline(pipeline))
+
+
+def aggregate(source: Any, pipeline: list[Any]) -> list[Any]:
+    """Run an aggregation pipeline over a collection or tree/value
+    iterable (the module-level convenience entry point)."""
+    return compile_pipeline(pipeline).execute(source)
+
+
+def explain_pipeline(collection: Any, pipeline: list[Any]) -> AggregateExplain:
+    """The staged executor's report for ``pipeline`` over ``collection``."""
+    return compile_pipeline(pipeline).explain(collection)
+
+
+# ---------------------------------------------------------------------------
+# The naive reference evaluator (differential-test oracle).
+# ---------------------------------------------------------------------------
+
+
+def _naive_group(spec: dict[str, Any], rows: list[Any]) -> list[Any]:
+    """Independent $group semantics: collect per-group value lists,
+    then apply each accumulator to the list (no streaming fold)."""
+    id_expr = compile_expr(spec["_id"])
+    names = [name for name in spec if name != "_id"]
+    table: dict[Any, tuple[Any, list[list[Any]]]] = {}
+    order: list[Any] = []
+    for row in rows:
+        id_value = id_expr(row)
+        if id_value is MISSING:
+            id_value = None
+        key = canonical_group_key(id_value)
+        if key not in table:
+            table[key] = (id_value, [[] for _ in names])
+            order.append(key)
+        collected = table[key][1]
+        for slot, name in enumerate(names):
+            ((accumulator, operand),) = spec[name].items()
+            value = None if accumulator == "$count" else compile_expr(operand)(row)
+            collected[slot].append(value)
+    results = []
+    for key in order:
+        id_value, collected = table[key]
+        out = {"_id": id_value}
+        for slot, name in enumerate(names):
+            ((accumulator, _),) = spec[name].items()
+            out[name] = _naive_accumulate(accumulator, collected[slot])
+        results.append(out)
+    return results
+
+
+def _naive_accumulate(accumulator: str, values: list[Any]) -> Any:
+    present = [value for value in values if value is not MISSING]
+    numbers = [value for value in present if _is_number(value)]
+    if accumulator == "$sum":
+        return sum(numbers)
+    if accumulator == "$avg":
+        return sum(numbers) / len(numbers) if numbers else None
+    if accumulator == "$min":
+        return min(present, key=sort_key) if present else None
+    if accumulator == "$max":
+        return max(present, key=sort_key) if present else None
+    if accumulator == "$push":
+        return present
+    if accumulator == "$count":
+        return len(values)
+    raise ParseError(f"unsupported accumulator {accumulator!r}")
+
+
+def _naive_sort(spec: dict[str, Any], rows: list[Any]) -> list[Any]:
+    """Independent $sort semantics: one comparator over all keys."""
+    import functools
+
+    keys = [(split_field_path(path), direction) for path, direction in spec.items()]
+
+    def compare(left: Any, right: Any) -> int:
+        for segments, direction in keys:
+            left_key = sort_key(resolve_path(left, segments))
+            right_key = sort_key(resolve_path(right, segments))
+            if left_key < right_key:
+                return -direction
+            if left_key > right_key:
+                return direction
+        return 0
+
+    return sorted(rows, key=functools.cmp_to_key(compare))
+
+
+def _naive_unwind(spec: Any, rows: list[Any]) -> list[Any]:
+    segments = _unwind_segments(spec)
+    out: list[Any] = []
+    for row in rows:
+        value = resolve_path(row, segments)
+        if value is MISSING or value is None:
+            continue
+        if not isinstance(value, list):
+            out.append(row)
+        else:
+            out.extend(set_path(row, segments, element) for element in value)
+    return out
+
+
+def naive_aggregate(documents: Iterable[Any], pipeline: list[Any]) -> list[Any]:
+    """Reference pipeline evaluation: eager, per-document, no indexes.
+
+    Accepts trees or plain values; every ``$match`` -- leading or not --
+    runs through the value-space :func:`match_value`, every stage
+    materialises a full list.  Deliberately shares only the *semantic*
+    kernels (path resolution, expressions, the sort order) with the
+    staged executor, so the differential tests exercise the compiled
+    leading-match path, the index pruning and the streaming machinery
+    against an independent implementation.
+    """
+    rows = [
+        doc.to_value() if isinstance(doc, JSONTree) else doc
+        for doc in documents
+    ]
+    for op, spec in parse_pipeline(pipeline):
+        if op == "$match":
+            rows = [row for row in rows if match_value(spec, row)]
+        elif op == "$project":
+            projection = Projection(spec)
+            rows = [projection.apply_value(row) for row in rows]
+        elif op == "$unwind":
+            rows = _naive_unwind(spec, rows)
+        elif op == "$group":
+            if not isinstance(spec, dict) or "_id" not in spec:
+                raise ParseError("$group takes a document with an _id expression")
+            rows = _naive_group(spec, rows)
+        elif op == "$sort":
+            if not isinstance(spec, dict) or not spec:
+                raise ParseError("$sort takes a non-empty document of path: 1|-1")
+            rows = _naive_sort(spec, rows)
+        elif op == "$skip":
+            rows = rows[spec:]
+        elif op == "$limit":
+            rows = rows[:spec]
+        else:  # $count
+            rows = [{spec: len(rows)}] if rows else []
+    return rows

@@ -12,7 +12,10 @@ The compile-once / run-many subsystem behind every front-end:
 * :mod:`~repro.query.planner` -- index-backed pruning of collection
   queries down to the documents that can possibly match;
 * :mod:`~repro.query.batch` -- one plan over many trees (or an indexed
-  collection), or many plans over one tree with a shared traversal.
+  collection), or many plans over one tree with a shared traversal;
+* :mod:`~repro.query.stages` -- the physical stage executors behind
+  Mongo aggregation pipelines (:mod:`repro.mongo.aggregate`), whose
+  leading ``$match`` runs prune through the planner like any find.
 
 The compile cache lives in :mod:`repro.cache` (the process-wide
 artifact cache); the ``query_cache*`` names below are kept as aliases
@@ -29,6 +32,7 @@ from repro.cache import (
     configure_artifact_cache as configure_query_cache,
 )
 from repro.query.batch import (
+    aggregate_many,
     evaluate_many,
     evaluate_queries,
     filter_many,
@@ -60,6 +64,7 @@ __all__ = [
     "evaluate_many",
     "match_many",
     "filter_many",
+    "aggregate_many",
     "select_queries",
     "evaluate_queries",
     "LRUCache",

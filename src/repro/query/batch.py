@@ -48,6 +48,7 @@ __all__ = [
     "evaluate_many",
     "match_many",
     "filter_many",
+    "aggregate_many",
     "select_queries",
     "evaluate_queries",
 ]
@@ -111,6 +112,20 @@ def filter_many(
         if value is not None:
             results.append(value)
     return results
+
+
+def aggregate_many(
+    pipeline: list, trees: "Iterable[JSONTree]"
+) -> list[JSONValue]:
+    """Run a Mongo aggregation pipeline over many trees (or a
+    collection, which additionally prunes the leading ``$match`` run
+    via the secondary indexes).  The pipeline compiles once through
+    the process-wide artifact cache."""
+    from repro.mongo.aggregate import compile_pipeline
+
+    compiled = compile_pipeline(pipeline)
+    collection = _as_collection(trees)
+    return compiled.execute(collection if collection is not None else trees)
 
 
 # ---------------------------------------------------------------------------

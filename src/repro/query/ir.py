@@ -377,7 +377,7 @@ def _analyze(
             conjuncts.append(_lift(ctx, step.condition))
         elif isinstance(step, jnl.Compose):
             # Nested compositions inside union/star branches.
-            steps = steps[:at - 1] + _flatten_compose(step) + steps[at:]
+            steps = steps[: at - 1] + _flatten_compose(step) + steps[at:]
             at -= 1
         elif isinstance(step, jnl.Union):
             budget[0] -= 1

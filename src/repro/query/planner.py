@@ -84,50 +84,84 @@ def candidate_ids(
 
     Sound by construction: the returned set is a superset of the
     documents where the predicate holds, hence (the predicate being a
-    necessary condition) of the documents the query matches.
+    necessary condition) of the documents the query matches.  The
+    returned set is the caller's to keep (never an index internal).
+    """
+    result, owned = _fold_candidates(predicate, indexes)
+    if result is None or owned:
+        return result
+    return set(result)
+
+
+def _fold_candidates(
+    predicate: ir.Pred, indexes: "DocumentIndexes"
+) -> tuple[set[int] | None, bool]:
+    """The candidate fold proper, returning ``(candidates, owned)``.
+
+    Leaves return the live (read-only) index postings without copying
+    (``owned=False``); connectives copy only when they genuinely
+    combine -- a conjunction copies just its smallest operand, a
+    disjunction with one non-empty branch passes it through.  So a
+    selective query never materialises the big ``PathExists``-style
+    postings it intersects against.
     """
     if isinstance(predicate, ir.TruePred):
-        return None
+        return None, True
     if isinstance(predicate, ir.AndPred):
         narrowed = [
-            sets
+            folded
             for part in predicate.parts
-            if (sets := candidate_ids(part, indexes)) is not None
+            if (folded := _fold_candidates(part, indexes))[0] is not None
         ]
         if not narrowed:
-            return None
-        narrowed.sort(key=len)
-        result = set(narrowed[0])
-        for other in narrowed[1:]:
+            return None, True
+        narrowed.sort(key=lambda folded: len(folded[0]))
+        smallest, owned = narrowed[0]
+        if len(narrowed) == 1:
+            return smallest, owned
+        result = set(smallest)
+        for other, _ in narrowed[1:]:
             result &= other
             if not result:
                 break
-        return result
+        return result, True
     if isinstance(predicate, ir.OrPred):
-        result: set[int] = set()
+        parts: list[tuple[set[int], bool]] = []
         for part in predicate.parts:
-            sets = candidate_ids(part, indexes)
-            if sets is None:
-                return None
-            result |= sets
-        return result
+            folded = _fold_candidates(part, indexes)
+            if folded[0] is None:
+                return None, True
+            if folded[0]:
+                parts.append(folded)
+        if not parts:
+            return set(), True
+        if len(parts) == 1:
+            return parts[0]
+        result = set(parts[0][0])
+        for other, _ in parts[1:]:
+            result |= other
+        return result, True
     if isinstance(predicate, ir.PathExists):
-        return set(indexes.docs_with_path(predicate.path))
+        return indexes.docs_with_path(predicate.path), False
     if isinstance(predicate, ir.PathEq):
-        return set(indexes.docs_with_value(predicate.path, predicate.value))
+        return indexes.docs_with_value(predicate.path, predicate.value), False
     if isinstance(predicate, ir.PathKind):
-        return set(indexes.docs_with_kind(predicate.path, predicate.kind))
+        return indexes.docs_with_kind(predicate.path, predicate.kind), False
     if isinstance(predicate, ir.PathRange):
-        return indexes.docs_in_range(
-            predicate.path, predicate.low, predicate.high
+        return (
+            indexes.docs_in_range(predicate.path, predicate.low, predicate.high),
+            True,
         )
     if isinstance(predicate, ir.HasKey):
-        return set(indexes.docs_with_key(predicate.key))
+        return indexes.docs_with_key(predicate.key), False
     if isinstance(predicate, ir.TailEq):
-        return set(indexes.docs_with_tail_value(predicate.key, predicate.value))
+        return (
+            indexes.docs_with_tail_value(predicate.key, predicate.value),
+            False,
+        )
     if isinstance(predicate, ir.AnyEq):
-        return set(indexes.docs_with_any_value(predicate.value))
-    return None  # Unknown predicate: never prune on it.
+        return indexes.docs_with_any_value(predicate.value), False
+    return None, True  # Unknown predicate: never prune on it.
 
 
 def _survivors(

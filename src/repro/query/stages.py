@@ -1,0 +1,554 @@
+"""Physical stage executors for aggregation pipelines.
+
+The paper's front-ends stop at *navigation* (``find``-style matching);
+real document-database traffic is dominated by multi-stage aggregation,
+which restructures documents as well as filtering them.  This module is
+the dialect-neutral half of that subsystem: a small algebra of
+**physical stages**, each a generator transformer over plain JSON
+values (the documents flowing through a pipeline), plus the shared
+value-space semantics they agree on -- dotted-path resolution, the
+expression language (``"$field"`` references and literals), the
+cross-type sort order and the ``$group`` accumulators.
+
+Stages compose as a chain of generators: a streaming stage
+(:class:`FilterStage`, :class:`ProjectStage`, :class:`UnwindStage`,
+:class:`SkipStage`, :class:`LimitStage`) holds one document at a time,
+while a blocking stage (:class:`SortStage`, :class:`GroupStage`,
+:class:`CountStage`) must materialise or fold its whole input before
+emitting.  Nothing here knows about MongoDB syntax or about
+collections; :mod:`repro.mongo.aggregate` parses Mongo pipeline
+documents into these stages and routes leading ``$match`` stages
+through the logical-plan IR so the collection planner can prune via
+secondary indexes before any stage runs.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import ParseError
+
+__all__ = [
+    "MISSING",
+    "split_field_path",
+    "resolve_path",
+    "set_path",
+    "values_equal",
+    "sort_key",
+    "compile_expr",
+    "canonical_group_key",
+    "Stage",
+    "FilterStage",
+    "ProjectStage",
+    "UnwindStage",
+    "GroupStage",
+    "SortStage",
+    "SkipStage",
+    "LimitStage",
+    "CountStage",
+    "run_stages",
+    "ACCUMULATORS",
+]
+
+
+class _Missing:
+    """Sentinel for an unresolvable field path (distinct from null)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISSING"
+
+
+MISSING = _Missing()
+
+
+# ---------------------------------------------------------------------------
+# Value-space path navigation (the semantics of dotted field paths).
+#
+# Mirrors :func:`repro.mongo.find._path_steps`: an all-digit segment is
+# an array index, anything else an object key -- so both the compiled
+# (tree) and the value-space evaluations of a path agree.
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def split_field_path(path: str) -> tuple[str, ...]:
+    """Split a dotted field path into segments, rejecting empty ones.
+
+    Memoised (value-space matching re-splits the same filter paths for
+    every document; errors are not cached by ``lru_cache``)."""
+    if not path:
+        raise ParseError("empty field path")
+    segments = tuple(path.split("."))
+    if any(not segment for segment in segments):
+        raise ParseError(f"empty segment in field path {path!r}")
+    return segments
+
+
+def resolve_path(value: Any, segments: Iterable[str]) -> Any:
+    """The value under a dotted path, or :data:`MISSING`."""
+    node = value
+    for segment in segments:
+        if segment.isdigit():
+            index = int(segment)
+            if not isinstance(node, list) or index >= len(node):
+                return MISSING
+            node = node[index]
+        else:
+            if not isinstance(node, dict) or segment not in node:
+                return MISSING
+            node = node[segment]
+    return node
+
+
+def set_path(value: Any, segments: tuple[str, ...], new: Any) -> Any:
+    """A copy of ``value`` with the node under ``segments`` replaced.
+
+    Only the containers along the path are copied (the spine); siblings
+    are shared with the input, which keeps ``$unwind`` linear in the
+    number of emitted rows rather than in total document size.
+    """
+    if not segments:
+        return new
+    head, rest = segments[0], segments[1:]
+    if head.isdigit() and isinstance(value, list):
+        index = int(head)
+        if index >= len(value):
+            return value
+        out_list = list(value)
+        out_list[index] = set_path(value[index], rest, new)
+        return out_list
+    if isinstance(value, dict) and head in value:
+        out = dict(value)
+        out[head] = set_path(value[head], rest, new)
+        return out
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Equality and ordering in value space.
+# ---------------------------------------------------------------------------
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """JSON equality: type-strict (``1 != True``), order-insensitive
+    for objects, order-sensitive for arrays."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, dict):
+        return (
+            isinstance(right, dict)
+            and left.keys() == right.keys()
+            and all(values_equal(sub, right[key]) for key, sub in left.items())
+        )
+    if isinstance(left, list):
+        return (
+            isinstance(right, list)
+            and len(left) == len(right)
+            and all(values_equal(a, b) for a, b in zip(left, right))
+        )
+    return type(left) is type(right) and left == right
+
+
+_NUMBER_RANK = 2
+
+
+def sort_key(value: Any) -> tuple:
+    """A total cross-type order for ``$sort``/``$min``/``$max``.
+
+    Types rank ``missing < null < numbers < strings < booleans <
+    arrays < objects`` (a fixed, documented order -- the point is
+    determinism shared by the staged executor and the naive reference,
+    not BSON fidelity); within a type, the natural order.
+    """
+    if value is MISSING:
+        return (0,)
+    if value is None:
+        return (1,)
+    if isinstance(value, bool):
+        return (4, value)
+    if isinstance(value, (int, float)):
+        return (_NUMBER_RANK, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, list):
+        return (5, tuple(sort_key(item) for item in value))
+    if isinstance(value, dict):
+        items = sorted((key, sort_key(sub)) for key, sub in value.items())
+        return (6, tuple(items))
+    raise ParseError(f"unorderable value {value!r}")  # pragma: no cover
+
+
+def canonical_group_key(value: Any) -> Any:
+    """A hashable canonical form of a group ``_id`` value.
+
+    Scalars key on ``(type, value)`` directly (type-tagged so ``1``,
+    ``1.0`` and ``True`` stay distinct groups); containers fall back to
+    canonical JSON text.
+    """
+    if value is None or isinstance(value, (str, int, float)):
+        return (value.__class__, value)
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+# ---------------------------------------------------------------------------
+# The expression language: "$field" references and literals.
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(spec: Any) -> Callable[[Any], Any]:
+    """Compile an aggregation expression into ``row -> value``.
+
+    ``"$a.b"`` is a field reference (resolving to :data:`MISSING` when
+    absent), any other string/number/boolean/null a literal, an object
+    a literal object of sub-expressions (keys resolving to MISSING are
+    omitted, as in MongoDB), an array a literal array (MISSING becomes
+    null).  Operator expressions (``{"$add": ...}``) are not supported
+    and raise :class:`~repro.errors.ParseError`.
+    """
+    if isinstance(spec, str) and spec.startswith("$"):
+        segments = split_field_path(spec[1:])
+        return lambda row: resolve_path(row, segments)
+    if isinstance(spec, dict):
+        if any(isinstance(key, str) and key.startswith("$") for key in spec):
+            raise ParseError(
+                f"unsupported operator expression {spec!r} "
+                "(only field references and literals are supported)"
+            )
+        compiled = {key: compile_expr(sub) for key, sub in spec.items()}
+
+        def build_object(row: Any) -> Any:
+            out = {}
+            for key, fn in compiled.items():
+                value = fn(row)
+                if value is not MISSING:
+                    out[key] = value
+            return out
+
+        return build_object
+    if isinstance(spec, list):
+        parts = [compile_expr(sub) for sub in spec]
+
+        def build_array(row: Any) -> Any:
+            return [None if (v := fn(row)) is MISSING else v for fn in parts]
+
+        return build_array
+    return lambda row: spec
+
+
+# ---------------------------------------------------------------------------
+# Accumulators (the $group fold states).
+# ---------------------------------------------------------------------------
+
+
+class _Accumulator:
+    __slots__ = ()
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _Sum(_Accumulator):
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total: int | float = 0
+
+    def add(self, value: Any) -> None:
+        # Non-numeric and missing inputs are ignored, as in MongoDB.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _Avg(_Accumulator):
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total: int | float = 0
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+            self.count += 1
+
+    def result(self) -> Any:
+        return None if self.count == 0 else self.total / self.count
+
+
+class _Min(_Accumulator):
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = MISSING
+
+    def add(self, value: Any) -> None:
+        if value is MISSING:
+            return
+        if self.best is MISSING or sort_key(value) < sort_key(self.best):
+            self.best = value
+
+    def result(self) -> Any:
+        return None if self.best is MISSING else self.best
+
+
+class _Max(_Min):
+    __slots__ = ()
+
+    def add(self, value: Any) -> None:
+        if value is MISSING:
+            return
+        if self.best is MISSING or sort_key(value) > sort_key(self.best):
+            self.best = value
+
+
+class _Push(_Accumulator):
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: list[Any] = []
+
+    def add(self, value: Any) -> None:
+        if value is not MISSING:
+            self.items.append(value)
+
+    def result(self) -> Any:
+        return self.items
+
+
+class _Count(_Accumulator):
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> Any:
+        return self.count
+
+
+ACCUMULATORS: dict[str, type[_Accumulator]] = {
+    "$sum": _Sum,
+    "$avg": _Avg,
+    "$min": _Min,
+    "$max": _Max,
+    "$push": _Push,
+    "$count": _Count,
+}
+
+
+# ---------------------------------------------------------------------------
+# The physical stages.
+# ---------------------------------------------------------------------------
+
+
+class Stage:
+    """One physical pipeline stage: an iterator transformer.
+
+    ``op`` names the surface operator (``"$match"``, ...); ``blocking``
+    says whether the stage must see its whole input before emitting
+    (``$sort``, ``$group``, ``$count``) or streams one document at a
+    time.  The explain report surfaces both.
+    """
+
+    __slots__ = ()
+
+    op = "?"
+    blocking = False
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.op})"
+
+
+class FilterStage(Stage):
+    """Keep the documents satisfying a predicate (non-leading ``$match``)."""
+
+    __slots__ = ("predicate",)
+
+    op = "$match"
+
+    def __init__(self, predicate: Callable[[Any], bool]) -> None:
+        self.predicate = predicate
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        return (row for row in rows if self.predicate(row))
+
+
+class ProjectStage(Stage):
+    """Apply a document-to-document transformation (``$project``)."""
+
+    __slots__ = ("transform",)
+
+    op = "$project"
+
+    def __init__(self, transform: Callable[[Any], Any]) -> None:
+        self.transform = transform
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        return (self.transform(row) for row in rows)
+
+
+class UnwindStage(Stage):
+    """Emit one document per element of the array under a path.
+
+    MongoDB semantics: a missing path, null value or empty array drops
+    the document; a non-array value passes the document through
+    unchanged; an array emits one copy per element with the path
+    replaced by that element.
+    """
+
+    __slots__ = ("segments",)
+
+    op = "$unwind"
+
+    def __init__(self, segments: tuple[str, ...]) -> None:
+        self.segments = segments
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        for row in rows:
+            value = resolve_path(row, self.segments)
+            if value is MISSING or value is None:
+                continue
+            if not isinstance(value, list):
+                yield row
+                continue
+            for element in value:
+                yield set_path(row, self.segments, element)
+
+
+class GroupStage(Stage):
+    """Fold the input into one document per distinct ``_id`` value.
+
+    Groups are emitted in first-seen order (a deterministic refinement
+    of MongoDB's unordered output, shared with the naive reference
+    evaluator).  Accumulator state is one fold cell per (group, field):
+    the stage holds the group table, never the input documents.
+    """
+
+    __slots__ = ("id_expr", "fields")
+
+    op = "$group"
+    blocking = True
+
+    def __init__(
+        self,
+        id_expr: Callable[[Any], Any],
+        fields: tuple[tuple[str, type[_Accumulator], Callable[[Any], Any]], ...],
+    ) -> None:
+        self.id_expr = id_expr
+        self.fields = fields
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        groups: dict[Any, tuple[Any, list[_Accumulator]]] = {}
+        for row in rows:
+            id_value = self.id_expr(row)
+            if id_value is MISSING:
+                id_value = None
+            key = canonical_group_key(id_value)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (id_value, [factory() for _, factory, _ in self.fields])
+                groups[key] = entry
+            for accumulator, (_, _, expr) in zip(entry[1], self.fields):
+                accumulator.add(expr(row))
+        for id_value, accumulators in groups.values():
+            out = {"_id": id_value}
+            for (name, _, _), accumulator in zip(self.fields, accumulators):
+                out[name] = accumulator.result()
+            yield out
+
+
+class SortStage(Stage):
+    """Materialise and sort by one or more dotted paths.
+
+    Multiple keys apply in spec order with later keys breaking ties
+    (implemented as repeated stable sorts from the last key to the
+    first); missing values order first on ascending keys.
+    """
+
+    __slots__ = ("keys",)
+
+    op = "$sort"
+    blocking = True
+
+    def __init__(self, keys: tuple[tuple[tuple[str, ...], bool], ...]) -> None:
+        self.keys = keys
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        materialised = list(rows)
+        for segments, descending in reversed(self.keys):
+            materialised.sort(
+                key=lambda row: sort_key(resolve_path(row, segments)),
+                reverse=descending,
+            )
+        return iter(materialised)
+
+
+class SkipStage(Stage):
+    __slots__ = ("count",)
+
+    op = "$skip"
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        for index, row in enumerate(rows):
+            if index >= self.count:
+                yield row
+
+
+class LimitStage(Stage):
+    __slots__ = ("count",)
+
+    op = "$limit"
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        if self.count <= 0:  # pragma: no cover - parser rejects it
+            return
+        for index, row in enumerate(rows):
+            yield row
+            if index + 1 >= self.count:
+                return
+
+
+class CountStage(Stage):
+    """Emit ``{field: n}`` -- nothing at all when the input is empty,
+    as in MongoDB."""
+
+    __slots__ = ("field",)
+
+    op = "$count"
+    blocking = True
+
+    def __init__(self, field: str) -> None:
+        self.field = field
+
+    def run(self, rows: Iterator[Any]) -> Iterator[Any]:
+        count = sum(1 for _ in rows)
+        if count:
+            yield {self.field: count}
+
+
+def run_stages(stages: Iterable[Stage], rows: Iterator[Any]) -> Iterator[Any]:
+    """Chain the stages over ``rows`` as one lazy generator pipeline."""
+    for stage in stages:
+        rows = stage.run(rows)
+    return rows

@@ -244,6 +244,27 @@ class Collection:
             return planner.explain(self, compile_mongo_find(query))
         return planner.explain(self, self._as_query(query, dialect))
 
+    def aggregate(self, pipeline: list) -> list[JSONValue]:
+        """MongoDB's ``db.collection.aggregate(pipeline)``.
+
+        The pipeline compiles once (cached process-wide); its leading
+        ``$match`` run lowers into the logical-plan IR so the planner
+        prunes candidates via the secondary indexes, and the downstream
+        stages stream over the survivors.
+        """
+        # Lazy import: the Mongo front-end builds on the store.
+        from repro.mongo.aggregate import compile_pipeline
+
+        return compile_pipeline(pipeline).execute(self)
+
+    def explain_aggregate(self, pipeline: list):
+        """Stage-by-stage report (index-pruned vs streamed) for
+        :meth:`aggregate` -- a :class:`repro.mongo.aggregate.
+        AggregateExplain`."""
+        from repro.mongo.aggregate import compile_pipeline
+
+        return compile_pipeline(pipeline).explain(self)
+
     @staticmethod
     def _as_query(query: "CompiledQuery | str", dialect: str) -> CompiledQuery:
         if isinstance(query, CompiledQuery):

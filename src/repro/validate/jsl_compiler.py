@@ -24,7 +24,7 @@ raw-value closure, so corpus validation can skip tree materialisation.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import TranslationError
 from repro.jsl import ast

@@ -1,0 +1,610 @@
+"""Aggregation pipelines: stage semantics, pruning, differentials."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import artifact_cache, clear_artifact_cache
+from repro.errors import ModelError, ParseError
+from repro.model.tree import JSONTree
+from repro.mongo.aggregate import (
+    CompiledPipeline,
+    aggregate,
+    compile_pipeline,
+    compile_value_filter,
+    match_value,
+    naive_aggregate,
+    parse_pipeline,
+)
+from repro.query import aggregate_many, compile_mongo_find, planner
+from repro.query.stages import MISSING, resolve_path, sort_key, values_equal
+from repro.store import Collection
+from repro.workloads import people_collection
+
+PEOPLE = people_collection(300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def people() -> Collection:
+    return Collection(people_collection(300, seed=7))
+
+
+def run(docs, pipeline):
+    """Both executors over the same documents; asserts they agree.
+
+    Always exercises the staged value path; documents inside the strict
+    model (no null/booleans) additionally round through an indexed
+    collection, which must not change a single row.
+    """
+    staged = aggregate_many(pipeline, docs)
+    naive = naive_aggregate(docs, pipeline)
+    assert staged == naive
+    try:
+        collection = Collection(docs)
+    except ModelError:
+        pass  # null/booleans: outside the tree model, value path only
+    else:
+        assert aggregate(collection, pipeline) == naive
+    return staged
+
+
+# ---------------------------------------------------------------------------
+# Stage semantics.
+# ---------------------------------------------------------------------------
+
+
+class TestUnwind:
+    DOCS = [
+        {"id": 0, "tags": ["a", "b"]},
+        {"id": 1, "tags": []},
+        {"id": 2},
+        {"id": 3, "tags": "scalar"},
+        {"id": 4, "tags": None},
+    ]
+
+    def test_array_emits_one_row_per_element(self):
+        rows = run(self.DOCS, [{"$unwind": "$tags"}])
+        assert [row["id"] for row in rows] == [0, 0, 3]
+        assert rows[0]["tags"] == "a" and rows[1]["tags"] == "b"
+
+    def test_non_array_passes_through_unchanged(self):
+        rows = run(self.DOCS, [{"$unwind": "$tags"}])
+        assert {"id": 3, "tags": "scalar"} in rows
+
+    def test_missing_null_and_empty_drop_the_document(self):
+        rows = run(self.DOCS, [{"$unwind": "$tags"}])
+        assert all(row["id"] not in (1, 2, 4) for row in rows)
+
+    def test_nested_path(self):
+        docs = [{"a": {"b": [1, 2]}, "keep": "x"}]
+        rows = run(docs, [{"$unwind": "$a.b"}])
+        assert rows == [
+            {"a": {"b": 1}, "keep": "x"},
+            {"a": {"b": 2}, "keep": "x"},
+        ]
+
+    def test_options_form(self):
+        rows = run(self.DOCS, [{"$unwind": {"path": "$tags"}}])
+        assert len(rows) == 3
+
+    def test_siblings_are_shared_not_copied_along_the_spine(self):
+        docs = [{"a": {"b": [1, 2]}, "big": {"payload": [1, 2, 3]}}]
+        rows = aggregate(Collection(docs), [{"$unwind": "$a.b"}])
+        assert rows[0]["big"] is rows[1]["big"]
+
+
+class TestGroup:
+    DOCS = [
+        {"k": "x", "n": 1, "s": "p"},
+        {"k": "x", "n": 3},
+        {"k": "y", "n": 5, "s": "q"},
+        {"k": "x", "n": "not-a-number"},
+    ]
+
+    def test_accumulators(self):
+        rows = run(
+            self.DOCS,
+            [
+                {
+                    "$group": {
+                        "_id": "$k",
+                        "total": {"$sum": "$n"},
+                        "avg": {"$avg": "$n"},
+                        "low": {"$min": "$n"},
+                        "high": {"$max": "$n"},
+                        "all": {"$push": "$s"},
+                        "rows": {"$count": {}},
+                    }
+                }
+            ],
+        )
+        assert rows == [
+            {
+                "_id": "x",
+                "total": 4,
+                "avg": 2.0,
+                "low": 1,
+                "high": "not-a-number",
+                "all": ["p"],
+                "rows": 3,
+            },
+            {
+                "_id": "y",
+                "total": 5,
+                "avg": 5.0,
+                "low": 5,
+                "high": 5,
+                "all": ["q"],
+                "rows": 1,
+            },
+        ]
+
+    def test_missing_id_groups_as_null(self):
+        rows = run(self.DOCS, [{"$group": {"_id": "$nope", "n": {"$sum": 1}}}])
+        assert rows == [{"_id": None, "n": 4}]
+
+    def test_composite_id_expression(self):
+        rows = run(
+            self.DOCS,
+            [{"$group": {"_id": {"key": "$k", "tag": "lit"}, "n": {"$sum": 1}}}],
+        )
+        assert {"_id": {"key": "y", "tag": "lit"}, "n": 1} in rows
+
+    def test_avg_of_no_numbers_is_null(self):
+        rows = run(
+            [{"k": "x", "v": "s"}],
+            [{"$group": {"_id": "$k", "a": {"$avg": "$v"}}}],
+        )
+        assert rows == [{"_id": "x", "a": None}]
+
+    def test_bool_and_int_ids_stay_distinct_groups(self):
+        rows = run(
+            [{"v": 1}, {"v": True}, {"v": 1}],
+            [{"$group": {"_id": "$v", "n": {"$sum": 1}}}],
+        )
+        assert {"_id": 1, "n": 2} in rows
+        assert {"_id": True, "n": 1} in rows
+
+
+class TestSortSkipLimitCount:
+    DOCS = [
+        {"a": 3, "b": "z"},
+        {"a": 1, "b": "y"},
+        {"a": 3, "b": "x"},
+        {"b": "w"},
+    ]
+
+    def test_multi_key_sort_with_directions(self):
+        rows = run(self.DOCS, [{"$sort": {"a": -1, "b": 1}}])
+        assert rows == [
+            {"a": 3, "b": "x"},
+            {"a": 3, "b": "z"},
+            {"a": 1, "b": "y"},
+            {"b": "w"},  # missing orders below every number, desc-last
+        ]
+
+    def test_missing_orders_first_ascending(self):
+        rows = run(self.DOCS, [{"$sort": {"a": 1}}])
+        assert rows[0] == {"b": "w"}
+
+    def test_sort_is_stable_on_ties(self):
+        rows = run(self.DOCS, [{"$sort": {"a": 1}}])
+        assert rows[1:] == [self.DOCS[1], self.DOCS[0], self.DOCS[2]]
+
+    def test_skip_and_limit(self):
+        assert run(self.DOCS, [{"$sort": {"a": 1}}, {"$skip": 1}, {"$limit": 2}]) == [
+            {"a": 1, "b": "y"},
+            {"a": 3, "b": "z"},
+        ]
+
+    def test_skip_past_the_end(self):
+        assert run(self.DOCS, [{"$skip": 99}]) == []
+
+    def test_count(self):
+        assert run(self.DOCS, [{"$count": "total"}]) == [{"total": 4}]
+
+    def test_count_of_empty_input_emits_nothing(self):
+        assert run(self.DOCS, [{"$match": {"a": 99}}, {"$count": "n"}]) == []
+
+
+class TestProjectAndMatch:
+    def test_inclusion_projection(self):
+        rows = run(
+            [{"a": 1, "b": 2, "c": {"d": 3, "e": 4}}],
+            [{"$project": {"a": 1, "c.d": 1}}],
+        )
+        assert rows == [{"a": 1, "c": {"d": 3}}]
+
+    def test_non_leading_match_runs_on_pipeline_products(self):
+        rows = run(
+            [{"k": "x", "n": 1}, {"k": "x", "n": 2}, {"k": "y", "n": 5}],
+            [
+                {"$group": {"_id": "$k", "total": {"$sum": "$n"}}},
+                {"$match": {"total": {"$gt": 4}}},
+            ],
+        )
+        assert rows == [{"_id": "y", "total": 5}]
+
+    def test_empty_pipeline_returns_every_document(self):
+        docs = [{"a": 1}, {"a": 2}]
+        assert run(docs, []) == docs
+
+    def test_match_only_pipeline(self):
+        rows = run(PEOPLE, [{"$match": {"address.city": "Talca"}}])
+        assert rows and all(r["address"]["city"] == "Talca" for r in rows)
+
+
+# ---------------------------------------------------------------------------
+# Parse errors.
+# ---------------------------------------------------------------------------
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "pipeline",
+        [
+            {"$match": {}},  # not a list
+            [{"$match": {}, "$limit": 1}],  # two operators in one stage
+            [{"$frobnicate": {}}],  # unknown stage
+            [{"$group": {"n": {"$sum": 1}}}],  # no _id
+            [{"$group": {"_id": None, "n": {"$bogus": 1}}}],  # bad accumulator
+            [{"$group": {"_id": None, "a.b": {"$sum": 1}}}],  # dotted field
+            [{"$group": {"_id": None, "n": {"$sum": 1, "$min": 1}}}],
+            [{"$group": {"_id": None, "n": {"$count": {"x": 1}}}}],
+            [{"$group": {"_id": {"$add": [1, 2]}, "n": {"$sum": 1}}}],
+            [{"$sort": {}}],  # empty sort spec
+            [{"$sort": {"a": 2}}],  # bad direction
+            [{"$sort": {"a": True}}],  # boolean direction
+            [{"$limit": 0}],
+            [{"$limit": "3"}],
+            [{"$skip": -1}],
+            [{"$count": ""}],
+            [{"$count": "$x"}],
+            [{"$count": "a.b"}],
+            [{"$unwind": "tags"}],  # no $ prefix
+            [{"$unwind": 3}],
+            [{"$unwind": "$"}],  # empty path
+            [{"$match": {"age": {"$gt": "x"}}}],  # non-numeric bound
+            [{"$match": {"$bogus": []}}],
+            # Non-leading stages validate operands at compile time too:
+            # position must not change whether a pipeline is accepted.
+            [{"$limit": 5}, {"$match": {"age": {"$gt": "x"}}}],
+            [{"$limit": 5}, {"$match": {"age": {"$in": 3}}}],
+            [{"$limit": 5}, {"$match": {"a": {"$type": "frob"}}}],
+            [{"$limit": 5}, {"$match": {"a": {"$regex": "("}}}],
+            [{"$limit": 5}, {"$match": {"a": {"$not": {"$size": "x"}}}}],
+            [{"$limit": 5}, {"$match": {"a": {"$elemMatch": {"$gt": []}}}}],
+            [{"$project": {"a": 2}}],  # invalid projection flag
+            [{"$project": {"a": 1, "b": 0}}],  # mixed projection
+        ],
+    )
+    def test_rejected_at_compile_time(self, pipeline):
+        with pytest.raises(ParseError):
+            compile_pipeline(pipeline, cache=None)
+
+    def test_naive_rejects_the_same_shapes(self):
+        with pytest.raises(ParseError):
+            naive_aggregate([], {"$match": {}})
+        with pytest.raises(ParseError):
+            naive_aggregate([], [{"$frobnicate": {}}])
+        with pytest.raises(ParseError):
+            naive_aggregate([], [{"$group": {"n": {"$sum": 1}}}])
+
+    def test_parse_pipeline_normalises(self):
+        assert parse_pipeline([{"$limit": 3}]) == (("$limit", 3),)
+
+
+# ---------------------------------------------------------------------------
+# Index pruning: the leading $match provably routes through the planner.
+# ---------------------------------------------------------------------------
+
+
+class TestIndexPruning:
+    PIPELINE = [
+        {"$match": {"name.first": "Sue", "address.city": "Santiago"}},
+        {"$group": {"_id": "$name.last", "n": {"$sum": 1}}},
+    ]
+
+    def test_explain_reports_index_pruning(self, people):
+        report = people.explain_aggregate(self.PIPELINE)
+        assert report.used_indexes
+        assert report.candidates is not None
+        assert report.candidates < report.total
+        assert report.scanned == report.candidates
+        assert report.pruned == report.total - report.scanned
+        assert report.stages[0].mode == "index-pruned"
+        assert report.stages[1].op == "$group"
+        assert report.stages[1].mode == "materialised"
+
+    def test_lead_query_goes_through_the_planner(self, people):
+        """The merged leading $match is a PR-3 logical plan: the
+        planner's own PlanExplain agrees with the aggregation report."""
+        compiled = compile_pipeline(self.PIPELINE)
+        assert compiled.lead_query is not None
+        plan_report = planner.explain(people, compiled.lead_query)
+        agg_report = compiled.explain(people)
+        assert isinstance(plan_report, planner.PlanExplain)
+        assert plan_report.used_indexes
+        assert plan_report.matched == agg_report.matched
+        assert agg_report.scanned < len(people)
+
+    def test_consecutive_leading_matches_merge(self, people):
+        split = [
+            {"$match": {"name.first": "Sue"}},
+            {"$match": {"address.city": "Santiago"}},
+            {"$group": {"_id": "$name.last", "n": {"$sum": 1}}},
+        ]
+        compiled = compile_pipeline(split)
+        assert compiled.lead_count == 2
+        report = compiled.explain(people)
+        assert [stage.mode for stage in report.stages] == [
+            "index-pruned",
+            "index-pruned",
+            "materialised",
+        ]
+        assert compiled.execute(people) == aggregate(people, self.PIPELINE)
+
+    def test_non_leading_match_is_streamed(self, people):
+        pipeline = [
+            {"$unwind": "$hobbies"},
+            {"$match": {"hobbies": "chess"}},
+        ]
+        report = people.explain_aggregate(pipeline)
+        assert report.candidates is None  # no leading $match to prune with
+        assert report.scanned == report.total
+        assert [stage.mode for stage in report.stages] == ["streamed", "streamed"]
+
+    def test_unindexed_collection_streams(self):
+        collection = Collection(PEOPLE[:50], indexed=False)
+        report = collection.explain_aggregate(self.PIPELINE)
+        assert not report.used_indexes
+        assert report.stages[0].mode == "streamed"
+        assert collection.aggregate(self.PIPELINE) == naive_aggregate(
+            PEOPLE[:50], self.PIPELINE
+        )
+
+    def test_mutation_is_never_stale(self):
+        collection = Collection(PEOPLE[:20])
+        pipeline = [
+            {"$match": {"address.city": "Talca"}},
+            {"$count": "n"},
+        ]
+        before = collection.aggregate(pipeline)
+        added = collection.insert(
+            {"id": 999, "address": {"city": "Talca"}, "age": 1}
+        )
+        after = collection.aggregate(pipeline)
+        expected = (before[0]["n"] if before else 0) + 1
+        assert after == [{"n": expected}]
+        collection.remove(added)
+        assert collection.aggregate(pipeline) == before
+
+
+# ---------------------------------------------------------------------------
+# The compile cache.
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineCache:
+    def test_structurally_equal_pipelines_share_one_plan(self):
+        clear_artifact_cache()
+        try:
+            first = compile_pipeline([{"$match": {"a": 1}}, {"$limit": 2}])
+            second = compile_pipeline([{"$match": {"a": 1}}, {"$limit": 2}])
+            assert first is second
+            assert artifact_cache().stats().hits >= 1
+        finally:
+            clear_artifact_cache()
+
+    def test_cache_none_compiles_fresh(self):
+        pipeline = [{"$limit": 1}]
+        assert compile_pipeline(pipeline, cache=None) is not compile_pipeline(
+            pipeline, cache=None
+        )
+
+    def test_plans_are_collection_independent(self, people):
+        compiled = compile_pipeline([{"$match": {"name.first": "Sue"}}])
+        small = Collection(PEOPLE[:10])
+        assert compiled.execute(small) == naive_aggregate(
+            PEOPLE[:10], [{"$match": {"name.first": "Sue"}}]
+        )
+        assert compiled.execute(people) == naive_aggregate(
+            PEOPLE, [{"$match": {"name.first": "Sue"}}]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batch API and input flavours.
+# ---------------------------------------------------------------------------
+
+
+class TestInputFlavours:
+    PIPELINE = [
+        {"$match": {"age": {"$gt": 40}}},
+        {"$group": {"_id": "$address.city", "n": {"$sum": 1}}},
+        {"$sort": {"_id": 1}},
+    ]
+
+    def test_aggregate_many_over_trees(self):
+        trees = [JSONTree.from_value(doc) for doc in PEOPLE[:80]]
+        assert aggregate_many(self.PIPELINE, trees) == naive_aggregate(
+            PEOPLE[:80], self.PIPELINE
+        )
+
+    def test_aggregate_many_over_plain_values(self):
+        assert aggregate_many(self.PIPELINE, PEOPLE[:80]) == naive_aggregate(
+            PEOPLE[:80], self.PIPELINE
+        )
+
+    def test_aggregate_many_over_a_collection(self, people):
+        assert aggregate_many(self.PIPELINE, people) == naive_aggregate(
+            PEOPLE, self.PIPELINE
+        )
+
+    def test_empty_collection(self):
+        empty = Collection([])
+        assert empty.aggregate(self.PIPELINE) == []
+        assert empty.aggregate([{"$count": "n"}]) == []
+
+    def test_stream_is_lazy(self, people):
+        compiled = compile_pipeline([{"$match": {"name.first": "Sue"}}])
+        stream = compiled.stream(people)
+        first = next(stream)
+        assert first["name"]["first"] == "Sue"
+
+
+# ---------------------------------------------------------------------------
+# match_value vs the compiled find filter (the two $match engines).
+# ---------------------------------------------------------------------------
+
+FILTERS = [
+    {"name.first": "Sue"},
+    {"name.first": "Sue", "address.city": "Santiago"},
+    {"age": {"$gt": 60}},
+    {"age": {"$gte": 60, "$lt": 70}},
+    {"age": {"$ne": 30}},
+    {"age": {"$in": [20, 30, 40]}},
+    {"age": {"$nin": [20, 30, 40]}},
+    {"hobbies": "chess"},  # array-containment equality
+    {"hobbies.0": "chess"},  # digit segment = array index
+    {"hobbies": {"$size": 2}},
+    {"hobbies": {"$elemMatch": {"$eq": "yoga"}}},
+    {"hobbies": {"$exists": True}},
+    {"pets": {"$exists": False}},
+    {"name.first": {"$regex": "^S"}},
+    {"name.first": {"$regex": "u"}},
+    {"name": {"$type": "object"}},
+    {"hobbies": {"$type": "array"}},
+    {"age": {"$type": "number"}},
+    {"age": {"$not": {"$lt": 50}}},
+    {"$or": [{"age": {"$lt": 25}}, {"age": {"$gt": 80}}]},
+    {"$and": [{"age": {"$gt": 25}}, {"age": {"$lt": 80}}]},
+    {"$nor": [{"name.first": "Sue"}, {"name.first": "Bob"}]},
+]
+
+
+class TestMatchValueDifferential:
+    @pytest.mark.parametrize("filter_doc", FILTERS)
+    def test_value_space_agrees_with_compiled_jnl(self, filter_doc):
+        query = compile_mongo_find(filter_doc)
+        closure = compile_value_filter(filter_doc)
+        for doc in PEOPLE[:120]:
+            tree = JSONTree.from_value(doc)
+            compiled = query.matches(tree)
+            interpreted = match_value(filter_doc, doc)
+            assert compiled == interpreted, (filter_doc, doc)
+            assert closure(doc) == interpreted, (filter_doc, doc)
+
+    @pytest.mark.parametrize("filter_doc", FILTERS)
+    def test_pruning_is_sound_for_every_filter(self, filter_doc, people):
+        """Index candidates must be a superset of the true matches."""
+        query = compile_mongo_find(filter_doc)
+        candidates = planner.candidate_ids(
+            query.plan.match_predicate, people.indexes
+        )
+        matches = {
+            doc_id
+            for doc_id, tree in people.documents()
+            if match_value(filter_doc, tree.to_value())
+        }
+        if candidates is not None:
+            assert matches <= candidates
+
+
+# ---------------------------------------------------------------------------
+# Randomised differential pipelines.
+# ---------------------------------------------------------------------------
+
+
+def _random_pipeline(rng: random.Random) -> list:
+    stages = []
+    if rng.random() < 0.8:
+        stages.append({"$match": rng.choice(FILTERS)})
+        if rng.random() < 0.3:
+            stages.append({"$match": rng.choice(FILTERS)})
+    pool = rng.sample(
+        [
+            {"$unwind": "$hobbies"},
+            {"$project": {"name.first": 1, "age": 1, "hobbies": 1}},
+            {"$sort": {"age": -1, "id": 1}},
+            {
+                "$group": {
+                    "_id": "$name.first",
+                    "n": {"$sum": 1},
+                    "avg": {"$avg": "$age"},
+                    "oldest": {"$max": "$age"},
+                    "youngest": {"$min": "$age"},
+                    "ages": {"$push": "$age"},
+                }
+            },
+            {"$skip": rng.randrange(0, 5)},
+            {"$limit": rng.randrange(1, 40)},
+        ],
+        k=rng.randrange(1, 4),
+    )
+    stages.extend(pool)
+    if rng.random() < 0.2:
+        stages.append({"$count": "rows"})
+    return stages
+
+
+class TestRandomisedDifferential:
+    def test_staged_equals_naive_on_random_pipelines(self, people):
+        rng = random.Random(1234)
+        docs = PEOPLE
+        for _ in range(60):
+            pipeline = _random_pipeline(rng)
+            staged = aggregate(people, pipeline)
+            naive = naive_aggregate(docs, pipeline)
+            assert staged == naive, pipeline
+
+    def test_tree_iterable_equals_naive_on_random_pipelines(self):
+        rng = random.Random(987)
+        docs = PEOPLE[:100]
+        trees = [JSONTree.from_value(doc) for doc in docs]
+        for _ in range(25):
+            pipeline = _random_pipeline(rng)
+            assert aggregate_many(pipeline, trees) == naive_aggregate(
+                docs, pipeline
+            ), pipeline
+
+    def test_unindexed_equals_indexed_on_random_pipelines(self):
+        rng = random.Random(55)
+        docs = PEOPLE[:100]
+        indexed = Collection(docs)
+        unindexed = Collection(docs, indexed=False)
+        for _ in range(25):
+            pipeline = _random_pipeline(rng)
+            assert aggregate(indexed, pipeline) == aggregate(
+                unindexed, pipeline
+            ), pipeline
+
+
+# ---------------------------------------------------------------------------
+# Value-space kernels.
+# ---------------------------------------------------------------------------
+
+
+class TestKernels:
+    def test_resolve_path_digit_segments(self):
+        doc = {"a": [{"b": 1}, {"b": 2}]}
+        assert resolve_path(doc, ("a", "1", "b")) == 2
+        assert resolve_path(doc, ("a", "9", "b")) is MISSING
+        assert resolve_path(doc, ("a", "b")) is MISSING
+
+    def test_values_equal_is_type_strict(self):
+        assert not values_equal(1, True)
+        assert not values_equal(0, False)
+        assert values_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
+        assert not values_equal([1, 2], [2, 1])
+
+    def test_sort_key_total_order(self):
+        ordered = [MISSING, None, 0, 5, "a", "b", True, [1], {"a": 1}]
+        keys = [sort_key(value) for value in ordered]
+        assert keys == sorted(keys)
+
+    def test_repr(self):
+        compiled = CompiledPipeline([{"$limit": 1}])
+        assert "CompiledPipeline" in repr(compiled)

@@ -182,3 +182,123 @@ class TestSat:
             "def g := value(\"end\") or some(.next, $g); some(.next, $g)"
         )
         assert main(["sat", "--jsl", program, "--quiet"]) == 0
+
+
+@pytest.fixture
+def jsonl_file(tmp_path):
+    path = tmp_path / "people.jsonl"
+    path.write_text(
+        "\n".join(
+            json.dumps(doc)
+            for doc in [
+                {"name": "Sue", "age": 35, "hobbies": ["chess", "yoga"]},
+                {"name": "Bob", "age": 28, "hobbies": ["chess"]},
+                {"name": "Ana", "age": 61},
+                {"name": "Li", "age": 35, "hobbies": []},
+            ]
+        )
+        + "\n"
+    )
+    return str(path)
+
+
+class TestAggregate:
+    def test_pipeline_over_jsonl_collection(self, jsonl_file, capsys):
+        pipeline = json.dumps(
+            [
+                {"$match": {"age": {"$gt": 30}}},
+                {"$group": {"_id": None, "n": {"$sum": 1}}},
+            ]
+        )
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline]
+        ) == 0
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert out == [{"_id": None, "n": 3}]
+
+    def test_pipeline_over_array_file(self, collection_file, capsys):
+        pipeline = json.dumps([{"$project": {"name": 1}}, {"$sort": {"name": 1}}])
+        assert main(
+            ["aggregate", collection_file, "--pipeline", pipeline]
+        ) == 0
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert out == [{"name": "Bob"}, {"name": "Sue"}]
+
+    def test_unwind_skips_missing_and_passes_scalars(self, jsonl_file, capsys):
+        pipeline = json.dumps(
+            [{"$unwind": "$hobbies"}, {"$group": {"_id": "$hobbies", "n": {"$sum": 1}}}]
+        )
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline]
+        ) == 0
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        # Ana (missing) and Li (empty array) contribute no rows.
+        assert out == [{"_id": "chess", "n": 2}, {"_id": "yoga", "n": 1}]
+
+    def test_unwind_on_non_array_path(self, jsonl_file, capsys):
+        pipeline = json.dumps([{"$unwind": "$name"}, {"$count": "rows"}])
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline]
+        ) == 0
+        out = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert out == [{"rows": 4}]  # scalars pass through unchanged
+
+    def test_explain_reports_index_pruning(self, jsonl_file, capsys):
+        pipeline = json.dumps(
+            [{"$match": {"name": "Sue"}}, {"$sort": {"age": 1}}]
+        )
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline,
+             "--explain"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].split("\t") == ["stage 1", "$match", "index-pruned"]
+        assert out[1].split("\t") == ["stage 2", "$sort", "materialised"]
+        assert "total=4" in out[2] and "candidates=1" in out[2]
+
+    def test_empty_collection(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(
+            ["aggregate", "--collection", str(empty), "--pipeline",
+             '[{"$count": "n"}]']
+        ) == 1
+
+    def test_no_results_exit_code(self, jsonl_file):
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline",
+             '[{"$match": {"age": {"$gt": 99}}}]']
+        ) == 1
+
+    def test_pipeline_parse_error(self, jsonl_file, capsys):
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline",
+             '[{"$frobnicate": 1}]']
+        ) == 2
+        assert "unsupported pipeline stage" in capsys.readouterr().err
+
+    def test_pipeline_invalid_json(self, jsonl_file):
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline", "not-json"]
+        ) == 2
+
+    def test_pipeline_must_be_an_array(self, jsonl_file, capsys):
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline",
+             '{"$match": {}}']
+        ) == 2
+        assert "JSON array" in capsys.readouterr().err
+
+    def test_requires_exactly_one_input(self, collection_file, jsonl_file):
+        assert main(["aggregate", "--pipeline", "[]"]) == 2
+        assert main(
+            ["aggregate", collection_file, "--collection", jsonl_file,
+             "--pipeline", "[]"]
+        ) == 2
+
+    def test_group_accumulator_error(self, jsonl_file, capsys):
+        assert main(
+            ["aggregate", "--collection", jsonl_file, "--pipeline",
+             '[{"$group": {"_id": null, "n": {"$bogus": 1}}}]']
+        ) == 2
+        assert "unsupported accumulator" in capsys.readouterr().err

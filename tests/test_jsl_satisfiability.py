@@ -13,7 +13,6 @@ from itertools import product
 
 import pytest
 
-from repro.jsl import ast
 from repro.jsl.bottom_up import satisfies_recursive
 from repro.jsl.evaluator import satisfies
 from repro.jsl.parser import parse_jsl, parse_jsl_formula

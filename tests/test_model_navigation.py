@@ -11,7 +11,7 @@ from repro.model.pointer import (
     resolve_in_value,
     resolve_pointer,
 )
-from repro.model.tree import JSONTree, Kind
+from repro.model.tree import Kind
 
 
 class TestNavigate:

@@ -13,7 +13,6 @@ import random
 import pytest
 
 from repro.jnl import ast as jnl
-from repro.jnl.efficient import JNLEvaluator
 from repro.jnl.evaluator import eval_binary, eval_unary
 from repro.jnl.parser import parse_jnl
 from repro.jsonpath import jsonpath_nodes, jsonpath_query
