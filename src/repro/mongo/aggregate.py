@@ -26,15 +26,16 @@ All ``$match`` evaluation happens in value space (the compiled
 :func:`compile_value_filter` closures; :func:`match_value` is the
 per-call interpreter the naive reference uses) with the same operator
 semantics as the ``find`` filter compiler -- the compiled JNL form of
-the leading run exists for its logical plan, i.e. for index pruning.
-One caveat: a *leading* ``$match`` must also compile through
-:func:`repro.mongo.find.compile_filter`, whose ``$regex`` dialect is
-the KeyLang subset, so a leading regex outside that subset (e.g.
-``(?i)``) is rejected at compile time while the same stage later in
-the pipeline runs with Python ``re`` semantics.  :func:`naive_aggregate`
-is the reference evaluator -- eager, list-at-a-time, no compilation,
-no pruning -- that the differential tests pit the staged executor
-against.
+the leading run exists only for its logical plan, i.e. for index
+pruning.  Whether a pipeline is *accepted* never depends on stage
+position: when the leading run is valid in value space but outside the
+find compiler's dialect (a float comparison bound, a ``$regex`` beyond
+the KeyLang subset such as ``(?i)``), the pipeline still compiles and
+runs with identical semantics -- the leading match just scans instead
+of pruning, which the explain report surfaces as ``"streamed"``.
+:func:`naive_aggregate` is the reference evaluator -- eager,
+list-at-a-time, no compilation, no pruning -- that the differential
+tests pit the staged executor against.
 """
 
 from __future__ import annotations
@@ -47,7 +48,7 @@ from typing import Any, Iterable, Iterator
 from repro.cache import USE_DEFAULT_CACHE, resolve_cache
 from repro.errors import ParseError
 from repro.model.tree import JSONTree
-from repro.mongo.find import _is_operator_doc
+from repro.mongo.find import _is_operator_doc, _require_int, _require_list
 from repro.mongo.projection import Projection
 from repro.query import planner
 from repro.query.compiled import CompiledQuery, compile_mongo_find
@@ -118,13 +119,8 @@ def _is_number(value: Any) -> bool:
 
 
 def _require_number(operator: str, operand: Any) -> None:
-    if isinstance(operand, bool) or not isinstance(operand, int):
+    if not _is_number(operand):
         raise ParseError(f"{operator} takes a number, got {operand!r}")
-
-
-def _require_list(operator: str, operand: Any) -> None:
-    if not isinstance(operand, list):
-        raise ParseError(f"{operator} takes an array, got {operand!r}")
 
 
 def _eq_mongo(node: Any, operand: Any) -> bool:
@@ -177,7 +173,7 @@ def _op_holds(operator: str, operand: Any, node: Any) -> bool:
             raise ParseError(f"unsupported $type operand {operand!r}")
         return check(node)
     if operator == "$size":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return isinstance(node, list) and len(node) == operand
     if operator == "$regex":
         if not isinstance(operand, str):
@@ -317,8 +313,10 @@ _FIELD_OPS = (
 def _validate_operand(operator: str, operand: Any) -> None:
     """Eager operand checks, so a bad filter fails at *compile* time
     regardless of stage position or whether any row ever reaches it."""
-    if operator in ("$gt", "$gte", "$lt", "$lte", "$size"):
+    if operator in ("$gt", "$gte", "$lt", "$lte"):
         _require_number(operator, operand)
+    elif operator == "$size":
+        _require_int(operator, operand)
     elif operator in ("$in", "$nin"):
         _require_list(operator, operand)
     elif operator == "$type":
@@ -443,7 +441,10 @@ def _build_group(spec: Any) -> GroupStage:
     return GroupStage(compile_expr(spec["_id"]), tuple(fields))
 
 
-def _build_sort(spec: Any) -> SortStage:
+def _sort_spec_keys(spec: Any) -> list[tuple[tuple[str, ...], int]]:
+    """Validated ``(path segments, 1|-1)`` pairs of a ``$sort`` spec
+    (shared by the staged executor and the naive reference, so both
+    reject invalid specs identically)."""
     if not isinstance(spec, dict) or not spec:
         raise ParseError("$sort takes a non-empty document of path: 1|-1")
     keys = []
@@ -453,8 +454,26 @@ def _build_sort(spec: Any) -> SortStage:
                 f"$sort direction for {path!r} must be 1 or -1, "
                 f"got {direction!r}"
             )
-        keys.append((split_field_path(path), direction == -1))
-    return SortStage(tuple(keys))
+        keys.append((split_field_path(path), direction))
+    return keys
+
+
+def _skip_count(spec: Any) -> int:
+    if isinstance(spec, bool) or not isinstance(spec, int) or spec < 0:
+        raise ParseError(f"$skip takes a non-negative integer, got {spec!r}")
+    return spec
+
+
+def _limit_count(spec: Any) -> int:
+    if isinstance(spec, bool) or not isinstance(spec, int) or spec < 1:
+        raise ParseError(f"$limit takes a positive integer, got {spec!r}")
+    return spec
+
+
+def _count_field(spec: Any) -> str:
+    if not isinstance(spec, str) or not spec or spec.startswith("$") or "." in spec:
+        raise ParseError(f"$count takes an output field name, got {spec!r}")
+    return spec
 
 
 def _unwind_segments(spec: Any) -> tuple[str, ...]:
@@ -479,19 +498,18 @@ def _build_stage(op: str, spec: Any) -> Stage:
     if op == "$group":
         return _build_group(spec)
     if op == "$sort":
-        return _build_sort(spec)
+        return SortStage(
+            tuple(
+                (segments, direction == -1)
+                for segments, direction in _sort_spec_keys(spec)
+            )
+        )
     if op == "$skip":
-        if isinstance(spec, bool) or not isinstance(spec, int) or spec < 0:
-            raise ParseError(f"$skip takes a non-negative integer, got {spec!r}")
-        return SkipStage(spec)
+        return SkipStage(_skip_count(spec))
     if op == "$limit":
-        if isinstance(spec, bool) or not isinstance(spec, int) or spec < 1:
-            raise ParseError(f"$limit takes a positive integer, got {spec!r}")
-        return LimitStage(spec)
+        return LimitStage(_limit_count(spec))
     if op == "$count":
-        if not isinstance(spec, str) or not spec or spec.startswith("$") or "." in spec:
-            raise ParseError(f"$count takes an output field name, got {spec!r}")
-        return CountStage(spec)
+        return CountStage(_count_field(spec))
     raise ParseError(f"unsupported pipeline stage {op!r}")  # pragma: no cover
 
 
@@ -542,9 +560,13 @@ class CompiledPipeline:
 
     ``lead_query`` is the merged leading-``$match`` run compiled as a
     Mongo find filter (``None`` when the pipeline does not start with a
-    match): it carries the shared logical-plan IR, so collection
-    execution prunes candidates through the secondary indexes exactly
-    like ``find``.  ``stages`` are the downstream physical stages, run
+    match, or when the filter falls outside the find compiler's
+    dialect and so cannot carry a logical plan): it carries the shared
+    logical-plan IR, so collection execution prunes candidates through
+    the secondary indexes exactly like ``find``.  ``lead_pred`` is the
+    authoritative value-space matcher for the same run (``None`` only
+    without a leading match).  ``stages`` are the downstream physical
+    stages, run
     as a generator chain over the survivors.  No evaluation state lives
     on the compiled object, so one pipeline can be shared freely across
     collections and mutations.
@@ -577,11 +599,17 @@ class CompiledPipeline:
         self.lead_pred = None
         if lead:
             self.lead_filter = lead[0] if len(lead) == 1 else {"$and": lead}
-            self.lead_query = compile_mongo_find(self.lead_filter)
-            # The value-space twin, compiled to closures: candidates
-            # are verified with it, so an operator only one of the two
-            # engines rejects fails here, at compile time.
+            # The value-space compilation is authoritative: it validates
+            # the filter and delivers the verdict on every candidate.
             self.lead_pred = compile_value_filter(self.lead_filter)
+            try:
+                self.lead_query = compile_mongo_find(self.lead_filter)
+            except ParseError:
+                # Valid in value space but outside the find compiler's
+                # dialect (float comparison bounds, a $regex beyond the
+                # KeyLang subset): keep the match leading, without the
+                # logical plan -- so no index pruning, a full scan.
+                self.lead_query = None
         self.stages: tuple[Stage, ...] = tuple(
             _build_stage(op, spec) for op, spec in parsed[split:]
         )
@@ -597,12 +625,16 @@ class CompiledPipeline:
         the handful of candidate documents are ever materialised --
         the loop never touches the pruned ids at all.
         """
+        return self._survivors(collection, self._candidates(collection))
+
+    def _survivors(
+        self, collection: Any, candidates: set[int] | None
+    ) -> Iterator[Any]:
         lead_pred = self.lead_pred
         if lead_pred is None:
             for _, tree in collection.documents():
                 yield tree.to_value()
             return
-        candidates = self._candidates(collection)
         if candidates is None:
             for _, tree in collection.documents():
                 value = tree.to_value()
@@ -654,21 +686,19 @@ class CompiledPipeline:
         by indexes versus streamed (PlanExplain's aggregation sibling)."""
         total = len(collection)
         candidates = self._candidates(collection)
-        if self.lead_pred is None:
-            scanned = total
-            survivors = [tree.to_value() for _, tree in collection.documents()]
-        else:
-            if candidates is None:
-                scanned = total
-                pool = (tree.to_value() for _, tree in collection.documents())
-            else:
-                scanned = len(candidates)
-                pool = (
-                    collection.get(doc_id).to_value()
-                    for doc_id in sorted(candidates)
-                )
-            survivors = [value for value in pool if self.lead_pred(value)]
-        results = sum(1 for _ in run_stages(self.stages, iter(survivors)))
+        scanned = total if candidates is None else len(candidates)
+        survivors = self._survivors(collection, candidates)
+        matched = 0
+
+        def counted() -> Iterator[Any]:
+            nonlocal matched
+            for value in survivors:
+                matched += 1
+                yield value
+
+        results = sum(1 for _ in run_stages(self.stages, counted()))
+        for _ in survivors:  # an early-exiting stage ($limit) stops pulling
+            matched += 1
         lead_mode = "index-pruned" if candidates is not None else "streamed"
         reports = [StageExplain("$match", lead_mode)] * self.lead_count
         reports.extend(
@@ -681,7 +711,7 @@ class CompiledPipeline:
             total=total,
             candidates=candidates if candidates is None else len(candidates),
             scanned=scanned,
-            matched=len(survivors),
+            matched=matched,
             results=results,
             stages=tuple(reports),
         )
@@ -697,10 +727,17 @@ class CompiledPipeline:
 
 
 def pipeline_cache_key(pipeline: Any) -> str:
-    """Canonical JSON text of a pipeline, the compile-cache key."""
-    return json.dumps(
-        pipeline, sort_keys=True, separators=(",", ":"), default=repr
-    )
+    """Canonical JSON text of a pipeline, the compile-cache key.
+
+    Key order is **not** canonicalised away: it is semantically
+    significant in ``$sort`` (precedence) and fixes the output field
+    order of ``$project``/``$group``, and Python dicts preserve JSON
+    document order -- so the plain dump is already canonical
+    per-pipeline, while sorting keys would collide e.g.
+    ``{"$sort": {"a": 1, "b": 1}}`` with ``{"$sort": {"b": 1, "a": 1}}``
+    and serve one pipeline the other's plan.
+    """
+    return json.dumps(pipeline, separators=(",", ":"), default=repr)
 
 
 def compile_pipeline(
@@ -788,7 +825,7 @@ def _naive_sort(spec: dict[str, Any], rows: list[Any]) -> list[Any]:
     """Independent $sort semantics: one comparator over all keys."""
     import functools
 
-    keys = [(split_field_path(path), direction) for path, direction in spec.items()]
+    keys = _sort_spec_keys(spec)
 
     def compare(left: Any, right: Any) -> int:
         for segments, direction in keys:
@@ -845,13 +882,12 @@ def naive_aggregate(documents: Iterable[Any], pipeline: list[Any]) -> list[Any]:
                 raise ParseError("$group takes a document with an _id expression")
             rows = _naive_group(spec, rows)
         elif op == "$sort":
-            if not isinstance(spec, dict) or not spec:
-                raise ParseError("$sort takes a non-empty document of path: 1|-1")
             rows = _naive_sort(spec, rows)
         elif op == "$skip":
-            rows = rows[spec:]
+            rows = rows[_skip_count(spec) :]
         elif op == "$limit":
-            rows = rows[:spec]
+            rows = rows[: _limit_count(spec)]
         else:  # $count
-            rows = [{spec: len(rows)}] if rows else []
+            field = _count_field(spec)
+            rows = [{field: len(rows)}] if rows else []
     return rows

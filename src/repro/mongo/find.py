@@ -78,16 +78,16 @@ def _operator_condition(operator: str, operand: Any) -> jnl.Unary:
     if operator == "$ne":
         return q.conj([~_scalar_eq(operand)])
     if operator == "$gt":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return q.atom(nt.MinVal(operand))
     if operator == "$gte":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return q.atom(nt.MinVal(operand - 1))
     if operator == "$lt":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return q.atom(nt.MaxVal(operand))
     if operator == "$lte":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return q.atom(nt.MaxVal(operand + 1))
     if operator == "$in":
         _require_list(operator, operand)
@@ -101,7 +101,7 @@ def _operator_condition(operator: str, operand: Any) -> jnl.Unary:
             raise ParseError(f"unsupported $type operand {operand!r}")
         return q.atom(test)
     if operator == "$size":
-        _require_number(operator, operand)
+        _require_int(operator, operand)
         return q.conj(
             [
                 q.atom(nt.IsArray()),
@@ -134,9 +134,11 @@ def _operator_condition(operator: str, operand: Any) -> jnl.Unary:
     raise ParseError(f"unsupported operator {operator!r}")
 
 
-def _require_number(operator: str, operand: Any) -> None:
+def _require_int(operator: str, operand: Any) -> None:
+    # Genuinely integral, not just numeric: the $gte/$lte lowering does
+    # operand +- 1 arithmetic on the NodeTest bounds.
     if isinstance(operand, bool) or not isinstance(operand, int):
-        raise ParseError(f"{operator} takes a number, got {operand!r}")
+        raise ParseError(f"{operator} takes an integer, got {operand!r}")
 
 
 def _require_list(operator: str, operand: Any) -> None:

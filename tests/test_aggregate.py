@@ -17,6 +17,7 @@ from repro.mongo.aggregate import (
     match_value,
     naive_aggregate,
     parse_pipeline,
+    pipeline_cache_key,
 )
 from repro.query import aggregate_many, compile_mongo_find, planner
 from repro.query.stages import MISSING, resolve_path, sort_key, values_equal
@@ -267,6 +268,9 @@ class TestParseErrors:
             [{"$unwind": 3}],
             [{"$unwind": "$"}],  # empty path
             [{"$match": {"age": {"$gt": "x"}}}],  # non-numeric bound
+            [{"$match": {"age": {"$gt": True}}}],  # boolean bound
+            [{"$match": {"hobbies": {"$size": 1.5}}}],  # $size stays integral
+            [{"$limit": 5}, {"$match": {"hobbies": {"$size": 1.0}}}],
             [{"$match": {"$bogus": []}}],
             # Non-leading stages validate operands at compile time too:
             # position must not change whether a pipeline is accepted.
@@ -291,6 +295,29 @@ class TestParseErrors:
             naive_aggregate([], [{"$frobnicate": {}}])
         with pytest.raises(ParseError):
             naive_aggregate([], [{"$group": {"n": {"$sum": 1}}}])
+
+    @pytest.mark.parametrize(
+        "pipeline",
+        [
+            [{"$skip": True}],
+            [{"$skip": -1}],
+            [{"$skip": "2"}],
+            [{"$limit": 0}],
+            [{"$limit": "3"}],
+            [{"$sort": {"a": 2}}],
+            [{"$sort": {"a": True}}],
+            [{"$count": 3}],
+            [{"$count": "$x"}],
+        ],
+    )
+    def test_naive_validates_specs_like_the_staged_executor(self, pipeline):
+        """Both evaluators must reject an invalid spec, never TypeError
+        or silently succeed on one side (the differential oracle has to
+        agree on invalid-input behaviour too)."""
+        with pytest.raises(ParseError):
+            compile_pipeline(pipeline, cache=None)
+        with pytest.raises(ParseError):
+            naive_aggregate([{"a": 1}], pipeline)
 
     def test_parse_pipeline_normalises(self):
         assert parse_pipeline([{"$limit": 3}]) == (("$limit", 3),)
@@ -383,6 +410,77 @@ class TestIndexPruning:
 
 
 # ---------------------------------------------------------------------------
+# The find-dialect fallback: stage position never changes acceptance.
+# ---------------------------------------------------------------------------
+
+
+class TestFindDialectFallback:
+    """Filters valid in value space but outside the find compiler's
+    dialect (float comparison bounds, $regex beyond the KeyLang subset)
+    run in any position -- a leading one just scans instead of pruning.
+    """
+
+    DOCS = [{"x": 1}, {"x": 1.4}, {"x": 1.6}, {"x": 2}, {"x": "s"}]
+
+    def test_float_bounds_match_in_any_position(self):
+        assert run(self.DOCS, [{"$match": {"x": {"$gt": 1.5}}}]) == [
+            {"x": 1.6},
+            {"x": 2},
+        ]
+        assert run(
+            self.DOCS,
+            [{"$limit": 5}, {"$match": {"x": {"$gte": 1.4, "$lt": 1.7}}}],
+        ) == [{"x": 1.4}, {"x": 1.6}]
+
+    def test_float_bound_on_pipeline_products(self):
+        """$avg output is a float; a downstream $match must be able to
+        bound it with a float operand."""
+        docs = [{"k": "x", "n": 1}, {"k": "x", "n": 2}, {"k": "y", "n": 4}]
+        rows = run(
+            docs,
+            [
+                {"$group": {"_id": "$k", "avg": {"$avg": "$n"}}},
+                {"$match": {"avg": {"$gt": 1.75}}},
+            ],
+        )
+        assert rows == [{"_id": "y", "avg": 4.0}]
+
+    def test_leading_float_bound_streams_instead_of_pruning(self, people):
+        pipeline = [{"$match": {"age": {"$gt": 39.5}}}]
+        compiled = compile_pipeline(pipeline, cache=None)
+        assert compiled.lead_pred is not None
+        assert compiled.lead_query is None  # no logical plan to prune with
+        report = compiled.explain(people)
+        assert not report.used_indexes
+        assert report.stages[0].mode == "streamed"
+        assert compiled.execute(people) == naive_aggregate(PEOPLE, pipeline)
+        # Integer ages: > 39.5 and >= 40 are the same predicate.
+        assert compiled.execute(people) == aggregate(
+            people, [{"$match": {"age": {"$gte": 40}}}]
+        )
+
+    def test_leading_regex_outside_keylang_subset_streams(self, people):
+        pipeline = [{"$match": {"name.first": {"$regex": "(?i)^sue$"}}}]
+        compiled = compile_pipeline(pipeline, cache=None)
+        assert compiled.lead_query is None
+        rows = compiled.execute(people)
+        assert rows == [
+            doc for doc in PEOPLE if doc["name"]["first"].lower() == "sue"
+        ]
+        assert rows == naive_aggregate(PEOPLE, pipeline)
+
+    def test_invalid_leading_filters_still_fail_at_compile_time(self):
+        """The fallback must not swallow genuinely bad filters."""
+        for pipeline in (
+            [{"$match": {"age": {"$gt": "x"}}}],
+            [{"$match": {"a": {"$regex": "("}}}],
+            [{"$match": {"$bogus": []}}],
+        ):
+            with pytest.raises(ParseError):
+                compile_pipeline(pipeline, cache=None)
+
+
+# ---------------------------------------------------------------------------
 # The compile cache.
 # ---------------------------------------------------------------------------
 
@@ -395,6 +493,25 @@ class TestPipelineCache:
             second = compile_pipeline([{"$match": {"a": 1}}, {"$limit": 2}])
             assert first is second
             assert artifact_cache().stats().hits >= 1
+        finally:
+            clear_artifact_cache()
+
+    def test_sort_key_order_is_not_canonicalised_away(self):
+        """$sort spec key order is precedence: pipelines differing only
+        in it must compile to distinct cached plans (regression for the
+        sort_keys=True cache key, which collided them and served one
+        pipeline the other's sort order)."""
+        ab = [{"$sort": {"a": 1, "b": 1}}]
+        ba = [{"$sort": {"b": 1, "a": 1}}]
+        assert pipeline_cache_key(ab) != pipeline_cache_key(ba)
+        clear_artifact_cache()
+        try:
+            assert compile_pipeline(ab) is not compile_pipeline(ba)
+            docs = [{"a": 2, "b": 1}, {"a": 1, "b": 2}]
+            assert aggregate(docs, ab) == [{"a": 1, "b": 2}, {"a": 2, "b": 1}]
+            assert aggregate(docs, ba) == [{"a": 2, "b": 1}, {"a": 1, "b": 2}]
+            assert aggregate(docs, ab) == naive_aggregate(docs, ab)
+            assert aggregate(docs, ba) == naive_aggregate(docs, ba)
         finally:
             clear_artifact_cache()
 
