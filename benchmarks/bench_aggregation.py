@@ -96,11 +96,19 @@ def _check_index_pruned() -> None:
     assert report.scanned < report.total, report
 
 
+#: Measured ratios of the last speedups call (recorded by
+#: ``run_all.py --check-targets --json`` for the CI delta table).
+LAST_SPEEDUPS: dict[str, float] = {}
+
+
 def speedups() -> dict[str, float]:
     """Per-pipeline naive/staged ratios (used by tests and CI)."""
     _check_results_identical()
     _check_index_pruned()
-    return {label: ratio for label, _, _, ratio in _rows()}
+    measured = {label: ratio for label, _, _, ratio in _rows()}
+    LAST_SPEEDUPS.clear()
+    LAST_SPEEDUPS.update(measured)
+    return measured
 
 
 # The selective pipeline is the pinned headline (>= 10x, matching the

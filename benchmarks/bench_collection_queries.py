@@ -83,10 +83,18 @@ def _check_results_identical() -> None:
     assert planner.find_documents(COLLECTION, query) == filter_many(query, TREES)
 
 
+#: Measured ratios of the last speedups call (recorded by
+#: ``run_all.py --check-targets --json`` for the CI delta table).
+LAST_SPEEDUPS: dict[str, float] = {}
+
+
 def speedups() -> dict[str, float]:
     """Per-workload scan/indexed ratios (used by tests and CI)."""
     _check_results_identical()
-    return {label: ratio for label, _, _, ratio in _rows()}
+    measured = {label: ratio for label, _, _, ratio in _rows()}
+    LAST_SPEEDUPS.clear()
+    LAST_SPEEDUPS.update(measured)
+    return measured
 
 
 # Every workload is gated individually -- the three stress different

@@ -39,7 +39,7 @@ STORE = JSONTree.from_value(
 )
 
 JNL_TEXT = (
-    'has(.age<test(min(29)) and test(max(60))>) '
+    "has(.age<test(min(29)) and test(max(60))>) "
     'and matches(.address.city, "Santiago") and has(.hobbies[0:5])'
 )
 JSONPATH_TEXT = "$.library[?(@.age >= 18)].name.first"
@@ -114,9 +114,17 @@ def _batch_rows():
     return [("10 JSONPaths, shared evaluator", solo, batch, solo / batch)]
 
 
+#: Measured ratios of the last speedups call (recorded by
+#: ``run_all.py --check-targets --json`` for the CI delta table).
+LAST_SPEEDUPS: dict[str, float] = {}
+
+
 def amortised_speedups() -> dict[str, float]:
     """Per-dialect one-shot/cached per-call ratios (used by tests)."""
-    return {label: speedup for label, _, _, speedup in _rows()}
+    measured = {label: speedup for label, _, _, speedup in _rows()}
+    LAST_SPEEDUPS.clear()
+    LAST_SPEEDUPS.update(measured)
+    return measured
 
 
 def check_targets() -> list[str]:

@@ -20,7 +20,7 @@ PEOPLE = people_collection(300, seed=4)
 COLLECTION = Collection(PEOPLE)
 FILTER = {"age": {"$gte": 30, "$lt": 60}, "address.city": "Santiago"}
 HAND_WRITTEN = parse_jnl(
-    'has(.age<test(min(29)) and test(max(60))>) '
+    "has(.age<test(min(29)) and test(max(60))>) "
     'and matches(.address.city, "Santiago")'
 )
 STORE = JSONTree.from_value(

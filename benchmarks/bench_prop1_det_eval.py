@@ -18,8 +18,8 @@ from repro.workloads import balanced_tree
 SIZES = [2, 4, 8, 16, 32]  # branching of a depth-3 balanced tree
 
 FORMULA = parse_jnl(
-    'has(.c0.c1.c2) and matches(.c1.c0, 3) and '
-    'eq(.c0.c1, .c1.c1) and not has(.c0.missing)'
+    "has(.c0.c1.c2) and matches(.c1.c0, 3) and "
+    "eq(.c0.c1, .c1.c1) and not has(.c0.missing)"
 )
 
 

@@ -17,7 +17,7 @@ from repro.model.tree import JSONTree
 from repro.workloads import balanced_tree
 
 PLAIN = parse_jsl_formula(
-    'object and all(./c.*/, object or number) and some(.c0, minch(1))'
+    "object and all(./c.*/, object or number) and some(.c0, minch(1))"
 )
 UNIQUE = parse_jsl_formula("unique")
 

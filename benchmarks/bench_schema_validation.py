@@ -167,9 +167,17 @@ def _rows():
     return rows
 
 
+#: Measured ratios of the last speedups call (recorded by
+#: ``run_all.py --check-targets --json`` for the CI delta table).
+LAST_SPEEDUPS: dict[str, float] = {}
+
+
 def amortised_speedups() -> dict[str, float]:
     """Per-workload one-shot/cached per-call ratios (used by tests/CI)."""
-    return {label: speedup for label, _, _, speedup in _rows()}
+    measured = {label: speedup for label, _, _, speedup in _rows()}
+    LAST_SPEEDUPS.clear()
+    LAST_SPEEDUPS.update(measured)
+    return measured
 
 
 def check_targets() -> list[str]:

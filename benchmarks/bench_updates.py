@@ -1,0 +1,199 @@
+"""F6 -- Update pipeline: delta index maintenance vs remove+reinsert.
+
+Reproduction target: the write path must not pay read-path prices.  An
+update compiles once into a ``CompiledUpdate`` program, selects its
+targets through the planner (index-pruned), and maintains the
+secondary indexes by **delta** -- only postings whose per-document
+entry refcount crosses zero are touched, and the tree rebuild is
+deferred to the next read.  The pinned floor: on a 10k-document
+collection, counter-style updates must run >= 5x faster than the same
+updates with ``maintenance="rebuild"`` (drop and re-insert the full
+posting set of every modified document, eager tree rebuild) -- with
+final documents and index tables differentially identical, pinned by
+``tests/test_update.py`` and re-asserted here.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.harness import format_table, measure, smoke_mode
+from repro.store import Collection
+from repro.workloads import people_collection
+
+DOCS = 300 if smoke_mode() else 10_000
+
+_PEOPLE = people_collection(DOCS, seed=23)
+
+# (label, filter, update, pinned floor).  The counter workloads are the
+# headline (>= 5x, the issue's pinned target); $push keeps every
+# modified array growing across rounds, so its delta is bigger and the
+# floor lower.
+WORKLOADS = [
+    (
+        f"counter $inc, all {DOCS} docs",
+        {},
+        {"$inc": {"counters.visits": 1}},
+        5.0,
+    ),
+    (
+        "selective $inc, city eq (~25%)",
+        {"address.city": "Talca"},
+        {"$inc": {"age": 1}},
+        5.0,
+    ),
+    (
+        "$push hobby, city eq (~25%)",
+        {"address.city": "Talca"},
+        {"$push": {"hobbies": "kayaking"}},
+        3.0,
+    ),
+]
+
+#: Measured naive/delta ratios of the last speedups() call (what
+#: ``run_all.py --check-targets --json`` records for the CI delta
+#: comparison).
+LAST_SPEEDUPS: dict[str, float] = {}
+
+
+def _measure_one(filter_doc, update_doc, maintenance: str) -> float:
+    collection = Collection(copy.deepcopy(_PEOPLE))
+    # Warm: compile caches, first-touch to_value materialisation.
+    collection.update_many(filter_doc, update_doc, maintenance=maintenance)
+    return measure(
+        lambda: collection.update_many(
+            filter_doc, update_doc, maintenance=maintenance
+        ),
+        repeat=5,
+    )
+
+
+def _rows():
+    rows = []
+    for label, filter_doc, update_doc, _floor in WORKLOADS:
+        rebuild = _measure_one(filter_doc, update_doc, "rebuild")
+        delta = _measure_one(filter_doc, update_doc, "delta")
+        rows.append((label, rebuild, delta, rebuild / delta))
+    return rows
+
+
+def _check_results_identical() -> None:
+    """Delta maintenance must leave exactly the documents *and* index
+    tables that remove+reinsert leaves (the strategies only differ in
+    which postings they touch along the way)."""
+    delta = Collection(copy.deepcopy(_PEOPLE))
+    rebuild = Collection(copy.deepcopy(_PEOPLE))
+    for _, filter_doc, update_doc, _floor in WORKLOADS:
+        delta.update_many(filter_doc, update_doc, maintenance="delta")
+        rebuild.update_many(filter_doc, update_doc, maintenance="rebuild")
+    assert [tree.to_value() for _, tree in delta.documents()] == [
+        tree.to_value() for _, tree in rebuild.documents()
+    ]
+    assert delta.indexes.snapshot() == rebuild.indexes.snapshot()
+
+
+def _check_index_pruned() -> None:
+    """Selective filters must provably route through the planner."""
+    collection = Collection(copy.deepcopy(_PEOPLE))
+    report = collection.explain_update(
+        {"address.city": "Talca"}, {"$inc": {"age": 1}}
+    )
+    assert report.used_indexes, report
+    assert report.scanned < report.total, report
+
+
+def speedups() -> dict[str, float]:
+    """Per-workload rebuild/delta ratios (used by tests and CI)."""
+    _check_results_identical()
+    _check_index_pruned()
+    measured = {label: ratio for label, _, _, ratio in _rows()}
+    LAST_SPEEDUPS.clear()
+    LAST_SPEEDUPS.update(measured)
+    return measured
+
+
+def check_targets() -> list[str]:
+    """Pinned-target regression check (``run_all.py --check-targets``)."""
+    floors = {label: floor for label, _, _, floor in WORKLOADS}
+    failures = []
+    for label, ratio in speedups().items():
+        floor = floors[label]
+        if ratio < floor:
+            failures.append(
+                f"bench_updates: {label} delta-maintenance speedup "
+                f"{ratio:.1f}x < {floor:.0f}x target"
+            )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/ --benchmark-only).
+# ---------------------------------------------------------------------------
+
+
+def test_delta_update(benchmark):
+    collection = Collection(copy.deepcopy(_PEOPLE))
+    benchmark(
+        lambda: collection.update_many(
+            {"address.city": "Talca"}, {"$inc": {"age": 1}}
+        )
+    )
+    assert collection.count({"address.city": "Talca"}) > 0
+
+
+def test_rebuild_update(benchmark):
+    collection = Collection(copy.deepcopy(_PEOPLE))
+    benchmark(
+        lambda: collection.update_many(
+            {"address.city": "Talca"},
+            {"$inc": {"age": 1}},
+            maintenance="rebuild",
+        )
+    )
+    assert collection.count({"address.city": "Talca"}) > 0
+
+
+@pytest.mark.skipif(smoke_mode(), reason="timings are meaningless in smoke mode")
+def test_delta_speedup_target():
+    assert not check_targets(), speedups()
+
+
+def main() -> str:
+    _check_results_identical()
+    _check_index_pruned()
+    rows = _rows()
+    table = format_table(
+        "F6 / update pipeline: delta index maintenance vs remove+reinsert "
+        "(target: >= 5x for counter updates)",
+        ["workload", "remove+reinsert", "delta", "speedup"],
+        [
+            [
+                label,
+                f"{cold * 1e3:.2f} ms",
+                f"{warm * 1e3:.2f} ms",
+                f"{ratio:.1f}x",
+            ]
+            for label, cold, warm, ratio in rows
+        ],
+    )
+    collection = Collection(copy.deepcopy(_PEOPLE))
+    report = collection.explain_update(
+        {"address.city": "Talca"}, {"$inc": {"age": 1}}
+    )
+    table += (
+        f"\n(selective workload: {report.total} documents, "
+        f"{report.candidates} candidates after index pruning, "
+        f"{report.modified} would be modified, touching "
+        f"{report.entries_added + report.entries_removed} postings in "
+        f"{'/'.join(report.touched_tables)})"
+    )
+    if not smoke_mode():
+        best = max(ratio for _, _, _, ratio in rows)
+        table += f"\n(best delta speedup: {best:.1f}x)"
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,86 @@
+"""Diff two ``run_all.py --check-targets --json`` artifacts (warn-only).
+
+Usage::
+
+    python benchmarks/compare_targets.py previous.json current.json
+
+Emits a GitHub-flavoured markdown table of pinned-benchmark speedup
+deltas -- CI appends it to the workflow step summary so a PR's effect
+on the measured ratios is visible at a glance.  Deliberately
+*informational*: timings on shared runners are noisy, so this script
+always exits 0 (the enforcing gate is ``--check-targets`` itself); a
+missing or old-format previous artifact degrades to a note.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _load(path: str) -> dict | None:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _flatten(report: dict | None) -> dict[tuple[str, str], float]:
+    if not isinstance(report, dict):
+        return {}
+    speedups = report.get("speedups")
+    if not isinstance(speedups, dict):
+        return {}
+    flat: dict[tuple[str, str], float] = {}
+    for module, ratios in speedups.items():
+        if not isinstance(ratios, dict):
+            continue
+        for label, ratio in ratios.items():
+            if isinstance(ratio, (int, float)):
+                flat[(module, label)] = float(ratio)
+    return flat
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(
+            "usage: compare_targets.py PREVIOUS.json CURRENT.json",
+            file=sys.stderr,
+        )
+        return 0  # warn-only by design
+    previous = _flatten(_load(argv[0]))
+    current = _flatten(_load(argv[1]))
+    print("### Benchmark speedup deltas vs previous run")
+    print()
+    if not current:
+        print("_No speedup measurements in the current artifact._")
+        return 0
+    if not previous:
+        print("_No previous artifact to compare against (first run, "
+              "expired retention, or pre-speedups format); current "
+              "measurements below._")
+        print()
+    print("| benchmark | workload | previous | current | delta |")
+    print("|---|---|---:|---:|---:|")
+    for (module, label), ratio in sorted(current.items()):
+        before = previous.get((module, label))
+        if before is None:
+            prev_cell, delta_cell = "--", "new"
+        else:
+            change = (ratio - before) / before * 100.0
+            marker = " :warning:" if change <= -20.0 else ""
+            prev_cell = f"{before:.1f}x"
+            delta_cell = f"{change:+.1f}%{marker}"
+        print(f"| {module} | {label} | {prev_cell} | {ratio:.1f}x "
+              f"| {delta_cell} |")
+    dropped = sorted(set(previous) - set(current))
+    if dropped:
+        print()
+        workloads = ", ".join(f"{module}: {label}" for module, label in dropped)
+        print(f"_No longer measured: {workloads}_")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,6 +37,7 @@ MODULES = [
     "bench_schema_validation",
     "bench_collection_queries",
     "bench_aggregation",
+    "bench_updates",
     "bench_ablations",
 ]
 
@@ -84,6 +85,7 @@ def main(argv: list[str] | None = None) -> None:
         failures: list[str] = []
         checked: list[str] = []
         remeasured: list[str] = []
+        speedups: dict[str, dict[str, float]] = {}
         for name in MODULES:
             module = importlib.import_module(name)
             check = getattr(module, "check_targets", None)
@@ -96,6 +98,12 @@ def main(argv: list[str] | None = None) -> None:
                     print(f"target missed, re-measuring: {failure}")
                 remeasured.append(name)
                 failures.extend(check())
+            # Benchmarks expose the ratios their last check measured
+            # via LAST_SPEEDUPS; the artifact records them so CI can
+            # diff speedups against the previous run (warn-only).
+            measured = getattr(module, "LAST_SPEEDUPS", None)
+            if measured:
+                speedups[name] = dict(measured)
         if args.json:
             # The artifact records exactly the verdict this gate
             # reached -- never a separate re-measurement, which would
@@ -110,6 +118,7 @@ def main(argv: list[str] | None = None) -> None:
                         "remeasured": remeasured,
                         "failures": failures,
                         "ok": not failures,
+                        "speedups": speedups,
                     },
                     handle,
                     indent=2,

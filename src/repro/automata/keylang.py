@@ -265,7 +265,9 @@ def any_key() -> KeyLang:
     return KeyLang.any()
 
 
-def disjoint_cells(languages: Iterable[KeyLang]) -> list[tuple[frozenset[int], KeyLang]]:
+def disjoint_cells(
+    languages: Iterable[KeyLang],
+) -> list[tuple[frozenset[int], KeyLang]]:
     """All non-empty boolean cells of a finite family of key languages.
 
     For languages ``L_0 .. L_{k-1}`` this returns, for every subset ``S``

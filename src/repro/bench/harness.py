@@ -123,7 +123,9 @@ def format_table(
     """An aligned plain-text table (the bench scripts' output format)."""
     cells = [[str(cell) for cell in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = [title, "-" * len(title)]

@@ -12,6 +12,10 @@ Usage (also via ``python -m repro``)::
     repro aggregate --collection corpus.jsonl \
                  --pipeline '[{"$match": {"age": {"$gt": 30}}},
                               {"$group": {"_id": "$city", "n": {"$sum": 1}}}]'
+    repro update --collection corpus.jsonl \
+                 --filter '{"age": {"$gt": 30}}' \
+                 --update '{"$inc": {"age": 1}}' [--upsert] [--explain] \
+                 [--out updated.jsonl]
     repro sat    --jsl 'some(.a, number)' [--schema schema.json]
 
 ``--collection`` takes a JSON-lines corpus (one document per line),
@@ -125,6 +129,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the stage report (index-pruned vs streamed) "
         "instead of results",
+    )
+
+    update = commands.add_parser(
+        "update",
+        help="MongoDB-style update over documents (delta index "
+        "maintenance)",
+    )
+    update.add_argument(
+        "documents",
+        nargs="?",
+        metavar="collection",
+        help="path to a JSON array file (or use --collection)",
+    )
+    update.add_argument(
+        "--collection",
+        metavar="FILE",
+        help="JSON-lines corpus: update via the planner "
+        "(targets pruned by the secondary indexes)",
+    )
+    update.add_argument(
+        "--filter", default="{}", help="find filter selecting targets (JSON)"
+    )
+    update.add_argument(
+        "--update",
+        required=True,
+        help='the update document (JSON), e.g. \'{"$inc": {"age": 1}}\'',
+    )
+    update.add_argument(
+        "--upsert",
+        action="store_true",
+        help="insert the filter+update document when nothing matches",
+    )
+    update.add_argument(
+        "--one",
+        action="store_true",
+        help="update only the first matching document (update_one)",
+    )
+    update.add_argument(
+        "--explain",
+        action="store_true",
+        help="dry run: print pruned-vs-scanned targets and the index "
+        "postings the delta would touch, change nothing",
+    )
+    update.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the updated corpus back as JSON-lines",
     )
 
     sat = commands.add_parser(
@@ -329,6 +380,69 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     return 0 if results else 1
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.mongo.update import explain_update, update_many, update_one
+
+    if _bad_input_combo(args, "documents"):
+        return 2
+    if args.explain and (args.upsert or args.out):
+        print(
+            "error: --explain is a dry run; it cannot be combined with "
+            "--upsert or --out",
+            file=sys.stderr,
+        )
+        return 2
+    filter_doc = json.loads(args.filter)
+    update_doc = json.loads(args.update)
+
+    if args.collection is not None:
+        corpus = _load_collection(args.collection)
+    else:
+        from repro.store import Collection
+
+        with open(args.documents, encoding="utf-8") as handle:
+            documents = json.load(handle)
+        if not isinstance(documents, list):
+            raise ReproError("the collection file must hold a JSON array")
+        corpus = Collection(documents)
+
+    if args.explain:
+        report = explain_update(
+            corpus, filter_doc, update_doc, first_only=args.one
+        )
+        print(
+            f"targets\ttotal={report.total} candidates="
+            f"{'all' if report.candidates is None else report.candidates} "
+            f"scanned={report.scanned} pruned={report.pruned} "
+            f"matched={report.matched} modified={report.modified}"
+        )
+        print(
+            f"delta\tentries_added={report.entries_added} "
+            f"entries_removed={report.entries_removed} "
+            f"refcount_adjusted={report.refcount_adjusted}"
+        )
+        for table in report.touched_tables:
+            print(f"index\t{table}\t{report.postings[table]} postings")
+        return 0
+
+    run = update_one if args.one else update_many
+    result = run(corpus, filter_doc, update_doc, upsert=args.upsert)
+    upserted = (
+        ""
+        if result.upserted_id is None
+        else f" upserted_id={result.upserted_id}"
+    )
+    print(
+        f"matched={result.matched_count} "
+        f"modified={result.modified_count}{upserted}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for _, tree in corpus.documents():
+                handle.write(tree.to_json() + "\n")
+    return 0 if result.matched_count or result.upserted_id is not None else 1
+
+
 def _cmd_sat(args: argparse.Namespace) -> int:
     from repro.jsl.satisfiability import jsl_satisfiable
 
@@ -363,6 +477,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "find": _cmd_find,
     "aggregate": _cmd_aggregate,
+    "update": _cmd_update,
     "sat": _cmd_sat,
 }
 

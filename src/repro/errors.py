@@ -100,6 +100,17 @@ class StoreError(ReproError):
     """An operation on an indexed document collection failed."""
 
 
+class UpdateError(StoreError):
+    """An update operator could not be applied to a document.
+
+    Raised at apply time for type mismatches MongoDB also refuses --
+    ``$inc`` on a non-number, ``$push`` on a non-array, creating a path
+    through an existing scalar -- and for the documented deviations
+    (array indexes may not be created past the end, ``$unset`` cannot
+    remove an array element).  Nothing is modified when it raises.
+    """
+
+
 class DocumentRejectedError(StoreError):
     """A schema-enforced collection refused to ingest a document.
 

@@ -113,7 +113,9 @@ class JNLEvaluator:
             self._point_memo[key] = verdict
         return verdict
 
-    def target_nodes(self, path: ast.Binary, start: int | None = None) -> frozenset[int]:
+    def target_nodes(
+        self, path: ast.Binary, start: int | None = None
+    ) -> frozenset[int]:
         """Nodes reachable from ``start`` through ``path`` (forward run)."""
         automaton = self._automaton(path)
         origin = self.tree.root if start is None else start
@@ -348,7 +350,8 @@ class JNLEvaluator:
                         reached[target] = 1
                         worklist.append(target)
                 elif kind == TEST:
-                    if self.satisfies_at(node, transition.payload):  # type: ignore[arg-type]
+                    payload = transition.payload
+                    if self.satisfies_at(node, payload):  # type: ignore[arg-type]
                         target = config - state + transition.target
                         if not reached[target]:
                             reached[target] = 1

@@ -566,7 +566,11 @@ class _Solver:
         key = frozenset(box_langs)
         cached = self._pad_lang_memo.get(key)
         if cached is None:
-            cached = KeyLang.union(sorted(key, key=id)).complement() if key else KeyLang.any()
+            cached = (
+                KeyLang.union(sorted(key, key=id)).complement()
+                if key
+                else KeyLang.any()
+            )
             self._pad_lang_memo[key] = cached
         return cached
 

@@ -59,9 +59,13 @@ def unfold(expression: ast.RecursiveJSL, height: int) -> ast.Formula:
         if isinstance(formula, ast.BoxKey):
             return ast.BoxKey(formula.lang, expand(formula.body, depth + 1))
         if isinstance(formula, ast.DiaIdx):
-            return ast.DiaIdx(formula.low, formula.high, expand(formula.body, depth + 1))
+            return ast.DiaIdx(
+                formula.low, formula.high, expand(formula.body, depth + 1)
+            )
         if isinstance(formula, ast.BoxIdx):
-            return ast.BoxIdx(formula.low, formula.high, expand(formula.body, depth + 1))
+            return ast.BoxIdx(
+                formula.low, formula.high, expand(formula.body, depth + 1)
+            )
         raise TypeError(f"unknown JSL formula {formula!r}")
 
     return expand(expression.base, 0)

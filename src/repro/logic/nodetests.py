@@ -203,14 +203,16 @@ def nodes_satisfying_test(
         return frozenset(
             node
             for node, kind in enumerate(kinds)
-            if kind is Kind.NUMBER and int(values[node]) > bound  # type: ignore[arg-type]
+            if kind is Kind.NUMBER
+            and int(values[node]) > bound  # type: ignore[arg-type]
         )
     if isinstance(test, MaxVal):
         bound = test.bound
         return frozenset(
             node
             for node, kind in enumerate(kinds)
-            if kind is Kind.NUMBER and int(values[node]) < bound  # type: ignore[arg-type]
+            if kind is Kind.NUMBER
+            and int(values[node]) < bound  # type: ignore[arg-type]
         )
     return frozenset(
         node

@@ -118,7 +118,9 @@ def trees_equal(tree_a: JSONTree, tree_b: JSONTree) -> bool:
     return subtree_equal(tree_a, tree_a.root, tree_b, tree_b.root)
 
 
-def all_children_distinct(tree: JSONTree, node: int, *, exact_pairwise: bool = False) -> bool:
+def all_children_distinct(
+    tree: JSONTree, node: int, *, exact_pairwise: bool = False
+) -> bool:
     """The ``Unique`` node test: are all children pairwise distinct values?
 
     The default implementation groups children by canonical hash and

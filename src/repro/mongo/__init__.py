@@ -12,6 +12,15 @@ from repro.mongo.aggregate import (
 )
 from repro.mongo.find import Collection, compile_filter
 from repro.mongo.projection import Projection
+from repro.mongo.update import (
+    UpdateExplain,
+    UpdateResult,
+    compile_update,
+    naive_update_value,
+    replace_one,
+    update_many,
+    update_one,
+)
 
 __all__ = [
     "Collection",
@@ -23,4 +32,11 @@ __all__ = [
     "compile_pipeline",
     "match_value",
     "naive_aggregate",
+    "UpdateExplain",
+    "UpdateResult",
+    "compile_update",
+    "naive_update_value",
+    "replace_one",
+    "update_many",
+    "update_one",
 ]

@@ -1,0 +1,718 @@
+"""MongoDB-style updates, compiled, planned and delta-maintained.
+
+The write-path front-end: ``update_one``/``update_many``/``replace_one``
+over an indexed :class:`repro.store.Collection`, in (a practical subset
+of) MongoDB's update-document syntax -- ``$set``, ``$unset``, ``$inc``,
+``$mul``, ``$rename``, ``$push`` (with ``$each``), ``$addToSet`` (with
+``$each``), ``$pull``, ``$pop`` -- plus upsert.  The pieces compose the
+existing stack end to end:
+
+* an update document compiles **once** into a
+  :class:`repro.store.update.CompiledUpdate` program (registered in the
+  process-wide artifact cache under the ``"mongo-update"`` namespace,
+  keyed on the canonical JSON text of the update document);
+* **target selection** goes through the PR-3 planner: the filter
+  compiles through :func:`repro.query.compiled.compile_mongo_find` so
+  its logical plan prunes candidates via the secondary indexes, and the
+  authoritative per-candidate verdict is the same value-space predicate
+  the aggregation front-end uses (a filter outside the find compiler's
+  dialect still works -- it just scans);
+* **application** is delta index maintenance
+  (:meth:`repro.store.Collection.apply_update`): only the postings
+  under mutated paths are retired/re-added, never a full
+  drop-and-reinsert of the document, and schema-enforced collections
+  revalidate through the PR-2 compiled-validator pipeline before
+  anything commits.
+
+Operators apply in update-document order (a deterministic refinement
+of MongoDB's behaviour).  :func:`naive_update_value` is the reference
+interpreter -- per-call parse, deepcopy, in-place edits, no mutation
+tracking -- that the differential tests pit the compiled path against.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cache import USE_DEFAULT_CACHE, resolve_cache
+from repro.errors import ParseError, UpdateError
+from repro.mongo.aggregate import (
+    _op_holds,
+    _validate_operator_doc,
+    compile_value_filter,
+)
+from repro.mongo.find import _is_operator_doc
+from repro.query import planner
+from repro.query.compiled import compile_mongo_find
+from repro.query.stages import split_field_path, values_equal
+from repro.store.indexes import DeltaOps
+from repro.store.update import (
+    CompiledUpdate,
+    add_to_set_op,
+    inc_op,
+    mul_op,
+    mutation_delta,
+    pop_op,
+    pull_op,
+    push_op,
+    rename_op,
+    replace_op,
+    set_op,
+    set_path_create,
+    unset_op,
+)
+
+__all__ = [
+    "UPDATE_OPS",
+    "UpdateResult",
+    "UpdateExplain",
+    "parse_update",
+    "compile_update",
+    "update_cache_key",
+    "update_one",
+    "update_many",
+    "replace_one",
+    "explain_update",
+    "naive_update_value",
+]
+
+UPDATE_OPS = (
+    "$set",
+    "$unset",
+    "$inc",
+    "$mul",
+    "$rename",
+    "$push",
+    "$addToSet",
+    "$pull",
+    "$pop",
+)
+
+_DIALECT = "mongo-update"
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """MongoDB's ``UpdateResult``: what a write call did."""
+
+    matched_count: int
+    modified_count: int
+    upserted_id: int | None = None
+
+
+@dataclass(frozen=True)
+class UpdateExplain:
+    """Dry-run report for an update over one collection.
+
+    The target-selection fields mirror :class:`repro.query.planner.
+    PlanExplain` (``candidates`` is ``None`` when no index could answer
+    the filter); the maintenance fields report the index work the delta
+    *would* do: ``entries_added``/``entries_removed`` count postings
+    touched, ``refcount_adjusted`` entries whose count changes without
+    crossing zero, and ``postings`` breaks the touched postings down
+    per index table.  Nothing is modified by an explain.
+    """
+
+    filter_source: str
+    update_source: str
+    total: int
+    candidates: int | None
+    scanned: int
+    matched: int
+    modified: int
+    entries_added: int
+    entries_removed: int
+    refcount_adjusted: int
+    postings: dict[str, int]
+
+    @property
+    def pruned(self) -> int:
+        """Documents the secondary indexes eliminated before any
+        value-space work (0 on a full scan -- a ``first_only`` early
+        exit leaves documents unscanned without them being pruned)."""
+        if self.candidates is None:
+            return 0
+        return self.total - self.candidates
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
+
+    @property
+    def touched_tables(self) -> tuple[str, ...]:
+        """The index tables the delta touches, sorted by name."""
+        return tuple(sorted(self.postings))
+
+
+# ---------------------------------------------------------------------------
+# Parsing update documents into compiled programs.
+# ---------------------------------------------------------------------------
+
+
+def _require_int(operator: str, path: str, operand: Any) -> int:
+    if isinstance(operand, bool) or not isinstance(operand, int):
+        raise ParseError(
+            f"{operator} takes an integer for {path!r}, got {operand!r}"
+        )
+    return operand
+
+
+def _field_specs(operator: str, spec: Any) -> list[tuple[str, Any]]:
+    if not isinstance(spec, dict) or not spec:
+        raise ParseError(
+            f"{operator} takes a non-empty document of field: argument pairs"
+        )
+    return list(spec.items())
+
+
+def _each_items(operator: str, operand: Any) -> tuple:
+    """The items of a ``$push``/``$addToSet`` operand (``$each`` aware)."""
+    if isinstance(operand, dict) and any(
+        isinstance(key, str) and key.startswith("$") for key in operand
+    ):
+        unknown = [key for key in operand if key != "$each"]
+        if unknown:
+            raise ParseError(
+                f"unsupported {operator} modifiers {unknown!r} "
+                "(only $each is supported)"
+            )
+        each = operand["$each"]
+        if not isinstance(each, list):
+            raise ParseError(f"{operator} $each takes an array, got {each!r}")
+        return tuple(copy.deepcopy(each))
+    return (copy.deepcopy(operand),)
+
+
+def _pull_keep(path: str, condition: Any) -> Any:
+    """Compile a ``$pull`` condition into a *keep* predicate."""
+    condition = copy.deepcopy(condition)
+    if isinstance(condition, dict) and _is_operator_doc(condition):
+        _validate_operator_doc(condition)
+        tests = tuple(condition.items())
+        return lambda element: not all(
+            _op_holds(op, arg, element) for op, arg in tests
+        )
+    if isinstance(condition, dict):
+        matches = compile_value_filter(condition)
+        return lambda element: not matches(element)
+    return lambda element: not values_equal(element, condition)
+
+
+def _rename_paths(src: str, dst: Any) -> tuple[tuple, tuple]:
+    if not isinstance(dst, str):
+        raise ParseError(f"$rename takes a path string, got {dst!r}")
+    source = split_field_path(src)
+    target = split_field_path(dst)
+    bound = min(len(source), len(target))
+    if source[:bound] == target[:bound]:
+        raise ParseError(
+            f"$rename source {src!r} and target {dst!r} must not overlap"
+        )
+    return source, target
+
+
+def parse_update(update_doc: Any) -> CompiledUpdate:
+    """Compile a Mongo update document into a fresh program.
+
+    Operators (and fields within an operator) apply in document order.
+    Shape and operand errors raise :class:`~repro.errors.ParseError`
+    at compile time; type mismatches against a concrete document
+    (``$inc`` on a string, ``$push`` on a non-array) raise
+    :class:`~repro.errors.UpdateError` at apply time.
+    """
+    if not isinstance(update_doc, dict) or not update_doc:
+        raise ParseError(
+            "an update is a non-empty document of update operators "
+            f"(supported: {', '.join(UPDATE_OPS)})"
+        )
+    ops = []
+    for operator, spec in update_doc.items():
+        if operator not in UPDATE_OPS:
+            raise ParseError(
+                f"unsupported update operator {operator!r} "
+                f"(supported: {', '.join(UPDATE_OPS)})"
+            )
+        for path, operand in _field_specs(operator, spec):
+            segments = split_field_path(path)
+            if operator == "$set":
+                ops.append(set_op(segments, copy.deepcopy(operand)))
+            elif operator == "$unset":
+                ops.append(unset_op(segments))
+            elif operator == "$inc":
+                ops.append(inc_op(segments, _require_int(operator, path, operand)))
+            elif operator == "$mul":
+                ops.append(mul_op(segments, _require_int(operator, path, operand)))
+            elif operator == "$rename":
+                ops.append(rename_op(*_rename_paths(path, operand)))
+            elif operator == "$push":
+                ops.append(push_op(segments, _each_items(operator, operand)))
+            elif operator == "$addToSet":
+                ops.append(
+                    add_to_set_op(segments, _each_items(operator, operand))
+                )
+            elif operator == "$pull":
+                ops.append(pull_op(segments, _pull_keep(path, operand)))
+            else:  # $pop
+                if operand not in (1, -1) or isinstance(operand, bool):
+                    raise ParseError(
+                        f"$pop takes 1 (last) or -1 (first) for {path!r}, "
+                        f"got {operand!r}"
+                    )
+                ops.append(pop_op(segments, from_front=operand == -1))
+    return CompiledUpdate(update_cache_key(update_doc), tuple(ops))
+
+
+def update_cache_key(update_doc: Any) -> str:
+    """Canonical JSON text of an update document, the compile-cache key.
+
+    Key order is semantically significant (operators and fields apply
+    in document order), so the plain order-preserving dump is already
+    canonical per-program.
+    """
+    return json.dumps(update_doc, separators=(",", ":"), default=repr)
+
+
+def compile_update(
+    update_doc: Any, *, cache: object = USE_DEFAULT_CACHE
+) -> CompiledUpdate:
+    """Compile an update document, through the artifact cache.
+
+    Keyed on the canonical JSON text in the ``"mongo-update"``
+    namespace of the process-wide artifact cache, alongside query
+    plans, validators and aggregation pipelines.  Pass ``cache=None``
+    to force a fresh compilation.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return parse_update(update_doc)
+    key = (_DIALECT, update_cache_key(update_doc))
+    return resolved.get_or_compute(key, lambda: parse_update(update_doc))
+
+
+# ---------------------------------------------------------------------------
+# Target selection (through the planner) and the write entry points.
+# ---------------------------------------------------------------------------
+
+
+def _select_targets(
+    collection: Any, filter_doc: Any, *, first_only: bool = False
+) -> tuple[list[tuple[int, Any]], int | None, int]:
+    """Matching documents, index-pruned where the filter allows.
+
+    Returns ``(matched (id, value) pairs, candidate count or None,
+    scanned)``.  The value-space predicate is authoritative; the
+    compiled find query exists only for its logical plan (pruning),
+    and a filter outside the find dialect simply scans.  The matched
+    values are handed on to :meth:`Collection.apply_update` so no
+    document is materialised twice per call.
+    """
+    matches = compile_value_filter(filter_doc)
+    candidates = None
+    if collection.indexes is not None:
+        try:
+            query = compile_mongo_find(filter_doc)
+        except ParseError:
+            query = None
+        if query is not None:
+            candidates = planner.candidate_ids(
+                query.plan.match_predicate, collection.indexes
+            )
+    ids = collection.doc_ids() if candidates is None else sorted(candidates)
+    matched: list[tuple[int, Any]] = []
+    scanned = 0
+    for doc_id in ids:
+        scanned += 1
+        value = collection._peek_value(doc_id)
+        if matches(value):
+            matched.append((doc_id, value))
+            if first_only:
+                break
+    candidate_count = None if candidates is None else len(candidates)
+    return matched, candidate_count, scanned
+
+
+def _run_update(
+    collection: Any,
+    filter_doc: Any,
+    compiled: CompiledUpdate,
+    *,
+    upsert: bool,
+    first_only: bool,
+    maintenance: str = "delta",
+) -> UpdateResult:
+    """The shared select → (upsert | apply) → count tail of every
+    write entry point."""
+    matched, _, _ = _select_targets(
+        collection, filter_doc, first_only=first_only
+    )
+    if not matched:
+        if upsert:
+            return _upsert(collection, filter_doc, compiled)
+        return UpdateResult(0, 0)
+    modified, _ = collection.apply_update(
+        [doc_id for doc_id, _ in matched],
+        compiled,
+        maintenance=maintenance,
+        values=dict(matched),
+    )
+    return UpdateResult(len(matched), len(modified))
+
+
+def _upsert(collection: Any, filter_doc: Any, compiled: CompiledUpdate) -> UpdateResult:
+    """Insert the document the filter's equality facts + update imply."""
+    seed = _upsert_seed(filter_doc)
+    value, _ = compiled.apply(seed)
+    doc_id = collection.insert(value)
+    return UpdateResult(0, 0, upserted_id=doc_id)
+
+
+def _upsert_seed(filter_doc: Any) -> dict:
+    """The equality skeleton of a filter (what MongoDB seeds upserts
+    with): plain ``field: value`` pairs, ``$eq`` operands and ``$and``
+    branches; every other operator contributes nothing."""
+    if not isinstance(filter_doc, dict):
+        raise ParseError("a find filter is a JSON object")
+    seed: Any = {}
+
+    def absorb(part: Any) -> None:
+        nonlocal seed
+        if not isinstance(part, dict):
+            raise ParseError("a find filter is a JSON object")
+        for key, spec in part.items():
+            if key == "$and" and isinstance(spec, list):
+                for sub in spec:
+                    absorb(sub)
+            elif key.startswith("$"):
+                continue
+            elif _is_operator_doc(spec):
+                if "$eq" in spec:
+                    seed = set_path_create(
+                        seed, split_field_path(key), copy.deepcopy(spec["$eq"])
+                    )
+            else:
+                seed = set_path_create(
+                    seed, split_field_path(key), copy.deepcopy(spec)
+                )
+
+    absorb(filter_doc)
+    return seed
+
+
+def update_many(
+    collection: Any,
+    filter_doc: Any,
+    update_doc: Any,
+    *,
+    upsert: bool = False,
+    maintenance: str = "delta",
+) -> UpdateResult:
+    """Update every document matching the filter."""
+    return _run_update(
+        collection,
+        filter_doc,
+        compile_update(update_doc),
+        upsert=upsert,
+        first_only=False,
+        maintenance=maintenance,
+    )
+
+
+def update_one(
+    collection: Any,
+    filter_doc: Any,
+    update_doc: Any,
+    *,
+    upsert: bool = False,
+) -> UpdateResult:
+    """Update the first document (in id order) matching the filter."""
+    return _run_update(
+        collection,
+        filter_doc,
+        compile_update(update_doc),
+        upsert=upsert,
+        first_only=True,
+    )
+
+
+def replace_one(
+    collection: Any,
+    filter_doc: Any,
+    replacement: Any,
+    *,
+    upsert: bool = False,
+) -> UpdateResult:
+    """Replace the first matching document wholesale."""
+    if not isinstance(replacement, dict):
+        raise ParseError("a replacement must be a document")
+    offenders = [
+        key
+        for key in replacement
+        if isinstance(key, str) and key.startswith("$")
+    ]
+    if offenders:
+        raise ParseError(
+            f"a replacement document cannot contain update operators "
+            f"({offenders[0]!r}); use update_one instead"
+        )
+    compiled = CompiledUpdate(
+        update_cache_key(replacement),
+        (replace_op(copy.deepcopy(replacement)),),
+    )
+    return _run_update(
+        collection, filter_doc, compiled, upsert=upsert, first_only=True
+    )
+
+
+def explain_update(
+    collection: Any,
+    filter_doc: Any,
+    update_doc: Any,
+    *,
+    first_only: bool = False,
+) -> UpdateExplain:
+    """Dry-run an update: target pruning plus the index delta it would
+    apply.  Mirrors :class:`repro.query.planner.PlanExplain` on the
+    read side; nothing in the collection or its indexes changes.
+    ``first_only`` previews ``update_one`` instead of ``update_many``."""
+    compiled = compile_update(update_doc)
+    matched, candidates, scanned = _select_targets(
+        collection, filter_doc, first_only=first_only
+    )
+    ops = DeltaOps()
+    modified = 0
+    for doc_id, value in matched:
+        _, mutations = compiled.apply(value)
+        if not mutations:
+            continue
+        modified += 1
+        delta = mutation_delta(mutations, extended=collection.extended)
+        if collection.indexes is not None:
+            ops.merge(
+                collection.indexes.apply_entry_delta(
+                    doc_id, delta, commit=False
+                )
+            )
+    return UpdateExplain(
+        filter_source=update_cache_key(filter_doc),
+        update_source=compiled.source,
+        total=len(collection),
+        candidates=candidates,
+        scanned=scanned,
+        matched=len(matched),
+        modified=modified,
+        entries_added=ops.entries_added,
+        entries_removed=ops.entries_removed,
+        refcount_adjusted=ops.adjusted,
+        postings=dict(ops.postings),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The naive reference interpreter (differential-test oracle).
+# ---------------------------------------------------------------------------
+
+
+def naive_update_value(update_doc: Any, value: Any) -> Any:
+    """Reference update evaluation: deepcopy, then in-place edits.
+
+    Parses the update document per call and navigates with its own
+    helpers -- deliberately sharing nothing with the compiled path
+    beyond the *semantics* (digit segments are array indexes, missing
+    object keys are created by the ``$set`` family, operators apply in
+    document order) -- so the differential tests exercise compilation,
+    spine-copying and mutation tracking against an independent
+    implementation.
+    """
+    if not isinstance(update_doc, dict) or not update_doc:
+        raise ParseError(
+            "an update is a non-empty document of update operators "
+            f"(supported: {', '.join(UPDATE_OPS)})"
+        )
+    doc = copy.deepcopy(value)
+    for operator, spec in update_doc.items():
+        if operator not in UPDATE_OPS:
+            raise ParseError(
+                f"unsupported update operator {operator!r} "
+                f"(supported: {', '.join(UPDATE_OPS)})"
+            )
+        for path, operand in _field_specs(operator, spec):
+            doc = _naive_apply(doc, operator, path, operand)
+    return doc
+
+
+def _naive_walk(doc: Any, segments: tuple, create: bool) -> Any:
+    """The container holding the final segment, or None when the path
+    is unreachable (non-create mode)."""
+    node = doc
+    for position, segment in enumerate(segments[:-1]):
+        if segment.isdigit():
+            if not isinstance(node, list) or int(segment) >= len(node):
+                if create:
+                    raise UpdateError(
+                        f"cannot apply update at {'.'.join(segments)!r}: "
+                        "an array index step needs an existing array"
+                    )
+                return None
+            node = node[int(segment)]
+        else:
+            if not isinstance(node, dict):
+                if create:
+                    raise UpdateError(
+                        f"cannot apply update at {'.'.join(segments)!r}: "
+                        f"cannot create field {segment!r} inside a "
+                        "non-document"
+                    )
+                return None
+            if segment not in node:
+                if not create:
+                    return None
+                node[segment] = {}
+            node = node[segment]
+    return node
+
+
+def _naive_read(container: Any, segment: str) -> Any:
+    from repro.query.stages import MISSING
+
+    if segment.isdigit():
+        if isinstance(container, list) and int(segment) < len(container):
+            return container[int(segment)]
+        return MISSING
+    if isinstance(container, dict) and segment in container:
+        return container[segment]
+    return MISSING
+
+
+def _naive_write(container: Any, segments: tuple, new: Any) -> None:
+    segment = segments[-1]
+    if segment.isdigit():
+        if not isinstance(container, list):
+            raise UpdateError(
+                f"cannot apply update at {'.'.join(segments)!r}: "
+                "an array index step needs an existing array"
+            )
+        position = int(segment)
+        if position > len(container):
+            raise UpdateError(
+                f"cannot apply update at {'.'.join(segments)!r}: "
+                f"array index {position} past the end "
+                f"(length {len(container)})"
+            )
+        if position == len(container):
+            container.append(new)
+        else:
+            container[position] = new
+    else:
+        if not isinstance(container, dict):
+            raise UpdateError(
+                f"cannot apply update at {'.'.join(segments)!r}: "
+                f"cannot create field {segment!r} inside a non-document"
+            )
+        container[segment] = new
+
+
+def _naive_delete(container: Any, segments: tuple) -> None:
+    segment = segments[-1]
+    if segment.isdigit():
+        if isinstance(container, list) and int(segment) < len(container):
+            raise UpdateError(
+                f"cannot apply update at {'.'.join(segments)!r}: "
+                "cannot remove an array element by index "
+                "(use $pull or $pop)"
+            )
+        return
+    if isinstance(container, dict):
+        container.pop(segment, None)
+
+
+def _naive_array(
+    operator: str, segments: tuple, container: Any
+) -> list | None:
+    from repro.query.stages import MISSING
+
+    old = _naive_read(container, segments[-1])
+    if old is MISSING:
+        return None
+    if not isinstance(old, list):
+        raise UpdateError(
+            f"{operator} needs an array at {'.'.join(segments)!r}, "
+            f"found {old!r}"
+        )
+    return old
+
+
+def _naive_apply(doc: Any, operator: str, path: str, operand: Any) -> Any:
+    from repro.query.stages import MISSING
+
+    segments = split_field_path(path)
+    create = operator in ("$set", "$inc", "$mul", "$push", "$addToSet")
+    container = _naive_walk(doc, segments, create)
+    if container is None:
+        return doc
+    old = _naive_read(container, segments[-1])
+    if operator == "$set":
+        _naive_write(container, segments, copy.deepcopy(operand))
+    elif operator == "$unset":
+        if old is not MISSING:
+            _naive_delete(container, segments)
+    elif operator in ("$inc", "$mul"):
+        amount = _require_int(operator, path, operand)
+        if old is MISSING:
+            base = 0
+        elif isinstance(old, bool) or not isinstance(old, int):
+            raise UpdateError(
+                f"{operator} needs a number at {'.'.join(segments)!r}, "
+                f"found {old!r}"
+            )
+        else:
+            base = old
+        result = base + amount if operator == "$inc" else base * amount
+        _naive_write(container, segments, result)
+    elif operator == "$rename":
+        source, target = _rename_paths(path, operand)
+        if old is not MISSING:
+            _naive_delete(container, segments)
+            doc = _naive_apply_set_value(doc, target, old)
+    elif operator == "$push":
+        items = list(_each_items(operator, operand))
+        existing = _naive_array(operator, segments, container)
+        if existing is None:
+            _naive_write(container, segments, items)
+        else:
+            existing.extend(items)
+    elif operator == "$addToSet":
+        items = list(_each_items(operator, operand))
+        existing = _naive_array(operator, segments, container)
+        if existing is None:
+            existing = []
+            _naive_write(container, segments, existing)
+        for item in items:
+            if not any(values_equal(item, seen) for seen in existing):
+                existing.append(item)
+    elif operator == "$pull":
+        keep = _pull_keep(path, operand)  # validate before touching doc
+        existing = _naive_array(operator, segments, container)
+        if existing is not None:
+            existing[:] = [element for element in existing if keep(element)]
+    else:  # $pop
+        if operand not in (1, -1) or isinstance(operand, bool):
+            raise ParseError(
+                f"$pop takes 1 (last) or -1 (first) for {path!r}, "
+                f"got {operand!r}"
+            )
+        existing = _naive_array(operator, segments, container)
+        if existing:
+            if operand == -1:
+                del existing[0]
+            else:
+                del existing[-1]
+    return doc
+
+
+def _naive_apply_set_value(doc: Any, segments: tuple, value: Any) -> Any:
+    container = _naive_walk(doc, segments, True)
+    _naive_write(container, segments, value)
+    return doc

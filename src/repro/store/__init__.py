@@ -10,14 +10,36 @@ serving::
     secondary indexes (store.indexes)  compiled plans (repro.query)
         |
     Collection (store.collection): interned trees, incremental index
-    maintenance, schema enforcement on ingest, planner-routed queries
+    maintenance, schema enforcement on ingest, planner-routed queries,
+    delta-maintained in-place updates (store.update)
 
 * :class:`~repro.store.collection.Collection` -- the document store;
 * :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
-  key-presence postings with incremental maintenance.
+  key-presence postings with counted, incremental maintenance;
+* :class:`~repro.store.update.CompiledUpdate` -- dialect-neutral update
+  programs whose mutation records drive delta index maintenance.
 """
 
 from repro.store.collection import Collection
-from repro.store.indexes import DocumentIndexes, IndexStats, index_entries
+from repro.store.indexes import (
+    DeltaOps,
+    DocumentIndexes,
+    IndexStats,
+    index_entries,
+    tree_entry_counts,
+    value_entry_counts,
+)
+from repro.store.update import CompiledUpdate, Mutation, mutation_delta
 
-__all__ = ["Collection", "DocumentIndexes", "IndexStats", "index_entries"]
+__all__ = [
+    "Collection",
+    "DeltaOps",
+    "DocumentIndexes",
+    "IndexStats",
+    "index_entries",
+    "tree_entry_counts",
+    "value_entry_counts",
+    "CompiledUpdate",
+    "Mutation",
+    "mutation_delta",
+]

@@ -39,7 +39,8 @@ from repro.query.compiled import (
     compile_mongo_find,
     compile_query,
 )
-from repro.store.indexes import DocumentIndexes, IndexStats
+from repro.store.indexes import DeltaOps, DocumentIndexes, IndexStats
+from repro.store.update import CompiledUpdate, mutation_delta
 from repro.validate.bulk import validate_corpus
 from repro.validate.compiled import CompiledValidator, compile_schema_validator
 
@@ -66,7 +67,7 @@ class Collection:
     """
 
     __slots__ = ("_trees", "_alive", "_interned", "_indexes", "_validator",
-                 "_extended", "_version")
+                 "_extended", "_version", "_dirty")
 
     def __init__(
         self,
@@ -90,6 +91,11 @@ class Collection:
         )
         self._extended = extended
         self._version = 0
+        # Updated documents live here as plain values until next read:
+        # delta index maintenance keeps the postings exact immediately,
+        # while the tree rebuild is paid lazily (and only once) however
+        # many updates hit the document in between.
+        self._dirty: dict[int, JSONValue] = {}
         self.insert_many(documents)
 
     # ------------------------------------------------------------------
@@ -170,15 +176,24 @@ class Collection:
         tree = self._trees[doc_id]
         if tree is None:
             raise StoreError(f"document {doc_id} was removed")
+        if doc_id in self._dirty:
+            return self._rebuild(doc_id)
         return tree
 
     def doc_ids(self) -> list[int]:
         return [i for i, tree in enumerate(self._trees) if tree is not None]
 
     def documents(self) -> Iterator[tuple[int, JSONTree]]:
-        """Live ``(doc_id, tree)`` pairs in id (= insertion) order."""
+        """Live ``(doc_id, tree)`` pairs in id (= insertion) order.
+
+        Documents with a pending update are rebuilt (once) on the way
+        out, so readers always see post-update trees.
+        """
+        dirty = self._dirty
         for doc_id, tree in enumerate(self._trees):
             if tree is not None:
+                if dirty and doc_id in dirty:
+                    tree = self._rebuild(doc_id)
                 yield doc_id, tree
 
     @property
@@ -199,12 +214,204 @@ class Collection:
     def schema_enforced(self) -> bool:
         return self._validator is not None
 
+    @property
+    def extended(self) -> bool:
+        """Whether ingestion coerces ``true``/``false``/``null``."""
+        return self._extended
+
+    @property
+    def pending_updates(self) -> int:
+        """Updated documents whose tree rebuild is still pending."""
+        return len(self._dirty)
+
     def index_stats(self) -> IndexStats | None:
         return self._indexes.stats() if self._indexes is not None else None
 
     def interned_strings(self) -> int:
         """Distinct keys/atoms in the shared intern table."""
         return len(self._interned)
+
+    # ------------------------------------------------------------------
+    # Updating (the write path; Mongo syntax lives in repro.mongo.update).
+    # ------------------------------------------------------------------
+
+    def _rebuild(self, doc_id: int) -> JSONTree:
+        """Materialise a pending updated value back into a tree."""
+        value = self._dirty.pop(doc_id)
+        tree = JSONTree.from_values(
+            [value], extended=self._extended, interned=self._interned
+        )[0]
+        self._trees[doc_id] = tree
+        return tree
+
+    def _peek_value(self, doc_id: int) -> JSONValue:
+        """The document as a plain value, without forcing a rebuild.
+
+        Returns the live pending value for dirty documents (callers
+        must treat it as read-only -- update application spine-copies,
+        never mutates in place) and a fresh materialisation otherwise.
+        """
+        pending = self._dirty.get(doc_id)
+        if pending is not None:
+            return pending
+        return self.get(doc_id).to_value()
+
+    def apply_update(
+        self,
+        doc_ids: Iterable[int],
+        compiled: CompiledUpdate,
+        *,
+        maintenance: str = "delta",
+        values: "dict[int, JSONValue] | None" = None,
+    ) -> tuple[list[int], DeltaOps]:
+        """Apply a compiled update program to the given documents.
+
+        The engine under ``update_one``/``update_many``: documents are
+        staged first (value application, index-entry deltas, model
+        checks), validated against the collection schema if one is
+        enforced -- a rejection raises
+        :class:`~repro.errors.DocumentRejectedError` and leaves *every*
+        document and index untouched -- and only then committed.
+
+        ``maintenance`` selects the index strategy: ``"delta"`` (the
+        default) retires/re-adds only the postings whose entry refcount
+        crosses zero and defers the tree rebuild to the next read;
+        ``"rebuild"`` drops and re-inserts the document's full posting
+        set eagerly (the reference strategy the benchmark and the
+        differential tests compare against).
+
+        ``values`` optionally supplies already-materialised current
+        values per document id (target selection just computed them),
+        so no document is walked to a value twice in one write call.
+
+        Returns the modified document ids (documents whose value
+        actually changed) and the aggregated index
+        :class:`~repro.store.indexes.DeltaOps`.
+        """
+        if maintenance not in ("delta", "rebuild"):
+            raise StoreError(
+                f"unknown maintenance strategy {maintenance!r} "
+                "(expected 'delta' or 'rebuild')"
+            )
+        delta_mode = maintenance == "delta"
+        staged: list[tuple[int, JSONValue, dict, JSONTree | None]] = []
+        for doc_id in doc_ids:
+            old_value = (
+                values.get(doc_id) if values is not None else None
+            )
+            if old_value is None:
+                old_value = self._peek_value(doc_id)
+            new_value, mutations = compiled.apply(old_value)
+            if not mutations:
+                continue
+            # The delta doubles as model validation of the replacement
+            # subtrees (floats, bad keys), so staging fails before any
+            # commit; in rebuild mode the eager tree build does both.
+            if delta_mode:
+                delta = mutation_delta(mutations, extended=self._extended)
+                new_tree = None
+            else:
+                delta = {}
+                new_tree = JSONTree.from_values(
+                    [new_value],
+                    extended=self._extended,
+                    interned=self._interned,
+                )[0]
+            staged.append((doc_id, new_value, delta, new_tree))
+        if self._validator is not None:
+            for doc_id, new_value, _, _ in staged:
+                if not self._validator.validate_value(
+                    new_value, extended=self._extended
+                ):
+                    raise DocumentRejectedError(
+                        doc_id,
+                        f"update rejected: document {doc_id} would no "
+                        "longer validate against the collection schema",
+                    )
+        ops = DeltaOps()
+        for doc_id, new_value, delta, new_tree in staged:
+            if delta_mode:
+                if self._indexes is not None:
+                    self._indexes.apply_entry_delta(doc_id, delta, into=ops)
+                self._dirty[doc_id] = new_value
+            else:
+                old_tree = self.get(doc_id)  # flushes any pending value
+                if self._indexes is not None:
+                    self._indexes.remove(doc_id, old_tree)
+                    self._indexes.add(doc_id, new_tree)
+                    counts = self._indexes.entry_counts(doc_id)
+                    ops.merge(
+                        DeltaOps(
+                            entries_added=len(counts),
+                            entries_removed=len(counts),
+                            postings={"full-reinsert": 2 * len(counts)},
+                        )
+                    )
+                self._trees[doc_id] = new_tree
+        if staged:
+            self._version += 1
+        return [doc_id for doc_id, _, _, _ in staged], ops
+
+    def update_one(
+        self,
+        filter_doc: dict[str, Any],
+        update_doc: dict[str, Any],
+        *,
+        upsert: bool = False,
+    ):
+        """MongoDB's ``db.collection.updateOne(filter, update)``."""
+        from repro.mongo.update import update_one
+
+        return update_one(self, filter_doc, update_doc, upsert=upsert)
+
+    def update_many(
+        self,
+        filter_doc: dict[str, Any],
+        update_doc: dict[str, Any],
+        *,
+        upsert: bool = False,
+        maintenance: str = "delta",
+    ):
+        """MongoDB's ``db.collection.updateMany(filter, update)``."""
+        from repro.mongo.update import update_many
+
+        return update_many(
+            self,
+            filter_doc,
+            update_doc,
+            upsert=upsert,
+            maintenance=maintenance,
+        )
+
+    def replace_one(
+        self,
+        filter_doc: dict[str, Any],
+        replacement: dict[str, Any],
+        *,
+        upsert: bool = False,
+    ):
+        """MongoDB's ``db.collection.replaceOne(filter, replacement)``."""
+        from repro.mongo.update import replace_one
+
+        return replace_one(self, filter_doc, replacement, upsert=upsert)
+
+    def explain_update(
+        self,
+        filter_doc: dict[str, Any],
+        update_doc: dict[str, Any],
+        *,
+        first_only: bool = False,
+    ):
+        """Dry-run report for :meth:`update_many` (or, with
+        ``first_only``, :meth:`update_one`): pruned-vs-scanned targets
+        and the index postings the delta would touch -- a
+        :class:`repro.mongo.update.UpdateExplain`.  Nothing is
+        modified."""
+        from repro.mongo.update import explain_update
+
+        return explain_update(
+            self, filter_doc, update_doc, first_only=first_only
+        )
 
     # ------------------------------------------------------------------
     # Querying (all routes go through the planner).
@@ -226,7 +433,9 @@ class Collection:
     def count(self, filter_doc: dict[str, Any]) -> int:
         return planner.count_matches(self, compile_mongo_find(filter_doc))
 
-    def match_ids(self, query: "CompiledQuery | str", dialect: str = "jnl") -> list[int]:
+    def match_ids(
+        self, query: "CompiledQuery | str", dialect: str = "jnl"
+    ) -> list[int]:
         """Ids of documents matched by a compiled or textual query."""
         return planner.match_ids(self, self._as_query(query, dialect))
 

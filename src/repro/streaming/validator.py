@@ -306,9 +306,13 @@ class StreamingJSLValidator:
         if isinstance(test, nt.Pattern):
             return frame.kind == "string" and test.lang.matches(str(frame.value))
         if isinstance(test, nt.MinVal):
-            return frame.kind == "number" and int(frame.value) > test.bound  # type: ignore[arg-type]
+            if frame.kind != "number":
+                return False
+            return int(frame.value) > test.bound  # type: ignore[arg-type]
         if isinstance(test, nt.MaxVal):
-            return frame.kind == "number" and int(frame.value) < test.bound  # type: ignore[arg-type]
+            if frame.kind != "number":
+                return False
+            return int(frame.value) < test.bound  # type: ignore[arg-type]
         if isinstance(test, nt.MultOf):
             if frame.kind != "number":
                 return False

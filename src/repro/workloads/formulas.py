@@ -10,7 +10,12 @@ from repro.jsl import ast as jsl
 from repro.logic import nodetests as nt
 from repro.model.tree import JSONTree
 
-__all__ = ["random_jnl_unary", "random_jnl_path", "random_jsl_formula", "random_schema_value"]
+__all__ = [
+    "random_jnl_unary",
+    "random_jnl_path",
+    "random_jsl_formula",
+    "random_schema_value",
+]
 
 _KEYS = ("name", "age", "tags", "first", "items", "a", "b")
 _REGEXES = ("a.*", "t.*s", "[a-n]+", "name|age")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -25,6 +26,10 @@ from repro.store import Collection
 from repro.workloads import people_collection
 
 PEOPLE = people_collection(300, seed=7)
+
+# The randomised differential suites scale with this knob: 1 per PR,
+# ~20 in the scheduled nightly CI job.
+_SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
 
 @pytest.fixture(scope="module")
@@ -671,7 +676,7 @@ class TestRandomisedDifferential:
     def test_staged_equals_naive_on_random_pipelines(self, people):
         rng = random.Random(1234)
         docs = PEOPLE
-        for _ in range(60):
+        for _ in range(60 * _SCALE):
             pipeline = _random_pipeline(rng)
             staged = aggregate(people, pipeline)
             naive = naive_aggregate(docs, pipeline)
@@ -681,7 +686,7 @@ class TestRandomisedDifferential:
         rng = random.Random(987)
         docs = PEOPLE[:100]
         trees = [JSONTree.from_value(doc) for doc in docs]
-        for _ in range(25):
+        for _ in range(25 * _SCALE):
             pipeline = _random_pipeline(rng)
             assert aggregate_many(pipeline, trees) == naive_aggregate(
                 docs, pipeline
@@ -692,7 +697,7 @@ class TestRandomisedDifferential:
         docs = PEOPLE[:100]
         indexed = Collection(docs)
         unindexed = Collection(docs, indexed=False)
-        for _ in range(25):
+        for _ in range(25 * _SCALE):
             pipeline = _random_pipeline(rng)
             assert aggregate(indexed, pipeline) == aggregate(
                 unindexed, pipeline

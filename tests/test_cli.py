@@ -302,3 +302,105 @@ class TestAggregate:
              '[{"$group": {"_id": null, "n": {"$bogus": 1}}}]']
         ) == 2
         assert "unsupported accumulator" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_update_over_jsonl_collection(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"age": {"$gt": 30}}',
+             "--update", '{"$inc": {"age": 1}}']
+        ) == 0
+        assert capsys.readouterr().out.strip() == "matched=3 modified=3"
+
+    def test_update_writes_back_with_out(self, jsonl_file, tmp_path, capsys):
+        out_file = tmp_path / "updated.jsonl"
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"name": "Sue"}',
+             "--update", '{"$set": {"age": 36}, "$push": {"hobbies": "go"}}',
+             "--out", str(out_file)]
+        ) == 0
+        rows = [json.loads(line) for line in out_file.read_text().splitlines()]
+        assert len(rows) == 4
+        assert rows[0]["age"] == 36
+        assert rows[0]["hobbies"][-1] == "go"
+        assert rows[1]["age"] == 28  # untouched
+
+    def test_update_one_touches_a_single_document(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"age": 35}',
+             "--update", '{"$inc": {"age": 1}}', "--one"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "matched=1 modified=1"
+
+    def test_update_over_array_file(self, collection_file, capsys):
+        assert main(
+            ["update", collection_file,
+             "--filter", "{}", "--update", '{"$set": {"seen": "y"}}']
+        ) == 0
+        assert capsys.readouterr().out.strip() == "matched=2 modified=2"
+
+    def test_upsert_reports_the_new_id(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"name": "Zoe"}',
+             "--update", '{"$set": {"age": 1}}', "--upsert"]
+        ) == 0
+        assert (
+            capsys.readouterr().out.strip()
+            == "matched=0 modified=0 upserted_id=4"
+        )
+
+    def test_explain_reports_pruning_and_touched_indexes(
+        self, jsonl_file, capsys
+    ):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"name": "Sue"}',
+             "--update", '{"$inc": {"age": 1}}', "--explain"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("targets\t")
+        assert "total=4" in out[0] and "candidates=1" in out[0]
+        assert "pruned=3" in out[0] and "modified=1" in out[0]
+        assert out[1].startswith("delta\t")
+        tables = {line.split("\t")[1] for line in out[2:]}
+        assert "eq" in tables
+
+    def test_explain_respects_one(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"age": {"$gt": 20}}',
+             "--update", '{"$inc": {"age": 1}}', "--one", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "matched=1" in out[0] and "modified=1" in out[0]
+
+    def test_no_match_exit_code(self, jsonl_file):
+        assert main(
+            ["update", "--collection", jsonl_file,
+             "--filter", '{"name": "Zoe"}', "--update", '{"$inc": {"age": 1}}']
+        ) == 1
+
+    def test_explain_excludes_upsert_and_out(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file, "--filter", "{}",
+             "--update", '{"$inc": {"age": 1}}', "--explain", "--upsert"]
+        ) == 2
+        assert "dry run" in capsys.readouterr().err
+
+    def test_update_parse_error(self, jsonl_file, capsys):
+        assert main(
+            ["update", "--collection", jsonl_file, "--filter", "{}",
+             "--update", '{"$frobnicate": {"a": 1}}']
+        ) == 2
+        assert "unsupported update operator" in capsys.readouterr().err
+
+    def test_requires_exactly_one_input(self, collection_file, jsonl_file):
+        assert main(["update", "--update", "{}"]) == 2
+        assert main(
+            ["update", collection_file, "--collection", jsonl_file,
+             "--update", '{"$inc": {"age": 1}}']
+        ) == 2

@@ -98,7 +98,10 @@ class TestArraySatisfiability:
             ("array and not unique and maxch(1)", False),
             ("some([1:1], string) and all([0:], number)", False),
             ("all([0:2], string) and some([1:3], number)", True),
-            ("unique and minch(4) and maxch(4) and all([0:], number and max(3))", False),
+            (
+                "unique and minch(4) and maxch(4) and all([0:], number and max(3))",
+                False,
+            ),
             ("some([0:0], string) and some([0:0], number)", False),
             ("array and maxch(0) and some([0:], true)", False),
         ],

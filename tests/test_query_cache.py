@@ -183,3 +183,57 @@ class TestNoStaleResults:
         assert match_many(query, trees) == [False]
         trees.append(JSONTree.from_value({"x": 5}))
         assert match_many(query, trees) == [False, True]
+
+
+class TestDeprecatedShimParity:
+    """The repro.query.cache shim must track repro.cache exactly."""
+
+    # Shim alias -> the repro.cache name it must re-export.
+    MAPPING = {
+        "CacheStats": "CacheStats",
+        "LRUCache": "LRUCache",
+        "DEFAULT_CAPACITY": "DEFAULT_CAPACITY",
+        "query_cache": "artifact_cache",
+        "query_cache_stats": "artifact_cache_stats",
+        "clear_query_cache": "clear_artifact_cache",
+        "configure_query_cache": "configure_artifact_cache",
+    }
+
+    def _fresh_shim(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.query.cache", None)
+        with pytest.warns(DeprecationWarning, match="repro.query.cache"):
+            return importlib.import_module("repro.query.cache")
+
+    def test_public_surface_matches_repro_cache(self):
+        import repro.cache as canonical
+
+        shim = self._fresh_shim()
+        assert sorted(shim.__all__) == sorted(self.MAPPING)
+        for alias, target in self.MAPPING.items():
+            assert getattr(shim, alias) is getattr(canonical, target), alias
+
+    def test_shim_behaviour_parity(self):
+        """The re-exported callables act on the shared artifact cache."""
+        from repro.cache import artifact_cache, artifact_cache_stats
+
+        shim = self._fresh_shim()
+        assert shim.query_cache() is artifact_cache()
+        assert shim.query_cache_stats() == artifact_cache_stats()
+
+    def test_warns_once_per_import_not_per_use(self):
+        import importlib
+        import sys
+        import warnings
+
+        self._fresh_shim()  # first import warns (asserted inside)
+        with warnings.catch_warnings():
+            # A later import hits the module cache, attribute access is
+            # silent: any DeprecationWarning here becomes an error.
+            warnings.simplefilter("error", DeprecationWarning)
+            shim = importlib.import_module("repro.query.cache")
+            shim.query_cache()
+            shim.query_cache_stats()
+        assert "repro.query.cache" in sys.modules

@@ -116,7 +116,7 @@ class TestDifferentialAgainstReference:
         assert frozenset(query.select(tree)) == _reference_nodes(tree, formula)
 
     def test_parsed_jnl_text_matches_reference(self, figure1_doc):
-        text = 'has(.name.first) and not has(.missing)'
+        text = "has(.name.first) and not has(.missing)"
         query = compile_query(text, "jnl", cache=None)
         expected = _reference_nodes(figure1_doc, parse_jnl(text))
         assert frozenset(query.select(figure1_doc)) == expected

@@ -94,6 +94,10 @@ class TestValidatorFragment:
 DETERMINISTIC_FORMULAS = [
     "some(.name, string)",
     "all(.age, number and min(17))",
+    # min/max atoms evaluated at non-number nodes (strings, containers)
+    # must answer False, never crash on the int() conversion.
+    "some(.age, min(4))",
+    "some(.age, max(40))",
     "some(.a, some(.b, number)) or minch(3)",
     'some(.name, pattern("[A-Z].*")) and not some(.x, true)',
     "some([0:0], string) and all([1:1], number)",

@@ -326,7 +326,7 @@ class TestCompiledJSL:
 
     def test_parsed_formula_smoke(self):
         formula = parse_jsl_formula(
-            'some(.age, number and min(17)) and all(.tags, all([0:], string))'
+            "some(.age, number and min(17)) and all(.tags, all([0:], string))"
         )
         compiled = compile_jsl_validator(formula)
         assert both_backends(
