@@ -16,7 +16,7 @@ import pytest
 
 from repro.bench.harness import format_table, measure_amortised, smoke_mode
 from repro.model.tree import JSONTree
-from repro.mongo import Collection
+from repro.mongo import memory_collection
 from repro.query import (
     compile_mongo_find,
     compile_query,
@@ -49,7 +49,7 @@ MONGO_FILTER = {
     "hobbies": {"$elemMatch": {"$regex": "fish|yoga"}},
 }
 
-PEOPLE = Collection(people_collection(300, seed=4))
+PEOPLE = memory_collection(people_collection(300, seed=4))
 
 # Ten queries sharing subformulas: the shared-evaluator batch memoises
 # the common `age >= 18` filter across all of them.

@@ -38,6 +38,7 @@ MODULES = [
     "bench_collection_queries",
     "bench_aggregation",
     "bench_updates",
+    "bench_durability",
     "bench_ablations",
 ]
 

@@ -5,12 +5,12 @@ The paper's Example 1:  db.collection.find({name: {$eq: "Sue"}}, {})
 Run:  python examples/mongo_people.py
 """
 
-from repro.mongo import Collection, compile_filter
+from repro.mongo import compile_filter, memory_collection
 from repro.workloads import people_collection
 
 
 def main() -> None:
-    people = Collection(people_collection(50, seed=11))
+    people = memory_collection(people_collection(50, seed=11))
 
     # The paper's Example 1 (navigation condition J[name] = "Sue").
     sues = people.find({"name.first": {"$eq": "Sue"}})

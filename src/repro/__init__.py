@@ -56,7 +56,7 @@ from repro.model import (
     try_navigate,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "JSONTree",
@@ -86,6 +86,9 @@ __all__ = [
     "CompiledQuery",
     "compile_query",
     "Collection",
+    "Database",
+    "open_database",
+    "memory_collection",
     "CompiledValidator",
     "compile_schema_validator",
     "compile_jsl_validator",
@@ -120,6 +123,10 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.store import Collection
 
         return Collection
+    if name in ("Database", "open_database", "memory_collection"):
+        import repro.store as _store
+
+        return getattr(_store, name)
     if name in (
         "CompiledValidator",
         "compile_schema_validator",

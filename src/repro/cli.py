@@ -16,12 +16,21 @@ Usage (also via ``python -m repro``)::
                  --filter '{"age": {"$gt": 30}}' \
                  --update '{"$inc": {"age": 1}}' [--upsert] [--explain] \
                  [--out updated.jsonl]
+    repro update --db ./people_db --filter '{...}' --update '{...}'
+    repro db compact ./people_db
     repro sat    --jsl 'some(.a, number)' [--schema schema.json]
 
 ``--collection`` takes a JSON-lines corpus (one document per line),
 loads it into an indexed :class:`repro.store.Collection` and answers
 through the query planner: lines are ``<doc-id><TAB><match>``, one per
 per-document match.
+
+``--db`` points at a durable database directory instead
+(:func:`repro.open_database`): the named collection (``--name``,
+default ``main``) is recovered from its snapshot + write-ahead log,
+and mutations made by ``update`` are durably committed before the
+command reports them.  ``repro db compact`` folds each collection's
+WAL into a fresh snapshot.
 
 Exit status: 0 on success/true, 1 on a false verdict, 2 on usage or
 input errors — so the commands compose in shell pipelines.
@@ -32,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -48,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_db_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--db",
+            metavar="DIR",
+            help="durable database directory (repro.open_database)",
+        )
+        sub.add_argument(
+            "--name",
+            default="main",
+            metavar="NAME",
+            help="collection name inside --db (default: main)",
+        )
 
     query = commands.add_parser(
         "query", help="evaluate a JNL formula or JSONPath over a document"
@@ -67,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--node-ids", action="store_true", help="print node ids, not values"
     )
+    add_db_options(query)
 
     validate = commands.add_parser(
         "validate", help="validate a document against a JSON Schema"
@@ -102,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     find.add_argument("--filter", default="{}", help="find filter (JSON)")
     find.add_argument("--project", help="projection document (JSON)")
+    add_db_options(find)
 
     aggregate = commands.add_parser(
         "aggregate",
@@ -130,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the stage report (index-pruned vs streamed) "
         "instead of results",
     )
+    add_db_options(aggregate)
 
     update = commands.add_parser(
         "update",
@@ -177,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the updated corpus back as JSON-lines",
     )
+    add_db_options(update)
+
+    db = commands.add_parser(
+        "db", help="manage a durable database directory (WAL + snapshots)"
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+    compact = db_commands.add_parser(
+        "compact",
+        help="fold each collection's write-ahead log into a fresh snapshot",
+    )
+    compact.add_argument("path", help="database directory")
+    compact.add_argument(
+        "--name", help="compact only this collection (default: all)"
+    )
 
     sat = commands.add_parser(
         "sat", help="satisfiability of a JSL/JNL formula or a schema"
@@ -211,15 +251,40 @@ def _load_collection(path: str):
 
 
 def _bad_input_combo(args: argparse.Namespace, positional: str) -> bool:
-    """Exactly one of the positional file / ``--collection`` is required."""
-    if (getattr(args, positional) is None) == (args.collection is None):
+    """Exactly one document source is required.
+
+    The positional file, ``--collection`` (JSON-lines corpus) and
+    ``--db`` (durable database directory) are mutually exclusive.
+    """
+    sources = (
+        getattr(args, positional) is not None,
+        args.collection is not None,
+        getattr(args, "db", None) is not None,
+    )
+    if sum(sources) != 1:
         print(
-            f"error: give either a {positional} file or --collection "
-            "(exactly one)",
+            f"error: give exactly one of a {positional} file, "
+            "--collection or --db",
             file=sys.stderr,
         )
         return True
     return False
+
+
+def _open_corpus(args: argparse.Namespace, stack: ExitStack):
+    """The indexed collection behind ``--collection`` or ``--db``.
+
+    A ``--db`` collection is recovered through
+    :func:`repro.store.open_database`; the database handle is pushed
+    onto ``stack`` so it is closed (WAL flushed) when the command
+    finishes.
+    """
+    if getattr(args, "db", None) is not None:
+        from repro.store import open_database
+
+        database = stack.enter_context(open_database(args.db))
+        return database.collection(args.name)
+    return _load_collection(args.collection)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -234,8 +299,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         query = compile_query(args.path, "jnl-path")
 
-    if args.collection is not None:
-        return _query_collection(args, query)
+    if args.collection is not None or args.db is not None:
+        with ExitStack() as stack:
+            return _query_collection(args, query, _open_corpus(args, stack))
 
     tree = _load_tree(args.document)
     nodes = query.select(tree)  # document order (root first if selected)
@@ -248,11 +314,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
-def _query_collection(args: argparse.Namespace, query) -> int:
-    """Per-document matches over a JSON-lines corpus, via the planner."""
+def _query_collection(args: argparse.Namespace, query, collection) -> int:
+    """Per-document matches over a corpus, via the planner."""
     from repro.query import planner
 
-    collection = _load_collection(args.collection)
     if args.jnl:
         # A JNL filter matches documents (at the root), like `find`.
         matched = planner.match_ids(collection, query)
@@ -309,25 +374,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_find(args: argparse.Namespace) -> int:
-    from repro.mongo.find import Collection
+    from repro.mongo.find import memory_collection
 
     if _bad_input_combo(args, "documents"):
         return 2
     filter_doc = json.loads(args.filter)
     projection = json.loads(args.project) if args.project else None
 
-    if args.collection is not None:
+    if args.collection is not None or args.db is not None:
         from repro.query import compile_mongo_find, planner
 
-        corpus = _load_collection(args.collection)
-        query = compile_mongo_find(filter_doc, projection)
-        matched = planner.match_ids(corpus, query)
-        applied = query.projection
-        for doc_id in matched:
-            value = corpus.get(doc_id).to_value()
-            if applied is not None:
-                value = applied.apply_value(value)
-            print(f"{doc_id}\t{json.dumps(value)}")
+        with ExitStack() as stack:
+            corpus = _open_corpus(args, stack)
+            query = compile_mongo_find(filter_doc, projection)
+            matched = planner.match_ids(corpus, query)
+            applied = query.projection
+            for doc_id in matched:
+                value = corpus.get(doc_id).to_value()
+                if applied is not None:
+                    value = applied.apply_value(value)
+                print(f"{doc_id}\t{json.dumps(value)}")
         return 0 if matched else 1
 
     with open(args.documents, encoding="utf-8") as handle:
@@ -336,7 +402,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         raise ReproError("the collection file must hold a JSON array")
     # One query over a throwaway collection: building secondary indexes
     # would cost more than the single scan they could save.
-    collection = Collection(documents, indexed=False)
+    collection = memory_collection(documents, indexed=False)
     results = collection.find(filter_doc, projection)
     for result in results:
         print(json.dumps(result))
@@ -351,30 +417,31 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     pipeline = json.loads(args.pipeline)
     compiled = compile_pipeline(pipeline)
 
-    if args.collection is not None:
-        corpus = _load_collection(args.collection)
-    else:
-        from repro.store import Collection
+    with ExitStack() as stack:
+        if args.collection is not None or args.db is not None:
+            corpus = _open_corpus(args, stack)
+        else:
+            from repro.store import memory_collection
 
-        with open(args.documents, encoding="utf-8") as handle:
-            documents = json.load(handle)
-        if not isinstance(documents, list):
-            raise ReproError("the collection file must hold a JSON array")
-        # One pipeline over a throwaway collection: skip index builds.
-        corpus = Collection(documents, indexed=False)
+            with open(args.documents, encoding="utf-8") as handle:
+                documents = json.load(handle)
+            if not isinstance(documents, list):
+                raise ReproError("the collection file must hold a JSON array")
+            # One pipeline over a throwaway collection: skip index builds.
+            corpus = memory_collection(documents, indexed=False)
 
-    if args.explain:
-        report = compiled.explain(corpus)
-        for position, stage in enumerate(report.stages, start=1):
-            print(f"stage {position}\t{stage.op}\t{stage.mode}")
-        print(
-            f"total={report.total} candidates="
-            f"{'all' if report.candidates is None else report.candidates} "
-            f"scanned={report.scanned} matched={report.matched} "
-            f"results={report.results}"
-        )
-        return 0
-    results = compiled.execute(corpus)
+        if args.explain:
+            report = compiled.explain(corpus)
+            for position, stage in enumerate(report.stages, start=1):
+                print(f"stage {position}\t{stage.op}\t{stage.mode}")
+            print(
+                f"total={report.total} candidates="
+                f"{'all' if report.candidates is None else report.candidates} "
+                f"scanned={report.scanned} matched={report.matched} "
+                f"results={report.results}"
+            )
+            return 0
+        results = compiled.execute(corpus)
     for row in results:
         print(json.dumps(row))
     return 0 if results else 1
@@ -395,52 +462,71 @@ def _cmd_update(args: argparse.Namespace) -> int:
     filter_doc = json.loads(args.filter)
     update_doc = json.loads(args.update)
 
-    if args.collection is not None:
-        corpus = _load_collection(args.collection)
-    else:
-        from repro.store import Collection
+    with ExitStack() as stack:
+        if args.collection is not None or args.db is not None:
+            corpus = _open_corpus(args, stack)
+        else:
+            from repro.store import memory_collection
 
-        with open(args.documents, encoding="utf-8") as handle:
-            documents = json.load(handle)
-        if not isinstance(documents, list):
-            raise ReproError("the collection file must hold a JSON array")
-        corpus = Collection(documents)
+            with open(args.documents, encoding="utf-8") as handle:
+                documents = json.load(handle)
+            if not isinstance(documents, list):
+                raise ReproError("the collection file must hold a JSON array")
+            corpus = memory_collection(documents)
 
-    if args.explain:
-        report = explain_update(
-            corpus, filter_doc, update_doc, first_only=args.one
+        if args.explain:
+            report = explain_update(
+                corpus, filter_doc, update_doc, first_only=args.one
+            )
+            print(
+                f"targets\ttotal={report.total} candidates="
+                f"{'all' if report.candidates is None else report.candidates} "
+                f"scanned={report.scanned} pruned={report.pruned} "
+                f"matched={report.matched} modified={report.modified}"
+            )
+            print(
+                f"delta\tentries_added={report.entries_added} "
+                f"entries_removed={report.entries_removed} "
+                f"refcount_adjusted={report.refcount_adjusted}"
+            )
+            for table in report.touched_tables:
+                print(f"index\t{table}\t{report.postings[table]} postings")
+            return 0
+
+        run = update_one if args.one else update_many
+        result = run(corpus, filter_doc, update_doc, upsert=args.upsert)
+        upserted = (
+            ""
+            if result.upserted_id is None
+            else f" upserted_id={result.upserted_id}"
         )
         print(
-            f"targets\ttotal={report.total} candidates="
-            f"{'all' if report.candidates is None else report.candidates} "
-            f"scanned={report.scanned} pruned={report.pruned} "
-            f"matched={report.matched} modified={report.modified}"
+            f"matched={result.matched_count} "
+            f"modified={result.modified_count}{upserted}"
         )
-        print(
-            f"delta\tentries_added={report.entries_added} "
-            f"entries_removed={report.entries_removed} "
-            f"refcount_adjusted={report.refcount_adjusted}"
-        )
-        for table in report.touched_tables:
-            print(f"index\t{table}\t{report.postings[table]} postings")
-        return 0
-
-    run = update_one if args.one else update_many
-    result = run(corpus, filter_doc, update_doc, upsert=args.upsert)
-    upserted = (
-        ""
-        if result.upserted_id is None
-        else f" upserted_id={result.upserted_id}"
-    )
-    print(
-        f"matched={result.matched_count} "
-        f"modified={result.modified_count}{upserted}"
-    )
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            for _, tree in corpus.documents():
-                handle.write(tree.to_json() + "\n")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                for _, tree in corpus.documents():
+                    handle.write(tree.to_json() + "\n")
     return 0 if result.matched_count or result.upserted_id is not None else 1
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    from repro.store import open_database
+
+    # dispatch on args.db_command; only "compact" exists so far.
+    with open_database(args.path) as database:
+        reports = database.compact(args.name)
+    if not reports:
+        print("nothing to compact")
+        return 0
+    for name, report in sorted(reports.items()):
+        print(
+            f"{name}\twal_records={report.wal_records} "
+            f"wal_bytes={report.wal_bytes} "
+            f"snapshot_bytes={report.snapshot_bytes} lsn={report.lsn}"
+        )
+    return 0
 
 
 def _cmd_sat(args: argparse.Namespace) -> int:
@@ -478,6 +564,7 @@ _COMMANDS = {
     "find": _cmd_find,
     "aggregate": _cmd_aggregate,
     "update": _cmd_update,
+    "db": _cmd_db,
     "sat": _cmd_sat,
 }
 

@@ -100,6 +100,17 @@ class StoreError(ReproError):
     """An operation on an indexed document collection failed."""
 
 
+class StorageFormatError(StoreError):
+    """A persistent artifact (WAL file, snapshot) was not recognised.
+
+    Raised when a file's magic, ``format`` tag or ``version`` field is
+    not one this build knows how to read -- a *torn tail*, by contrast,
+    is recovered silently by truncating back to the committed prefix.
+    The distinction keeps future format changes loud: an engine never
+    silently misreads (or truncates) data written by another version.
+    """
+
+
 class UpdateError(StoreError):
     """An update operator could not be applied to a document.
 

@@ -10,7 +10,7 @@ from repro.mongo.aggregate import (
     match_value,
     naive_aggregate,
 )
-from repro.mongo.find import Collection, compile_filter
+from repro.mongo.find import Collection, compile_filter, memory_collection
 from repro.mongo.projection import Projection
 from repro.mongo.update import (
     UpdateExplain,
@@ -24,6 +24,7 @@ from repro.mongo.update import (
 
 __all__ = [
     "Collection",
+    "memory_collection",
     "compile_filter",
     "Projection",
     "AggregateExplain",

@@ -28,8 +28,9 @@ from repro.jnl import builder as q
 from repro.logic import nodetests as nt
 from repro.model.tree import JSONTree, JSONValue
 from repro.store.collection import Collection as _StoreCollection
+from repro.store.engine import MemoryEngine as _MemoryEngine
 
-__all__ = ["compile_filter", "Collection"]
+__all__ = ["compile_filter", "Collection", "memory_collection"]
 
 _TYPE_TESTS: dict[str, nt.NodeTest] = {
     "object": nt.IsObject(),
@@ -197,7 +198,22 @@ class Collection(_StoreCollection):
     Proposition-1 reachability.  The class is kept as a thin alias so
     Mongo-flavoured call sites read naturally.
 
-    >>> people = Collection([{"name": "Sue"}, {"name": "Bob"}])
+    Like the store class, constructing one without a storage engine is
+    deprecated: acquire collections through
+    :func:`repro.open_database` / :class:`repro.store.Database`, or use
+    :func:`memory_collection` for a volatile one.
+
+    >>> people = memory_collection([{"name": "Sue"}, {"name": "Bob"}])
     >>> people.find({"name": {"$eq": "Sue"}})
     [{'name': 'Sue'}]
     """
+
+
+def memory_collection(
+    documents: "list[JSONValue] | tuple" = (), **kwargs: Any
+) -> Collection:
+    """A volatile Mongo-facing collection behind an explicit
+    :class:`~repro.store.engine.MemoryEngine` (the blessed spelling of
+    what ``Collection(documents)`` used to be)."""
+    kwargs.setdefault("engine", _MemoryEngine())
+    return Collection(documents, **kwargs)

@@ -12,33 +12,68 @@ serving::
     Collection (store.collection): interned trees, incremental index
     maintenance, schema enforcement on ingest, planner-routed queries,
     delta-maintained in-place updates (store.update)
+        |  commits through
+    StorageEngine (store.engine): MemoryEngine | DurableEngine
+        |
+    WAL + snapshots (store.wal, store.durable), owned per named
+    collection by a Database handle (store.database)
 
-* :class:`~repro.store.collection.Collection` -- the document store;
+* :class:`~repro.store.database.Database` / :func:`open_database` --
+  the factory every layer acquires collections through;
+* :class:`~repro.store.collection.Collection` -- the document store
+  (:func:`memory_collection` is the volatile convenience constructor);
+* :class:`~repro.store.engine.StorageEngine` -- the persistence seam:
+  :class:`~repro.store.engine.MemoryEngine` (no-op) and
+  :class:`~repro.store.durable.DurableEngine` (write-ahead log +
+  versioned snapshots, replay-on-open, log compaction);
 * :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
   key-presence postings with counted, incremental maintenance;
 * :class:`~repro.store.update.CompiledUpdate` -- dialect-neutral update
   programs whose mutation records drive delta index maintenance.
 """
 
-from repro.store.collection import Collection
+from repro.store.collection import Collection, memory_collection
+from repro.store.database import Database, open_database
+from repro.store.durable import CompactionReport, DurableEngine
+from repro.store.engine import (
+    MemoryEngine,
+    RecoveredState,
+    StorageEngine,
+    decode_snapshot,
+)
 from repro.store.indexes import (
     DeltaOps,
     DocumentIndexes,
     IndexStats,
+    decode_entry_counts,
+    encode_entry_counts,
     index_entries,
     tree_entry_counts,
     value_entry_counts,
 )
 from repro.store.update import CompiledUpdate, Mutation, mutation_delta
+from repro.store.wal import WriteAheadLog
 
 __all__ = [
     "Collection",
+    "memory_collection",
+    "Database",
+    "open_database",
+    "StorageEngine",
+    "MemoryEngine",
+    "DurableEngine",
+    "CompactionReport",
+    "RecoveredState",
+    "WriteAheadLog",
+    "decode_snapshot",
     "DeltaOps",
     "DocumentIndexes",
     "IndexStats",
     "index_entries",
     "tree_entry_counts",
     "value_entry_counts",
+    "encode_entry_counts",
+    "decode_entry_counts",
     "CompiledUpdate",
     "Mutation",
     "mutation_delta",

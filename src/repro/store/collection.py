@@ -8,8 +8,8 @@ enforces a schema through the PR-2 compiled-validation pipeline
 (reject-on-insert), and answers queries from any front-end through the
 planner of :mod:`repro.query.planner`:
 
->>> from repro.store import Collection
->>> people = Collection([
+>>> from repro.store import memory_collection
+>>> people = memory_collection([
 ...     {"name": "Sue", "age": 35},
 ...     {"name": "Bob", "age": 28},
 ... ])
@@ -29,6 +29,7 @@ answers.
 from __future__ import annotations
 
 import json as _json
+import warnings
 from typing import Any, Iterable, Iterator
 
 from repro.errors import DocumentRejectedError, StoreError
@@ -39,12 +40,25 @@ from repro.query.compiled import (
     compile_mongo_find,
     compile_query,
 )
-from repro.store.indexes import DeltaOps, DocumentIndexes, IndexStats
+from repro.store.engine import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    MemoryEngine,
+    RecoveredState,
+    StorageEngine,
+    decode_snapshot,
+)
+from repro.store.indexes import (
+    DeltaOps,
+    DocumentIndexes,
+    IndexStats,
+    encode_entry_counts,
+)
 from repro.store.update import CompiledUpdate, mutation_delta
 from repro.validate.bulk import validate_corpus
 from repro.validate.compiled import CompiledValidator, compile_schema_validator
 
-__all__ = ["Collection"]
+__all__ = ["Collection", "memory_collection"]
 
 
 def _compile_schema(schema: Any) -> CompiledValidator:
@@ -64,10 +78,16 @@ class Collection:
     offending batch is inserted.  ``indexed=False`` keeps the same API
     but skips index maintenance -- every query falls back to the
     compiled full scan.
+
+    Commits route through a :class:`~repro.store.engine.StorageEngine`
+    (memory vs. durable WAL + snapshots); acquire collections through
+    :class:`repro.store.Database` / :func:`repro.store.memory_collection`
+    or pass ``engine=`` explicitly -- engine-less construction is a
+    deprecated shim.
     """
 
     __slots__ = ("_trees", "_alive", "_interned", "_indexes", "_validator",
-                 "_extended", "_version", "_dirty")
+                 "_extended", "_version", "_dirty", "_engine")
 
     def __init__(
         self,
@@ -77,9 +97,24 @@ class Collection:
         validator: CompiledValidator | None = None,
         extended: bool = False,
         indexed: bool = True,
+        engine: StorageEngine | None = None,
     ) -> None:
         if schema is not None and validator is not None:
             raise StoreError("pass either schema or validator, not both")
+        if engine is None:
+            # The pre-engine construction path: kept working through an
+            # implicit MemoryEngine shim, but deprecated -- acquire
+            # collections through repro.open_database()/Database,
+            # repro.store.memory_collection(), or pass an engine.
+            warnings.warn(
+                "constructing a Collection without a storage engine is "
+                "deprecated; use repro.open_database()/Database."
+                "collection(), repro.store.memory_collection(), or pass "
+                "engine=MemoryEngine()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            engine = MemoryEngine()
         self._trees: list[JSONTree | None] = []
         self._alive = 0
         self._interned: dict[str, str] = {}
@@ -96,6 +131,10 @@ class Collection:
         # while the tree rebuild is paid lazily (and only once) however
         # many updates hit the document in between.
         self._dirty: dict[int, JSONValue] = {}
+        self._engine = engine
+        recovered = engine.bind(self)
+        if recovered is not None:
+            self._restore(recovered)
         self.insert_many(documents)
 
     # ------------------------------------------------------------------
@@ -125,24 +164,37 @@ class Collection:
         With schema enforcement on, the whole batch is validated
         through the bulk pipeline (early exit on the first offender)
         *before* anything is inserted, so a rejection leaves the
-        collection and its indexes untouched.
+        collection and its indexes untouched.  On a durable engine the
+        WAL append (and sync) happens after validation and before the
+        in-memory apply, so a rejection leaves no trace on disk either.
         """
-        trees = self._materialise(documents)
+        items = list(documents)
+        trees = self._materialise(items)
         if self._validator is not None and trees:
             report = validate_corpus(self._validator, trees, early_exit=True)
             if not report.all_valid:
                 assert report.first_invalid is not None
                 raise DocumentRejectedError(report.first_invalid)
-        ids: list[int] = []
+        base = len(self._trees)
+        ids = list(range(base, base + len(trees)))
+        if trees and self._engine.durable:
+            self._engine.commit_insert(
+                ids,
+                [
+                    item.to_value() if isinstance(item, JSONTree) else item
+                    for item in items
+                ],
+            )
         for tree in trees:
             doc_id = len(self._trees)
             self._trees.append(tree)
             self._alive += 1
             if self._indexes is not None:
                 self._indexes.add(doc_id, tree)
-            ids.append(doc_id)
         if trees:
             self._version += 1
+            if self._engine.durable:
+                self._engine.commit_applied()
         return ids
 
     def insert(self, document: "JSONTree | JSONValue") -> int:
@@ -153,11 +205,15 @@ class Collection:
     def remove(self, doc_id: int) -> JSONTree:
         """Remove a document by id, unwinding its index postings."""
         tree = self.get(doc_id)
+        if self._engine.durable:
+            self._engine.commit_remove(doc_id)
         self._trees[doc_id] = None
         self._alive -= 1
         if self._indexes is not None:
             self._indexes.remove(doc_id, tree)
         self._version += 1
+        if self._engine.durable:
+            self._engine.commit_applied()
         return tree
 
     # ------------------------------------------------------------------
@@ -204,6 +260,11 @@ class Collection:
     @property
     def indexes(self) -> DocumentIndexes | None:
         return self._indexes
+
+    @property
+    def engine(self) -> StorageEngine:
+        """The storage engine commits route through."""
+        return self._engine
 
     @property
     def version(self) -> int:
@@ -328,6 +389,12 @@ class Collection:
                         f"update rejected: document {doc_id} would no "
                         "longer validate against the collection schema",
                     )
+        if staged and self._engine.durable:
+            # The WAL frame lands between validate and the in-memory
+            # apply: post-images only, already schema-approved.
+            self._engine.commit_update(
+                [(doc_id, new_value) for doc_id, new_value, _, _ in staged]
+            )
         ops = DeltaOps()
         for doc_id, new_value, delta, new_tree in staged:
             if delta_mode:
@@ -350,6 +417,8 @@ class Collection:
                 self._trees[doc_id] = new_tree
         if staged:
             self._version += 1
+            if self._engine.durable:
+                self._engine.commit_applied()
         return [doc_id for doc_id, _, _, _ in staged], ops
 
     def update_one(
@@ -489,6 +558,132 @@ class Collection:
         )
 
     # ------------------------------------------------------------------
+    # Persistence (snapshots and the engine's maintenance surface).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The collection as a versioned, JSON-able snapshot payload.
+
+        Serialises every live document (pending updates flushed) *and*
+        the counted index-entry refcounts, preserving document ids and
+        tombstones -- the durable engine's checkpoint format, and the
+        natural wire form of the paper's interned-tree model.  The
+        payload carries ``format`` and ``version`` fields;
+        :meth:`from_snapshot` (and the durable loader) refuse payloads
+        they do not understand instead of misreading them.
+        """
+        docs = [[doc_id, tree.to_value()] for doc_id, tree in self.documents()]
+        entries = None
+        if self._indexes is not None:
+            entries = {
+                str(doc_id): encode_entry_counts(
+                    self._indexes.entry_counts(doc_id)
+                )
+                for doc_id, _ in docs
+            }
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "extended": self._extended,
+            "next_id": len(self._trees),
+            "ops": self._version,
+            "docs": docs,
+            "index_entries": entries,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        data: dict,
+        *,
+        engine: StorageEngine | None = None,
+        validator: CompiledValidator | None = None,
+        indexed: bool = True,
+    ) -> "Collection":
+        """Restore a collection from a :meth:`snapshot` payload.
+
+        Validates the payload's format tag and version first (raising
+        :class:`~repro.errors.StorageFormatError` on anything this
+        build does not read), then materialises documents through a
+        fresh intern table and loads index postings straight from the
+        persisted refcounts.  ``engine`` must be fresh (defaults to a
+        new :class:`~repro.store.engine.MemoryEngine`).
+        """
+        snapshot = decode_snapshot(data)
+        entries = {}
+        if snapshot.encoded_entries is not None:
+            from repro.store.indexes import decode_entry_counts
+
+            entries = {
+                doc_id: decode_entry_counts(encoded)
+                for doc_id, encoded in snapshot.encoded_entries.items()
+            }
+        collection = cls(
+            engine=engine if engine is not None else MemoryEngine(),
+            validator=validator,
+            extended=snapshot.extended,
+            indexed=indexed,
+        )
+        collection._restore(
+            RecoveredState(
+                next_id=snapshot.next_id,
+                version=snapshot.ops,
+                extended=snapshot.extended,
+                docs=list(snapshot.docs),
+                entries=entries,
+            )
+        )
+        return collection
+
+    def _restore(self, state: RecoveredState) -> None:
+        """Load recovered state (engine bind / snapshot restore).
+
+        Only valid on an empty collection; documents keep their ids
+        (tombstoned slots stay ``None``), and documents whose counted
+        index entries survived recovery load their postings without a
+        tree walk.
+        """
+        if self._trees or self._dirty:
+            raise StoreError(
+                "cannot restore recovered state into a non-empty collection"
+            )
+        if state.extended != self._extended:
+            raise StoreError(
+                f"recovered state was written with extended="
+                f"{state.extended}, collection opened with "
+                f"extended={self._extended}"
+            )
+        values = [value for _, value in state.docs]
+        trees = JSONTree.from_values(
+            values, extended=self._extended, interned=self._interned
+        )
+        self._trees = [None] * state.next_id
+        for (doc_id, _), tree in zip(state.docs, trees):
+            self._trees[doc_id] = tree
+            self._alive += 1
+            if self._indexes is not None:
+                counts = state.entries.get(doc_id)
+                if counts:
+                    self._indexes.load_counts(doc_id, counts)
+                else:
+                    self._indexes.add(doc_id, tree)
+        self._version = state.version
+
+    def compact(self):
+        """Fold the engine's log into a fresh snapshot (checkpoint).
+
+        Returns the engine's report (``None`` on a memory engine,
+        a :class:`~repro.store.durable.CompactionReport` on a durable
+        one).
+        """
+        return self._engine.checkpoint()
+
+    def close(self) -> None:
+        """Release the engine's resources; the collection stays
+        readable (and writable, on a memory engine)."""
+        self._engine.close()
+
+    # ------------------------------------------------------------------
     # Serialisation helpers (the CLI's JSON-lines corpus format).
     # ------------------------------------------------------------------
 
@@ -510,4 +705,19 @@ class Collection:
             for line in text.splitlines()
             if line.strip()
         ]
+        kwargs.setdefault("engine", MemoryEngine())
         return cls(documents, **kwargs)
+
+
+def memory_collection(
+    documents: Iterable["JSONTree | JSONValue"] = (), **kwargs: Any
+) -> Collection:
+    """A volatile collection behind an explicit :class:`MemoryEngine`.
+
+    The blessed spelling of what ``Collection(documents)`` used to be:
+    one-off, in-process collections for tests, benchmarks and scripts.
+    Anything that should survive a restart belongs behind
+    :func:`repro.store.open_database` instead.
+    """
+    kwargs.setdefault("engine", MemoryEngine())
+    return Collection(documents, **kwargs)

@@ -1,0 +1,309 @@
+"""The durable storage engine: WAL + snapshots behind ``StorageEngine``.
+
+A :class:`DurableEngine` persists one collection as two files in a
+database directory::
+
+    <dir>/<name>.snapshot.json   last checkpoint (versioned snapshot
+                                 payload wrapped with its covering LSN)
+    <dir>/<name>.wal             every commit since that checkpoint
+
+**Commit path.**  The collection calls the engine's commit hook after
+staging and schema validation but before the in-memory apply; the hook
+appends one frame (insert / remove / update post-images) and syncs per
+the engine's policy.  A schema rejection therefore leaves no trace on
+disk, and a crash after the append replays to exactly the state the
+caller was acknowledged.
+
+**Recovery.**  ``bind`` loads the snapshot (format- and
+version-checked), replays WAL records with ``lsn`` greater than the
+snapshot's covering LSN in sequence, and hands the collection a
+:class:`~repro.store.engine.RecoveredState`.  Torn or corrupt WAL
+tails were already truncated by :class:`~repro.store.wal.WriteAheadLog`;
+a *well-formed* record that is malformed at the content level (unknown
+op, missing fields) or breaks LSN contiguity is a writer bug or
+targeted corruption and raises
+:class:`~repro.errors.StorageFormatError` instead of being guessed at.
+Snapshot documents no WAL record touched keep their persisted counted
+index refcounts, so their postings load without re-walking the tree.
+
+**Compaction.**  ``checkpoint()`` folds the log into a fresh snapshot:
+write-temp + fsync + ``os.replace`` for the snapshot, then an atomic
+WAL reset.  A crash between the two leaves stale WAL records whose
+LSNs the new snapshot already covers -- replay skips them.  Passing
+``compact_threshold=N`` checkpoints automatically every N commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import StorageFormatError, StoreError
+from repro.store.engine import (
+    RecoveredState,
+    SnapshotData,
+    StorageEngine,
+    decode_snapshot,
+)
+from repro.store.indexes import decode_entry_counts
+from repro.store.wal import WriteAheadLog
+
+__all__ = ["DurableEngine", "CompactionReport"]
+
+#: The ``format`` tag of the snapshot *file* (which wraps the
+#: collection snapshot payload with the LSN it covers).
+SNAPSHOT_FILE_FORMAT = "repro-durable-snapshot"
+SNAPSHOT_FILE_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one checkpoint did: WAL bytes folded into the snapshot."""
+
+    wal_records: int
+    wal_bytes: int
+    snapshot_bytes: int
+    lsn: int
+
+
+class DurableEngine(StorageEngine):
+    """WAL + snapshot persistence for one named collection."""
+
+    durable = True
+
+    def __init__(
+        self,
+        directory: str,
+        name: str = "main",
+        *,
+        sync: str = "fsync",
+        compact_threshold: int | None = None,
+    ) -> None:
+        super().__init__()
+        if not _NAME_RE.match(name):
+            raise StoreError(
+                f"invalid collection name {name!r} (letters, digits, "
+                "'._-' only, must not start with a separator)"
+            )
+        if compact_threshold is not None and compact_threshold < 1:
+            raise StoreError("compact_threshold must be a positive integer")
+        self._directory = os.fspath(directory)
+        self._name = name
+        self._sync = sync
+        self._threshold = compact_threshold
+        os.makedirs(self._directory, exist_ok=True)
+        self._snapshot_path = os.path.join(
+            self._directory, f"{name}.snapshot.json"
+        )
+        self._wal_path = os.path.join(self._directory, f"{name}.wal")
+        self._wal: WriteAheadLog | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        if self._wal is None:
+            raise StoreError("engine is not bound to a collection yet")
+        return self._wal
+
+    # ------------------------------------------------------------------
+    # Recovery (bind-time).
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> RecoveredState | None:
+        snapshot, snapshot_lsn = self._load_snapshot_file()
+        self._wal = WriteAheadLog(
+            self._wal_path, sync=self._sync, base_lsn=snapshot_lsn
+        )
+        records = self._wal.replayed
+        self._wal.drop_replayed()
+        if snapshot is None and not records:
+            return None  # a genuinely fresh collection
+        return self._replay(snapshot, snapshot_lsn, records)
+
+    def _load_snapshot_file(self) -> tuple[SnapshotData | None, int]:
+        if not os.path.exists(self._snapshot_path):
+            return None, 0
+        with open(self._snapshot_path, encoding="utf-8") as handle:
+            try:
+                wrapper = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise StorageFormatError(
+                    f"{self._snapshot_path}: not valid JSON ({exc})"
+                ) from exc
+        if (
+            not isinstance(wrapper, dict)
+            or wrapper.get("format") != SNAPSHOT_FILE_FORMAT
+        ):
+            raise StorageFormatError(
+                f"{self._snapshot_path}: not a durable-collection snapshot"
+            )
+        if wrapper.get("version") != SNAPSHOT_FILE_VERSION:
+            raise StorageFormatError(
+                f"{self._snapshot_path}: unsupported snapshot file version "
+                f"{wrapper.get('version')!r} (this build reads "
+                f"{SNAPSHOT_FILE_VERSION})"
+            )
+        lsn = wrapper.get("lsn")
+        if not isinstance(lsn, int) or lsn < 0:
+            raise StorageFormatError(
+                f"{self._snapshot_path}: missing or invalid covering LSN"
+            )
+        return decode_snapshot(wrapper.get("collection")), lsn
+
+    def _replay(
+        self,
+        snapshot: SnapshotData | None,
+        snapshot_lsn: int,
+        records: list[dict],
+    ) -> RecoveredState:
+        """Fold WAL records onto the snapshot in value space."""
+        slots: dict[int, Any] = {}
+        untouched: set[int] = set()
+        next_id = 0
+        ops = 0
+        extended = False
+        if snapshot is not None:
+            slots.update(snapshot.docs)
+            untouched.update(slots)
+            next_id = snapshot.next_id
+            ops = snapshot.ops
+            extended = snapshot.extended
+        expected = snapshot_lsn
+        for record in records:
+            lsn = record["lsn"]
+            if lsn <= expected:
+                continue  # pre-snapshot record from an interrupted compaction
+            if lsn != expected + 1:
+                raise StorageFormatError(
+                    f"{self._wal_path}: LSN gap in committed records "
+                    f"(expected {expected + 1}, found {lsn})"
+                )
+            try:
+                op = record["op"]
+                if op == "insert":
+                    for doc_id, value in zip(
+                        record["ids"], record["docs"], strict=True
+                    ):
+                        slots[doc_id] = value
+                        untouched.discard(doc_id)
+                        next_id = max(next_id, doc_id + 1)
+                elif op == "remove":
+                    del slots[record["id"]]
+                    untouched.discard(record["id"])
+                elif op == "update":
+                    for doc_id, value in record["changes"]:
+                        slots[doc_id] = value
+                        untouched.discard(doc_id)
+                else:
+                    raise StorageFormatError(
+                        f"{self._wal_path}: unknown WAL op {op!r} at LSN {lsn}"
+                    )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StorageFormatError(
+                    f"{self._wal_path}: malformed committed record at "
+                    f"LSN {lsn}: {exc}"
+                ) from exc
+            expected = lsn
+            ops += 1
+        entries = {}
+        if snapshot is not None and snapshot.encoded_entries is not None:
+            for doc_id in untouched:
+                encoded = snapshot.encoded_entries.get(doc_id)
+                if encoded is not None:
+                    entries[doc_id] = decode_entry_counts(encoded)
+        return RecoveredState(
+            next_id=next_id,
+            version=ops,
+            extended=extended,
+            docs=sorted(slots.items()),
+            entries=entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Commit hooks.
+    # ------------------------------------------------------------------
+
+    def commit_insert(
+        self, doc_ids: Sequence[int], values: Sequence[Any]
+    ) -> None:
+        self._append({"op": "insert", "ids": list(doc_ids), "docs": list(values)})
+
+    def commit_remove(self, doc_id: int) -> None:
+        self._append({"op": "remove", "id": doc_id})
+
+    def commit_update(self, changes: Iterable[tuple[int, Any]]) -> None:
+        self._append(
+            {"op": "update", "changes": [[doc_id, value] for doc_id, value in changes]}
+        )
+
+    def _append(self, payload: dict) -> None:
+        self.wal.append(payload)
+
+    def commit_applied(self) -> None:
+        # Auto-compaction must wait for the post-apply hook: a
+        # checkpoint from inside a commit hook would snapshot memory
+        # *without* the record just logged, then reset the WAL past it
+        # -- silently dropping the acknowledged mutation.
+        if (
+            self._threshold is not None
+            and self.wal.records_since_reset >= self._threshold
+        ):
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Compaction.
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> CompactionReport:
+        """Fold the WAL into a fresh snapshot and reset the log."""
+        if self._collection is None:
+            raise StoreError("engine is not bound to a collection yet")
+        wal = self.wal
+        wal_records = wal.records_since_reset
+        wal_bytes = wal.size_bytes()
+        lsn = wal.lsn
+        wrapper = {
+            "format": SNAPSHOT_FILE_FORMAT,
+            "version": SNAPSHOT_FILE_VERSION,
+            "lsn": lsn,
+            "collection": self._collection.snapshot(),
+        }
+        temp = self._snapshot_path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(wrapper, handle, separators=(",", ":"), ensure_ascii=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self._snapshot_path)
+        wal.reset(base_lsn=lsn)
+        return CompactionReport(
+            wal_records=wal_records,
+            wal_bytes=wal_bytes,
+            snapshot_bytes=os.path.getsize(self._snapshot_path),
+            lsn=lsn,
+        )
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableEngine({self._directory!r}, {self._name!r}, "
+            f"sync={self._sync!r})"
+        )

@@ -1,0 +1,244 @@
+"""The storage-engine seam: how a :class:`~repro.store.Collection`
+persists (or doesn't).
+
+ROADMAP names this refactor explicitly: "a storage-engine interface
+behind ``store.Collection`` (memory vs. durable vs. sharded)".  A
+:class:`StorageEngine` owns everything below the in-memory document
+set -- recovery on open, the commit hook on every mutation, and
+compaction -- while the collection keeps owning trees, indexes, schema
+enforcement and the planner.  The contract:
+
+* ``bind(collection)`` is called exactly once, from the collection's
+  constructor, *before* any documents are ingested.  A durable engine
+  replays its snapshot + write-ahead log here and returns a
+  :class:`RecoveredState` for the collection to restore; a memory
+  engine returns ``None``.
+* ``commit_insert`` / ``commit_remove`` / ``commit_update`` are called
+  after staging and schema validation but *before* the in-memory
+  apply.  A durable engine appends (and syncs) the WAL frame here, so
+  the ordering invariant is: **nothing reaches memory that is not on
+  disk, and nothing reaches disk that did not validate**.  A raise
+  from the hook aborts the whole operation with the collection
+  untouched.
+* ``checkpoint()`` folds the log into a fresh snapshot (compaction);
+  ``close()`` releases file handles.
+
+Engines are single-collection: binding one engine to two collections
+is an error.  :class:`MemoryEngine` is the trivial implementation (all
+hooks are no-ops); :class:`~repro.store.durable.DurableEngine` is the
+WAL + snapshot implementation; the planned sharded engine will be the
+third.
+
+This module also owns the **versioned snapshot codec**: the plain-dict
+format :meth:`Collection.snapshot` emits carries ``format`` and
+``version`` fields, and :func:`decode_snapshot` refuses payloads it
+does not understand -- future engine changes cannot silently misread
+old snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.errors import StorageFormatError, StoreError
+from repro.store.indexes import Entry, decode_entry_counts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.store.collection import Collection
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "RecoveredState",
+    "SnapshotData",
+    "StorageEngine",
+    "MemoryEngine",
+    "decode_snapshot",
+]
+
+#: The ``format`` tag of a collection snapshot (what the loader keys
+#: its "is this mine?" check on).
+SNAPSHOT_FORMAT = "repro-collection-snapshot"
+
+#: Current snapshot format version.  Loaders accept exactly the
+#: versions they know how to read; anything newer (or unrecognisably
+#: older) raises :class:`~repro.errors.StorageFormatError`.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SnapshotData:
+    """A decoded (but not yet materialised) collection snapshot.
+
+    ``docs`` preserves document ids -- ids are never reused, so the
+    tombstone layout matters; ``encoded_entries`` keeps the counted
+    index refcounts in their wire form (decode per document with
+    :func:`repro.store.indexes.decode_entry_counts` only for documents
+    the WAL replay left untouched).
+    """
+
+    next_id: int
+    ops: int
+    extended: bool
+    docs: list[tuple[int, Any]]
+    encoded_entries: dict[int, list] | None
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """What an engine hands the collection to restore on open.
+
+    ``docs`` are ``(doc_id, value)`` pairs in id order; ``entries``
+    maps the ids whose counted index refcounts survived recovery
+    verbatim (snapshot documents no WAL record touched) -- the
+    collection loads those postings without re-walking the tree, and
+    walks the rest.  ``version`` seeds the collection's mutation
+    counter so it keeps increasing across restarts.
+    """
+
+    next_id: int
+    version: int
+    extended: bool
+    docs: list[tuple[int, Any]]
+    entries: dict[int, dict[Entry, int]]
+
+
+def decode_snapshot(data: Any) -> SnapshotData:
+    """Validate and decode a :meth:`Collection.snapshot` payload.
+
+    The loader-side half of the versioned format: a payload whose
+    ``format`` tag or ``version`` is not recognised raises
+    :class:`~repro.errors.StorageFormatError` instead of being
+    misread.
+    """
+    if not isinstance(data, dict):
+        raise StorageFormatError(
+            f"a collection snapshot is a JSON object, got {type(data).__name__}"
+        )
+    found = data.get("format")
+    if found != SNAPSHOT_FORMAT:
+        raise StorageFormatError(
+            f"not a collection snapshot (format={found!r}, "
+            f"expected {SNAPSHOT_FORMAT!r})"
+        )
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise StorageFormatError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    try:
+        next_id = data["next_id"]
+        ops = data["ops"]
+        extended = data["extended"]
+        docs = [(doc_id, value) for doc_id, value in data["docs"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageFormatError(f"malformed collection snapshot: {exc}") from exc
+    if not isinstance(next_id, int) or not isinstance(ops, int):
+        raise StorageFormatError(
+            "malformed collection snapshot: next_id/ops must be integers"
+        )
+    for doc_id, _ in docs:
+        if not isinstance(doc_id, int) or not 0 <= doc_id < next_id:
+            raise StorageFormatError(
+                f"malformed collection snapshot: document id {doc_id!r} "
+                f"outside [0, {next_id})"
+            )
+    raw_entries = data.get("index_entries")
+    encoded: dict[int, list] | None = None
+    if raw_entries is not None:
+        if not isinstance(raw_entries, dict):
+            raise StorageFormatError(
+                "malformed collection snapshot: index_entries must be an object"
+            )
+        # JSON object keys are strings; ids travel as decimal text.
+        encoded = {int(doc_id): entries for doc_id, entries in raw_entries.items()}
+    return SnapshotData(
+        next_id=next_id,
+        ops=ops,
+        extended=bool(extended),
+        docs=docs,
+        encoded_entries=encoded,
+    )
+
+
+class StorageEngine:
+    """Base class / protocol for collection storage engines.
+
+    Subclasses override the hooks they need; the defaults make this
+    class itself a valid (volatile) engine.  ``durable`` tells the
+    collection whether commit hooks need plain-value payloads at all --
+    the memory engine never pays the ``to_value`` materialisation.
+    """
+
+    durable: bool = False
+
+    def __init__(self) -> None:
+        self._collection: "Collection | None" = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, collection: "Collection") -> RecoveredState | None:
+        """Attach to ``collection`` (once); return state to restore."""
+        if self._collection is not None:
+            raise StoreError(
+                "storage engine is already bound to a collection "
+                "(engines are single-collection; create a new one)"
+            )
+        self._collection = collection
+        return self._recover()
+
+    def _recover(self) -> RecoveredState | None:
+        """Engine-specific recovery, run from :meth:`bind`."""
+        return None
+
+    @property
+    def collection(self) -> "Collection | None":
+        return self._collection
+
+    # -- commit hooks (called between validate and in-memory apply) ----
+
+    def commit_insert(
+        self, doc_ids: Sequence[int], values: Sequence[Any]
+    ) -> None:
+        """Persist an insert batch (ids are pre-assigned, dense)."""
+
+    def commit_remove(self, doc_id: int) -> None:
+        """Persist a removal."""
+
+    def commit_update(self, changes: Iterable[tuple[int, Any]]) -> None:
+        """Persist update post-images as ``(doc_id, new_value)`` pairs."""
+
+    def commit_applied(self) -> None:
+        """Called after the in-memory apply of a committed mutation.
+
+        The one hook that runs with memory and log in agreement --
+        maintenance that snapshots the collection (auto-compaction)
+        belongs here, not in the pre-apply commit hooks.
+        """
+
+    # -- maintenance ----------------------------------------------------
+
+    def checkpoint(self):
+        """Fold the log into a fresh snapshot; no-op for memory."""
+        return None
+
+    def close(self) -> None:
+        """Release any resources; the collection stays readable."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MemoryEngine(StorageEngine):
+    """The volatile engine: every hook is a no-op.
+
+    Exists so the collection has exactly one code path -- commits
+    always route through an engine -- and so call sites state their
+    durability choice explicitly (or go through
+    :func:`repro.store.memory_collection` /
+    :class:`repro.store.Database`, which state it for them).
+    """
+
+    durable = False

@@ -1,0 +1,233 @@
+"""Append-only write-ahead log: length-prefixed, CRC-checked frames.
+
+The on-disk format is deliberately boring::
+
+    file  = magic frame*
+    magic = b"RPROWAL1"                 (8 bytes)
+    frame = length:u32be crc:u32be payload
+            where length = len(payload), crc = crc32(payload)
+            and payload is one UTF-8 JSON object
+
+Every payload carries a monotonically increasing ``lsn`` (log sequence
+number, assigned by :meth:`WriteAheadLog.append`); the record body is
+the engine's business (:mod:`repro.store.durable` logs insert/remove/
+update records).
+
+Recovery is prefix-truncation: :class:`WriteAheadLog` re-reads the file
+on open and stops at the first frame that is short (torn write), fails
+its CRC, or is not valid JSON -- everything before it is the committed
+prefix, everything from it on is truncated away.  A torn or corrupt
+tail is therefore *never* fatal: the log reopens to the longest
+committed prefix.  A file that does not start with the magic is
+refused loudly (:class:`~repro.errors.StorageFormatError`) -- that is
+not a torn tail but a foreign or incompatibly-versioned file, and
+truncating it would destroy data this code does not understand.
+
+Durability is a per-log policy (``sync=``):
+
+* ``"fsync"`` (default) -- flush + ``os.fsync`` after every append;
+  a commit acknowledged is a commit on the platter.
+* ``"flush"`` -- flush to the OS page cache; survives process crash,
+  not power loss.
+* ``"none"`` -- buffered; flushed on :meth:`sync`/:meth:`close`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import StorageFormatError, StoreError
+
+__all__ = ["WAL_MAGIC", "SYNC_MODES", "WriteAheadLog"]
+
+WAL_MAGIC = b"RPROWAL1"
+
+_FRAME_HEADER = struct.Struct(">II")  # payload length, payload crc32
+
+#: Sanity ceiling on one frame (a length field beyond this is treated
+#: as tail corruption, not an allocation request).
+_MAX_FRAME_BYTES = 1 << 30
+
+SYNC_MODES = ("fsync", "flush", "none")
+
+
+def _dump(payload: dict) -> bytes:
+    return json.dumps(
+        payload, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+class WriteAheadLog:
+    """One append-only log file with replay-on-open.
+
+    Opening scans the existing file: well-formed frames become
+    :attr:`replayed` (for the engine to apply), and the first torn or
+    corrupt frame truncates the file back to the committed prefix.
+    ``append`` then continues from the recovered tail LSN.
+    """
+
+    def __init__(
+        self, path: str, *, sync: str = "fsync", base_lsn: int = 0
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise StoreError(
+                f"unknown WAL sync mode {sync!r} (expected one of {SYNC_MODES})"
+            )
+        self.path = os.fspath(path)
+        self._sync_mode = sync
+        self.replayed: list[dict] = []
+        self.truncated_bytes = 0
+        self._lsn = 0
+        self._recover_file()
+        # The log file does not persist its base LSN (a post-compaction
+        # reset leaves just the magic): the owner passes the covering
+        # LSN of its snapshot so fresh appends continue *above* it --
+        # otherwise a reopened, freshly-reset log would reissue LSNs
+        # the snapshot already covers and replay would skip the new
+        # records as stale.
+        self._lsn = max(self._lsn, base_lsn)
+        # Replayed records count against the compaction threshold too:
+        # a reopened log keeps its backlog.
+        self._records_since_reset = len(self.replayed)
+        self._handle = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    # Recovery.
+    # ------------------------------------------------------------------
+
+    def _recover_file(self) -> None:
+        """Scan (or create) the log; truncate any torn/corrupt tail."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = -1
+        if size < len(WAL_MAGIC):
+            # Absent, or torn during creation before the magic landed:
+            # either way there is no committed frame to preserve.
+            with open(self.path, "wb") as handle:
+                handle.write(WAL_MAGIC)
+                handle.flush()
+                os.fsync(handle.fileno())
+            return
+        with open(self.path, "rb") as handle:
+            magic = handle.read(len(WAL_MAGIC))
+            if magic != WAL_MAGIC:
+                raise StorageFormatError(
+                    f"{self.path}: not a repro WAL file "
+                    f"(bad magic {magic!r})"
+                )
+            good = handle.tell()
+            while True:
+                header = handle.read(_FRAME_HEADER.size)
+                if len(header) < _FRAME_HEADER.size:
+                    break  # clean EOF or torn header
+                length, crc = _FRAME_HEADER.unpack(header)
+                if length > _MAX_FRAME_BYTES:
+                    break  # corrupt length field
+                payload = handle.read(length)
+                if len(payload) < length:
+                    break  # torn payload
+                if zlib.crc32(payload) != crc:
+                    break  # bit rot / torn overwrite
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                if not isinstance(record, dict) or not isinstance(
+                    record.get("lsn"), int
+                ):
+                    break
+                self.replayed.append(record)
+                good = handle.tell()
+        if good < size:
+            self.truncated_bytes = size - good
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good)
+                handle.flush()
+                os.fsync(handle.fileno())
+        if self.replayed:
+            self._lsn = self.replayed[-1]["lsn"]
+
+    def drop_replayed(self) -> None:
+        """Free the replay buffer once the engine has consumed it."""
+        self.replayed = []
+
+    # ------------------------------------------------------------------
+    # Appending.
+    # ------------------------------------------------------------------
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Frame, write and (per policy) sync one record; returns its LSN.
+
+        The ``lsn`` field is injected here -- callers supply only the
+        record body.  When this method returns under ``sync="fsync"``,
+        the record is durable.
+        """
+        lsn = self._lsn + 1
+        body = _dump({"lsn": lsn, **payload})
+        frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+        self._handle.write(frame)
+        if self._sync_mode == "fsync":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        elif self._sync_mode == "flush":
+            self._handle.flush()
+        self._lsn = lsn
+        self._records_since_reset += 1
+        return lsn
+
+    def sync(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance.
+    # ------------------------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """The LSN of the last record written (or recovered)."""
+        return self._lsn
+
+    @property
+    def records_since_reset(self) -> int:
+        """Appends since open/reset (the auto-compaction trigger)."""
+        return self._records_since_reset
+
+    def size_bytes(self) -> int:
+        self._handle.flush()
+        return os.path.getsize(self.path)
+
+    def reset(self, *, base_lsn: int) -> None:
+        """Replace the log with an empty one (post-compaction).
+
+        Atomic via write-temp + :func:`os.replace`: a crash leaves
+        either the old log (whose records the snapshot already covers
+        and replay will skip by LSN) or the new empty one.
+        """
+        self._handle.close()
+        temp = self.path + ".tmp"
+        with open(temp, "wb") as handle:
+            handle.write(WAL_MAGIC)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        self._handle = open(self.path, "ab")
+        self._lsn = base_lsn
+        self._records_since_reset = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            if self._sync_mode != "none":
+                self.sync()
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({self.path!r}, lsn={self._lsn}, "
+            f"sync={self._sync_mode!r})"
+        )

@@ -22,7 +22,7 @@ from repro.mongo.aggregate import (
 )
 from repro.query import aggregate_many, compile_mongo_find, planner
 from repro.query.stages import MISSING, resolve_path, sort_key, values_equal
-from repro.store import Collection
+from repro.store import Collection, memory_collection
 from repro.workloads import people_collection
 
 PEOPLE = people_collection(300, seed=7)
@@ -34,7 +34,7 @@ _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
 @pytest.fixture(scope="module")
 def people() -> Collection:
-    return Collection(people_collection(300, seed=7))
+    return memory_collection(people_collection(300, seed=7))
 
 
 def run(docs, pipeline):
@@ -48,7 +48,7 @@ def run(docs, pipeline):
     naive = naive_aggregate(docs, pipeline)
     assert staged == naive
     try:
-        collection = Collection(docs)
+        collection = memory_collection(docs)
     except ModelError:
         pass  # null/booleans: outside the tree model, value path only
     else:
@@ -97,7 +97,7 @@ class TestUnwind:
 
     def test_siblings_are_shared_not_copied_along_the_spine(self):
         docs = [{"a": {"b": [1, 2]}, "big": {"payload": [1, 2, 3]}}]
-        rows = aggregate(Collection(docs), [{"$unwind": "$a.b"}])
+        rows = aggregate(memory_collection(docs), [{"$unwind": "$a.b"}])
         assert rows[0]["big"] is rows[1]["big"]
 
 
@@ -389,7 +389,7 @@ class TestIndexPruning:
         assert [stage.mode for stage in report.stages] == ["streamed", "streamed"]
 
     def test_unindexed_collection_streams(self):
-        collection = Collection(PEOPLE[:50], indexed=False)
+        collection = memory_collection(PEOPLE[:50], indexed=False)
         report = collection.explain_aggregate(self.PIPELINE)
         assert not report.used_indexes
         assert report.stages[0].mode == "streamed"
@@ -398,7 +398,7 @@ class TestIndexPruning:
         )
 
     def test_mutation_is_never_stale(self):
-        collection = Collection(PEOPLE[:20])
+        collection = memory_collection(PEOPLE[:20])
         pipeline = [
             {"$match": {"address.city": "Talca"}},
             {"$count": "n"},
@@ -528,7 +528,7 @@ class TestPipelineCache:
 
     def test_plans_are_collection_independent(self, people):
         compiled = compile_pipeline([{"$match": {"name.first": "Sue"}}])
-        small = Collection(PEOPLE[:10])
+        small = memory_collection(PEOPLE[:10])
         assert compiled.execute(small) == naive_aggregate(
             PEOPLE[:10], [{"$match": {"name.first": "Sue"}}]
         )
@@ -566,7 +566,7 @@ class TestInputFlavours:
         )
 
     def test_empty_collection(self):
-        empty = Collection([])
+        empty = memory_collection([])
         assert empty.aggregate(self.PIPELINE) == []
         assert empty.aggregate([{"$count": "n"}]) == []
 
@@ -695,8 +695,8 @@ class TestRandomisedDifferential:
     def test_unindexed_equals_indexed_on_random_pipelines(self):
         rng = random.Random(55)
         docs = PEOPLE[:100]
-        indexed = Collection(docs)
-        unindexed = Collection(docs, indexed=False)
+        indexed = memory_collection(docs)
+        unindexed = memory_collection(docs, indexed=False)
         for _ in range(25 * _SCALE):
             pipeline = _random_pipeline(rng)
             assert aggregate(indexed, pipeline) == aggregate(

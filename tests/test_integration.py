@@ -18,7 +18,7 @@ from repro.jsl.bottom_up import satisfies_recursive
 from repro.jsl.evaluator import satisfies
 from repro.jsl.satisfiability import jsl_satisfiable
 from repro.model.tree import JSONTree
-from repro.mongo import Collection, compile_filter
+from repro.mongo import compile_filter, memory_collection
 from repro.schema import (
     SchemaValidator,
     jsl_to_schema,
@@ -110,7 +110,7 @@ class TestFrontEndPipelines:
         formula = compile_filter(filter_doc)
         translated = jnl_to_jsl(formula)
         people = people_collection(30, seed=8)
-        collection = Collection(people)
+        collection = memory_collection(people)
         expected_ids = {doc["id"] for doc in collection.find(filter_doc)}
         for person in people:
             tree = JSONTree.from_value(person)
@@ -125,7 +125,7 @@ class TestFrontEndPipelines:
         from repro.jsonpath import jsonpath_query
 
         people = people_collection(25, seed=12)
-        collection = Collection(people)
+        collection = memory_collection(people)
         with_yoga_mongo = {
             doc["id"]
             for doc in collection.find(

@@ -8,7 +8,7 @@ import pytest
 
 from repro.errors import DocumentRejectedError, StoreError
 from repro.model.tree import JSONTree
-from repro.store import Collection, DocumentIndexes
+from repro.store import Collection, DocumentIndexes, memory_collection
 from repro.store.indexes import index_entries
 
 PEOPLE = [
@@ -30,14 +30,14 @@ def rebuilt(collection: Collection) -> DocumentIndexes:
 
 class TestCollectionBasics:
     def test_insert_assigns_dense_ids(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         assert collection.doc_ids() == [0, 1, 2]
         assert len(collection) == 3
         new_id = collection.insert({"name": {"first": "Li"}})
         assert new_id == 3
 
     def test_ids_never_reused_after_remove(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         collection.remove(1)
         assert collection.doc_ids() == [0, 2]
         assert collection.insert({"x": 1}) == 3
@@ -46,7 +46,7 @@ class TestCollectionBasics:
             collection.get(1)
 
     def test_version_bumps_on_mutation_only(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         v0 = collection.version
         collection.find({"age": {"$gt": 30}})
         assert collection.version == v0
@@ -56,11 +56,11 @@ class TestCollectionBasics:
 
     def test_accepts_prebuilt_trees(self):
         tree = JSONTree.from_value({"k": "v"})
-        collection = Collection([tree])
+        collection = memory_collection([tree])
         assert collection.get(0) is tree
 
     def test_shared_interning_across_batches(self):
-        collection = Collection([{"name": "a"}])
+        collection = memory_collection([{"name": "a"}])
         before = collection.interned_strings()
         collection.insert({"name": "b"})
         # "name" was already interned; only "b" is new.
@@ -70,7 +70,7 @@ class TestCollectionBasics:
         assert key_a is key_b
 
     def test_unindexed_collection_still_answers(self):
-        collection = Collection(PEOPLE, indexed=False)
+        collection = memory_collection(PEOPLE, indexed=False)
         assert collection.indexes is None
         assert collection.count({"name.last": "Doe"}) == 2
         explain = collection.explain({"name.last": "Doe"})
@@ -94,16 +94,16 @@ class TestCollectionBasics:
 
 class TestIndexMaintenance:
     def test_insert_matches_full_rescan(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
 
     def test_remove_unwinds_postings(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         collection.remove(0)
         assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
 
     def test_remove_everything_empties_every_table(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         for doc_id in collection.doc_ids():
             collection.remove(doc_id)
         snapshot = collection.indexes.snapshot()
@@ -111,7 +111,7 @@ class TestIndexMaintenance:
 
     def test_random_mutation_sequence_matches_rescan(self):
         rng = random.Random(20260727)
-        collection = Collection()
+        collection = memory_collection()
         pool = [
             {"user": {"id": i, "tag": f"t{i % 7}"},
              "scores": [i % 5, (i * 3) % 11],
@@ -139,7 +139,7 @@ class TestIndexMaintenance:
         assert entries.keys == frozenset({"a", "b"})
 
     def test_stats_counters(self):
-        stats = Collection(PEOPLE).index_stats()
+        stats = memory_collection(PEOPLE).index_stats()
         assert stats.documents == 3
         assert stats.keys >= 6  # name, first, last, age, hobbies, ...
 
@@ -150,7 +150,7 @@ class TestMutationFreshness:
     FILTER = {"name.first": "Sue"}
 
     def test_results_track_inserts_and_removes(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         assert collection.count(self.FILTER) == 1
         new_id = collection.insert(
             {"name": {"first": "Sue", "last": "Novak"}, "age": 50}
@@ -162,13 +162,13 @@ class TestMutationFreshness:
         assert collection.count(self.FILTER) == 0
 
     def test_two_collections_share_plans_not_results(self):
-        left = Collection([{"k": "match"}])
-        right = Collection([{"k": "other"}])
+        left = memory_collection([{"k": "match"}])
+        right = memory_collection([{"k": "other"}])
         assert left.count({"k": "match"}) == 1
         assert right.count({"k": "match"}) == 0
 
     def test_select_tracks_mutations(self):
-        collection = Collection(PEOPLE)
+        collection = memory_collection(PEOPLE)
         rows = dict(collection.select("$.hobbies[*]"))
         assert rows[0] == ["yoga", "chess"]
         collection.remove(0)
@@ -184,20 +184,20 @@ class TestSchemaEnforcement:
     }
 
     def test_valid_documents_ingest(self):
-        collection = Collection(
+        collection = memory_collection(
             [{"name": "a", "age": 10}], schema=self.SCHEMA
         )
         assert len(collection) == 1
         assert collection.schema_enforced
 
     def test_reject_on_insert(self):
-        collection = Collection(schema=self.SCHEMA)
+        collection = memory_collection(schema=self.SCHEMA)
         with pytest.raises(DocumentRejectedError):
             collection.insert({"age": 10})
         assert len(collection) == 0
 
     def test_batch_rejection_is_atomic(self):
-        collection = Collection(schema=self.SCHEMA)
+        collection = memory_collection(schema=self.SCHEMA)
         with pytest.raises(DocumentRejectedError) as excinfo:
             collection.insert_many(
                 [{"name": "ok"}, {"name": "bad", "age": 200}, {"name": "ok2"}]
@@ -212,11 +212,11 @@ class TestSchemaEnforcement:
         from repro.validate import compile_schema_validator
 
         validator = compile_schema_validator(parse_schema(self.SCHEMA))
-        collection = Collection(validator=validator)
+        collection = memory_collection(validator=validator)
         collection.insert({"name": "x"})
         with pytest.raises(DocumentRejectedError):
             collection.insert({})
 
     def test_schema_and_validator_conflict(self):
         with pytest.raises(StoreError):
-            Collection(schema=self.SCHEMA, validator=object())
+            memory_collection(schema=self.SCHEMA, validator=object())
