@@ -6,7 +6,10 @@ the performance story.  Three measurements:
 * **WAL ingest overhead** -- per-commit inserts through a
   :class:`~repro.store.durable.DurableEngine` (``sync="flush"``: the
   process-crash durability point) vs the same commits on a memory
-  engine.  Pinned ceiling: <= 5x the memory engine.
+  engine.  Pinned ceiling: <= 5x the memory engine.  Since the
+  fault-injection PR every byte routes through an
+  :class:`~repro.store.faults.IOAdapter`; that indirection is part of
+  the measured hot path and must fit inside the same unchanged gate.
 * **Replay throughput** -- reopening a collection whose entire state
   lives in the WAL (no snapshot); reported as documents/second,
   unpinned (absolute numbers are machine noise).

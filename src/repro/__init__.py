@@ -56,7 +56,7 @@ from repro.model import (
     try_navigate,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "JSONTree",

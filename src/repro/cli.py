@@ -217,6 +217,24 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument(
         "--name", help="compact only this collection (default: all)"
     )
+    verify = db_commands.add_parser(
+        "verify",
+        help="offline integrity check: snapshot checksums, WAL frames, "
+        "LSN discipline, replayability (read-only)",
+    )
+    verify.add_argument("path", help="database directory")
+    verify.add_argument(
+        "--name", help="verify only this collection (default: all)"
+    )
+    repair = db_commands.add_parser(
+        "repair",
+        help="truncate torn WAL tails and quarantine corrupt files "
+        "(renames aside, never deletes), then re-verify",
+    )
+    repair.add_argument("path", help="database directory")
+    repair.add_argument(
+        "--name", help="repair only this collection (default: all)"
+    )
 
     sat = commands.add_parser(
         "sat", help="satisfiability of a JSL/JNL formula or a schema"
@@ -511,10 +529,42 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 0 if result.matched_count or result.upserted_id is not None else 1
 
 
+def _print_integrity(report) -> None:
+    for check in report.collections:
+        docs = "?" if check.documents is None else check.documents
+        status = "ok" if check.ok else "CORRUPT"
+        print(
+            f"{check.name}\t{status} documents={docs} "
+            f"wal_frames={check.wal_frames} "
+            f"snapshot_lsn={check.snapshot_lsn}"
+        )
+    for finding in report.findings():
+        print(f"  {finding}")
+
+
 def _cmd_db(args: argparse.Namespace) -> int:
     from repro.store import open_database
+    from repro.store.fsck import repair, verify
 
-    # dispatch on args.db_command; only "compact" exists so far.
+    if args.db_command == "verify":
+        report = verify(args.path, args.name)
+        _print_integrity(report)
+        print("verify: clean" if report.ok else "verify: PROBLEMS FOUND")
+        return 0 if report.ok else 1
+    if args.db_command == "repair":
+        result = repair(args.path, args.name)
+        for action in result.actions:
+            print(action)
+        if not result.actions:
+            print("nothing to repair")
+        _print_integrity(result.verified)
+        print(
+            "repair: clean"
+            if result.ok
+            else "repair: PROBLEMS REMAIN (quarantined files need manual "
+            "review)"
+        )
+        return 0 if result.ok else 1
     with open_database(args.path) as database:
         reports = database.compact(args.name)
     if not reports:

@@ -111,6 +111,41 @@ class StorageFormatError(StoreError):
     """
 
 
+class StorageIOError(StoreError):
+    """A storage operation failed at the I/O layer (disk, filesystem).
+
+    Raised when the durable engine's writes hit the operating system's
+    failure surface -- ``ENOSPC``, ``EIO``, a short write, a failed
+    ``fsync`` or rename -- as opposed to :class:`StorageFormatError`,
+    which means the *bytes* on disk are not ones this build understands.
+    The original :class:`OSError` is always chained as ``__cause__``.
+
+    After raising from a commit or checkpoint, the engine enters
+    degraded read-only mode: reads keep answering from memory, further
+    writes raise :class:`CollectionReadOnlyError`.
+    """
+
+    def __init__(self, message: str, *, rolled_back: bool = True) -> None:
+        super().__init__(message)
+        #: Whether the engine managed to roll the log file back to its
+        #: pre-operation state.  ``False`` means the tail may hold a
+        #: fully-written frame the caller was *not* acknowledged for;
+        #: recovery may replay it (a ghost write, never a lost one).
+        self.rolled_back = rolled_back
+
+
+class CollectionReadOnlyError(StoreError):
+    """A write reached an engine that is in degraded read-only mode.
+
+    After any append or checkpoint failure the durable engine stops
+    accepting writes rather than let memory diverge from disk; the
+    :class:`StorageIOError` that tripped the degradation is chained as
+    ``__cause__`` so callers can see the root cause.  Reads, queries
+    and explains keep working from memory; reopening the database
+    recovers the acknowledged prefix and clears the condition.
+    """
+
+
 class UpdateError(StoreError):
     """An update operator could not be applied to a document.
 

@@ -29,17 +29,38 @@ serving::
 * :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
   key-presence postings with counted, incremental maintenance;
 * :class:`~repro.store.update.CompiledUpdate` -- dialect-neutral update
-  programs whose mutation records drive delta index maintenance.
+  programs whose mutation records drive delta index maintenance;
+* :mod:`repro.store.faults` -- the injectable I/O seam
+  (:class:`~repro.store.faults.IOAdapter`,
+  :class:`~repro.store.faults.FaultyIO`) every durable byte routes
+  through, for deterministic fault and crash-point testing;
+* :mod:`repro.store.fsck` -- the offline integrity verifier and
+  repairer behind ``repro db verify`` / ``repro db repair``.
 """
 
 from repro.store.collection import Collection, memory_collection
 from repro.store.database import Database, open_database
-from repro.store.durable import CompactionReport, DurableEngine
+from repro.store.durable import CompactionReport, DurableEngine, ReplayFolder
 from repro.store.engine import (
+    EngineHealth,
     MemoryEngine,
     RecoveredState,
     StorageEngine,
     decode_snapshot,
+)
+from repro.store.faults import (
+    Fault,
+    FaultPlan,
+    FaultyIO,
+    IOAdapter,
+    RealIO,
+    SimulatedCrash,
+)
+from repro.store.fsck import (
+    IntegrityReport,
+    RepairReport,
+    repair,
+    verify,
 )
 from repro.store.indexes import (
     DeltaOps,
@@ -52,7 +73,7 @@ from repro.store.indexes import (
     value_entry_counts,
 )
 from repro.store.update import CompiledUpdate, Mutation, mutation_delta
-from repro.store.wal import WriteAheadLog
+from repro.store.wal import WriteAheadLog, scan_wal
 
 __all__ = [
     "Collection",
@@ -64,8 +85,21 @@ __all__ = [
     "DurableEngine",
     "CompactionReport",
     "RecoveredState",
+    "EngineHealth",
+    "ReplayFolder",
     "WriteAheadLog",
+    "scan_wal",
     "decode_snapshot",
+    "IOAdapter",
+    "RealIO",
+    "FaultyIO",
+    "Fault",
+    "FaultPlan",
+    "SimulatedCrash",
+    "IntegrityReport",
+    "RepairReport",
+    "verify",
+    "repair",
     "DeltaOps",
     "DocumentIndexes",
     "IndexStats",

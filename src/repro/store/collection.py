@@ -267,6 +267,16 @@ class Collection:
         return self._engine
 
     @property
+    def health(self):
+        """The engine's write availability (see ``EngineHealth``).
+
+        ``health.degraded`` means a storage failure put the engine in
+        read-only mode: reads and queries keep answering from memory,
+        writes raise :class:`~repro.errors.CollectionReadOnlyError`.
+        """
+        return self._engine.health
+
+    @property
     def version(self) -> int:
         """Bumped on every mutation (insert batch / remove)."""
         return self._version

@@ -34,7 +34,8 @@ from typing import Any, Iterable
 from repro.errors import StoreError
 from repro.store.collection import Collection
 from repro.store.durable import CompactionReport, DurableEngine
-from repro.store.engine import MemoryEngine
+from repro.store.engine import EngineHealth, MemoryEngine
+from repro.store.faults import IOAdapter
 
 __all__ = ["Database", "open_database"]
 
@@ -47,9 +48,11 @@ class Database:
 
     ``path=None`` serves memory-engine collections; a directory path
     serves durable ones (``<path>/<name>.wal`` +
-    ``<path>/<name>.snapshot.json``).  ``sync`` and
-    ``compact_threshold`` are passed through to every durable engine
-    the database creates.
+    ``<path>/<name>.snapshot.json``).  ``sync``, ``compact_threshold``
+    and the ``io`` adapter are passed through to every durable engine
+    the database creates -- ``io`` is the fault-injection seam
+    (:class:`~repro.store.faults.FaultyIO`) and defaults to the real
+    filesystem.
     """
 
     def __init__(
@@ -58,10 +61,12 @@ class Database:
         *,
         sync: str = "fsync",
         compact_threshold: int | None = None,
+        io: IOAdapter | None = None,
     ) -> None:
         self._path = None if path is None else os.fspath(path)
         self._sync = sync
         self._threshold = compact_threshold
+        self._io = io
         self._collections: dict[str, Collection] = {}
         if self._path is not None:
             os.makedirs(self._path, exist_ok=True)
@@ -108,6 +113,7 @@ class Database:
                 name,
                 sync=self._sync,
                 compact_threshold=self._threshold,
+                io=self._io,
             )
         collection = Collection(
             documents,
@@ -131,6 +137,22 @@ class Database:
     @property
     def durable(self) -> bool:
         return self._path is not None
+
+    def health(self) -> dict[str, EngineHealth]:
+        """Per-collection write availability, for every *open* handle.
+
+        A degraded entry means that collection's engine hit a storage
+        failure and went read-only (see
+        :class:`~repro.store.engine.EngineHealth`); reopening the
+        database recovers the acknowledged prefix.  Collections on disk
+        but not yet opened are not listed -- health is a property of a
+        live engine, not of files (use :func:`repro.store.fsck.verify`
+        for those).
+        """
+        return {
+            name: collection.health
+            for name, collection in sorted(self._collections.items())
+        }
 
     def collection_names(self) -> list[str]:
         """Open handles plus any collections found on disk, sorted."""
@@ -189,12 +211,17 @@ def open_database(
     *,
     sync: str = "fsync",
     compact_threshold: int | None = None,
+    io: IOAdapter | None = None,
 ) -> Database:
     """Open (creating if needed) a durable database at ``path``.
 
     The top-level entry point of the storage API: collections acquired
     through the returned handle survive process restarts via
     write-ahead logging and snapshots.  ``path=None`` degrades to a
-    volatile in-memory database with the same interface.
+    volatile in-memory database with the same interface.  ``io`` swaps
+    the filesystem adapter (fault injection; see
+    :mod:`repro.store.faults`).
     """
-    return Database(path, sync=sync, compact_threshold=compact_threshold)
+    return Database(
+        path, sync=sync, compact_threshold=compact_threshold, io=io
+    )

@@ -4,7 +4,8 @@ A :class:`DurableEngine` persists one collection as two files in a
 database directory::
 
     <dir>/<name>.snapshot.json   last checkpoint (versioned snapshot
-                                 payload wrapped with its covering LSN)
+                                 payload wrapped with its covering LSN
+                                 and a CRC32 self-check)
     <dir>/<name>.wal             every commit since that checkpoint
 
 **Commit path.**  The collection calls the engine's commit hook after
@@ -14,8 +15,20 @@ the engine's policy.  A schema rejection therefore leaves no trace on
 disk, and a crash after the append replays to exactly the state the
 caller was acknowledged.
 
-**Recovery.**  ``bind`` loads the snapshot (format- and
-version-checked), replays WAL records with ``lsn`` greater than the
+**Failure semantics.**  All file I/O routes through an
+:class:`~repro.store.faults.IOAdapter` (``io=``), so every fsync,
+write and rename is injectable.  A failed or partial append rolls the
+log back to the pre-append offset and raises
+:class:`~repro.errors.StorageIOError`; after *any* append or
+checkpoint failure the engine enters **degraded read-only mode** --
+reads, queries and explains keep answering from memory, further writes
+raise :class:`~repro.errors.CollectionReadOnlyError` with the root
+cause chained -- rather than silently diverging memory from disk.
+Reopening the database recovers the acknowledged prefix and restores a
+healthy engine.
+
+**Recovery.**  ``bind`` loads the snapshot (format-, version- and
+checksum-checked), replays WAL records with ``lsn`` greater than the
 snapshot's covering LSN in sequence, and hands the collection a
 :class:`~repro.store.engine.RecoveredState`.  Torn or corrupt WAL
 tails were already truncated by :class:`~repro.store.wal.WriteAheadLog`;
@@ -23,14 +36,21 @@ a *well-formed* record that is malformed at the content level (unknown
 op, missing fields) or breaks LSN contiguity is a writer bug or
 targeted corruption and raises
 :class:`~repro.errors.StorageFormatError` instead of being guessed at.
-Snapshot documents no WAL record touched keep their persisted counted
-index refcounts, so their postings load without re-walking the tree.
+A snapshot whose checksum no longer matches its payload (bit rot) is
+set aside with a warning when the WAL still reaches back to LSN 1 --
+full replay reconstructs the state -- and refused loudly (pointing at
+``repro db repair``) when it does not.  Snapshot documents no WAL
+record touched keep their persisted counted index refcounts, so their
+postings load without re-walking the tree.
 
 **Compaction.**  ``checkpoint()`` folds the log into a fresh snapshot:
-write-temp + fsync + ``os.replace`` for the snapshot, then an atomic
-WAL reset.  A crash between the two leaves stale WAL records whose
-LSNs the new snapshot already covers -- replay skips them.  Passing
-``compact_threshold=N`` checkpoints automatically every N commits.
+write-temp + fsync + ``replace`` + parent-directory fsync for the
+snapshot, then an atomic WAL reset (same dance).  A crash between the
+two leaves stale WAL records whose LSNs the new snapshot already
+covers -- replay skips them.  A checkpoint that fails partway leaves
+the old snapshot and WAL fully intact (the rename is the commit
+point) and degrades the engine.  Passing ``compact_threshold=N``
+checkpoints automatically every N commits.
 """
 
 from __future__ import annotations
@@ -38,20 +58,36 @@ from __future__ import annotations
 import json
 import os
 import re
+import warnings
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
-from repro.errors import StorageFormatError, StoreError
+from repro.errors import (
+    CollectionReadOnlyError,
+    StorageFormatError,
+    StorageIOError,
+    StoreError,
+)
 from repro.store.engine import (
+    EngineHealth,
     RecoveredState,
     SnapshotData,
     StorageEngine,
     decode_snapshot,
 )
+from repro.store.faults import IOAdapter, RealIO
 from repro.store.indexes import decode_entry_counts
 from repro.store.wal import WriteAheadLog
 
-__all__ = ["DurableEngine", "CompactionReport"]
+__all__ = [
+    "DurableEngine",
+    "CompactionReport",
+    "ReplayFolder",
+    "encode_snapshot_wrapper",
+    "verify_snapshot_wrapper",
+    "replay_records",
+]
 
 #: The ``format`` tag of the snapshot *file* (which wraps the
 #: collection snapshot payload with the LSN it covers).
@@ -71,6 +107,174 @@ class CompactionReport:
     lsn: int
 
 
+def _canonical(payload: Any) -> bytes:
+    return json.dumps(
+        payload, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def encode_snapshot_wrapper(collection_payload: dict, lsn: int) -> bytes:
+    """Serialise a snapshot-file wrapper with its CRC32 self-check.
+
+    The checksum covers the canonical serialisation of the collection
+    payload, so any bit flipped inside the payload -- not just a torn
+    file -- is detected by :func:`verify_snapshot_wrapper`, the loader
+    and ``repro db verify``.
+    """
+    encoded = _canonical(collection_payload)
+    head = _canonical(
+        {
+            "format": SNAPSHOT_FILE_FORMAT,
+            "version": SNAPSHOT_FILE_VERSION,
+            "lsn": lsn,
+            "crc32": zlib.crc32(encoded),
+        }
+    )
+    # Graft the already-serialised payload in, so the bytes the
+    # checksum covers are exactly the bytes written (one serialisation,
+    # no double dump).
+    return head[:-1] + b',"collection":' + encoded + b"}"
+
+
+def verify_snapshot_wrapper(wrapper: dict, path: str) -> tuple[int, bool]:
+    """Validate a parsed snapshot wrapper's envelope and checksum.
+
+    Returns ``(covering_lsn, checksum_ok)``.  Envelope problems --
+    wrong format tag, unknown version, missing LSN -- raise
+    :class:`~repro.errors.StorageFormatError`; a checksum mismatch (or
+    a pre-checksum wrapper, reported as intact) is the caller's policy
+    decision, so it is returned, not raised.
+    """
+    if (
+        not isinstance(wrapper, dict)
+        or wrapper.get("format") != SNAPSHOT_FILE_FORMAT
+    ):
+        raise StorageFormatError(f"{path}: not a durable-collection snapshot")
+    if wrapper.get("version") != SNAPSHOT_FILE_VERSION:
+        raise StorageFormatError(
+            f"{path}: unsupported snapshot file version "
+            f"{wrapper.get('version')!r} (this build reads "
+            f"{SNAPSHOT_FILE_VERSION})"
+        )
+    lsn = wrapper.get("lsn")
+    if not isinstance(lsn, int) or lsn < 0:
+        raise StorageFormatError(f"{path}: missing or invalid covering LSN")
+    expected = wrapper.get("crc32")
+    if expected is None:
+        # A wrapper from before the self-check field: nothing to verify
+        # against (fsck reports this as a warning).
+        return lsn, True
+    actual = zlib.crc32(_canonical(wrapper.get("collection")))
+    return lsn, expected == actual
+
+
+class ReplayFolder:
+    """Incremental WAL replay onto a snapshot, in value space.
+
+    The single definition of replay semantics, shared by live recovery
+    (:func:`replay_records` / :meth:`DurableEngine._recover`) and the
+    offline verifier's shadow state (:mod:`repro.store.fsck`, which
+    feeds records one at a time so it can pinpoint the offending
+    frame).  Strict LSN discipline: records at or below the snapshot's
+    covering LSN are stale leftovers of an interrupted compaction and
+    are skipped; anything else must be contiguous, with a known op and
+    well-formed fields, or :meth:`apply` raises
+    :class:`~repro.errors.StorageFormatError`.
+    """
+
+    def __init__(
+        self,
+        snapshot: SnapshotData | None,
+        snapshot_lsn: int,
+        *,
+        wal_path: str = "<wal>",
+    ) -> None:
+        self._snapshot = snapshot
+        self._wal_path = wal_path
+        self.slots: dict[int, Any] = {}
+        self.untouched: set[int] = set()
+        self.next_id = 0
+        self.ops = 0
+        self.extended = False
+        if snapshot is not None:
+            self.slots.update(snapshot.docs)
+            self.untouched.update(self.slots)
+            self.next_id = snapshot.next_id
+            self.ops = snapshot.ops
+            self.extended = snapshot.extended
+        self.expected = snapshot_lsn
+
+    def apply(self, record: dict) -> bool:
+        """Fold one record; ``False`` when skipped as pre-snapshot stale."""
+        lsn = record["lsn"]
+        if lsn <= self.expected:
+            return False  # pre-snapshot record from an interrupted compaction
+        if lsn != self.expected + 1:
+            raise StorageFormatError(
+                f"{self._wal_path}: LSN gap in committed records "
+                f"(expected {self.expected + 1}, found {lsn})"
+            )
+        try:
+            op = record["op"]
+            if op == "insert":
+                for doc_id, value in zip(
+                    record["ids"], record["docs"], strict=True
+                ):
+                    self.slots[doc_id] = value
+                    self.untouched.discard(doc_id)
+                    self.next_id = max(self.next_id, doc_id + 1)
+            elif op == "remove":
+                del self.slots[record["id"]]
+                self.untouched.discard(record["id"])
+            elif op == "update":
+                for doc_id, value in record["changes"]:
+                    self.slots[doc_id] = value
+                    self.untouched.discard(doc_id)
+            else:
+                raise StorageFormatError(
+                    f"{self._wal_path}: unknown WAL op {op!r} at LSN {lsn}"
+                )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageFormatError(
+                f"{self._wal_path}: malformed committed record at LSN "
+                f"{lsn}: {exc}"
+            ) from exc
+        self.expected = lsn
+        self.ops += 1
+        return True
+
+    def state(self) -> RecoveredState:
+        """The folded state as the engine's recovery payload."""
+        entries = {}
+        snapshot = self._snapshot
+        if snapshot is not None and snapshot.encoded_entries is not None:
+            for doc_id in self.untouched:
+                encoded = snapshot.encoded_entries.get(doc_id)
+                if encoded is not None:
+                    entries[doc_id] = decode_entry_counts(encoded)
+        return RecoveredState(
+            next_id=self.next_id,
+            version=self.ops,
+            extended=self.extended,
+            docs=sorted(self.slots.items()),
+            entries=entries,
+        )
+
+
+def replay_records(
+    snapshot: SnapshotData | None,
+    snapshot_lsn: int,
+    records: Iterable[dict],
+    *,
+    wal_path: str = "<wal>",
+) -> RecoveredState:
+    """Fold WAL records onto a snapshot (see :class:`ReplayFolder`)."""
+    folder = ReplayFolder(snapshot, snapshot_lsn, wal_path=wal_path)
+    for record in records:
+        folder.apply(record)
+    return folder.state()
+
+
 class DurableEngine(StorageEngine):
     """WAL + snapshot persistence for one named collection."""
 
@@ -83,6 +287,7 @@ class DurableEngine(StorageEngine):
         *,
         sync: str = "fsync",
         compact_threshold: int | None = None,
+        io: IOAdapter | None = None,
     ) -> None:
         super().__init__()
         if not _NAME_RE.match(name):
@@ -96,6 +301,8 @@ class DurableEngine(StorageEngine):
         self._name = name
         self._sync = sync
         self._threshold = compact_threshold
+        self._io = io if io is not None else RealIO()
+        self._failed: StorageIOError | None = None
         os.makedirs(self._directory, exist_ok=True)
         self._snapshot_path = os.path.join(
             self._directory, f"{name}.snapshot.json"
@@ -116,124 +323,112 @@ class DurableEngine(StorageEngine):
         return self._directory
 
     @property
+    def io(self) -> IOAdapter:
+        return self._io
+
+    @property
     def wal(self) -> WriteAheadLog:
         if self._wal is None:
             raise StoreError("engine is not bound to a collection yet")
         return self._wal
+
+    @property
+    def health(self) -> EngineHealth:
+        if self._failed is None:
+            return EngineHealth(ok=True)
+        return EngineHealth(
+            ok=False,
+            degraded=True,
+            reason=str(self._failed),
+            error=self._failed,
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded mode.
+    # ------------------------------------------------------------------
+
+    def _fail(self, error: StorageIOError) -> StorageIOError:
+        """Record the first I/O failure; the engine goes read-only."""
+        if self._failed is None:
+            self._failed = error
+        return error
+
+    def _check_writable(self) -> None:
+        if self._failed is not None:
+            raise CollectionReadOnlyError(
+                f"collection {self._name!r} is in degraded read-only mode "
+                f"after a storage failure: {self._failed} -- reads still "
+                "answer from memory; reopen the database to recover the "
+                "acknowledged prefix"
+            ) from self._failed
 
     # ------------------------------------------------------------------
     # Recovery (bind-time).
     # ------------------------------------------------------------------
 
     def _recover(self) -> RecoveredState | None:
-        snapshot, snapshot_lsn = self._load_snapshot_file()
+        snapshot, snapshot_lsn, damaged = self._load_snapshot_file()
         self._wal = WriteAheadLog(
-            self._wal_path, sync=self._sync, base_lsn=snapshot_lsn
+            self._wal_path, sync=self._sync, base_lsn=snapshot_lsn, io=self._io
         )
         records = self._wal.replayed
         self._wal.drop_replayed()
+        if damaged and not (records and records[0]["lsn"] == 1):
+            # Fallback is only sound when the WAL reaches back to the
+            # very first record; an empty or snapshot-anchored log would
+            # silently replay to a truncated state.
+            start = records[0]["lsn"] if records else "nothing"
+            raise StorageFormatError(
+                f"{self._snapshot_path}: snapshot checksum mismatch and the "
+                f"WAL does not reach back to LSN 1 (it holds {start}), so "
+                "full replay cannot reconstruct the state; run `repro db "
+                "repair` to quarantine the damaged files"
+            )
         if snapshot is None and not records:
             return None  # a genuinely fresh collection
-        return self._replay(snapshot, snapshot_lsn, records)
-
-    def _load_snapshot_file(self) -> tuple[SnapshotData | None, int]:
-        if not os.path.exists(self._snapshot_path):
-            return None, 0
-        with open(self._snapshot_path, encoding="utf-8") as handle:
-            try:
-                wrapper = json.load(handle)
-            except json.JSONDecodeError as exc:
-                raise StorageFormatError(
-                    f"{self._snapshot_path}: not valid JSON ({exc})"
-                ) from exc
-        if (
-            not isinstance(wrapper, dict)
-            or wrapper.get("format") != SNAPSHOT_FILE_FORMAT
-        ):
-            raise StorageFormatError(
-                f"{self._snapshot_path}: not a durable-collection snapshot"
-            )
-        if wrapper.get("version") != SNAPSHOT_FILE_VERSION:
-            raise StorageFormatError(
-                f"{self._snapshot_path}: unsupported snapshot file version "
-                f"{wrapper.get('version')!r} (this build reads "
-                f"{SNAPSHOT_FILE_VERSION})"
-            )
-        lsn = wrapper.get("lsn")
-        if not isinstance(lsn, int) or lsn < 0:
-            raise StorageFormatError(
-                f"{self._snapshot_path}: missing or invalid covering LSN"
-            )
-        return decode_snapshot(wrapper.get("collection")), lsn
-
-    def _replay(
-        self,
-        snapshot: SnapshotData | None,
-        snapshot_lsn: int,
-        records: list[dict],
-    ) -> RecoveredState:
-        """Fold WAL records onto the snapshot in value space."""
-        slots: dict[int, Any] = {}
-        untouched: set[int] = set()
-        next_id = 0
-        ops = 0
-        extended = False
-        if snapshot is not None:
-            slots.update(snapshot.docs)
-            untouched.update(slots)
-            next_id = snapshot.next_id
-            ops = snapshot.ops
-            extended = snapshot.extended
-        expected = snapshot_lsn
-        for record in records:
-            lsn = record["lsn"]
-            if lsn <= expected:
-                continue  # pre-snapshot record from an interrupted compaction
-            if lsn != expected + 1:
-                raise StorageFormatError(
-                    f"{self._wal_path}: LSN gap in committed records "
-                    f"(expected {expected + 1}, found {lsn})"
-                )
-            try:
-                op = record["op"]
-                if op == "insert":
-                    for doc_id, value in zip(
-                        record["ids"], record["docs"], strict=True
-                    ):
-                        slots[doc_id] = value
-                        untouched.discard(doc_id)
-                        next_id = max(next_id, doc_id + 1)
-                elif op == "remove":
-                    del slots[record["id"]]
-                    untouched.discard(record["id"])
-                elif op == "update":
-                    for doc_id, value in record["changes"]:
-                        slots[doc_id] = value
-                        untouched.discard(doc_id)
-                else:
-                    raise StorageFormatError(
-                        f"{self._wal_path}: unknown WAL op {op!r} at LSN {lsn}"
-                    )
-            except (KeyError, TypeError, ValueError) as exc:
-                raise StorageFormatError(
-                    f"{self._wal_path}: malformed committed record at "
-                    f"LSN {lsn}: {exc}"
-                ) from exc
-            expected = lsn
-            ops += 1
-        entries = {}
-        if snapshot is not None and snapshot.encoded_entries is not None:
-            for doc_id in untouched:
-                encoded = snapshot.encoded_entries.get(doc_id)
-                if encoded is not None:
-                    entries[doc_id] = decode_entry_counts(encoded)
-        return RecoveredState(
-            next_id=next_id,
-            version=ops,
-            extended=extended,
-            docs=sorted(slots.items()),
-            entries=entries,
+        return replay_records(
+            snapshot, snapshot_lsn, records, wal_path=self._wal_path
         )
+
+    def _load_snapshot_file(self) -> tuple[SnapshotData | None, int, bool]:
+        """Load the snapshot; ``(data, covering_lsn, damaged)``.
+
+        ``damaged=True`` means the file exists but its checksum no
+        longer matches -- it is set aside (``data=None``, LSN 0) so the
+        caller can fall back to full WAL replay with a warning, or
+        refuse if the WAL does not reach back far enough.
+        """
+        if not os.path.exists(self._snapshot_path):
+            return None, 0, False
+        try:
+            with self._io.open(self._snapshot_path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise self._fail(
+                StorageIOError(
+                    f"{self._snapshot_path}: cannot read snapshot: {exc}"
+                )
+            ) from exc
+        try:
+            wrapper = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageFormatError(
+                f"{self._snapshot_path}: not valid JSON ({exc})"
+            ) from exc
+        lsn, checksum_ok = verify_snapshot_wrapper(
+            wrapper, self._snapshot_path
+        )
+        if not checksum_ok:
+            warnings.warn(
+                f"{self._snapshot_path}: snapshot checksum mismatch (bit "
+                "rot?); falling back to full WAL replay -- run `repro db "
+                "verify` for a report and `repro db repair` to quarantine "
+                "the damaged snapshot",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None, 0, True
+        return decode_snapshot(wrapper.get("collection")), lsn, False
 
     # ------------------------------------------------------------------
     # Commit hooks.
@@ -253,7 +448,11 @@ class DurableEngine(StorageEngine):
         )
 
     def _append(self, payload: dict) -> None:
-        self.wal.append(payload)
+        self._check_writable()
+        try:
+            self.wal.append(payload)
+        except StorageIOError as exc:
+            raise self._fail(exc)
 
     def commit_applied(self) -> None:
         # Auto-compaction must wait for the post-apply hook: a
@@ -261,36 +460,73 @@ class DurableEngine(StorageEngine):
         # *without* the record just logged, then reset the WAL past it
         # -- silently dropping the acknowledged mutation.
         if (
-            self._threshold is not None
+            self._failed is None
+            and self._threshold is not None
             and self.wal.records_since_reset >= self._threshold
         ):
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except StorageIOError:
+                # The commit itself is already durable in the WAL; a
+                # failed *auto*-checkpoint must not turn an acknowledged
+                # write into an error.  The engine is degraded now, so
+                # the next write raises CollectionReadOnlyError.
+                pass
 
     # ------------------------------------------------------------------
     # Compaction.
     # ------------------------------------------------------------------
 
     def checkpoint(self) -> CompactionReport:
-        """Fold the WAL into a fresh snapshot and reset the log."""
+        """Fold the WAL into a fresh snapshot and reset the log.
+
+        Failure-atomic: the old snapshot and WAL stay fully intact
+        unless the snapshot rename commits, and any I/O failure
+        degrades the engine and raises
+        :class:`~repro.errors.StorageIOError`.
+        """
         if self._collection is None:
             raise StoreError("engine is not bound to a collection yet")
+        self._check_writable()
         wal = self.wal
-        wal_records = wal.records_since_reset
-        wal_bytes = wal.size_bytes()
-        lsn = wal.lsn
-        wrapper = {
-            "format": SNAPSHOT_FILE_FORMAT,
-            "version": SNAPSHOT_FILE_VERSION,
-            "lsn": lsn,
-            "collection": self._collection.snapshot(),
-        }
         temp = self._snapshot_path + ".tmp"
-        with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(wrapper, handle, separators=(",", ":"), ensure_ascii=False)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self._snapshot_path)
-        wal.reset(base_lsn=lsn)
+        try:
+            wal_records = wal.records_since_reset
+            wal_bytes = wal.size_bytes()
+            lsn = wal.lsn
+            encoded = encode_snapshot_wrapper(
+                self._collection.snapshot(), lsn
+            )
+            handle = self._io.open(temp, "wb")
+            try:
+                self._io.write(handle, encoded)
+                self._io.flush(handle)
+                self._io.fsync(handle)
+            finally:
+                handle.close()
+            self._io.replace(temp, self._snapshot_path)
+            # Make the rename durable before the WAL reset discards the
+            # records the new snapshot covers.
+            self._io.fsync_dir(self._directory)
+        except OSError as exc:
+            try:  # pragma: no cover - best-effort temp cleanup
+                if os.path.exists(temp):
+                    os.remove(temp)
+            except OSError:
+                pass
+            raise self._fail(
+                StorageIOError(
+                    f"{self._snapshot_path}: checkpoint failed ({exc}); the "
+                    "previous snapshot and WAL remain intact"
+                )
+            ) from exc
+        try:
+            wal.reset(base_lsn=lsn)
+        except StorageIOError as exc:
+            # The new snapshot is durable and covers the old log, whose
+            # records replay will skip by LSN -- consistent, but the
+            # engine cannot promise further progress on this disk.
+            raise self._fail(exc)
         return CompactionReport(
             wal_records=wal_records,
             wal_bytes=wal_bytes,
@@ -300,10 +536,17 @@ class DurableEngine(StorageEngine):
 
     def close(self) -> None:
         if self._wal is not None:
-            self._wal.close()
+            try:
+                self._wal.close()
+            except StorageIOError as exc:
+                # Closing a degraded engine must not mask the original
+                # failure with a new raise; the handle is released
+                # regardless.
+                self._fail(exc)
 
     def __repr__(self) -> str:
+        health = "" if self._failed is None else ", degraded"
         return (
             f"DurableEngine({self._directory!r}, {self._name!r}, "
-            f"sync={self._sync!r})"
+            f"sync={self._sync!r}{health})"
         )

@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "EngineHealth",
     "RecoveredState",
     "SnapshotData",
     "StorageEngine",
@@ -83,6 +84,29 @@ class SnapshotData:
     extended: bool
     docs: list[tuple[int, Any]]
     encoded_entries: dict[int, list] | None
+
+
+@dataclass(frozen=True)
+class EngineHealth:
+    """One engine's write-availability status.
+
+    ``ok`` means the engine accepts writes.  ``degraded`` means a
+    commit or checkpoint hit an I/O failure and the engine has gone
+    read-only to keep memory and disk from diverging: ``reason`` holds
+    the human-readable root cause and ``error`` the original
+    :class:`~repro.errors.StorageIOError`.  Reads keep working either
+    way; reopening the database recovers the acknowledged prefix and
+    restores a healthy engine.
+    """
+
+    ok: bool
+    degraded: bool = False
+    reason: str | None = None
+    error: Exception | None = None
+
+
+#: The health every non-degradable (memory) engine reports.
+HEALTHY = EngineHealth(ok=True)
 
 
 @dataclass(frozen=True)
@@ -196,6 +220,11 @@ class StorageEngine:
     @property
     def collection(self) -> "Collection | None":
         return self._collection
+
+    @property
+    def health(self) -> EngineHealth:
+        """Write availability; memory engines are always healthy."""
+        return HEALTHY
 
     # -- commit hooks (called between validate and in-memory apply) ----
 

@@ -1,0 +1,314 @@
+"""The storage I/O seam: injectable adapters for fault testing.
+
+Every byte the durable engine puts on disk travels through an
+:class:`IOAdapter` -- ``open``/``write``/``flush``/``fsync``/
+``truncate``/``replace``/``fsync_dir`` -- so tests can swap the real
+filesystem (:class:`RealIO`) for a deterministic failure simulator
+(:class:`FaultyIO`) and enumerate every crash point instead of
+sampling them.
+
+:class:`FaultyIO` executes a *fault plan*: a list of :class:`Fault`
+specs built with the :class:`FaultPlan` constructors.  A fault arms on
+one operation kind (or any), triggers on its Nth occurrence after
+arming (or when a cumulative written-bytes budget is exhausted), and
+then either
+
+* raises an :class:`OSError` (``FaultPlan.fail`` -- EIO by default,
+  ``FaultPlan.enospc`` for the disk-full budget),
+* performs a *short write* of the first K bytes and then raises
+  (``FaultPlan.short_write``),
+* raises :class:`SimulatedCrash` (``FaultPlan.crash``), optionally
+  after a torn prefix of the write -- crashes derive from
+  ``BaseException`` so the engine's OSError rollback handling cannot
+  intercept them, exactly as a real crash runs no cleanup code, or
+* silently skips the operation (``FaultPlan.drop_dir_sync`` -- the
+  rename-without-directory-sync simulation).
+
+Error-return faults model a live process seeing a failed syscall: the
+engine rolls back and enters degraded read-only mode
+(:class:`~repro.errors.CollectionReadOnlyError`).  Crash faults model
+the process dying mid-operation: the test reopens the directory and
+checks recovery against the acknowledged-write oracle.
+
+The adapter also keeps a full operation log (``ops``) and per-kind
+counters (``counts``), so tests can both *count* the I/O of a workload
+(to drive an exhaustive crash-point sweep) and *prove* ordering
+properties such as "``fsync_dir`` follows every ``replace``".
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from repro.errors import StoreError
+
+__all__ = [
+    "OPS",
+    "SimulatedCrash",
+    "Fault",
+    "FaultPlan",
+    "IOAdapter",
+    "RealIO",
+    "FaultyIO",
+]
+
+#: Every operation kind an adapter mediates.
+OPS = ("open", "write", "flush", "fsync", "truncate", "replace", "fsync_dir")
+
+_MODES = ("error", "short", "crash", "skip")
+
+
+class SimulatedCrash(BaseException):
+    """A programmed crash point fired inside :class:`FaultyIO`.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    engine-level ``except OSError`` rollback handling cannot catch it:
+    a crash is the process dying mid-operation, and nothing after the
+    crash point -- no rollback, no bookkeeping -- gets to run.  Tests
+    catch it at the harness level and reopen the directory from disk.
+    """
+
+
+@dataclass
+class Fault:
+    """One armed fault: trigger condition plus failure behaviour.
+
+    ``op`` restricts the fault to one operation kind (``None`` = any);
+    ``nth`` is the 1-based occurrence *after arming* that triggers it;
+    ``after_bytes`` instead triggers on the write that would exceed a
+    cumulative byte budget (counted from arming).  ``mode`` selects the
+    behaviour; ``keep_bytes`` is how much of a write lands before a
+    ``short``/``crash`` fault fires.  Each fault fires at most once,
+    except ``skip`` faults with ``nth=0``, which swallow every matching
+    operation.
+    """
+
+    op: str | None = None
+    nth: int = 1
+    mode: str = "error"
+    errno: int = _errno.EIO
+    keep_bytes: int = 0
+    after_bytes: int | None = None
+    seen: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.op is not None and self.op not in OPS:
+            raise StoreError(
+                f"unknown I/O operation {self.op!r} (expected one of {OPS})"
+            )
+        if self.mode not in _MODES:
+            raise StoreError(
+                f"unknown fault mode {self.mode!r} (expected one of {_MODES})"
+            )
+
+    def matches(self, op: str, nbytes: int, written: int) -> bool:
+        """Whether this fault triggers on the given operation."""
+        if self.fired or (self.op is not None and op != self.op):
+            return False
+        if self.after_bytes is not None:
+            return op == "write" and written + nbytes > self.after_bytes
+        self.seen += 1
+        if self.nth == 0:  # every occurrence (persistent skip faults)
+            return True
+        return self.seen == self.nth
+
+
+class FaultPlan:
+    """Constructors for the :class:`Fault` specs ``FaultyIO`` executes."""
+
+    @staticmethod
+    def fail(op: str, nth: int = 1, *, error: int = _errno.EIO) -> Fault:
+        """The Nth ``op`` raises ``OSError(error)`` without executing."""
+        return Fault(op=op, nth=nth, mode="error", errno=error)
+
+    @staticmethod
+    def short_write(nth: int = 1, *, keep: int = 0) -> Fault:
+        """The Nth write lands only its first ``keep`` bytes, then
+        raises ``OSError(EIO)`` -- a torn write the caller hears about."""
+        return Fault(op="write", nth=nth, mode="short", keep_bytes=keep)
+
+    @staticmethod
+    def enospc(after_bytes: int) -> Fault:
+        """The write that would exceed a cumulative budget of
+        ``after_bytes`` lands the bytes that fit, then raises
+        ``OSError(ENOSPC)`` -- the disk filling up mid-append."""
+        return Fault(mode="short", errno=_errno.ENOSPC, after_bytes=after_bytes)
+
+    @staticmethod
+    def crash(op: str | None = None, nth: int = 1, *, keep: int = 0) -> Fault:
+        """The Nth ``op`` (any op when ``None``) raises
+        :class:`SimulatedCrash` instead of executing; a crashing write
+        first lands ``keep`` bytes (the torn-prefix variant)."""
+        return Fault(op=op, nth=nth, mode="crash", keep_bytes=keep)
+
+    @staticmethod
+    def drop_dir_sync() -> Fault:
+        """Every ``fsync_dir`` silently does nothing: the
+        rename-without-directory-sync window, held open forever."""
+        return Fault(op="fsync_dir", nth=0, mode="skip")
+
+
+class IOAdapter:
+    """The operations the storage layer routes its file I/O through.
+
+    The base class *is* the real implementation; :class:`RealIO` is its
+    blessed alias and :class:`FaultyIO` the failure simulator.  Handles
+    are ordinary binary file objects -- the adapter mediates calls, it
+    does not wrap objects.
+    """
+
+    def open(self, path: str, mode: str) -> IO[bytes]:
+        return open(path, mode)
+
+    def write(self, handle: IO[bytes], data: bytes) -> None:
+        handle.write(data)
+
+    def flush(self, handle: IO[bytes]) -> None:
+        handle.flush()
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        os.fsync(handle.fileno())
+
+    def truncate(self, handle: IO[bytes], size: int) -> None:
+        handle.truncate(size)
+
+    def replace(self, source: str, destination: str) -> None:
+        os.replace(source, destination)
+
+    def fsync_dir(self, directory: str) -> None:
+        """Sync a directory so a just-renamed entry survives power loss.
+
+        Platforms without ``O_DIRECTORY`` semantics for fsync (notably
+        Windows) silently skip -- there is no portable equivalent.
+        """
+        try:
+            fd = os.open(directory or ".", os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+class RealIO(IOAdapter):
+    """The pass-through adapter: every call goes straight to the OS."""
+
+
+class FaultyIO(IOAdapter):
+    """An adapter that executes a deterministic fault plan.
+
+    Construct with :class:`Fault` specs (see :class:`FaultPlan`) or arm
+    more later with :meth:`arm` -- occurrence counting is relative to
+    arming time, so a test can run its setup and then say "the *next*
+    fsync fails".  Operations that no fault intercepts run for real.
+    """
+
+    def __init__(self, *faults: Fault) -> None:
+        self.faults: list[Fault] = list(faults)
+        self.ops: list[tuple[str, Any]] = []
+        self.counts: dict[str, int] = dict.fromkeys(OPS, 0)
+        self.bytes_written = 0
+
+    def arm(self, *faults: Fault) -> "FaultyIO":
+        self.faults.extend(faults)
+        return self
+
+    @property
+    def fired(self) -> list[Fault]:
+        return [fault for fault in self.faults if fault.fired]
+
+    # -- the trigger ---------------------------------------------------
+
+    def _intercept(self, op: str, detail: Any, nbytes: int = 0) -> Fault | None:
+        """Log the op; return the triggering fault (marked fired), if any."""
+        self.ops.append((op, detail))
+        self.counts[op] += 1
+        for fault in self.faults:
+            if fault.matches(op, nbytes, self.bytes_written):
+                if fault.nth != 0:
+                    fault.fired = True
+                return fault
+        return None
+
+    def _raise(self, fault: Fault, op: str, detail: Any) -> None:
+        if fault.mode == "crash":
+            raise SimulatedCrash(f"simulated crash at {op} ({detail})")
+        raise OSError(
+            fault.errno, f"injected {os.strerror(fault.errno)}", str(detail)
+        )
+
+    # -- mediated operations -------------------------------------------
+
+    def open(self, path: str, mode: str) -> IO[bytes]:
+        fault = self._intercept("open", path)
+        if fault is not None and fault.mode != "skip":
+            self._raise(fault, "open", path)
+        return super().open(path, mode)
+
+    def write(self, handle: IO[bytes], data: bytes) -> None:
+        fault = self._intercept("write", len(data), nbytes=len(data))
+        if fault is None:
+            super().write(handle, data)
+            self.bytes_written += len(data)
+            return
+        if fault.mode == "skip":
+            return
+        keep = fault.keep_bytes
+        if fault.after_bytes is not None:
+            keep = max(0, fault.after_bytes - self.bytes_written)
+        keep = min(keep, len(data))
+        if keep and fault.mode in ("short", "crash"):
+            super().write(handle, data[:keep])
+            self.bytes_written += keep
+            # A torn prefix only reaches the disk if it leaves the
+            # process buffer; flush so the tear is observable.
+            super().flush(handle)
+        self._raise(fault, "write", f"{keep}/{len(data)} bytes")
+
+    def flush(self, handle: IO[bytes]) -> None:
+        fault = self._intercept("flush", getattr(handle, "name", "?"))
+        if fault is not None and fault.mode != "skip":
+            self._raise(fault, "flush", getattr(handle, "name", "?"))
+        super().flush(handle)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        fault = self._intercept("fsync", getattr(handle, "name", "?"))
+        if fault is not None:
+            if fault.mode == "skip":
+                return
+            self._raise(fault, "fsync", getattr(handle, "name", "?"))
+        super().fsync(handle)
+
+    def truncate(self, handle: IO[bytes], size: int) -> None:
+        fault = self._intercept("truncate", size)
+        if fault is not None:
+            if fault.mode == "skip":
+                return
+            self._raise(fault, "truncate", size)
+        super().truncate(handle, size)
+
+    def replace(self, source: str, destination: str) -> None:
+        fault = self._intercept("replace", (source, destination))
+        if fault is not None:
+            if fault.mode == "skip":
+                return
+            self._raise(fault, "replace", destination)
+        super().replace(source, destination)
+
+    def fsync_dir(self, directory: str) -> None:
+        fault = self._intercept("fsync_dir", directory)
+        if fault is not None:
+            if fault.mode == "skip":
+                return
+            self._raise(fault, "fsync_dir", directory)
+        super().fsync_dir(directory)
+
+    def __repr__(self) -> str:
+        armed = sum(1 for fault in self.faults if not fault.fired)
+        total = sum(self.counts.values())
+        return f"FaultyIO({armed} armed, {len(self.fired)} fired, {total} ops)"

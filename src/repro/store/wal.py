@@ -30,6 +30,13 @@ Durability is a per-log policy (``sync=``):
 * ``"flush"`` -- flush to the OS page cache; survives process crash,
   not power loss.
 * ``"none"`` -- buffered; flushed on :meth:`sync`/:meth:`close`.
+
+All file I/O goes through an :class:`~repro.store.faults.IOAdapter`
+(``io=``), so :class:`~repro.store.faults.FaultyIO` can fail any
+write, fsync or rename deterministically.  An I/O failure inside
+:meth:`append` rolls the file back to the pre-append offset and raises
+:class:`~repro.errors.StorageIOError` -- the caller was *not*
+acknowledged, so nothing of the frame may survive to replay.
 """
 
 from __future__ import annotations
@@ -38,11 +45,12 @@ import json
 import os
 import struct
 import zlib
-from typing import Any
+from typing import IO, Any
 
-from repro.errors import StorageFormatError, StoreError
+from repro.errors import StorageFormatError, StorageIOError, StoreError
+from repro.store.faults import IOAdapter, RealIO
 
-__all__ = ["WAL_MAGIC", "SYNC_MODES", "WriteAheadLog"]
+__all__ = ["WAL_MAGIC", "SYNC_MODES", "WriteAheadLog", "scan_wal"]
 
 WAL_MAGIC = b"RPROWAL1"
 
@@ -61,6 +69,67 @@ def _dump(payload: dict) -> bytes:
     ).encode("utf-8")
 
 
+def scan_wal(
+    path: str, *, io: IOAdapter | None = None
+) -> tuple[list[tuple[dict, int]], int, int, str | None]:
+    """Read-only scan of a WAL file's committed prefix.
+
+    Returns ``(frames, good_offset, file_size, tail_reason)`` where
+    ``frames`` is ``(record, end_offset)`` per well-formed frame in
+    order, ``good_offset`` is where the committed prefix ends, and
+    ``tail_reason`` describes why scanning stopped before EOF (``None``
+    on a clean end).  Shared by live recovery
+    (:meth:`WriteAheadLog._recover_file`) and the offline verifier
+    (:mod:`repro.store.fsck`) so both agree on what "committed" means.
+
+    Raises :class:`~repro.errors.StorageFormatError` on a bad magic --
+    a foreign file, never silently truncated -- and lets ``OSError``
+    propagate for the caller to classify.
+    """
+    io = io if io is not None else RealIO()
+    size = os.path.getsize(path)
+    frames: list[tuple[dict, int]] = []
+    with io.open(path, "rb") as handle:
+        magic = handle.read(len(WAL_MAGIC))
+        if magic != WAL_MAGIC:
+            raise StorageFormatError(
+                f"{path}: not a repro WAL file (bad magic {magic!r})"
+            )
+        good = handle.tell()
+        reason: str | None = None
+        while True:
+            header = handle.read(_FRAME_HEADER.size)
+            if not header and good == size:
+                break  # clean EOF on a frame boundary
+            if len(header) < _FRAME_HEADER.size:
+                reason = "torn frame header"
+                break
+            length, crc = _FRAME_HEADER.unpack(header)
+            if length > _MAX_FRAME_BYTES:
+                reason = f"implausible frame length {length}"
+                break
+            payload = handle.read(length)
+            if len(payload) < length:
+                reason = "torn frame payload"
+                break
+            if zlib.crc32(payload) != crc:
+                reason = "frame CRC mismatch"
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                reason = "frame payload is not valid JSON"
+                break
+            if not isinstance(record, dict) or not isinstance(
+                record.get("lsn"), int
+            ):
+                reason = "frame record has no integer lsn"
+                break
+            good = handle.tell()
+            frames.append((record, good))
+    return frames, good, size, reason
+
+
 class WriteAheadLog:
     """One append-only log file with replay-on-open.
 
@@ -71,7 +140,12 @@ class WriteAheadLog:
     """
 
     def __init__(
-        self, path: str, *, sync: str = "fsync", base_lsn: int = 0
+        self,
+        path: str,
+        *,
+        sync: str = "fsync",
+        base_lsn: int = 0,
+        io: IOAdapter | None = None,
     ) -> None:
         if sync not in SYNC_MODES:
             raise StoreError(
@@ -79,21 +153,27 @@ class WriteAheadLog:
             )
         self.path = os.fspath(path)
         self._sync_mode = sync
+        self._io = io if io is not None else RealIO()
         self.replayed: list[dict] = []
         self.truncated_bytes = 0
         self._lsn = 0
-        self._recover_file()
-        # The log file does not persist its base LSN (a post-compaction
-        # reset leaves just the magic): the owner passes the covering
-        # LSN of its snapshot so fresh appends continue *above* it --
-        # otherwise a reopened, freshly-reset log would reissue LSNs
-        # the snapshot already covers and replay would skip the new
-        # records as stale.
-        self._lsn = max(self._lsn, base_lsn)
-        # Replayed records count against the compaction threshold too:
-        # a reopened log keeps its backlog.
-        self._records_since_reset = len(self.replayed)
-        self._handle = open(self.path, "ab")
+        try:
+            self._recover_file()
+            # The log file does not persist its base LSN (a
+            # post-compaction reset leaves just the magic): the owner
+            # passes the covering LSN of its snapshot so fresh appends
+            # continue *above* it -- otherwise a reopened, freshly-reset
+            # log would reissue LSNs the snapshot already covers and
+            # replay would skip the new records as stale.
+            self._lsn = max(self._lsn, base_lsn)
+            # Replayed records count against the compaction threshold
+            # too: a reopened log keeps its backlog.
+            self._records_since_reset = len(self.replayed)
+            self._handle: IO[bytes] = self._io.open(self.path, "ab")
+        except OSError as exc:
+            raise StorageIOError(
+                f"{self.path}: cannot open write-ahead log: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Recovery.
@@ -108,47 +188,25 @@ class WriteAheadLog:
         if size < len(WAL_MAGIC):
             # Absent, or torn during creation before the magic landed:
             # either way there is no committed frame to preserve.
-            with open(self.path, "wb") as handle:
-                handle.write(WAL_MAGIC)
-                handle.flush()
-                os.fsync(handle.fileno())
+            handle = self._io.open(self.path, "wb")
+            try:
+                self._io.write(handle, WAL_MAGIC)
+                self._io.flush(handle)
+                self._io.fsync(handle)
+            finally:
+                handle.close()
             return
-        with open(self.path, "rb") as handle:
-            magic = handle.read(len(WAL_MAGIC))
-            if magic != WAL_MAGIC:
-                raise StorageFormatError(
-                    f"{self.path}: not a repro WAL file "
-                    f"(bad magic {magic!r})"
-                )
-            good = handle.tell()
-            while True:
-                header = handle.read(_FRAME_HEADER.size)
-                if len(header) < _FRAME_HEADER.size:
-                    break  # clean EOF or torn header
-                length, crc = _FRAME_HEADER.unpack(header)
-                if length > _MAX_FRAME_BYTES:
-                    break  # corrupt length field
-                payload = handle.read(length)
-                if len(payload) < length:
-                    break  # torn payload
-                if zlib.crc32(payload) != crc:
-                    break  # bit rot / torn overwrite
-                try:
-                    record = json.loads(payload.decode("utf-8"))
-                except (UnicodeDecodeError, json.JSONDecodeError):
-                    break
-                if not isinstance(record, dict) or not isinstance(
-                    record.get("lsn"), int
-                ):
-                    break
-                self.replayed.append(record)
-                good = handle.tell()
+        frames, good, size, _reason = scan_wal(self.path, io=self._io)
+        self.replayed = [record for record, _ in frames]
         if good < size:
             self.truncated_bytes = size - good
-            with open(self.path, "r+b") as handle:
-                handle.truncate(good)
-                handle.flush()
-                os.fsync(handle.fileno())
+            handle = self._io.open(self.path, "r+b")
+            try:
+                self._io.truncate(handle, good)
+                self._io.flush(handle)
+                self._io.fsync(handle)
+            finally:
+                handle.close()
         if self.replayed:
             self._lsn = self.replayed[-1]["lsn"]
 
@@ -165,24 +223,78 @@ class WriteAheadLog:
 
         The ``lsn`` field is injected here -- callers supply only the
         record body.  When this method returns under ``sync="fsync"``,
-        the record is durable.
+        the record is durable.  When it raises
+        :class:`~repro.errors.StorageIOError`, the file has been rolled
+        back to the pre-append offset (or, if even the rollback failed,
+        the error says so via ``rolled_back=False``) and the in-memory
+        LSN counter is untouched -- the failed record never existed.
         """
         lsn = self._lsn + 1
         body = _dump({"lsn": lsn, **payload})
         frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
-        self._handle.write(frame)
-        if self._sync_mode == "fsync":
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-        elif self._sync_mode == "flush":
-            self._handle.flush()
+        start = self._handle.tell()
+        try:
+            self._io.write(self._handle, frame)
+            if self._sync_mode == "fsync":
+                self._io.flush(self._handle)
+                self._io.fsync(self._handle)
+            elif self._sync_mode == "flush":
+                self._io.flush(self._handle)
+        except OSError as exc:
+            self._rollback_append(start, exc)
         self._lsn = lsn
         self._records_since_reset += 1
         return lsn
 
+    def _rollback_append(self, offset: int, cause: OSError) -> None:
+        """Undo a failed append: truncate back to the pre-append offset.
+
+        A failed write may still have landed a prefix -- or, worse, the
+        *whole frame* with only the sync failing -- so the frame must
+        be physically removed: the caller was not acknowledged, and a
+        record that replays without an acknowledgement is a ghost
+        write.  If the disk is too far gone even to truncate, the
+        raised error carries ``rolled_back=False`` and recovery's
+        prefix-truncation handles a torn tail on the next open (a fully
+        written frame may then reappear as a ghost -- never a lost
+        acknowledged write).
+        """
+        rolled_back = False
+        try:
+            try:
+                self._handle.close()  # drop buffered garbage refs
+            except OSError:
+                pass
+            handle = self._io.open(self.path, "r+b")
+            try:
+                self._io.truncate(handle, offset)
+                self._io.flush(handle)
+                self._io.fsync(handle)
+            finally:
+                handle.close()
+            self._handle = self._io.open(self.path, "ab")
+            rolled_back = True
+        except OSError:
+            pass
+        raise StorageIOError(
+            f"{self.path}: WAL append failed ({cause}); "
+            + (
+                "file rolled back to the pre-append offset"
+                if rolled_back
+                else "rollback also failed -- tail left for recovery "
+                "truncation"
+            ),
+            rolled_back=rolled_back,
+        ) from cause
+
     def sync(self) -> None:
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._io.flush(self._handle)
+            self._io.fsync(self._handle)
+        except OSError as exc:
+            raise StorageIOError(
+                f"{self.path}: WAL sync failed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Introspection and maintenance.
@@ -198,6 +310,10 @@ class WriteAheadLog:
         """Appends since open/reset (the auto-compaction trigger)."""
         return self._records_since_reset
 
+    @property
+    def io(self) -> IOAdapter:
+        return self._io
+
     def size_bytes(self) -> int:
         self._handle.flush()
         return os.path.getsize(self.path)
@@ -205,26 +321,54 @@ class WriteAheadLog:
     def reset(self, *, base_lsn: int) -> None:
         """Replace the log with an empty one (post-compaction).
 
-        Atomic via write-temp + :func:`os.replace`: a crash leaves
-        either the old log (whose records the snapshot already covers
-        and replay will skip by LSN) or the new empty one.
+        Atomic via write-temp + ``replace`` + parent-directory fsync: a
+        crash leaves either the old log (whose records the snapshot
+        already covers and replay will skip by LSN) or the new empty
+        one -- and the directory sync makes the rename itself durable,
+        not merely staged in the directory's page cache.  On failure
+        the old log is still intact (the replace is the commit point)
+        and :class:`~repro.errors.StorageIOError` is raised.
         """
-        self._handle.close()
         temp = self.path + ".tmp"
-        with open(temp, "wb") as handle:
-            handle.write(WAL_MAGIC)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self.path)
-        self._handle = open(self.path, "ab")
+        try:
+            self._handle.close()
+            handle = self._io.open(temp, "wb")
+            try:
+                self._io.write(handle, WAL_MAGIC)
+                self._io.flush(handle)
+                self._io.fsync(handle)
+            finally:
+                handle.close()
+            self._io.replace(temp, self.path)
+            # A rename is not durable until the directory entry is
+            # synced; without this, a power cut after reset() could
+            # resurrect the old (already-covered) log file.
+            self._io.fsync_dir(os.path.dirname(self.path))
+            self._handle = self._io.open(self.path, "ab")
+        except OSError as exc:
+            # Best effort: keep the log object usable for reads and
+            # leave the old file authoritative.
+            try:
+                if self._handle.closed:
+                    self._handle = self._io.open(self.path, "ab")
+            except OSError:
+                pass
+            raise StorageIOError(
+                f"{self.path}: WAL reset failed ({exc}); "
+                "the previous log remains authoritative"
+            ) from exc
         self._lsn = base_lsn
         self._records_since_reset = 0
 
     def close(self) -> None:
         if not self._handle.closed:
-            if self._sync_mode != "none":
-                self.sync()
-            self._handle.close()
+            try:
+                if self._sync_mode != "none":
+                    self.sync()
+            finally:
+                # The handle is released even when the final sync
+                # fails: a degraded close must not leak it.
+                self._handle.close()
 
     def __repr__(self) -> str:
         return (

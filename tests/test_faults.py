@@ -1,0 +1,476 @@
+"""Fault injection: every storage failure mode, deterministically.
+
+The :class:`~repro.store.faults.FaultyIO` adapter makes the durable
+engine's failure semantics testable instead of aspirational:
+
+* error-return faults (EIO, ENOSPC, short writes) mid-append and
+  mid-checkpoint -- the failed frame is rolled back, the engine enters
+  degraded read-only mode (writes raise
+  :class:`~repro.errors.CollectionReadOnlyError`, reads keep
+  answering), and reopening recovers exactly the acknowledged prefix;
+* checkpoint failures at every step (temp fsync, rename, directory
+  sync, WAL reset) -- the previous snapshot and WAL stay intact;
+* the operation log proves ordering properties: every rename is made
+  durable by a parent-directory fsync (the fix FaultyIO exists to
+  regression-guard);
+* the exhaustive crash-point sweep: a fixed workload is first counted
+  (every ``open``/``write``/``flush``/``fsync``/``truncate``/
+  ``replace``/``fsync_dir`` the engine performs), then re-run once per
+  I/O operation with a :class:`~repro.store.faults.SimulatedCrash`
+  planted at that operation.  The oracle: the reopened state is the
+  acknowledged shadow state, or the shadow plus the single in-flight
+  operation (a frame may fully land before the crash point fires) --
+  never anything else, and never a lost acknowledged write.
+
+The sweep multiplies its workload with ``REPRO_DIFF_SCALE`` (nightly
+CI runs it at 20x); at scale 1 it is a ~2s smoke slice.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.errors import (
+    CollectionReadOnlyError,
+    ReproError,
+    StorageIOError,
+    StoreError,
+)
+from repro.store import (
+    Collection,
+    Database,
+    DurableEngine,
+    Fault,
+    FaultPlan,
+    FaultyIO,
+    IOAdapter,
+    RealIO,
+    SimulatedCrash,
+    WriteAheadLog,
+    open_database,
+)
+
+_SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
+
+
+def durable(path, name="main", **kwargs):
+    kwargs.setdefault("sync", "flush")
+    documents = kwargs.pop("documents", ())
+    engine = DurableEngine(os.fspath(path), name, **kwargs)
+    return Collection(documents, engine=engine)
+
+
+def values(collection: Collection) -> dict[int, object]:
+    return {doc_id: tree.to_value() for doc_id, tree in collection.documents()}
+
+
+class TestAdapterPlumbing:
+    def test_real_io_is_the_default(self, tmp_path):
+        engine = DurableEngine(str(tmp_path))
+        assert isinstance(engine.io, RealIO)
+        wal = WriteAheadLog(str(tmp_path / "x.wal"))
+        assert isinstance(wal.io, IOAdapter)
+        wal.close()
+
+    def test_all_engine_io_routes_through_the_adapter(self, tmp_path):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        collection.insert_many([{"a": 1}, {"a": 2}])
+        collection.remove(0)
+        collection.compact()
+        collection.close()
+        kinds = {op for op, _ in io.ops}
+        # Every mediated operation kind shows up in a full lifecycle.
+        assert {"open", "write", "flush", "fsync", "replace", "fsync_dir"} <= kinds
+        assert io.counts["write"] > 0 and io.counts["replace"] >= 2
+
+    def test_every_replace_is_followed_by_a_directory_sync(self, tmp_path):
+        """The satellite fix: ``os.replace`` alone leaves the rename in
+        the directory's page cache; checkpoint and WAL reset must both
+        sync the parent directory afterwards."""
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        collection.insert_many([{"a": 1}])
+        collection.compact()  # snapshot replace + WAL reset replace
+        collection.close()
+        kinds = [op for op, _ in io.ops]
+        replaces = [i for i, op in enumerate(kinds) if op == "replace"]
+        assert len(replaces) == 2
+        for index in replaces:
+            trailing = kinds[index + 1 :]
+            assert "fsync_dir" in trailing
+            # ...and before any further rename.
+            next_replace = (
+                trailing.index("replace")
+                if "replace" in trailing
+                else len(trailing)
+            )
+            assert trailing.index("fsync_dir") < next_replace
+
+    def test_dropped_dir_sync_is_observable(self, tmp_path):
+        """``drop_dir_sync`` silently swallows every directory sync --
+        the simulation of the bug the fix closes -- without breaking
+        the happy path (the data still lands; only the rename's
+        power-loss durability is gone)."""
+        io = FaultyIO(FaultPlan.drop_dir_sync())
+        collection = durable(tmp_path, io=io)
+        collection.insert_many([{"a": 1}])
+        collection.compact()
+        collection.close()
+        assert io.counts["fsync_dir"] == 2  # attempted...
+        assert not io.fired  # ...but a persistent skip never "fires out"
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"a": 1}}
+        reopened.close()
+
+    def test_arming_is_relative_to_setup(self, tmp_path):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io, sync="fsync")
+        collection.insert_many([{"a": 1}])  # setup fsyncs happen here
+        io.arm(FaultPlan.fail("fsync"))
+        with pytest.raises(StorageIOError):
+            collection.insert_many([{"a": 2}])
+        assert len(io.fired) == 1
+
+
+class TestTaxonomy:
+    def test_storage_errors_are_store_errors(self):
+        assert issubclass(StorageIOError, StoreError)
+        assert issubclass(CollectionReadOnlyError, StoreError)
+        assert issubclass(StoreError, ReproError)
+        # A simulated crash is NOT an Exception: rollback handlers and
+        # blanket ``except Exception`` must not be able to swallow it.
+        assert issubclass(SimulatedCrash, BaseException)
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_append_failure_chains_the_os_error(self, tmp_path):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        io.arm(FaultPlan.fail("write", error=errno.EIO))
+        with pytest.raises(StorageIOError) as excinfo:
+            collection.insert_many([{"a": 1}])
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert excinfo.value.__cause__.errno == errno.EIO
+        assert excinfo.value.rolled_back
+
+    def test_read_only_error_chains_the_root_cause(self, tmp_path):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        io.arm(FaultPlan.fail("write"))
+        with pytest.raises(StorageIOError) as first:
+            collection.insert_many([{"a": 1}])
+        with pytest.raises(CollectionReadOnlyError) as second:
+            collection.insert_many([{"a": 2}])
+        assert second.value.__cause__ is first.value
+
+    def test_unknown_fault_op_is_rejected(self):
+        with pytest.raises(StoreError):
+            Fault(op="rename")
+        with pytest.raises(StoreError):
+            Fault(mode="explode")
+
+
+#: (fault factory, description) -- every way an append can fail.
+APPEND_FAULTS = [
+    pytest.param(lambda: FaultPlan.fail("write"), id="eio-write"),
+    pytest.param(lambda: FaultPlan.fail("flush"), id="eio-flush"),
+    pytest.param(
+        lambda: FaultPlan.short_write(keep=5), id="short-write-torn"
+    ),
+    pytest.param(lambda: FaultPlan.enospc(after_bytes=10), id="enospc"),
+]
+
+
+class TestDegradedMode:
+    @pytest.mark.parametrize("make_fault", APPEND_FAULTS)
+    def test_failed_append_degrades_and_loses_nothing(
+        self, tmp_path, make_fault
+    ):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        acked = [{"n": 1}, {"n": 2}]
+        collection.insert_many(acked)
+        io.arm(make_fault())
+        with pytest.raises(StorageIOError):
+            collection.insert_many([{"n": 3, "pad": "x" * 64}])
+        # (a) degraded mode blocks further writes, with the cause chained
+        health = collection.health
+        assert health.degraded and not health.ok
+        assert isinstance(health.error, StorageIOError)
+        with pytest.raises(CollectionReadOnlyError):
+            collection.insert_many([{"n": 4}])
+        with pytest.raises(CollectionReadOnlyError):
+            collection.remove(0)
+        with pytest.raises(CollectionReadOnlyError):
+            collection.compact()
+        # (b) reads keep answering from memory
+        assert values(collection) == {0: {"n": 1}, 1: {"n": 2}}
+        assert collection.find({"n": 2}) == [{"n": 2}]
+        assert len(collection) == 2
+        collection.close()
+        # (c) reopening recovers exactly the acknowledged prefix
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"n": 1}, 1: {"n": 2}}
+        assert reopened.health.ok
+        reopened.insert_many([{"n": 5}])  # healthy again
+        reopened.close()
+
+    @pytest.mark.parametrize("make_fault", APPEND_FAULTS)
+    def test_pre_fault_snapshot_stays_loadable(self, tmp_path, make_fault):
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io)
+        collection.insert_many([{"n": 1}])
+        collection.compact()  # durable snapshot covering LSN 1
+        collection.insert_many([{"n": 2}])  # in the WAL only
+        io.arm(make_fault())
+        with pytest.raises(StorageIOError):
+            collection.insert_many([{"n": 3, "pad": "y" * 64}])
+        collection.close()
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"n": 1}, 1: {"n": 2}}
+        reopened.close()
+
+    def test_update_path_degrades_too(self, tmp_path):
+        from repro.mongo import update_many
+
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io, documents=[{"n": 1}])
+        io.arm(FaultPlan.fail("write"))
+        with pytest.raises(StorageIOError):
+            update_many(collection, {}, {"$set": {"n": 9}})
+        # the in-memory document is untouched (commit precedes apply)
+        assert values(collection) == {0: {"n": 1}}
+        with pytest.raises(CollectionReadOnlyError):
+            update_many(collection, {}, {"$set": {"n": 10}})
+        collection.close()
+
+
+class TestCheckpointFailures:
+    def _seeded(self, tmp_path, io):
+        collection = durable(tmp_path, io=io)
+        collection.insert_many([{"n": 1}, {"n": 2}])
+        collection.compact()
+        collection.insert_many([{"n": 3}])
+        return collection
+
+    @pytest.mark.parametrize(
+        "fault_factory",
+        [
+            pytest.param(lambda: FaultPlan.fail("fsync"), id="temp-fsync"),
+            pytest.param(lambda: FaultPlan.fail("write"), id="temp-write"),
+            pytest.param(lambda: FaultPlan.fail("replace"), id="rename"),
+            pytest.param(
+                lambda: FaultPlan.fail("fsync_dir"), id="dir-sync"
+            ),
+        ],
+    )
+    def test_failed_checkpoint_leaves_old_state_intact(
+        self, tmp_path, fault_factory
+    ):
+        io = FaultyIO()
+        collection = self._seeded(tmp_path, io)
+        snapshot_path = os.path.join(str(tmp_path), "main.snapshot.json")
+        wal_path = os.path.join(str(tmp_path), "main.wal")
+        old_snapshot = open(snapshot_path, "rb").read()
+        old_wal = open(wal_path, "rb").read()
+        io.arm(fault_factory())
+        with pytest.raises(StorageIOError):
+            collection.compact()
+        assert collection.health.degraded
+        with pytest.raises(CollectionReadOnlyError):
+            collection.insert_many([{"n": 4}])
+        collection.close()
+        # The WAL is byte-identical; the snapshot is either untouched
+        # (failure before the rename) or the fresher one (failure after
+        # the rename commit point, e.g. the directory sync) -- never a
+        # torn in-between.
+        assert open(wal_path, "rb").read() == old_wal
+        fresh_snapshot = open(snapshot_path, "rb").read()
+        assert fresh_snapshot == old_snapshot or fault_factory().op in (
+            "fsync_dir",
+        )
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"n": 1}, 1: {"n": 2}, 2: {"n": 3}}
+        reopened.close()
+
+    def test_failed_wal_reset_keeps_consistency(self, tmp_path):
+        """Failing the *second* rename (the WAL reset) leaves the new
+        snapshot plus the old WAL: replay skips the covered records by
+        LSN and recovery still lands on the acknowledged state."""
+        io = FaultyIO()
+        collection = self._seeded(tmp_path, io)
+        io.arm(FaultPlan.fail("replace", nth=2))
+        with pytest.raises(StorageIOError):
+            collection.compact()
+        assert collection.health.degraded
+        collection.close()
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"n": 1}, 1: {"n": 2}, 2: {"n": 3}}
+        reopened.close()
+
+    def test_failed_auto_checkpoint_keeps_the_acknowledged_write(
+        self, tmp_path
+    ):
+        """An auto-compaction failure must not surface through the
+        insert that triggered it -- the insert is already durable in
+        the WAL -- but the engine degrades for the *next* write."""
+        io = FaultyIO()
+        collection = durable(tmp_path, io=io, compact_threshold=3)
+        collection.insert_many([{"n": 1}])
+        collection.insert_many([{"n": 2}])
+        io.arm(FaultPlan.fail("replace"))
+        collection.insert_many([{"n": 3}])  # triggers auto-checkpoint: no raise
+        assert values(collection) == {0: {"n": 1}, 1: {"n": 2}, 2: {"n": 3}}
+        assert collection.health.degraded
+        with pytest.raises(CollectionReadOnlyError):
+            collection.insert_many([{"n": 4}])
+        collection.close()
+        reopened = durable(tmp_path)
+        assert values(reopened) == {0: {"n": 1}, 1: {"n": 2}, 2: {"n": 3}}
+        reopened.close()
+
+
+class TestDatabaseWiring:
+    def test_database_threads_the_adapter(self, tmp_path):
+        io = FaultyIO()
+        with open_database(tmp_path, sync="flush", io=io) as db:
+            db.collection("people").insert_many([{"n": 1}])
+        assert io.counts["write"] > 0
+
+    def test_database_health_reports_degradation(self, tmp_path):
+        io = FaultyIO()
+        db = Database(tmp_path, sync="flush", io=io)
+        people = db.collection("people")
+        pets = db.collection("pets")
+        people.insert_many([{"n": 1}])
+        io.arm(FaultPlan.fail("write"))
+        with pytest.raises(StorageIOError):
+            people.insert_many([{"n": 2, "pad": "z" * 32}])
+        health = db.health()
+        assert set(health) == {"people", "pets"}
+        assert health["people"].degraded and not health["people"].ok
+        assert health["pets"].ok
+        assert "degraded" in repr(people.engine)
+        pets.insert_many([{"n": 1}])  # other collections stay writable
+        db.close()
+
+    def test_memory_databases_are_always_healthy(self):
+        db = Database()
+        db.collection("anything").insert_many([{"n": 1}])
+        assert all(h.ok for h in db.health().values())
+        db.close()
+
+
+class TestCrashSweep:
+    """Exhaustive crash-point enumeration with an acknowledged-write
+    oracle, per the robustness tentpole."""
+
+    #: The workload: (op, payload) steps over one collection.  Batches
+    #: vary in size, a compaction lands mid-stream (so crashes hit the
+    #: snapshot rename / WAL reset too), and removes hit both snapshot
+    #: and WAL-only documents.
+    STEPS = [
+        ("insert", [{"n": 0}, {"n": 1, "tags": ["a", "b"]}]),
+        ("insert", [{"n": 2, "deep": {"k": [1, 2, 3]}}]),
+        ("remove", 0),
+        ("compact", None),
+        ("insert", [{"n": 3}, {"n": 4}, {"n": 5, "s": "x" * 40}]),
+        ("remove", 2),
+        ("insert", [{"n": 6}]),
+        ("compact", None),
+        ("insert", [{"n": 7, "last": "yes"}]),
+    ]
+
+    def _run(self, directory, io):
+        """Run the workload against ``directory``.
+
+        Returns ``(acked, acked_plus_inflight, collection)``: the
+        shadow of acknowledged writes, and the shadow including the op
+        in flight when a crash fired (the two are equal when no data op
+        was interrupted).
+        """
+        shadow: dict[int, object] = {}
+        next_id = 0
+        op = None
+        before: dict[int, object] = {}
+        collection = None
+        try:
+            collection = durable(directory, io=io)
+            for op, payload in self.STEPS:
+                before = dict(shadow)
+                if op == "insert":
+                    for value in payload:
+                        shadow[next_id] = value
+                        next_id += 1
+                    collection.insert_many(payload)
+                elif op == "remove":
+                    del shadow[payload]
+                    collection.remove(payload)
+                else:
+                    collection.compact()
+            return dict(shadow), dict(shadow), collection
+        except SimulatedCrash:
+            after = dict(shadow)
+            acked = before if op in ("insert", "remove") else after
+            return acked, after, collection
+
+    def test_clean_run_matches_shadow(self, tmp_path):
+        io = FaultyIO()
+        shadow, _, collection = self._run(str(tmp_path), io)
+        assert values(collection) == shadow
+        collection.close()
+        assert io.counts["replace"] == 4  # two compactions, two renames each
+
+    def test_crash_at_every_io_operation(self, tmp_path):
+        """Plant a crash at the k-th I/O operation, for every k the
+        clean workload performs, and hold recovery to the oracle."""
+        probe = FaultyIO()
+        _, _, collection = self._run(str(tmp_path / "probe"), probe)
+        total = sum(probe.counts.values())  # in-run ops only, pre-close
+        collection.close()
+        assert total > 40  # the sweep is not vacuous
+        for point in range(1, total + 1):
+            directory = str(tmp_path / f"crash{point}")
+            io = FaultyIO(FaultPlan.crash(nth=point))
+            shadow, shadow_plus, crashed = self._run(directory, io)
+            assert io.fired, f"crash point {point} never fired"
+            # Simulate process death: drop the crashed handles without
+            # an orderly close (buffered frames may or may not land,
+            # which is exactly what the oracle allows for).
+            del crashed
+            reopened = durable(directory)
+            recovered = values(reopened)
+            assert recovered in (shadow, shadow_plus), (
+                f"crash point {point}: recovered {recovered!r}, expected "
+                f"{shadow!r} or {shadow_plus!r}"
+            )
+            assert reopened.health.ok
+            # The recovered collection accepts writes and stays correct.
+            reopened.insert_many([{"probe": point}])
+            reopened.close()
+
+    @pytest.mark.parametrize("round_", range(_SCALE))
+    def test_randomised_torn_crash_writes(self, tmp_path, round_):
+        """Crashing *inside* a write (torn prefix of ``keep`` bytes)
+        still recovers a committed prefix: the torn frame never
+        replays."""
+        import random
+
+        rng = random.Random(2024 + round_)
+        for case in range(8):
+            directory = str(tmp_path / f"case{case}")
+            io = FaultyIO(
+                FaultPlan.crash(
+                    "write",
+                    nth=rng.randint(1, 12),
+                    keep=rng.randint(0, 30),
+                )
+            )
+            shadow, shadow_plus, crashed = self._run(directory, io)
+            del crashed
+            reopened = durable(directory)
+            assert values(reopened) in (shadow, shadow_plus)
+            reopened.close()
