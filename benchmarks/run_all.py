@@ -39,6 +39,7 @@ MODULES = [
     "bench_aggregation",
     "bench_updates",
     "bench_durability",
+    "bench_sharded",
     "bench_ablations",
 ]
 

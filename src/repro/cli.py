@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro find   people.json --filter '{"age": {"$gt": 30}}' \
                  [--project '{"name": 1}']
     repro find   --collection corpus.jsonl --filter '{"age": {"$gt": 30}}'
+    repro find   --collection corpus.jsonl --shards 4 --filter '{...}'
     repro aggregate --collection corpus.jsonl \
                  --pipeline '[{"$match": {"age": {"$gt": 30}}},
                               {"$group": {"_id": "$city", "n": {"$sum": 1}}}]'
@@ -24,6 +25,13 @@ Usage (also via ``python -m repro``)::
 loads it into an indexed :class:`repro.store.Collection` and answers
 through the query planner: lines are ``<doc-id><TAB><match>``, one per
 per-document match.
+
+``--shards N`` (``find`` / ``aggregate`` / ``update``, with
+``--collection``) hash-partitions the corpus into N shards behind a
+:class:`repro.store.ShardedCollection` and answers via scatter-gather:
+queries fan out per shard (in parallel when the platform supports a
+worker pool), aggregation runs map-side per shard and merge-finalizes
+at the coordinator.
 
 ``--db`` points at a durable database directory instead
 (:func:`repro.open_database`): the named collection (``--name``,
@@ -70,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="main",
             metavar="NAME",
             help="collection name inside --db (default: main)",
+        )
+
+    def add_shard_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--shards",
+            type=int,
+            metavar="N",
+            help="hash-partition --collection into N shards and answer "
+            "via scatter-gather (parallel where supported)",
         )
 
     query = commands.add_parser(
@@ -127,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     find.add_argument("--filter", default="{}", help="find filter (JSON)")
     find.add_argument("--project", help="projection document (JSON)")
     add_db_options(find)
+    add_shard_option(find)
 
     aggregate = commands.add_parser(
         "aggregate",
@@ -156,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of results",
     )
     add_db_options(aggregate)
+    add_shard_option(aggregate)
 
     update = commands.add_parser(
         "update",
@@ -204,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the updated corpus back as JSON-lines",
     )
     add_db_options(update)
+    add_shard_option(update)
 
     db = commands.add_parser(
         "db", help="manage a durable database directory (WAL + snapshots)"
@@ -286,6 +306,18 @@ def _bad_input_combo(args: argparse.Namespace, positional: str) -> bool:
             file=sys.stderr,
         )
         return True
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        if args.collection is None:
+            print(
+                "error: --shards requires --collection "
+                "(a JSON-lines corpus to partition)",
+                file=sys.stderr,
+            )
+            return True
+        if shards < 1:
+            print("error: --shards must be at least 1", file=sys.stderr)
+            return True
     return False
 
 
@@ -302,6 +334,20 @@ def _open_corpus(args: argparse.Namespace, stack: ExitStack):
 
         database = stack.enter_context(open_database(args.db))
         return database.collection(args.name)
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        from repro.model.tree import JSONTree
+        from repro.store import ShardedCollection
+
+        with open(args.collection, encoding="utf-8") as handle:
+            documents = [
+                JSONTree.value_from_json(line)
+                for line in handle
+                if line.strip()
+            ]
+        corpus = ShardedCollection(documents, shards=shards)
+        stack.callback(corpus.close)
+        return corpus
     return _load_collection(args.collection)
 
 
@@ -404,6 +450,11 @@ def _cmd_find(args: argparse.Namespace) -> int:
 
         with ExitStack() as stack:
             corpus = _open_corpus(args, stack)
+            if args.shards is not None:
+                rows = corpus.find_rows(filter_doc, projection)
+                for doc_id, value in rows:
+                    print(f"{doc_id}\t{json.dumps(value)}")
+                return 0 if rows else 1
             query = compile_mongo_find(filter_doc, projection)
             matched = planner.match_ids(corpus, query)
             applied = query.projection
@@ -452,6 +503,14 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
             report = compiled.explain(corpus)
             for position, stage in enumerate(report.stages, start=1):
                 print(f"stage {position}\t{stage.op}\t{stage.mode}")
+            for shard in report.shards:
+                print(
+                    f"shard {shard.shard}\ttotal={shard.total} "
+                    f"pruned={shard.pruned} scanned={shard.scanned} "
+                    f"matched={shard.matched} returned={shard.returned}"
+                )
+            if report.merge is not None:
+                print(f"merge\t{report.merge}")
             print(
                 f"total={report.total} candidates="
                 f"{'all' if report.candidates is None else report.candidates} "
@@ -492,6 +551,9 @@ def _cmd_update(args: argparse.Namespace) -> int:
                 raise ReproError("the collection file must hold a JSON array")
             corpus = memory_collection(documents)
 
+        if args.shards is not None:
+            return _update_sharded(args, corpus, filter_doc, update_doc)
+
         if args.explain:
             report = explain_update(
                 corpus, filter_doc, update_doc, first_only=args.one
@@ -526,6 +588,43 @@ def _cmd_update(args: argparse.Namespace) -> int:
             with open(args.out, "w", encoding="utf-8") as handle:
                 for _, tree in corpus.documents():
                     handle.write(tree.to_json() + "\n")
+    return 0 if result.matched_count or result.upserted_id is not None else 1
+
+
+def _update_sharded(
+    args: argparse.Namespace, corpus, filter_doc, update_doc
+) -> int:
+    """The ``--shards`` half of ``repro update``: shard-routed writes,
+    per-shard dry-run reports."""
+    if args.explain:
+        reports = corpus.explain_update(
+            filter_doc, update_doc, first_only=args.one
+        )
+        for index, report in enumerate(reports):
+            print(
+                f"shard {index}\ttotal={report.total} candidates="
+                f"{'all' if report.candidates is None else report.candidates} "
+                f"scanned={report.scanned} pruned={report.pruned} "
+                f"matched={report.matched} modified={report.modified} "
+                f"entries_added={report.entries_added} "
+                f"entries_removed={report.entries_removed}"
+            )
+        return 0
+    run = corpus.update_one if args.one else corpus.update_many
+    result = run(filter_doc, update_doc, upsert=args.upsert)
+    upserted = (
+        ""
+        if result.upserted_id is None
+        else f" upserted_id={result.upserted_id}"
+    )
+    print(
+        f"matched={result.matched_count} "
+        f"modified={result.modified_count}{upserted}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for _, value in corpus.values():
+                handle.write(json.dumps(value) + "\n")
     return 0 if result.matched_count or result.upserted_id is not None else 1
 
 

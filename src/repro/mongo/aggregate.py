@@ -40,9 +40,11 @@ tests pit the staged executor against.
 
 from __future__ import annotations
 
+import heapq
 import json
 import re
 from dataclasses import dataclass
+from itertools import islice
 from typing import Any, Iterable, Iterator
 
 from repro.cache import USE_DEFAULT_CACHE, resolve_cache
@@ -66,8 +68,10 @@ from repro.query.stages import (
     UnwindStage,
     compile_expr,
     canonical_group_key,
+    composite_sort_key,
     resolve_path,
     run_stages,
+    run_stages_ranked,
     set_path,
     sort_key,
     split_field_path,
@@ -78,12 +82,14 @@ __all__ = [
     "STAGE_OPS",
     "AggregateExplain",
     "StageExplain",
+    "ShardExplain",
     "CompiledPipeline",
     "compile_pipeline",
     "pipeline_cache_key",
     "parse_pipeline",
     "aggregate",
     "explain_pipeline",
+    "partial_aggregate",
     "match_value",
     "compile_value_filter",
     "naive_aggregate",
@@ -520,10 +526,36 @@ def _build_stage(op: str, spec: Any) -> Stage:
 
 @dataclass(frozen=True)
 class StageExplain:
-    """One pipeline stage in the explain report."""
+    """One pipeline stage in the explain report.
+
+    ``mode`` is ``"index-pruned"``/``"streamed"``/``"materialised"``
+    on a single collection; under sharded execution, stages executed on
+    the shards report ``"map-side"`` and the boundary stage whose
+    partial states the coordinator combines reports ``"merged"``.
+    """
 
     op: str
-    mode: str  # "index-pruned" | "streamed" | "materialised"
+    mode: str
+
+
+@dataclass(frozen=True)
+class ShardExplain:
+    """One shard's share of a scatter-gather aggregation."""
+
+    shard: int
+    total: int
+    candidates: int | None
+    scanned: int
+    matched: int
+    returned: int
+
+    @property
+    def pruned(self) -> int:
+        return self.total - self.scanned
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
 
 
 @dataclass(frozen=True)
@@ -535,6 +567,12 @@ class AggregateExplain:
     (``None`` when no index could answer the filter's predicates),
     ``scanned`` how many documents paid the compiled evaluation, and
     ``matched`` how many entered the streamed stages.
+
+    Over a sharded collection the top-level counters are fleet totals,
+    ``shards`` breaks them down per shard (including how many partial
+    rows/groups each shipped to the coordinator), and ``merge`` names
+    the coordinator's merge strategy (``"group-merge"``,
+    ``"sort-merge"``, ``"count-sum"`` or ``"stream"``).
     """
 
     dialect: str
@@ -545,6 +583,8 @@ class AggregateExplain:
     matched: int
     results: int
     stages: tuple[StageExplain, ...]
+    shards: tuple[ShardExplain, ...] = ()
+    merge: str | None = None
 
     @property
     def pruned(self) -> int:
@@ -553,6 +593,27 @@ class AggregateExplain:
     @property
     def used_indexes(self) -> bool:
         return self.candidates is not None
+
+
+def _window_bound(stages: tuple[Stage, ...]) -> int | None:
+    """How many input rows the leading ``$skip``/``$limit`` run of
+    ``stages`` can consume, or ``None`` when unbounded.
+
+    The composed window over input-stream indices: sound as a per-shard
+    truncation hint because the global first ``bound`` rows are always
+    a subset of the union of each shard's local first ``bound`` rows.
+    """
+    start = 0
+    stop: int | None = None
+    for stage in stages:
+        if isinstance(stage, SkipStage):
+            start += stage.count
+        elif isinstance(stage, LimitStage):
+            bound = start + stage.count
+            stop = bound if stop is None else min(stop, bound)
+        else:
+            break
+    return stop
 
 
 class CompiledPipeline:
@@ -570,19 +631,37 @@ class CompiledPipeline:
     as a generator chain over the survivors.  No evaluation state lives
     on the compiled object, so one pipeline can be shared freely across
     collections and mutations.
+
+    Compilation also fixes the pipeline's **shard decomposition** (the
+    commuting-stages split of the Botoeva et al. formalisation): the
+    maximal prefix of per-row stages after the leading match commutes
+    with any partition of the input and runs map-side
+    (``shard_map_count``), and the first blocking stage picks the
+    coordinator's ``merge_strategy`` -- ``$group`` ships mergeable
+    partial accumulator states (``"group-merge"``), ``$sort`` ships
+    locally sorted runs for a k-way heap merge (``"sort-merge"``,
+    truncated per shard to ``local_limit`` rows when a following
+    ``$skip``/``$limit`` window bounds what the merge can consume),
+    ``$count`` ships plain counts (``"count-sum"``), and anything else
+    streams rank-ordered rows (``"stream"``).
     """
 
     __slots__ = (
         "source",
+        "pipeline",
         "lead_filter",
         "lead_pred",
         "lead_count",
         "lead_query",
         "stages",
+        "shard_map_count",
+        "merge_strategy",
+        "local_limit",
     )
 
     def __init__(self, pipeline: list[Any]) -> None:
         self.source = pipeline_cache_key(pipeline)
+        self.pipeline = pipeline
         parsed = parse_pipeline(pipeline)
         lead: list[dict[str, Any]] = []
         split = 0
@@ -613,6 +692,24 @@ class CompiledPipeline:
         self.stages: tuple[Stage, ...] = tuple(
             _build_stage(op, spec) for op, spec in parsed[split:]
         )
+        count = 0
+        while count < len(self.stages) and isinstance(
+            self.stages[count], (FilterStage, ProjectStage, UnwindStage)
+        ):
+            count += 1
+        self.shard_map_count = count
+        self.local_limit: int | None = None
+        boundary = self.stages[count] if count < len(self.stages) else None
+        if isinstance(boundary, GroupStage):
+            self.merge_strategy = "group-merge"
+        elif isinstance(boundary, SortStage):
+            self.merge_strategy = "sort-merge"
+            self.local_limit = _window_bound(self.stages[count + 1 :])
+        elif isinstance(boundary, CountStage):
+            self.merge_strategy = "count-sum"
+        else:
+            self.merge_strategy = "stream"
+            self.local_limit = _window_bound(self.stages[count:])
 
     # ------------------------------------------------------------------
 
@@ -673,17 +770,123 @@ class CompiledPipeline:
         return self._item_rows(source)
 
     def execute(self, source: Any) -> list[Any]:
-        """Run the pipeline over a collection (index-pruned) or an
-        iterable of trees/values (streamed), returning the result rows."""
+        """Run the pipeline over a collection (index-pruned), a sharded
+        collection (scatter-gather) or an iterable of trees/values
+        (streamed), returning the result rows."""
+        scatter = getattr(source, "scatter_partial_aggregate", None)
+        if scatter is not None:
+            return self.merge_partials(scatter(self.pipeline))
         return list(self.stream(source))
 
     def stream(self, source: Any) -> Iterator[Any]:
         """Lazy variant of :meth:`execute` (one generator per stage)."""
         return run_stages(self.stages, self._rows(source))
 
+    # ------------------------------------------------------------------
+    # Scatter-gather execution (one partial per shard, merged here).
+    # ------------------------------------------------------------------
+
+    def execute_partial(self, collection: Any) -> dict[str, Any]:
+        """The map-side share of this pipeline over one shard.
+
+        Runs the leading match (index-pruned as usual) plus the per-row
+        stage prefix, then folds into the merge strategy's partial form.
+        Everything in the returned dict is picklable -- rows are plain
+        JSON values tagged with ``(doc_id, seq)`` ranks, group tables
+        carry exported accumulator partials -- so it can cross a worker
+        process boundary to :meth:`merge_partials` unchanged.
+        """
+        total = len(collection)
+        candidates = self._candidates(collection)
+        scanned = total if candidates is None else len(candidates)
+        matched = 0
+
+        def survivor_pairs() -> Iterator[tuple[int, Any]]:
+            nonlocal matched
+            lead_pred = self.lead_pred
+            if candidates is None:
+                for doc_id, tree in collection.documents():
+                    value = tree.to_value()
+                    if lead_pred is None or lead_pred(value):
+                        matched += 1
+                        yield doc_id, value
+                return
+            for doc_id in sorted(candidates):
+                value = collection.get(doc_id).to_value()
+                if lead_pred(value):
+                    matched += 1
+                    yield doc_id, value
+
+        ranked = run_stages_ranked(
+            self.stages[: self.shard_map_count], survivor_pairs()
+        )
+        strategy = self.merge_strategy
+        data: Any
+        if strategy == "group-merge":
+            group = self.stages[self.shard_map_count]
+            data = group.fold_partial(ranked)
+            returned = len(data)
+        elif strategy == "sort-merge":
+            sort = self.stages[self.shard_map_count]
+            run = sorted(ranked, key=composite_sort_key(sort.keys))
+            if self.local_limit is not None:
+                del run[self.local_limit :]
+            data = run
+            returned = len(run)
+        elif strategy == "count-sum":
+            data = sum(1 for _ in ranked)
+            returned = 1 if data else 0
+        else:  # "stream"
+            if self.local_limit is not None:
+                ranked = islice(ranked, self.local_limit)
+            data = list(ranked)
+            returned = len(data)
+        return {
+            "strategy": strategy,
+            "total": total,
+            "candidates": None if candidates is None else len(candidates),
+            "scanned": scanned,
+            "matched": matched,
+            "returned": returned,
+            "data": data,
+        }
+
+    def merge_partials(self, partials: list[dict[str, Any]]) -> list[Any]:
+        """The reduce-side share: merge per-shard partials, finalise,
+        and run the coordinator's stage suffix."""
+        split = self.shard_map_count
+        strategy = self.merge_strategy
+        rows: Iterator[Any]
+        if strategy == "group-merge":
+            group = self.stages[split]
+            rows = group.merge_partial(part["data"] for part in partials)
+            rest = self.stages[split + 1 :]
+        elif strategy == "sort-merge":
+            sort = self.stages[split]
+            merged = heapq.merge(
+                *(part["data"] for part in partials),
+                key=composite_sort_key(sort.keys),
+            )
+            rows = (row for _, row in merged)
+            rest = self.stages[split + 1 :]
+        elif strategy == "count-sum":
+            count_stage = self.stages[split]
+            count = sum(part["data"] for part in partials)
+            rows = iter([{count_stage.field: count}] if count else [])
+            rest = self.stages[split + 1 :]
+        else:  # "stream": ranks are globally unique, so plain tuple
+            # comparison on (rank, row) pairs never reaches the rows.
+            merged = heapq.merge(*(part["data"] for part in partials))
+            rows = (row for _, row in merged)
+            rest = self.stages[split:]
+        return list(run_stages(rest, rows))
+
     def explain(self, collection: Any) -> AggregateExplain:
         """Run over an indexed collection, reporting what was pruned
         by indexes versus streamed (PlanExplain's aggregation sibling)."""
+        scatter = getattr(collection, "scatter_partial_aggregate", None)
+        if scatter is not None:
+            return self._explain_sharded(scatter(self.pipeline))
         total = len(collection)
         candidates = self._candidates(collection)
         scanned = total if candidates is None else len(candidates)
@@ -714,6 +917,55 @@ class CompiledPipeline:
             matched=matched,
             results=results,
             stages=tuple(reports),
+        )
+
+    def _explain_sharded(
+        self, partials: list[dict[str, Any]]
+    ) -> AggregateExplain:
+        """Fold per-shard partial reports into one fleet explain."""
+        results = len(self.merge_partials(partials))
+        shard_reports = tuple(
+            ShardExplain(
+                shard=index,
+                total=part["total"],
+                candidates=part["candidates"],
+                scanned=part["scanned"],
+                matched=part["matched"],
+                returned=part["returned"],
+            )
+            for index, part in enumerate(partials)
+        )
+        pruning = [part["candidates"] for part in partials]
+        candidates = (
+            None if any(c is None for c in pruning) else sum(pruning)
+        )
+        split = self.shard_map_count
+        lead_mode = "index-pruned" if candidates is not None else "streamed"
+        reports = [StageExplain("$match", lead_mode)] * self.lead_count
+        reports.extend(
+            StageExplain(stage.op, "map-side") for stage in self.stages[:split]
+        )
+        rest = split
+        if self.merge_strategy != "stream":
+            reports.append(StageExplain(self.stages[split].op, "merged"))
+            rest = split + 1
+        reports.extend(
+            StageExplain(
+                stage.op, "materialised" if stage.blocking else "streamed"
+            )
+            for stage in self.stages[rest:]
+        )
+        return AggregateExplain(
+            dialect=_DIALECT,
+            source=self.source,
+            total=sum(part["total"] for part in partials),
+            candidates=candidates,
+            scanned=sum(part["scanned"] for part in partials),
+            matched=sum(part["matched"] for part in partials),
+            results=results,
+            stages=tuple(reports),
+            shards=shard_reports,
+            merge=self.merge_strategy,
         )
 
     def __repr__(self) -> str:
@@ -765,6 +1017,17 @@ def aggregate(source: Any, pipeline: list[Any]) -> list[Any]:
 def explain_pipeline(collection: Any, pipeline: list[Any]) -> AggregateExplain:
     """The staged executor's report for ``pipeline`` over ``collection``."""
     return compile_pipeline(pipeline).explain(collection)
+
+
+def partial_aggregate(collection: Any, pipeline: list[Any]) -> dict[str, Any]:
+    """One shard's picklable partial result for ``pipeline``.
+
+    The map-side entry point sharded execution fans out (in a worker
+    process or in-line): compiles through the process-wide artifact
+    cache -- each worker pays compilation once per distinct pipeline --
+    and returns what :meth:`CompiledPipeline.merge_partials` consumes.
+    """
+    return compile_pipeline(pipeline).execute_partial(collection)
 
 
 # ---------------------------------------------------------------------------

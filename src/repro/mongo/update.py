@@ -76,6 +76,9 @@ __all__ = [
     "update_many",
     "replace_one",
     "explain_update",
+    "first_match_id",
+    "upsert_into",
+    "compile_replacement",
     "naive_update_value",
 ]
 
@@ -437,14 +440,8 @@ def update_one(
     )
 
 
-def replace_one(
-    collection: Any,
-    filter_doc: Any,
-    replacement: Any,
-    *,
-    upsert: bool = False,
-) -> UpdateResult:
-    """Replace the first matching document wholesale."""
+def compile_replacement(replacement: Any) -> CompiledUpdate:
+    """Validate and compile a ``replace_one`` replacement document."""
     if not isinstance(replacement, dict):
         raise ParseError("a replacement must be a document")
     offenders = [
@@ -457,13 +454,52 @@ def replace_one(
             f"a replacement document cannot contain update operators "
             f"({offenders[0]!r}); use update_one instead"
         )
-    compiled = CompiledUpdate(
+    return CompiledUpdate(
         update_cache_key(replacement),
         (replace_op(copy.deepcopy(replacement)),),
     )
+
+
+def replace_one(
+    collection: Any,
+    filter_doc: Any,
+    replacement: Any,
+    *,
+    upsert: bool = False,
+) -> UpdateResult:
+    """Replace the first matching document wholesale."""
     return _run_update(
-        collection, filter_doc, compiled, upsert=upsert, first_only=True
+        collection,
+        filter_doc,
+        compile_replacement(replacement),
+        upsert=upsert,
+        first_only=True,
     )
+
+
+def first_match_id(collection: Any, filter_doc: Any) -> int | None:
+    """The id of the first document (in id order) matching the filter.
+
+    The scatter half of a sharded ``update_one``/``replace_one``: each
+    shard reports its local first match, the coordinator takes the
+    global minimum -- which is that shard's local first match too, so
+    routing the single-document write to the owning shard updates
+    exactly the document the unsharded path would have.
+    """
+    matched, _, _ = _select_targets(collection, filter_doc, first_only=True)
+    return matched[0][0] if matched else None
+
+
+def upsert_into(
+    collection: Any, filter_doc: Any, compiled: CompiledUpdate
+) -> UpdateResult:
+    """Insert the document the filter + compiled update imply.
+
+    The coordinator half of a sharded upsert: seeding and applying the
+    update happen here, the produced document routes through the
+    (sharded) collection's own ``insert``.
+    """
+    return _upsert(collection, filter_doc, compiled)
 
 
 def explain_update(

@@ -46,6 +46,7 @@ __all__ = [
     "match_flags",
     "count_matches",
     "find_documents",
+    "find_rows",
     "select_nodes",
     "select_values",
     "explain",
@@ -225,6 +226,26 @@ def find_documents(
         value = tree.to_value()
         results.append(projection.apply_value(value) if projection else value)
     return results
+
+
+def find_rows(
+    collection: "Collection", query: CompiledQuery
+) -> list[tuple[int, JSONValue]]:
+    """``(doc_id, projected value)`` pairs for the matching documents.
+
+    The id-carrying twin of :func:`find_documents`: scatter-gather
+    execution fans this out per shard and k-way merges the returned
+    rows by the globally unique doc-id, which reproduces the single
+    collection's document-id answer order exactly.
+    """
+    rows: list[tuple[int, JSONValue]] = []
+    projection = query.projection
+    for doc_id, tree in _matching(collection, query):
+        value = tree.to_value()
+        rows.append(
+            (doc_id, projection.apply_value(value) if projection else value)
+        )
+    return rows
 
 
 def find_trees(

@@ -49,6 +49,9 @@ __all__ = [
     "LimitStage",
     "CountStage",
     "run_stages",
+    "run_stages_ranked",
+    "composite_sort_key",
+    "DescendingKey",
     "ACCUMULATORS",
 ]
 
@@ -241,6 +244,18 @@ def compile_expr(spec: Any) -> Callable[[Any], Any]:
 
 # ---------------------------------------------------------------------------
 # Accumulators (the $group fold states).
+#
+# Every accumulator is *mergeable*: ``partial()`` exports the fold
+# state as a picklable value, and the ``merge()`` classmethod rebuilds
+# one accumulator from any number of such partials so that
+# ``merge(partials).result() == whole.result()`` whenever the partials
+# were accumulated from any split of the whole input.  That contract is
+# what lets ``$group`` run map-side per shard with only partial states
+# crossing the process boundary.  Order-sensitive accumulators
+# (``$push``) additionally accept a ``rank`` (any totally ordered,
+# globally unique token -- the sharded executor uses ``(doc_id, seq)``)
+# via ``add_ranked`` so the merged result reproduces the global input
+# order, not the concatenation order of the partials.
 # ---------------------------------------------------------------------------
 
 
@@ -250,8 +265,21 @@ class _Accumulator:
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def add_ranked(self, value: Any, rank: Any) -> None:
+        """``add`` with a global-order token (order-insensitive default)."""
+        self.add(value)
+
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def partial(self) -> Any:  # pragma: no cover - interface
+        """The fold state as a picklable, mergeable value."""
+        raise NotImplementedError
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Accumulator:
+        """Rebuild one accumulator from exported partial states."""
+        raise NotImplementedError  # pragma: no cover - interface
 
 
 class _Sum(_Accumulator):
@@ -267,6 +295,16 @@ class _Sum(_Accumulator):
 
     def result(self) -> Any:
         return self.total
+
+    def partial(self) -> Any:
+        return self.total
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Sum:
+        merged = cls()
+        for total in partials:
+            merged.total += total
+        return merged
 
 
 class _Avg(_Accumulator):
@@ -284,6 +322,19 @@ class _Avg(_Accumulator):
     def result(self) -> Any:
         return None if self.count == 0 else self.total / self.count
 
+    def partial(self) -> Any:
+        # The sum/count pair, not the quotient: averages of averages
+        # are wrong as soon as the split is uneven.
+        return (self.total, self.count)
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Avg:
+        merged = cls()
+        for total, count in partials:
+            merged.total += total
+            merged.count += count
+        return merged
+
 
 class _Min(_Accumulator):
     __slots__ = ("best",)
@@ -300,6 +351,19 @@ class _Min(_Accumulator):
     def result(self) -> Any:
         return None if self.best is MISSING else self.best
 
+    def partial(self) -> Any:
+        # () encodes "no value seen": the MISSING sentinel is a module
+        # singleton whose identity does not survive pickling.
+        return () if self.best is MISSING else (self.best,)
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Min:
+        merged = cls()
+        for state in partials:
+            if state:
+                merged.add(state[0])
+        return merged
+
 
 class _Max(_Min):
     __slots__ = ()
@@ -312,17 +376,43 @@ class _Max(_Min):
 
 
 class _Push(_Accumulator):
-    __slots__ = ("items",)
+    __slots__ = ("items", "ranks")
 
     def __init__(self) -> None:
         self.items: list[Any] = []
+        self.ranks: list[Any] | None = None
 
     def add(self, value: Any) -> None:
         if value is not MISSING:
             self.items.append(value)
 
+    def add_ranked(self, value: Any, rank: Any) -> None:
+        if value is MISSING:
+            return
+        if self.ranks is None:
+            self.ranks = []
+        self.items.append(value)
+        self.ranks.append(rank)
+
     def result(self) -> Any:
         return self.items
+
+    def partial(self) -> Any:
+        # Rank-tagged items; local indices stand in for ranks when the
+        # stream was fed through plain ``add`` (sound only within one
+        # partition, which is all un-ranked callers have).
+        ranks = range(len(self.items)) if self.ranks is None else self.ranks
+        return list(zip(ranks, self.items))
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Push:
+        tagged: list[tuple[Any, Any]] = []
+        for state in partials:
+            tagged.extend(state)
+        tagged.sort(key=lambda pair: pair[0])
+        merged = cls()
+        merged.items = [value for _, value in tagged]
+        return merged
 
 
 class _Count(_Accumulator):
@@ -336,6 +426,15 @@ class _Count(_Accumulator):
 
     def result(self) -> Any:
         return self.count
+
+    def partial(self) -> Any:
+        return self.count
+
+    @classmethod
+    def merge(cls, partials: Iterable[Any]) -> _Count:
+        merged = cls()
+        merged.count = sum(partials)
+        return merged
 
 
 ACCUMULATORS: dict[str, type[_Accumulator]] = {
@@ -471,6 +570,65 @@ class GroupStage(Stage):
                 out[name] = accumulator.result()
             yield out
 
+    def fold_partial(
+        self, ranked_rows: Iterable[tuple[Any, Any]]
+    ) -> list[tuple[Any, Any, list[Any]]]:
+        """Map-side half of the fold: a partial group table.
+
+        Consumes ``(rank, row)`` pairs and returns one
+        ``(id_value, first_rank, partial_states)`` entry per distinct
+        group seen in this partition.  Everything in the table is
+        picklable (partial states encode absence structurally, never as
+        the :data:`MISSING` singleton), so the table can cross a
+        process boundary to :meth:`merge_partial`.
+        """
+        groups: dict[Any, list[Any]] = {}
+        for rank, row in ranked_rows:
+            id_value = self.id_expr(row)
+            if id_value is MISSING:
+                id_value = None
+            key = canonical_group_key(id_value)
+            entry = groups.get(key)
+            if entry is None:
+                entry = [id_value, rank, [factory() for _, factory, _ in self.fields]]
+                groups[key] = entry
+            for accumulator, (_, _, expr) in zip(entry[2], self.fields):
+                accumulator.add_ranked(expr(row), rank)
+        return [
+            (id_value, first_rank, [acc.partial() for acc in accumulators])
+            for id_value, first_rank, accumulators in groups.values()
+        ]
+
+    def merge_partial(
+        self, tables: Iterable[list[tuple[Any, Any, list[Any]]]]
+    ) -> Iterator[Any]:
+        """Reduce-side half: merge partial group tables and finalise.
+
+        Emits groups in global first-seen order (ascending first rank),
+        with each group's ``_id`` taken from the partition that saw the
+        group earliest -- exactly what :meth:`run` over the undivided
+        stream would have produced.
+        """
+        merged: dict[Any, list[Any]] = {}
+        for table in tables:
+            for id_value, first_rank, states in table:
+                key = canonical_group_key(id_value)
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [id_value, first_rank, [[s] for s in states]]
+                    continue
+                if first_rank < entry[1]:
+                    entry[0] = id_value
+                    entry[1] = first_rank
+                for pooled, state in zip(entry[2], states):
+                    pooled.append(state)
+        ordered = sorted(merged.values(), key=lambda entry: entry[1])
+        for id_value, _, pooled_states in ordered:
+            out = {"_id": id_value}
+            for (name, factory, _), states in zip(self.fields, pooled_states):
+                out[name] = factory.merge(states).result()
+            yield out
+
 
 class SortStage(Stage):
     """Materialise and sort by one or more dotted paths.
@@ -496,6 +654,54 @@ class SortStage(Stage):
                 reverse=descending,
             )
         return iter(materialised)
+
+
+class DescendingKey:
+    """Inverts the order of one wrapped :func:`sort_key` tuple.
+
+    Lets a multi-key sort with mixed directions collapse into a single
+    composite key (tuples compare element-wise, so wrapping just the
+    descending components flips their direction without touching the
+    others).  That single-key form is what a k-way merge of per-shard
+    sorted runs needs: ``heapq.merge`` takes one key function.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __eq__(self, other: Any) -> bool:
+        return self.key == other.key
+
+    def __lt__(self, other: Any) -> bool:
+        return other.key < self.key
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are never hashed
+        return hash(self.key)
+
+
+def composite_sort_key(
+    keys: tuple[tuple[tuple[str, ...], bool], ...],
+) -> Callable[[tuple[Any, Any]], tuple]:
+    """One composite key over ``(rank, row)`` pairs for a ``$sort`` spec.
+
+    Equivalent to :class:`SortStage`'s repeated stable sorts: the spec
+    keys compare in order (descending ones wrapped in
+    :class:`DescendingKey`) and the globally unique rank breaks every
+    remaining tie, reproducing stability over the undivided stream.
+    """
+
+    def key(pair: tuple[Any, Any]) -> tuple:
+        rank, row = pair
+        parts: list[Any] = []
+        for segments, descending in keys:
+            part = sort_key(resolve_path(row, segments))
+            parts.append(DescendingKey(part) if descending else part)
+        parts.append(rank)
+        return tuple(parts)
+
+    return key
 
 
 class SkipStage(Stage):
@@ -552,3 +758,27 @@ def run_stages(stages: Iterable[Stage], rows: Iterator[Any]) -> Iterator[Any]:
     for stage in stages:
         rows = stage.run(rows)
     return rows
+
+
+def run_stages_ranked(
+    stages: Iterable[Stage],
+    doc_rows: Iterable[tuple[int, Any]],
+) -> Iterator[tuple[tuple[int, int], Any]]:
+    """Run per-row stages over ``(doc_id, value)`` pairs, keeping ranks.
+
+    Each output row carries a ``(doc_id, seq)`` rank -- ``seq`` numbers
+    the rows one input document expanded into (``$unwind`` fan-out), so
+    ranks are globally unique and ordered exactly like the undivided
+    stream.  Only valid for streaming stages whose output rows each
+    derive from a single input row (``$match``/``$project``/
+    ``$unwind``); blocking or window stages would need cross-document
+    state and are the coordinator's job.
+    """
+    stage_list = tuple(stages)
+    if not stage_list:
+        for doc_id, value in doc_rows:
+            yield (doc_id, 0), value
+        return
+    for doc_id, value in doc_rows:
+        for seq, row in enumerate(run_stages(stage_list, iter((value,)))):
+            yield (doc_id, seq), row

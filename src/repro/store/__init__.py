@@ -14,18 +14,26 @@ serving::
     delta-maintained in-place updates (store.update)
         |  commits through
     StorageEngine (store.engine): MemoryEngine | DurableEngine
-        |
-    WAL + snapshots (store.wal, store.durable), owned per named
-    collection by a Database handle (store.database)
+        |                              | sharded across N collections by
+    WAL + snapshots (store.wal,    ShardedEngine/ShardedCollection
+    store.durable), owned per      (store.sharded): global doc-ids,
+    named collection by a          scatter-gather queries, mergeable
+    Database handle                partial aggregation, optional
+    (store.database)               multiprocessing worker pool
 
 * :class:`~repro.store.database.Database` / :func:`open_database` --
   the factory every layer acquires collections through;
 * :class:`~repro.store.collection.Collection` -- the document store
   (:func:`memory_collection` is the volatile convenience constructor);
 * :class:`~repro.store.engine.StorageEngine` -- the persistence seam:
-  :class:`~repro.store.engine.MemoryEngine` (no-op) and
+  :class:`~repro.store.engine.MemoryEngine` (no-op),
   :class:`~repro.store.durable.DurableEngine` (write-ahead log +
-  versioned snapshots, replay-on-open, log compaction);
+  versioned snapshots, replay-on-open, log compaction) and
+  :class:`~repro.store.sharded.ShardedEngine` (N engine-backed shards
+  behind one coordinator);
+* :class:`~repro.store.sharded.ShardedCollection` -- the
+  hash-partitioned collection with parallel scatter-gather execution
+  (:func:`sharded_collection` is the volatile convenience constructor);
 * :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
   key-presence postings with counted, incremental maintenance;
 * :class:`~repro.store.update.CompiledUpdate` -- dialect-neutral update
@@ -72,6 +80,13 @@ from repro.store.indexes import (
     tree_entry_counts,
     value_entry_counts,
 )
+from repro.store.sharded import (
+    ShardedCollection,
+    ShardedEngine,
+    shard_name,
+    shard_of,
+    sharded_collection,
+)
 from repro.store.update import CompiledUpdate, Mutation, mutation_delta
 from repro.store.wal import WriteAheadLog, scan_wal
 
@@ -83,6 +98,11 @@ __all__ = [
     "StorageEngine",
     "MemoryEngine",
     "DurableEngine",
+    "ShardedEngine",
+    "ShardedCollection",
+    "sharded_collection",
+    "shard_of",
+    "shard_name",
     "CompactionReport",
     "RecoveredState",
     "EngineHealth",

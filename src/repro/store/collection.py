@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json as _json
 import warnings
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import DocumentRejectedError, StoreError
 from repro.model.tree import JSONTree, JSONValue
@@ -157,7 +157,10 @@ class Collection:
                 for doc in items]
 
     def insert_many(
-        self, documents: Iterable["JSONTree | JSONValue"]
+        self,
+        documents: Iterable["JSONTree | JSONValue"],
+        *,
+        ids: Sequence[int] | None = None,
     ) -> list[int]:
         """Ingest a batch atomically; returns the new document ids.
 
@@ -167,16 +170,38 @@ class Collection:
         collection and its indexes untouched.  On a durable engine the
         WAL append (and sync) happens after validation and before the
         in-memory apply, so a rejection leaves no trace on disk either.
+
+        ``ids`` pre-assigns document ids: strictly increasing, each at
+        least the next free id.  Gaps become tombstone slots, exactly
+        as a removal would leave them.  A sharded collection uses this
+        to give each shard the global ids of the documents it owns, so
+        doc-ids stay meaningful across the whole fleet (and survive a
+        durable shard's WAL replay unchanged).
         """
         items = list(documents)
         trees = self._materialise(items)
+        if ids is not None:
+            if len(ids) != len(trees):
+                raise StoreError(
+                    f"got {len(ids)} explicit ids for {len(trees)} documents"
+                )
+            floor = len(self._trees)
+            for doc_id in ids:
+                if doc_id < floor:
+                    raise StoreError(
+                        f"explicit id {doc_id} is not free (next free id "
+                        f"is {floor})"
+                    )
+                floor = doc_id + 1
+            ids = list(ids)
         if self._validator is not None and trees:
             report = validate_corpus(self._validator, trees, early_exit=True)
             if not report.all_valid:
                 assert report.first_invalid is not None
                 raise DocumentRejectedError(report.first_invalid)
-        base = len(self._trees)
-        ids = list(range(base, base + len(trees)))
+        if ids is None:
+            base = len(self._trees)
+            ids = list(range(base, base + len(trees)))
         if trees and self._engine.durable:
             self._engine.commit_insert(
                 ids,
@@ -185,8 +210,9 @@ class Collection:
                     for item in items
                 ],
             )
-        for tree in trees:
-            doc_id = len(self._trees)
+        for doc_id, tree in zip(ids, trees):
+            if doc_id > len(self._trees):
+                self._trees.extend([None] * (doc_id - len(self._trees)))
             self._trees.append(tree)
             self._alive += 1
             if self._indexes is not None:

@@ -24,10 +24,15 @@ enforcement and the planner.  The contract:
   ``close()`` releases file handles.
 
 Engines are single-collection: binding one engine to two collections
-is an error.  :class:`MemoryEngine` is the trivial implementation (all
-hooks are no-ops); :class:`~repro.store.durable.DurableEngine` is the
-WAL + snapshot implementation; the planned sharded engine will be the
-third.
+is an error.  Three flavours live behind the seam: :class:`MemoryEngine`
+is the trivial implementation (all hooks are no-ops);
+:class:`~repro.store.durable.DurableEngine` is the WAL + snapshot
+implementation; and :class:`~repro.store.sharded.ShardedEngine`
+composes N of either into a hash-partitioned fleet -- each shard is an
+ordinary engine-backed collection, so the per-shard commit hooks (and
+their ordering invariant) are exactly the ones above, while the
+coordinator owns id assignment, scatter-gather execution and the
+worker pool.
 
 This module also owns the **versioned snapshot codec**: the plain-dict
 format :meth:`Collection.snapshot` emits carries ``format`` and

@@ -473,3 +473,114 @@ class TestDatabaseCLI:
             ["find", "--db", db_dir, "--collection", collection_file]
         ) == 2
         assert "--db" in capsys.readouterr().err
+
+
+class TestShards:
+    def test_sharded_find_matches_unsharded(self, jsonl_file, capsys):
+        args = [
+            "find",
+            "--collection",
+            jsonl_file,
+            "--filter",
+            '{"age": {"$gt": 30}}',
+        ]
+        assert main(args) == 0
+        expected = capsys.readouterr().out
+        assert main(args + ["--shards", "3"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_sharded_aggregate_matches_unsharded(self, jsonl_file, capsys):
+        pipeline = json.dumps(
+            [
+                {"$match": {"age": {"$gt": 30}}},
+                {"$group": {"_id": None, "n": {"$sum": 1}}},
+            ]
+        )
+        args = ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline]
+        assert main(args) == 0
+        expected = capsys.readouterr().out
+        assert main(args + ["--shards", "2"]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_sharded_explain_reports_per_shard_stats(self, jsonl_file, capsys):
+        pipeline = json.dumps(
+            [
+                {"$match": {"age": {"$gt": 30}}},
+                {"$group": {"_id": None, "n": {"$sum": 1}}},
+            ]
+        )
+        assert main(
+            [
+                "aggregate",
+                "--collection",
+                jsonl_file,
+                "--shards",
+                "2",
+                "--pipeline",
+                pipeline,
+                "--explain",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard 0" in out and "shard 1" in out
+        assert "merge\tgroup-merge" in out
+
+    def test_sharded_update_writes_corpus(self, jsonl_file, tmp_path, capsys):
+        out_file = str(tmp_path / "updated.jsonl")
+        assert main(
+            [
+                "update",
+                "--collection",
+                jsonl_file,
+                "--shards",
+                "2",
+                "--filter",
+                '{"age": {"$gt": 30}}',
+                "--update",
+                '{"$inc": {"age": 1}}',
+                "--out",
+                out_file,
+            ]
+        ) == 0
+        assert "matched=3 modified=3" in capsys.readouterr().out
+        with open(out_file, encoding="utf-8") as handle:
+            docs = [json.loads(line) for line in handle]
+        assert [doc["age"] for doc in docs] == [36, 28, 62, 36]
+
+    def test_sharded_update_explain_is_per_shard(self, jsonl_file, capsys):
+        assert main(
+            [
+                "update",
+                "--collection",
+                jsonl_file,
+                "--shards",
+                "2",
+                "--filter",
+                '{"age": {"$gt": 30}}',
+                "--update",
+                '{"$inc": {"age": 1}}',
+                "--explain",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "shard 0" in out and "shard 1" in out
+
+    def test_shards_requires_collection(self, collection_file, capsys):
+        assert main(
+            ["find", collection_file, "--shards", "2", "--filter", "{}"]
+        ) == 2
+        assert "--shards requires --collection" in capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, jsonl_file, capsys):
+        assert main(
+            [
+                "find",
+                "--collection",
+                jsonl_file,
+                "--shards",
+                "0",
+                "--filter",
+                "{}",
+            ]
+        ) == 2
+        assert "at least 1" in capsys.readouterr().err
