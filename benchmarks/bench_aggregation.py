@@ -17,13 +17,13 @@ import pytest
 
 from repro.bench.harness import format_table, measure, smoke_mode
 from repro.mongo.aggregate import compile_pipeline, naive_aggregate
-from repro.store import memory_collection
 from repro.workloads import people_collection
+from repro import api
 
 DOCS = 300 if smoke_mode() else 10_000
 
 _PEOPLE = people_collection(DOCS, seed=23)
-COLLECTION = memory_collection(_PEOPLE)
+COLLECTION = api.collection(_PEOPLE)
 
 # A selective three-way equality cuts 10k documents to a few dozen
 # candidates via the eq postings before any per-document work; the

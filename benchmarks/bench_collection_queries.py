@@ -18,13 +18,13 @@ import pytest
 
 from repro.bench.harness import format_table, measure, smoke_mode
 from repro.query import compile_mongo_find, compile_query, filter_many
-from repro.store import memory_collection
 from repro.workloads import people_collection
+from repro import api
 
 DOCS = 300 if smoke_mode() else 10_000
 
 _PEOPLE = people_collection(DOCS, seed=11)
-COLLECTION = memory_collection(_PEOPLE)
+COLLECTION = api.collection(_PEOPLE)
 TREES = COLLECTION.trees  # The PR-1 view: same trees, no indexes.
 
 # Selective workloads: equality postings cut 10k documents to a few

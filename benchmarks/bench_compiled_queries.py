@@ -16,13 +16,13 @@ import pytest
 
 from repro.bench.harness import format_table, measure_amortised, smoke_mode
 from repro.model.tree import JSONTree
-from repro.mongo import memory_collection
 from repro.query import (
     compile_mongo_find,
     compile_query,
     evaluate_queries,
 )
 from repro.workloads import people_collection
+from repro import api
 
 # Small documents and chunky query texts: the regime where compilation
 # dominates one-shot evaluation, i.e. where caching pays.
@@ -49,7 +49,7 @@ MONGO_FILTER = {
     "hobbies": {"$elemMatch": {"$regex": "fish|yoga"}},
 }
 
-PEOPLE = memory_collection(people_collection(300, seed=4))
+PEOPLE = api.collection(people_collection(300, seed=4))
 
 # Ten queries sharing subformulas: the shared-evaluator batch memoises
 # the common `age >= 18` filter across all of them.

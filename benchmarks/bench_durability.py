@@ -32,8 +32,9 @@ import tempfile
 import pytest
 
 from repro.bench.harness import format_table, measure, smoke_mode
-from repro.store import Collection, DocumentIndexes, DurableEngine, memory_collection
+from repro.store import Collection, DocumentIndexes, DurableEngine
 from repro.workloads import people_collection
+from repro import api
 
 DOCS = 60 if smoke_mode() else 2_000
 
@@ -67,7 +68,7 @@ def _ingest_per_commit(collection: Collection) -> None:
 
 def _measure_ingest() -> tuple[float, float]:
     memory = measure(
-        lambda: _ingest_per_commit(memory_collection()), repeat=3
+        lambda: _ingest_per_commit(api.collection()), repeat=3
     )
 
     def durable_run() -> None:
@@ -121,7 +122,7 @@ def _measure_recovery() -> tuple[float, float, float]:
 def _check_recovered_state_identical() -> None:
     """The durable collection must reopen to exactly the state the
     memory engine computes, with oracle-consistent indexes."""
-    reference = memory_collection(copy.deepcopy(_CHURN))
+    reference = api.collection(copy.deepcopy(_CHURN))
     _churn(reference)
     with tempfile.TemporaryDirectory() as scratch:
         _build_wal_only(scratch)

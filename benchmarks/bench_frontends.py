@@ -12,12 +12,12 @@ from repro.jnl.efficient import JNLEvaluator
 from repro.jnl.parser import parse_jnl
 from repro.jsonpath import jsonpath_query, parse_jsonpath
 from repro.model.tree import JSONTree
-from repro.mongo import memory_collection
 from repro.query import compile_formula, match_many
 from repro.workloads import people_collection
+from repro import api
 
 PEOPLE = people_collection(300, seed=4)
-COLLECTION = memory_collection(PEOPLE)
+COLLECTION = api.collection(PEOPLE)
 FILTER = {"age": {"$gte": 30, "$lt": 60}, "address.city": "Santiago"}
 HAND_WRITTEN = parse_jnl(
     "has(.age<test(min(29)) and test(max(60))>) "

@@ -27,7 +27,8 @@ import pytest
 
 from repro.bench.harness import format_table, measure, smoke_mode
 from repro.mongo.aggregate import compile_pipeline
-from repro.store import ShardedCollection, memory_collection
+from repro.store import ShardedCollection
+from repro import api
 
 DOCS = 2_000 if smoke_mode() else 1_000_000
 SHARDS = 4
@@ -92,7 +93,7 @@ def _measure_all() -> dict:
     topk = compile_pipeline(TOPK_PIPELINE)
 
     started = time.perf_counter()
-    single = memory_collection(docs)
+    single = api.collection(docs)
     single_ingest = time.perf_counter() - started
     single_group = measure(lambda: group.execute(single), repeat=repeat)
     expected_group = group.execute(single)
@@ -180,7 +181,7 @@ _BENCH_DOCS = min(DOCS, 20_000)
 @pytest.fixture(scope="module")
 def _bench_pair():
     docs = _documents(_BENCH_DOCS)
-    single = memory_collection(docs)
+    single = api.collection(docs)
     sharded = ShardedCollection(docs, shards=SHARDS)
     yield single, sharded
     sharded.close()

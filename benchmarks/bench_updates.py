@@ -20,8 +20,8 @@ import copy
 import pytest
 
 from repro.bench.harness import format_table, measure, smoke_mode
-from repro.store import memory_collection
 from repro.workloads import people_collection
+from repro import api
 
 DOCS = 300 if smoke_mode() else 10_000
 
@@ -59,7 +59,7 @@ LAST_SPEEDUPS: dict[str, float] = {}
 
 
 def _measure_one(filter_doc, update_doc, maintenance: str) -> float:
-    collection = memory_collection(copy.deepcopy(_PEOPLE))
+    collection = api.collection(copy.deepcopy(_PEOPLE))
     # Warm: compile caches, first-touch to_value materialisation.
     collection.update_many(filter_doc, update_doc, maintenance=maintenance)
     return measure(
@@ -83,8 +83,8 @@ def _check_results_identical() -> None:
     """Delta maintenance must leave exactly the documents *and* index
     tables that remove+reinsert leaves (the strategies only differ in
     which postings they touch along the way)."""
-    delta = memory_collection(copy.deepcopy(_PEOPLE))
-    rebuild = memory_collection(copy.deepcopy(_PEOPLE))
+    delta = api.collection(copy.deepcopy(_PEOPLE))
+    rebuild = api.collection(copy.deepcopy(_PEOPLE))
     for _, filter_doc, update_doc, _floor in WORKLOADS:
         delta.update_many(filter_doc, update_doc, maintenance="delta")
         rebuild.update_many(filter_doc, update_doc, maintenance="rebuild")
@@ -96,7 +96,7 @@ def _check_results_identical() -> None:
 
 def _check_index_pruned() -> None:
     """Selective filters must provably route through the planner."""
-    collection = memory_collection(copy.deepcopy(_PEOPLE))
+    collection = api.collection(copy.deepcopy(_PEOPLE))
     report = collection.explain_update(
         {"address.city": "Talca"}, {"$inc": {"age": 1}}
     )
@@ -134,7 +134,7 @@ def check_targets() -> list[str]:
 
 
 def test_delta_update(benchmark):
-    collection = memory_collection(copy.deepcopy(_PEOPLE))
+    collection = api.collection(copy.deepcopy(_PEOPLE))
     benchmark(
         lambda: collection.update_many(
             {"address.city": "Talca"}, {"$inc": {"age": 1}}
@@ -144,7 +144,7 @@ def test_delta_update(benchmark):
 
 
 def test_rebuild_update(benchmark):
-    collection = memory_collection(copy.deepcopy(_PEOPLE))
+    collection = api.collection(copy.deepcopy(_PEOPLE))
     benchmark(
         lambda: collection.update_many(
             {"address.city": "Talca"},
@@ -178,7 +178,7 @@ def main() -> str:
             for label, cold, warm, ratio in rows
         ],
     )
-    collection = memory_collection(copy.deepcopy(_PEOPLE))
+    collection = api.collection(copy.deepcopy(_PEOPLE))
     report = collection.explain_update(
         {"address.city": "Talca"}, {"$inc": {"age": 1}}
     )

@@ -40,6 +40,7 @@ MODULES = [
     "bench_updates",
     "bench_durability",
     "bench_sharded",
+    "bench_server",
     "bench_ablations",
 ]
 

@@ -5,12 +5,13 @@ The paper's Example 1:  db.collection.find({name: {$eq: "Sue"}}, {})
 Run:  python examples/mongo_people.py
 """
 
-from repro.mongo import compile_filter, memory_collection
+from repro.mongo import compile_filter
 from repro.workloads import people_collection
+from repro import api
 
 
 def main() -> None:
-    people = memory_collection(people_collection(50, seed=11))
+    people = api.collection(people_collection(50, seed=11))
 
     # The paper's Example 1 (navigation condition J[name] = "Sue").
     sues = people.find({"name.first": {"$eq": "Sue"}})

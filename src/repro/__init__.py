@@ -56,7 +56,7 @@ from repro.model import (
     try_navigate,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "JSONTree",
@@ -87,6 +87,7 @@ __all__ = [
     "compile_query",
     "Collection",
     "Database",
+    "connect",
     "open_database",
     "memory_collection",
     "CompiledValidator",
@@ -123,6 +124,10 @@ def __getattr__(name: str):  # pragma: no cover - thin convenience shim
         from repro.store import Collection
 
         return Collection
+    if name == "connect":
+        from repro.api import connect
+
+        return connect
     if name in ("Database", "open_database", "memory_collection"):
         import repro.store as _store
 

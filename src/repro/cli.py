@@ -20,6 +20,8 @@ Usage (also via ``python -m repro``)::
     repro update --db ./people_db --filter '{...}' --update '{...}'
     repro db compact ./people_db
     repro sat    --jsl 'some(.a, number)' [--schema schema.json]
+    repro serve  ./people_db --port 4321
+    repro find   --remote tcp://127.0.0.1:4321 --filter '{"age": {"$gt": 30}}'
 
 ``--collection`` takes a JSON-lines corpus (one document per line),
 loads it into an indexed :class:`repro.store.Collection` and answers
@@ -34,14 +36,27 @@ worker pool), aggregation runs map-side per shard and merge-finalizes
 at the coordinator.
 
 ``--db`` points at a durable database directory instead
-(:func:`repro.open_database`): the named collection (``--name``,
-default ``main``) is recovered from its snapshot + write-ahead log,
-and mutations made by ``update`` are durably committed before the
-command reports them.  ``repro db compact`` folds each collection's
-WAL into a fresh snapshot.
+(:func:`repro.api.connect`): the named collection (``--name``, default
+``main``) is recovered from its snapshot + write-ahead log, and
+mutations made by ``update`` are durably committed before the command
+reports them.  ``repro db compact`` folds each collection's WAL into a
+fresh snapshot.
+
+``repro serve`` exposes a database over TCP (JSON-lines protocol,
+snapshot-isolated reads, group-committed writes; see
+:mod:`repro.server`), and ``--remote ADDR`` on ``find`` / ``aggregate``
+/ ``update`` answers through such a server instead of local files.
 
 Exit status: 0 on success/true, 1 on a false verdict, 2 on usage or
-input errors — so the commands compose in shell pipelines.
+input errors — so the commands compose in shell pipelines.  Every
+failure prints one machine-parseable line to stderr::
+
+    error:<TAB><code><TAB><message>
+
+where ``code`` is the stable taxonomy of :mod:`repro.errors`
+(``cli.usage`` for bad flag combinations, ``parse.error`` for a
+malformed ``--filter``/``--pipeline``/..., ``store.read-only`` for a
+degraded engine, and so on).
 """
 
 from __future__ import annotations
@@ -52,9 +67,28 @@ import sys
 from contextlib import ExitStack
 from typing import Sequence
 
-from repro.errors import ReproError
+from repro.errors import ParseError, ReproError, error_code
 
 __all__ = ["main", "build_parser"]
+
+#: Wire-style code for bad flag combinations (not an exception class:
+#: usage errors never cross the wire, but the stderr line format is
+#: shared with the exception taxonomy).
+USAGE_CODE = "cli.usage"
+
+
+def _fail(code: str, message: str) -> int:
+    """Print the uniform ``error:<TAB><code><TAB><message>`` line."""
+    print(f"error:\t{code}\t{message}", file=sys.stderr)
+    return 2
+
+
+def _parse_json_arg(name: str, text: str):
+    """Parse a JSON command-line argument, naming it on failure."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"malformed {name}: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,13 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--db",
             metavar="DIR",
-            help="durable database directory (repro.open_database)",
+            help="durable database directory (repro.api.connect)",
         )
         sub.add_argument(
             "--name",
             default="main",
             metavar="NAME",
-            help="collection name inside --db (default: main)",
+            help="collection name inside --db/--remote (default: main)",
+        )
+
+    def add_remote_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--remote",
+            metavar="ADDR",
+            help="answer through a running `repro serve` process at "
+            "ADDR (host:port or tcp://host:port)",
         )
 
     def add_shard_option(sub: argparse.ArgumentParser) -> None:
@@ -145,6 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     find.add_argument("--project", help="projection document (JSON)")
     add_db_options(find)
     add_shard_option(find)
+    add_remote_option(find)
 
     aggregate = commands.add_parser(
         "aggregate",
@@ -175,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_db_options(aggregate)
     add_shard_option(aggregate)
+    add_remote_option(aggregate)
 
     update = commands.add_parser(
         "update",
@@ -224,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_db_options(update)
     add_shard_option(update)
+    add_remote_option(update)
 
     db = commands.add_parser(
         "db", help="manage a durable database directory (WAL + snapshots)"
@@ -254,6 +299,34 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("path", help="database directory")
     repair.add_argument(
         "--name", help="repair only this collection (default: all)"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a database over TCP (JSON-lines protocol, "
+        "snapshot-isolated reads, group-committed writes)",
+    )
+    serve.add_argument(
+        "path",
+        nargs="?",
+        help="durable database directory (omit for a volatile "
+        "in-memory database)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="N",
+        help="writer group-commit batch ceiling (default: 256)",
     )
 
     sat = commands.add_parser(
@@ -291,32 +364,35 @@ def _load_collection(path: str):
 def _bad_input_combo(args: argparse.Namespace, positional: str) -> bool:
     """Exactly one document source is required.
 
-    The positional file, ``--collection`` (JSON-lines corpus) and
-    ``--db`` (durable database directory) are mutually exclusive.
+    The positional file, ``--collection`` (JSON-lines corpus), ``--db``
+    (durable database directory) and ``--remote`` (a ``repro serve``
+    address) are mutually exclusive.
     """
+    remote = getattr(args, "remote", None)
     sources = (
         getattr(args, positional) is not None,
         args.collection is not None,
         getattr(args, "db", None) is not None,
+        remote is not None,
     )
     if sum(sources) != 1:
-        print(
-            f"error: give exactly one of a {positional} file, "
-            "--collection or --db",
-            file=sys.stderr,
+        _fail(
+            USAGE_CODE,
+            f"give exactly one of a {positional} file, --collection, "
+            "--db or --remote",
         )
         return True
     shards = getattr(args, "shards", None)
     if shards is not None:
         if args.collection is None:
-            print(
-                "error: --shards requires --collection "
+            _fail(
+                USAGE_CODE,
+                "--shards requires --collection "
                 "(a JSON-lines corpus to partition)",
-                file=sys.stderr,
             )
             return True
         if shards < 1:
-            print("error: --shards must be at least 1", file=sys.stderr)
+            _fail(USAGE_CODE, "--shards must be at least 1")
             return True
     return False
 
@@ -325,14 +401,20 @@ def _open_corpus(args: argparse.Namespace, stack: ExitStack):
     """The indexed collection behind ``--collection`` or ``--db``.
 
     A ``--db`` collection is recovered through
-    :func:`repro.store.open_database`; the database handle is pushed
-    onto ``stack`` so it is closed (WAL flushed) when the command
-    finishes.
+    :func:`repro.api.connect`; the database handle is pushed onto
+    ``stack`` so it is closed (WAL flushed) when the command finishes.
+    A ``--remote`` collection proxies a running server through
+    :mod:`repro.client` -- same uniform surface, nothing local.
     """
-    if getattr(args, "db", None) is not None:
-        from repro.store import open_database
+    if getattr(args, "remote", None) is not None:
+        from repro.client import connect
 
-        database = stack.enter_context(open_database(args.db))
+        database = stack.enter_context(connect(args.remote))
+        return database.collection(args.name)
+    if getattr(args, "db", None) is not None:
+        from repro import api
+
+        database = stack.enter_context(api.connect(args.db))
         return database.collection(args.name)
     shards = getattr(args, "shards", None)
     if shards is not None:
@@ -407,8 +489,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.schema.parser import parse_schema
 
     if args.corpus and args.streaming:
-        print("error: --corpus cannot be combined with --streaming", file=sys.stderr)
-        return 2
+        return _fail(
+            USAGE_CODE, "--corpus cannot be combined with --streaming"
+        )
     with open(args.schema, encoding="utf-8") as handle:
         schema = parse_schema(handle.read())
     if args.streaming:
@@ -438,12 +521,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_find(args: argparse.Namespace) -> int:
-    from repro.mongo.find import memory_collection
+    from repro import api
 
     if _bad_input_combo(args, "documents"):
         return 2
-    filter_doc = json.loads(args.filter)
-    projection = json.loads(args.project) if args.project else None
+    filter_doc = _parse_json_arg("--filter", args.filter)
+    projection = (
+        _parse_json_arg("--project", args.project) if args.project else None
+    )
+
+    if args.remote is not None:
+        with ExitStack() as stack:
+            corpus = _open_corpus(args, stack)
+            rows = corpus.find(filter_doc, projection)
+            for row in rows:
+                print(json.dumps(row))
+        return 0 if rows else 1
 
     if args.collection is not None or args.db is not None:
         from repro.query import compile_mongo_find, planner
@@ -471,7 +564,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
         raise ReproError("the collection file must hold a JSON array")
     # One query over a throwaway collection: building secondary indexes
     # would cost more than the single scan they could save.
-    collection = memory_collection(documents, indexed=False)
+    collection = api.collection(documents, indexed=False)
     results = collection.find(filter_doc, projection)
     for result in results:
         print(json.dumps(result))
@@ -483,21 +576,34 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
 
     if _bad_input_combo(args, "documents"):
         return 2
-    pipeline = json.loads(args.pipeline)
+    pipeline = _parse_json_arg("--pipeline", args.pipeline)
+
+    if args.remote is not None:
+        with ExitStack() as stack:
+            corpus = _open_corpus(args, stack)
+            if args.explain:
+                report = corpus.explain(pipeline=pipeline)
+                print(json.dumps(report))
+                return 0
+            results = corpus.aggregate(pipeline)
+        for row in results:
+            print(json.dumps(row))
+        return 0 if results else 1
+
     compiled = compile_pipeline(pipeline)
 
     with ExitStack() as stack:
         if args.collection is not None or args.db is not None:
             corpus = _open_corpus(args, stack)
         else:
-            from repro.store import memory_collection
+            from repro import api
 
             with open(args.documents, encoding="utf-8") as handle:
                 documents = json.load(handle)
             if not isinstance(documents, list):
                 raise ReproError("the collection file must hold a JSON array")
             # One pipeline over a throwaway collection: skip index builds.
-            corpus = memory_collection(documents, indexed=False)
+            corpus = api.collection(documents, indexed=False)
 
         if args.explain:
             report = compiled.explain(corpus)
@@ -530,26 +636,51 @@ def _cmd_update(args: argparse.Namespace) -> int:
     if _bad_input_combo(args, "documents"):
         return 2
     if args.explain and (args.upsert or args.out):
-        print(
-            "error: --explain is a dry run; it cannot be combined with "
+        return _fail(
+            USAGE_CODE,
+            "--explain is a dry run; it cannot be combined with "
             "--upsert or --out",
-            file=sys.stderr,
         )
-        return 2
-    filter_doc = json.loads(args.filter)
-    update_doc = json.loads(args.update)
+    filter_doc = _parse_json_arg("--filter", args.filter)
+    update_doc = _parse_json_arg("--update", args.update)
+
+    if args.remote is not None:
+        if args.explain or args.out:
+            return _fail(
+                USAGE_CODE,
+                "--explain/--out are local operations; they cannot be "
+                "combined with --remote",
+            )
+        with ExitStack() as stack:
+            corpus = _open_corpus(args, stack)
+            run = corpus.update_one if args.one else corpus.update_many
+            result = run(filter_doc, update_doc, upsert=args.upsert)
+        upserted = (
+            ""
+            if result["upserted_id"] is None
+            else f" upserted_id={result['upserted_id']}"
+        )
+        print(
+            f"matched={result['matched']} "
+            f"modified={result['modified']}{upserted}"
+        )
+        return (
+            0
+            if result["matched"] or result["upserted_id"] is not None
+            else 1
+        )
 
     with ExitStack() as stack:
         if args.collection is not None or args.db is not None:
             corpus = _open_corpus(args, stack)
         else:
-            from repro.store import memory_collection
+            from repro import api
 
             with open(args.documents, encoding="utf-8") as handle:
                 documents = json.load(handle)
             if not isinstance(documents, list):
                 raise ReproError("the collection file must hold a JSON array")
-            corpus = memory_collection(documents)
+            corpus = api.collection(documents)
 
         if args.shards is not None:
             return _update_sharded(args, corpus, filter_doc, update_doc)
@@ -642,7 +773,7 @@ def _print_integrity(report) -> None:
 
 
 def _cmd_db(args: argparse.Namespace) -> int:
-    from repro.store import open_database
+    from repro import api
     from repro.store.fsck import repair, verify
 
     if args.db_command == "verify":
@@ -664,7 +795,7 @@ def _cmd_db(args: argparse.Namespace) -> int:
             "review)"
         )
         return 0 if result.ok else 1
-    with open_database(args.path) as database:
+    with api.connect(args.path) as database:
         reports = database.compact(args.name)
     if not reports:
         print("nothing to compact")
@@ -675,6 +806,41 @@ def _cmd_db(args: argparse.Namespace) -> int:
             f"wal_bytes={report.wal_bytes} "
             f"snapshot_bytes={report.snapshot_bytes} lsn={report.lsn}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a server until interrupted (or remotely shut down)."""
+    import asyncio
+
+    from repro import api
+    from repro.server import serve
+
+    if args.port < 0 or args.port > 65535:
+        return _fail(USAGE_CODE, "--port must be in 0..65535")
+    if args.max_batch < 1:
+        return _fail(USAGE_CODE, "--max-batch must be at least 1")
+
+    def announce(server) -> None:
+        host, port = server.address
+        where = args.path if args.path is not None else "memory"
+        print(f"serving {where} on {host}:{port}", flush=True)
+
+    database = api.connect(args.path)
+    try:
+        asyncio.run(
+            serve(
+                database,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                on_ready=announce,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        database.close()
     return 0
 
 
@@ -714,6 +880,7 @@ _COMMANDS = {
     "aggregate": _cmd_aggregate,
     "update": _cmd_update,
     "db": _cmd_db,
+    "serve": _cmd_serve,
     "sat": _cmd_sat,
 }
 
@@ -724,8 +891,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        if isinstance(exc, ReproError):
+            code = error_code(exc)
+        elif isinstance(exc, json.JSONDecodeError):
+            code = "parse.error"
+        else:
+            code = "os.error"
+        return _fail(code, str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,18 +3,49 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class.  Sub-hierarchies mirror the
 subsystems: the data model, the parsers, the schema layer, the logic
-translations and the satisfiability solver.
+translations, the satisfiability solver and the store.
+
+**Wire taxonomy.**  Every public exception class carries a stable
+``code`` string (``"store.document-rejected"``, ``"storage.io"``, ...)
+that survives serialisation: the server ships errors as
+``{"code", "message", "data"}`` payloads (:func:`to_wire`) and the
+client rehydrates them to the *same* exception class
+(:func:`from_wire`), so ``except DocumentRejectedError`` works
+identically against a local collection and a remote one.  Codes are
+part of the wire contract -- renaming one is a protocol break, adding
+a class means giving it a fresh code.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
+    #: Stable wire identifier for this class (see :func:`to_wire`).
+    code = "repro.error"
+
+    def _wire_data(self) -> dict[str, Any] | None:
+        """Structured fields to ship alongside the message, if any."""
+        return None
+
+    @classmethod
+    def _from_wire(cls, message: str, data: dict[str, Any]) -> "ReproError":
+        """Rebuild an instance from its wire payload.
+
+        The default works for every class whose constructor accepts a
+        single message; classes with richer signatures override it to
+        restore their structured attributes from ``data``.
+        """
+        return cls(message)
+
 
 class ModelError(ReproError):
     """An operation would violate the JSON-tree data model (Section 3.1)."""
+
+    code = "model.error"
 
 
 class DuplicateKeyError(ModelError):
@@ -25,9 +56,18 @@ class DuplicateKeyError(ModelError):
     with the same key.
     """
 
+    code = "model.duplicate-key"
+
     def __init__(self, key: str) -> None:
         super().__init__(f"duplicate object key: {key!r}")
         self.key = key
+
+    def _wire_data(self) -> dict[str, Any]:
+        return {"key": self.key}
+
+    @classmethod
+    def _from_wire(cls, message: str, data: dict[str, Any]) -> "DuplicateKeyError":
+        return cls(str(data.get("key", "?")))
 
 
 class UnsupportedValueError(ModelError):
@@ -38,13 +78,19 @@ class UnsupportedValueError(ModelError):
     abstract from encoding details".
     """
 
+    code = "model.unsupported-value"
+
 
 class NavigationError(ReproError):
     """A JSON navigation instruction (Section 2) failed to resolve."""
 
+    code = "model.navigation"
+
 
 class ParseError(ReproError):
     """A textual query/formula/document could not be parsed."""
+
+    code = "parse.error"
 
     def __init__(self, message: str, position: int | None = None) -> None:
         if position is not None:
@@ -52,13 +98,32 @@ class ParseError(ReproError):
         super().__init__(message)
         self.position = position
 
+    def _wire_data(self) -> dict[str, Any] | None:
+        if self.position is None:
+            return None
+        return {"position": self.position}
+
+    @classmethod
+    def _from_wire(cls, message: str, data: dict[str, Any]) -> "ParseError":
+        # The message already embeds the position suffix; restore only
+        # the structured attribute, never double-append.
+        error = cls(message)
+        position = data.get("position")
+        if isinstance(position, int):
+            error.position = position
+        return error
+
 
 class RegexParseError(ParseError):
     """A key regular expression could not be parsed."""
 
+    code = "parse.regex"
+
 
 class SchemaError(ReproError):
     """A JSON Schema document is outside the paper's core fragment."""
+
+    code = "schema.error"
 
 
 class WellFormednessError(ReproError):
@@ -69,9 +134,13 @@ class WellFormednessError(ReproError):
     modal-guarded references are discounted.
     """
 
+    code = "schema.well-formedness"
+
 
 class TranslationError(ReproError):
     """A formula cannot be translated into the requested formalism."""
+
+    code = "logic.translation"
 
 
 class UnsupportedFragmentError(TranslationError):
@@ -82,6 +151,8 @@ class UnsupportedFragmentError(TranslationError):
     proves undecidable.
     """
 
+    code = "logic.unsupported-fragment"
+
 
 class SolverLimitError(ReproError):
     """The satisfiability engine exhausted a configured resource bound.
@@ -91,13 +162,19 @@ class SolverLimitError(ReproError):
     within the configured limits.
     """
 
+    code = "solver.limit"
+
 
 class StreamingError(ReproError):
     """The streaming tokenizer or validator rejected its input."""
 
+    code = "streaming.error"
+
 
 class StoreError(ReproError):
     """An operation on an indexed document collection failed."""
+
+    code = "store.error"
 
 
 class StorageFormatError(StoreError):
@@ -109,6 +186,8 @@ class StorageFormatError(StoreError):
     The distinction keeps future format changes loud: an engine never
     silently misreads (or truncates) data written by another version.
     """
+
+    code = "storage.format"
 
 
 class StorageIOError(StoreError):
@@ -125,6 +204,8 @@ class StorageIOError(StoreError):
     writes raise :class:`CollectionReadOnlyError`.
     """
 
+    code = "storage.io"
+
     def __init__(self, message: str, *, rolled_back: bool = True) -> None:
         super().__init__(message)
         #: Whether the engine managed to roll the log file back to its
@@ -132,6 +213,13 @@ class StorageIOError(StoreError):
         #: fully-written frame the caller was *not* acknowledged for;
         #: recovery may replay it (a ghost write, never a lost one).
         self.rolled_back = rolled_back
+
+    def _wire_data(self) -> dict[str, Any]:
+        return {"rolled_back": self.rolled_back}
+
+    @classmethod
+    def _from_wire(cls, message: str, data: dict[str, Any]) -> "StorageIOError":
+        return cls(message, rolled_back=bool(data.get("rolled_back", True)))
 
 
 class CollectionReadOnlyError(StoreError):
@@ -145,6 +233,8 @@ class CollectionReadOnlyError(StoreError):
     recovers the acknowledged prefix and clears the condition.
     """
 
+    code = "store.read-only"
+
 
 class UpdateError(StoreError):
     """An update operator could not be applied to a document.
@@ -156,6 +246,8 @@ class UpdateError(StoreError):
     remove an array element).  Nothing is modified when it raises.
     """
 
+    code = "store.update"
+
 
 class DocumentRejectedError(StoreError):
     """A schema-enforced collection refused to ingest a document.
@@ -165,6 +257,8 @@ class DocumentRejectedError(StoreError):
     the document; nothing is inserted and the indexes are untouched.
     """
 
+    code = "store.document-rejected"
+
     def __init__(self, position: int, message: str | None = None) -> None:
         super().__init__(
             message
@@ -172,3 +266,126 @@ class DocumentRejectedError(StoreError):
             "collection schema"
         )
         self.position = position
+
+    def _wire_data(self) -> dict[str, Any]:
+        return {"position": self.position}
+
+    @classmethod
+    def _from_wire(
+        cls, message: str, data: dict[str, Any]
+    ) -> "DocumentRejectedError":
+        position = data.get("position")
+        return cls(position if isinstance(position, int) else -1, message)
+
+
+class WireProtocolError(ReproError):
+    """A server or client received a frame it could not understand.
+
+    Raised for oversized lines, non-JSON frames, missing request
+    fields, or an unknown operation -- the transport worked, the
+    *content* did not conform to the JSON-lines protocol.
+    """
+
+    code = "wire.protocol"
+
+
+class ServerError(ReproError):
+    """The server failed internally while handling a request.
+
+    The catch-all rehydration class: an exception that crossed the wire
+    with a code this build does not recognise also lands here, with the
+    original code preserved in :attr:`remote_code`.
+    """
+
+    code = "server.error"
+
+    def __init__(self, message: str, *, remote_code: str | None = None) -> None:
+        super().__init__(message)
+        #: The code the remote actually sent (when it was not ours).
+        self.remote_code = remote_code or self.code
+
+    def _wire_data(self) -> dict[str, Any] | None:
+        if self.remote_code == self.code:
+            return None
+        return {"remote_code": self.remote_code}
+
+    @classmethod
+    def _from_wire(cls, message: str, data: dict[str, Any]) -> "ServerError":
+        remote = data.get("remote_code")
+        return cls(
+            message, remote_code=remote if isinstance(remote, str) else None
+        )
+
+
+# ---------------------------------------------------------------------------
+# The wire registry: code string <-> exception class.
+# ---------------------------------------------------------------------------
+
+
+def _registry() -> dict[str, type[ReproError]]:
+    """``code -> class`` over the whole hierarchy, built on first use.
+
+    Walking ``__subclasses__`` keeps the registry honest: a class added
+    without a distinct ``code`` shadows its parent and the duplicate
+    check below fails loudly in the test suite.
+    """
+    classes: dict[str, type[ReproError]] = {}
+    stack: list[type[ReproError]] = [ReproError]
+    while stack:
+        cls = stack.pop()
+        existing = classes.get(cls.code)
+        # A subclass that does not override ``code`` shares its
+        # parent's; the parent (shallower, registered first) wins so
+        # rehydration picks the most general class for the code.
+        if existing is None or issubclass(existing, cls):
+            classes[cls.code] = cls
+        stack.extend(cls.__subclasses__())
+    return classes
+
+
+_WIRE_CLASSES: dict[str, type[ReproError]] | None = None
+
+
+def error_code(error: BaseException) -> str:
+    """The stable wire code for an exception (``server.error`` for
+    anything outside the repro hierarchy)."""
+    if isinstance(error, ReproError):
+        return error.code
+    return ServerError.code
+
+
+def to_wire(error: BaseException) -> dict[str, Any]:
+    """Serialise an exception as a ``{"code","message","data"}`` payload."""
+    payload: dict[str, Any] = {
+        "code": error_code(error),
+        "message": str(error),
+    }
+    if isinstance(error, ReproError):
+        data = error._wire_data()
+        if data:
+            payload["data"] = data
+    return payload
+
+
+def from_wire(payload: Any) -> ReproError:
+    """Rehydrate a wire error payload to its exception class.
+
+    An unknown or missing code lands on :class:`ServerError` with the
+    remote code preserved -- a newer server can grow codes without
+    breaking older clients, they just catch less precisely.
+    """
+    global _WIRE_CLASSES
+    if _WIRE_CLASSES is None:
+        _WIRE_CLASSES = _registry()
+    if not isinstance(payload, dict):
+        return ServerError(f"malformed wire error payload: {payload!r}")
+    code = payload.get("code")
+    message = str(payload.get("message", ""))
+    data = payload.get("data")
+    cls = _WIRE_CLASSES.get(code) if isinstance(code, str) else None
+    if cls is None:
+        return ServerError(
+            message or f"remote error with unknown code {code!r}",
+            remote_code=code if isinstance(code, str) else None,
+        )
+    return cls._from_wire(message, data if isinstance(data, dict) else {})

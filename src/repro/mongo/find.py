@@ -199,11 +199,11 @@ class Collection(_StoreCollection):
     Mongo-flavoured call sites read naturally.
 
     Like the store class, constructing one without a storage engine is
-    deprecated: acquire collections through
-    :func:`repro.open_database` / :class:`repro.store.Database`, or use
-    :func:`memory_collection` for a volatile one.
+    deprecated: acquire collections through :func:`repro.api.connect`
+    or :func:`repro.api.collection`.
 
-    >>> people = memory_collection([{"name": "Sue"}, {"name": "Bob"}])
+    >>> from repro import api
+    >>> people = api.collection([{"name": "Sue"}, {"name": "Bob"}])
     >>> people.find({"name": {"$eq": "Sue"}})
     [{'name': 'Sue'}]
     """
@@ -212,8 +212,18 @@ class Collection(_StoreCollection):
 def memory_collection(
     documents: "list[JSONValue] | tuple" = (), **kwargs: Any
 ) -> Collection:
-    """A volatile Mongo-facing collection behind an explicit
-    :class:`~repro.store.engine.MemoryEngine` (the blessed spelling of
-    what ``Collection(documents)`` used to be)."""
+    """Deprecated spelling of :func:`repro.api.collection`.
+
+    The Mongo-facing class is a thin alias of the store collection, so
+    the consolidated constructor covers this use unchanged.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.mongo.memory_collection is deprecated; use "
+        "repro.api.collection() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     kwargs.setdefault("engine", _MemoryEngine())
     return Collection(documents, **kwargs)

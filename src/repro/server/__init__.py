@@ -1,0 +1,33 @@
+"""Concurrent serving: the asyncio JSON-lines TCP tier.
+
+* :mod:`repro.server.protocol` -- framing, envelopes and the
+  read/write/admin operation split;
+* :mod:`repro.server.server` -- :class:`ReproServer`, the
+  multi-reader/single-writer loop: reads answer from pinned
+  :class:`~repro.store.snapshot.CollectionSnapshot` views, writes
+  funnel through one writer task that group-commits batches with a
+  single WAL sync, and acknowledgements imply durability.
+
+The counterpart client (sync and async) is :mod:`repro.client`; the
+command-line entry point is ``repro serve``.
+"""
+
+from repro.server.protocol import (
+    ADMIN_OPS,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    READ_OPS,
+    WRITE_OPS,
+)
+from repro.server.server import ReproServer, ServerMetrics, serve
+
+__all__ = [
+    "ReproServer",
+    "ServerMetrics",
+    "serve",
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "READ_OPS",
+    "WRITE_OPS",
+    "ADMIN_OPS",
+]

@@ -1,0 +1,135 @@
+"""The JSON-lines wire protocol: framing, envelopes, limits.
+
+One connection carries a greeting followed by request/response pairs,
+every message being **one JSON object per line** (UTF-8, ``\\n``
+terminated, no pretty-printing)::
+
+    S: {"server": "repro", "protocol": 1}
+    C: {"id": 1, "op": "find", "collection": "people",
+        "filter": {"age": {"$gt": 30}}}
+    S: {"id": 1, "ok": true, "result": [{"name": "Sue", "age": 35}]}
+    C: {"id": 2, "op": "update", "filter": {}, "update": {"$inc": {"n": 1}}}
+    S: {"id": 2, "ok": false,
+        "error": {"code": "store.read-only", "message": "..."}}
+
+* every request carries a caller-chosen ``id`` (number or string); the
+  response echoes it verbatim, so clients may pipeline;
+* ``ok: true`` responses carry the operation's ``result``;
+* ``ok: false`` responses carry an ``error`` payload from
+  :func:`repro.errors.to_wire` -- a stable ``code``, a human message
+  and optional structured ``data`` -- which clients rehydrate to the
+  same exception class with :func:`repro.errors.from_wire`.
+
+Operations split into **reads** (answered immediately against a pinned
+collection snapshot), **writes** (funnelled through the server's single
+writer task and group-committed), and **admin** (server lifecycle).
+The split is part of the contract: a read is never blocked behind the
+writer, and a write is never acknowledged before its group commit is
+durable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import WireProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "READ_OPS",
+    "WRITE_OPS",
+    "ADMIN_OPS",
+    "encode",
+    "decode",
+    "greeting",
+    "ok_response",
+    "error_response",
+    "parse_request",
+]
+
+#: Protocol revision; the greeting carries it and clients refuse
+#: revisions they do not speak.
+PROTOCOL_VERSION = 1
+
+#: Ceiling on one line (16 MiB): a longer frame is a protocol error,
+#: not an allocation request.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Operations answered from a pinned snapshot, never queued.
+READ_OPS = frozenset(
+    {
+        "find",
+        "count",
+        "aggregate",
+        "select",
+        "get",
+        "validate",
+        "explain",
+    }
+)
+
+#: Operations funnelled through the single writer task (group commit).
+WRITE_OPS = frozenset({"insert", "update", "replace", "remove", "compact"})
+
+#: Server lifecycle and introspection.
+ADMIN_OPS = frozenset({"ping", "stats", "collections", "shutdown"})
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message as its wire line (compact JSON + newline)."""
+    return (
+        json.dumps(message, separators=(",", ":"), ensure_ascii=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse one wire line; :class:`~repro.errors.WireProtocolError` on
+    anything that is not a single JSON object."""
+    if len(line) > MAX_LINE_BYTES:
+        raise WireProtocolError(
+            f"frame of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte "
+            "line limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def greeting() -> dict[str, Any]:
+    """The server's first line on every connection."""
+    return {"server": "repro", "protocol": PROTOCOL_VERSION}
+
+
+def ok_response(request_id: Any, result: Any) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, error: BaseException) -> dict[str, Any]:
+    from repro.errors import to_wire
+
+    return {"id": request_id, "ok": False, "error": to_wire(error)}
+
+
+def parse_request(message: dict[str, Any]) -> tuple[Any, str]:
+    """Validate the request envelope; returns ``(id, op)``.
+
+    The ``id`` may be any JSON scalar (echoed verbatim); the ``op``
+    must be a known operation name.
+    """
+    request_id = message.get("id")
+    if isinstance(request_id, (dict, list)):
+        raise WireProtocolError("request id must be a JSON scalar")
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise WireProtocolError("request has no 'op' field")
+    if op not in READ_OPS and op not in WRITE_OPS and op not in ADMIN_OPS:
+        raise WireProtocolError(f"unknown operation {op!r}")
+    return request_id, op

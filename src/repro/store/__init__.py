@@ -21,10 +21,11 @@ serving::
     Database handle                partial aggregation, optional
     (store.database)               multiprocessing worker pool
 
-* :class:`~repro.store.database.Database` / :func:`open_database` --
-  the factory every layer acquires collections through;
+* :class:`~repro.store.database.Database` -- the factory every layer
+  acquires collections through (open one via :func:`repro.api.connect`);
 * :class:`~repro.store.collection.Collection` -- the document store
-  (:func:`memory_collection` is the volatile convenience constructor);
+  (:func:`repro.api.collection` is the volatile convenience
+  constructor);
 * :class:`~repro.store.engine.StorageEngine` -- the persistence seam:
   :class:`~repro.store.engine.MemoryEngine` (no-op),
   :class:`~repro.store.durable.DurableEngine` (write-ahead log +
@@ -33,7 +34,8 @@ serving::
   behind one coordinator);
 * :class:`~repro.store.sharded.ShardedCollection` -- the
   hash-partitioned collection with parallel scatter-gather execution
-  (:func:`sharded_collection` is the volatile convenience constructor);
+  (``repro.api.collection(..., shards=N)`` is the volatile convenience
+  constructor);
 * :class:`~repro.store.indexes.DocumentIndexes` -- path/value/kind/
   key-presence postings with counted, incremental maintenance;
 * :class:`~repro.store.update.CompiledUpdate` -- dialect-neutral update
@@ -80,6 +82,7 @@ from repro.store.indexes import (
     tree_entry_counts,
     value_entry_counts,
 )
+from repro.store.snapshot import CollectionSnapshot
 from repro.store.sharded import (
     ShardedCollection,
     ShardedEngine,
@@ -92,6 +95,7 @@ from repro.store.wal import WriteAheadLog, scan_wal
 
 __all__ = [
     "Collection",
+    "CollectionSnapshot",
     "memory_collection",
     "Database",
     "open_database",

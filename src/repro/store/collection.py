@@ -283,6 +283,38 @@ class Collection:
         """The live trees in id order (the PR-1 batch-API view)."""
         return [tree for _, tree in self.documents()]
 
+    def flush_pending(self) -> None:
+        """Materialise every pending updated value back into a tree.
+
+        After this, the internal slot list is the complete truth --
+        the precondition for pinning a snapshot view of it.
+        """
+        for doc_id in list(self._dirty):
+            self._rebuild(doc_id)
+
+    def all_slots(self) -> "list[JSONTree | None]":
+        """The raw id->tree slot list (tombstones as ``None``).
+
+        Read-only by convention; :class:`~repro.store.snapshot.
+        CollectionSnapshot` shallow-copies it to pin a view.  Callers
+        must :meth:`flush_pending` first if they need post-update trees.
+        """
+        return self._trees
+
+    def snapshot_view(self):
+        """Pin an immutable, queryable view at the current generation.
+
+        Returns a :class:`~repro.store.snapshot.CollectionSnapshot`:
+        structural sharing makes the pin O(slots) pointer copies, reads
+        through it are isolated from every later write, and it stays
+        index-accelerated while the collection remains at this
+        generation (full-scan fallback once it moves on).  This is the
+        read side of the server's multi-reader/single-writer model.
+        """
+        from repro.store.snapshot import CollectionSnapshot
+
+        return CollectionSnapshot(self)
+
     @property
     def indexes(self) -> DocumentIndexes | None:
         return self._indexes
@@ -308,8 +340,24 @@ class Collection:
         return self._version
 
     @property
+    def generation(self) -> int:
+        """The mutation generation (alias of :attr:`version`).
+
+        The serving tier's snapshot currency check: a
+        :class:`~repro.store.snapshot.CollectionSnapshot` pins this
+        value and keeps index-accelerated routing only while the
+        collection is still at the pinned generation.
+        """
+        return self._version
+
+    @property
     def schema_enforced(self) -> bool:
         return self._validator is not None
+
+    @property
+    def validator(self) -> CompiledValidator | None:
+        """The compiled ingestion validator (``None`` when schemaless)."""
+        return self._validator
 
     @property
     def extended(self) -> bool:
@@ -748,12 +796,18 @@ class Collection:
 def memory_collection(
     documents: Iterable["JSONTree | JSONValue"] = (), **kwargs: Any
 ) -> Collection:
-    """A volatile collection behind an explicit :class:`MemoryEngine`.
+    """Deprecated spelling of :func:`repro.api.collection`.
 
-    The blessed spelling of what ``Collection(documents)`` used to be:
-    one-off, in-process collections for tests, benchmarks and scripts.
-    Anything that should survive a restart belongs behind
-    :func:`repro.store.open_database` instead.
+    Kept as a working shim so existing scripts survive the API
+    consolidation; new code acquires volatile collections through
+    ``repro.api.collection`` and durable ones through
+    ``repro.api.connect``.
     """
+    warnings.warn(
+        "repro.store.memory_collection is deprecated; use "
+        "repro.api.collection() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     kwargs.setdefault("engine", MemoryEngine())
     return Collection(documents, **kwargs)

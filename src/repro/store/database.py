@@ -213,15 +213,19 @@ def open_database(
     compact_threshold: int | None = None,
     io: IOAdapter | None = None,
 ) -> Database:
-    """Open (creating if needed) a durable database at ``path``.
+    """Deprecated spelling of :func:`repro.api.connect`.
 
-    The top-level entry point of the storage API: collections acquired
-    through the returned handle survive process restarts via
-    write-ahead logging and snapshots.  ``path=None`` degrades to a
-    volatile in-memory database with the same interface.  ``io`` swaps
-    the filesystem adapter (fault injection; see
-    :mod:`repro.store.faults`).
+    Kept as a working shim through the API consolidation; ``connect``
+    covers this call exactly (and adds ``shards=``/remote addresses).
     """
+    import warnings
+
+    warnings.warn(
+        "repro.open_database is deprecated; use repro.api.connect() "
+        "instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Database(
         path, sync=sync, compact_threshold=compact_threshold, io=io
     )

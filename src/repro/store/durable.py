@@ -60,8 +60,9 @@ import os
 import re
 import warnings
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import (
     CollectionReadOnlyError,
@@ -455,6 +456,12 @@ class DurableEngine(StorageEngine):
             raise self._fail(exc)
 
     def commit_applied(self) -> None:
+        # Inside a group commit the threshold check defers to the end
+        # of the batch: a checkpoint mid-group would snapshot memory
+        # ahead of the un-synced WAL suffix and then reset the log
+        # under an open batch.
+        if self._wal is not None and self._wal.in_batch:
+            return
         # Auto-compaction must wait for the post-apply hook: a
         # checkpoint from inside a commit hook would snapshot memory
         # *without* the record just logged, then reset the WAL past it
@@ -472,6 +479,46 @@ class DurableEngine(StorageEngine):
                 # write into an error.  The engine is degraded now, so
                 # the next write raises CollectionReadOnlyError.
                 pass
+
+    # ------------------------------------------------------------------
+    # Group commit.
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def group(self) -> Iterator[None]:
+        """One WAL sync for every commit made inside the block.
+
+        The durable half of the serving tier's group commit: commits
+        inside the block append their frames with the per-record sync
+        deferred, and the block exit issues a single policy sync
+        (``commit_batch``) covering all of them.  Failure semantics
+        stay all-or-nothing *per batch*: an append failure inside the
+        block rolls the whole batch off the log and degrades the
+        engine (later commits in the block raise
+        :class:`~repro.errors.CollectionReadOnlyError`); a failed final
+        sync does the same.  Callers must not acknowledge any write in
+        the group until the block has exited cleanly.
+
+        The deferred auto-checkpoint check runs once per batch, after
+        the sync -- matching the one-``commit_applied``-per-batch
+        amortisation the server relies on.
+        """
+        self._check_writable()
+        wal = self.wal
+        if wal.in_batch:
+            raise StoreError("group commits do not nest")
+        wal.begin_batch()
+        try:
+            yield
+        finally:
+            # An append failure inside the block already rolled the
+            # batch back (in_batch is False) -- nothing left to sync.
+            if wal.in_batch:
+                try:
+                    wal.commit_batch()
+                except StorageIOError as exc:
+                    raise self._fail(exc) from exc
+                self.commit_applied()
 
     # ------------------------------------------------------------------
     # Compaction.

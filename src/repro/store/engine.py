@@ -43,8 +43,9 @@ old snapshots.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from repro.errors import StorageFormatError, StoreError
 from repro.store.indexes import Entry, decode_entry_counts
@@ -252,6 +253,25 @@ class StorageEngine:
         belongs here, not in the pre-apply commit hooks.
         """
 
+    @contextmanager
+    def group(self) -> Iterator[None]:
+        """Batch the commits made inside the block into one group commit.
+
+        The serving tier's single writer task wraps each drained batch
+        of write requests in one ``group()`` block: a durable engine
+        defers every per-record sync inside the block and issues **one**
+        WAL fsync when the block exits -- N concurrent writes, one
+        platter round-trip.  No write in the group is durable (and none
+        must be acknowledged to its client) until the block exits
+        cleanly; a failure rolls the whole batch off the log and
+        degrades the engine, exactly like a single failed append.
+
+        The base implementation is a no-op: memory engines have nothing
+        to sync, and nesting is an error only where it could matter
+        (the durable override refuses it).
+        """
+        yield
+
     # -- maintenance ----------------------------------------------------
 
     def checkpoint(self):
@@ -271,7 +291,7 @@ class MemoryEngine(StorageEngine):
     Exists so the collection has exactly one code path -- commits
     always route through an engine -- and so call sites state their
     durability choice explicitly (or go through
-    :func:`repro.store.memory_collection` /
+    :func:`repro.api.collection` /
     :class:`repro.store.Database`, which state it for them).
     """
 

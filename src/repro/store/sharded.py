@@ -900,8 +900,16 @@ def sharded_collection(
     parallel: bool | str = "auto",
     **kwargs: Any,
 ) -> ShardedCollection:
-    """An in-memory sharded collection (the ``memory_collection``
-    sibling); pass ``path=`` for a durable one."""
+    """Deprecated spelling of ``repro.api.collection(..., shards=N)``
+    (or ``repro.api.connect(path, shards=N)`` for durable ones)."""
+    import warnings
+
+    warnings.warn(
+        "repro.store.sharded_collection is deprecated; use "
+        "repro.api.collection(..., shards=N) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return ShardedCollection(
         documents, shards=shards, parallel=parallel, **kwargs
     )

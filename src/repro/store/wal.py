@@ -157,6 +157,13 @@ class WriteAheadLog:
         self.replayed: list[dict] = []
         self.truncated_bytes = 0
         self._lsn = 0
+        self._sync_count = 0
+        # Group-commit state: while a batch is open, appends defer
+        # their per-record flush/fsync to commit_batch() -- one sync
+        # covers the whole batch (see begin_batch).
+        self._batch_start: int | None = None
+        self._batch_start_lsn = 0
+        self._batch_start_records = 0
         try:
             self._recover_file()
             # The log file does not persist its base LSN (a
@@ -232,15 +239,23 @@ class WriteAheadLog:
         lsn = self._lsn + 1
         body = _dump({"lsn": lsn, **payload})
         frame = _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
-        start = self._handle.tell()
+        batching = self._batch_start is not None
+        start = self._batch_start if batching else self._handle.tell()
         try:
             self._io.write(self._handle, frame)
-            if self._sync_mode == "fsync":
-                self._io.flush(self._handle)
-                self._io.fsync(self._handle)
-            elif self._sync_mode == "flush":
-                self._io.flush(self._handle)
+            if not batching:
+                if self._sync_mode == "fsync":
+                    self._io.flush(self._handle)
+                    self._io.fsync(self._handle)
+                    self._sync_count += 1
+                elif self._sync_mode == "flush":
+                    self._io.flush(self._handle)
         except OSError as exc:
+            # In a batch, none of the batch's frames were acknowledged
+            # yet, so the rollback removes the *whole* batch, not just
+            # this frame (LSN and record counters rewind with it).
+            if batching:
+                self._abort_batch()
             self._rollback_append(start, exc)
         self._lsn = lsn
         self._records_since_reset += 1
@@ -291,10 +306,78 @@ class WriteAheadLog:
         try:
             self._io.flush(self._handle)
             self._io.fsync(self._handle)
+            self._sync_count += 1
         except OSError as exc:
             raise StorageIOError(
                 f"{self.path}: WAL sync failed: {exc}"
             ) from exc
+
+    # ------------------------------------------------------------------
+    # Group commit (batched appends, one sync).
+    # ------------------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Open a group-commit batch: subsequent appends write frames
+        but defer the per-record flush/fsync to :meth:`commit_batch`.
+
+        The amortisation behind the serving tier's group commit: N
+        writes batched by the single writer task cost one ``fsync``
+        instead of N.  No record of an open batch is durable (or
+        acknowledged) until the commit; a failure anywhere rolls the
+        file back to the batch start, so the batch is all-or-nothing on
+        disk exactly like a single append.
+        """
+        if self._batch_start is not None:
+            raise StoreError("a WAL batch is already open")
+        self._batch_start = self._handle.tell()
+        self._batch_start_lsn = self._lsn
+        self._batch_start_records = self._records_since_reset
+
+    def commit_batch(self) -> None:
+        """Make the open batch durable with one policy sync.
+
+        On failure the whole batch is rolled back -- the file truncates
+        to the pre-batch offset and the LSN counter rewinds -- and
+        :class:`~repro.errors.StorageIOError` is raised: none of the
+        batch's records were acknowledged, so none may survive.
+        """
+        if self._batch_start is None:
+            raise StoreError("no WAL batch is open")
+        start = self._batch_start
+        self._batch_start = None
+        try:
+            if self._sync_mode == "fsync":
+                self._io.flush(self._handle)
+                self._io.fsync(self._handle)
+                self._sync_count += 1
+            elif self._sync_mode == "flush":
+                self._io.flush(self._handle)
+        except OSError as exc:
+            self._lsn = self._batch_start_lsn
+            self._records_since_reset = self._batch_start_records
+            self._rollback_append(start, exc)
+
+    def abort_batch(self) -> None:
+        """Discard an open batch (nothing was acknowledged): truncate
+        back to the pre-batch offset and rewind the LSN counter."""
+        if self._batch_start is None:
+            return
+        start = self._batch_start
+        self._abort_batch()
+        try:
+            self._rollback_append(start, OSError("batch aborted"))
+        except StorageIOError:
+            pass
+
+    def _abort_batch(self) -> None:
+        """Rewind the in-memory batch state (file handled by caller)."""
+        self._batch_start = None
+        self._lsn = self._batch_start_lsn
+        self._records_since_reset = self._batch_start_records
+
+    @property
+    def in_batch(self) -> bool:
+        return self._batch_start is not None
 
     # ------------------------------------------------------------------
     # Introspection and maintenance.
@@ -309,6 +392,15 @@ class WriteAheadLog:
     def records_since_reset(self) -> int:
         """Appends since open/reset (the auto-compaction trigger)."""
         return self._records_since_reset
+
+    @property
+    def sync_count(self) -> int:
+        """Physical ``fsync`` calls issued by this log since open.
+
+        The group-commit bench reads this to assert the amortisation:
+        N batched writes must cost ~1 sync, not N.
+        """
+        return self._sync_count
 
     @property
     def io(self) -> IOAdapter:

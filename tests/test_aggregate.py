@@ -22,8 +22,9 @@ from repro.mongo.aggregate import (
 )
 from repro.query import aggregate_many, compile_mongo_find, planner
 from repro.query.stages import MISSING, resolve_path, sort_key, values_equal
-from repro.store import Collection, memory_collection
+from repro.store import Collection
 from repro.workloads import people_collection
+from repro import api
 
 PEOPLE = people_collection(300, seed=7)
 
@@ -34,7 +35,7 @@ _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
 @pytest.fixture(scope="module")
 def people() -> Collection:
-    return memory_collection(people_collection(300, seed=7))
+    return api.collection(people_collection(300, seed=7))
 
 
 def run(docs, pipeline):
@@ -48,7 +49,7 @@ def run(docs, pipeline):
     naive = naive_aggregate(docs, pipeline)
     assert staged == naive
     try:
-        collection = memory_collection(docs)
+        collection = api.collection(docs)
     except ModelError:
         pass  # null/booleans: outside the tree model, value path only
     else:
@@ -97,7 +98,7 @@ class TestUnwind:
 
     def test_siblings_are_shared_not_copied_along_the_spine(self):
         docs = [{"a": {"b": [1, 2]}, "big": {"payload": [1, 2, 3]}}]
-        rows = aggregate(memory_collection(docs), [{"$unwind": "$a.b"}])
+        rows = aggregate(api.collection(docs), [{"$unwind": "$a.b"}])
         assert rows[0]["big"] is rows[1]["big"]
 
 
@@ -389,7 +390,7 @@ class TestIndexPruning:
         assert [stage.mode for stage in report.stages] == ["streamed", "streamed"]
 
     def test_unindexed_collection_streams(self):
-        collection = memory_collection(PEOPLE[:50], indexed=False)
+        collection = api.collection(PEOPLE[:50], indexed=False)
         report = collection.explain_aggregate(self.PIPELINE)
         assert not report.used_indexes
         assert report.stages[0].mode == "streamed"
@@ -398,7 +399,7 @@ class TestIndexPruning:
         )
 
     def test_mutation_is_never_stale(self):
-        collection = memory_collection(PEOPLE[:20])
+        collection = api.collection(PEOPLE[:20])
         pipeline = [
             {"$match": {"address.city": "Talca"}},
             {"$count": "n"},
@@ -528,7 +529,7 @@ class TestPipelineCache:
 
     def test_plans_are_collection_independent(self, people):
         compiled = compile_pipeline([{"$match": {"name.first": "Sue"}}])
-        small = memory_collection(PEOPLE[:10])
+        small = api.collection(PEOPLE[:10])
         assert compiled.execute(small) == naive_aggregate(
             PEOPLE[:10], [{"$match": {"name.first": "Sue"}}]
         )
@@ -566,7 +567,7 @@ class TestInputFlavours:
         )
 
     def test_empty_collection(self):
-        empty = memory_collection([])
+        empty = api.collection([])
         assert empty.aggregate(self.PIPELINE) == []
         assert empty.aggregate([{"$count": "n"}]) == []
 
@@ -695,8 +696,8 @@ class TestRandomisedDifferential:
     def test_unindexed_equals_indexed_on_random_pipelines(self):
         rng = random.Random(55)
         docs = PEOPLE[:100]
-        indexed = memory_collection(docs)
-        unindexed = memory_collection(docs, indexed=False)
+        indexed = api.collection(docs)
+        unindexed = api.collection(docs, indexed=False)
         for _ in range(25 * _SCALE):
             pipeline = _random_pipeline(rng)
             assert aggregate(indexed, pipeline) == aggregate(

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro import api
 
 
 @pytest.fixture
@@ -409,10 +410,10 @@ class TestUpdate:
 class TestDatabaseCLI:
     @pytest.fixture
     def db_dir(self, tmp_path):
-        from repro.store import open_database
+        from repro import api
 
         path = str(tmp_path / "db")
-        with open_database(path) as db:
+        with api.connect(path) as db:
             db.collection(
                 documents=[
                     {"name": "Sue", "age": 35},
@@ -584,3 +585,264 @@ class TestShards:
             ]
         ) == 2
         assert "at least 1" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# The uniform error contract: ``error:<TAB><code><TAB><message>`` on
+# stderr, nonzero exit.
+# ---------------------------------------------------------------------------
+
+
+def error_line(capsys) -> tuple[str, str]:
+    """Parse the single error line off stderr; returns (code, message)."""
+    err = capsys.readouterr().err.strip().splitlines()
+    assert len(err) == 1, err
+    marker, code, message = err[0].split("\t", 2)
+    assert marker == "error:"
+    return code, message
+
+
+class TestErrorLines:
+    def test_malformed_filter_names_the_argument(self, doc_file, capsys):
+        assert main(["find", doc_file, "--filter", "{not json"]) == 2
+        code, message = error_line(capsys)
+        assert code == "parse.error"
+        assert message.startswith("malformed --filter:")
+
+    def test_malformed_pipeline_names_the_argument(self, doc_file, capsys):
+        assert main(["aggregate", doc_file, "--pipeline", "[oops"]) == 2
+        code, message = error_line(capsys)
+        assert code == "parse.error"
+        assert message.startswith("malformed --pipeline:")
+
+    def test_usage_errors_carry_the_cli_code(self, doc_file, capsys):
+        assert (
+            main(
+                ["find", doc_file, "--db", "somewhere", "--filter", "{}"]
+            )
+            == 2
+        )
+        code, _ = error_line(capsys)
+        assert code == "cli.usage"
+
+    def test_missing_file_is_an_os_error(self, capsys):
+        assert main(["find", "/no/such/file.json", "--filter", "{}"]) == 2
+        code, _ = error_line(capsys)
+        assert code == "os.error"
+
+    def test_library_errors_carry_their_wire_code(
+        self, collection_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "find",
+                    collection_file,
+                    "--filter",
+                    '{"a": {"$bogus": 1}}',
+                ]
+            )
+            == 2
+        )
+        code, message = error_line(capsys)
+        assert code == "parse.error"
+        assert "unsupported operator" in message
+
+
+# ---------------------------------------------------------------------------
+# serve + --remote: the CLI talking to a live server.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def remote_server():
+    import asyncio
+    import threading
+
+    from repro.server import ReproServer
+
+    database = api.connect()
+    database.collection(
+        documents=[{"name": "Sue", "age": 35}, {"name": "Bob", "age": 28}]
+    )
+    server = ReproServer(database)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    started.wait()
+    host, port = server.address
+    yield f"{host}:{port}"
+    asyncio.run_coroutine_threadsafe(server.aclose(), loop).result(timeout=10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    loop.close()
+
+
+class TestRemote:
+    def test_remote_find(self, remote_server, capsys):
+        assert (
+            main(
+                [
+                    "find",
+                    "--remote",
+                    remote_server,
+                    "--filter",
+                    '{"age": {"$gt": 30}}',
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sue" in out and "Bob" not in out
+
+    def test_remote_aggregate(self, remote_server, capsys):
+        assert (
+            main(
+                [
+                    "aggregate",
+                    "--remote",
+                    remote_server,
+                    "--pipeline",
+                    '[{"$group": {"_id": null, "n": {"$sum": 1}}}]',
+                ]
+            )
+            == 0
+        )
+        assert '"n": 2' in capsys.readouterr().out.replace("'", '"')
+
+    def test_remote_update(self, remote_server, capsys):
+        assert (
+            main(
+                [
+                    "update",
+                    "--remote",
+                    remote_server,
+                    "--filter",
+                    '{"name": "Bob"}',
+                    "--update",
+                    '{"$inc": {"age": 1}}',
+                ]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out.strip() == "matched=1 modified=1"
+
+    def test_remote_error_rehydrates_with_its_code(
+        self, remote_server, capsys
+    ):
+        assert (
+            main(
+                [
+                    "find",
+                    "--remote",
+                    remote_server,
+                    "--filter",
+                    '{"a": {"$bogus": 1}}',
+                ]
+            )
+            == 2
+        )
+        code, message = error_line(capsys)
+        assert code == "parse.error"
+        assert "unsupported operator" in message
+
+    def test_remote_excludes_other_sources(self, remote_server, capsys):
+        assert (
+            main(
+                [
+                    "find",
+                    "--remote",
+                    remote_server,
+                    "--db",
+                    "somewhere",
+                    "--filter",
+                    "{}",
+                ]
+            )
+            == 2
+        )
+        code, _ = error_line(capsys)
+        assert code == "cli.usage"
+
+    def test_remote_refused_connection_is_an_os_error(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, port = probe.getsockname()
+        probe.close()
+        assert (
+            main(
+                [
+                    "find",
+                    "--remote",
+                    f"127.0.0.1:{port}",
+                    "--filter",
+                    "{}",
+                ]
+            )
+            == 2
+        )
+        code, _ = error_line(capsys)
+        assert code == "os.error"
+
+
+class TestServeCommand:
+    def test_serve_round_trip(self, tmp_path):
+        import re
+        import subprocess
+        import sys
+
+        from repro.client import connect
+
+        db_dir = str(tmp_path / "db")
+        with api.connect(db_dir) as db:
+            db.collection(documents=[{"name": "Sue", "age": 35}])
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; "
+                "sys.exit(main(sys.argv[1:]))",
+                "serve",
+                db_dir,
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = process.stdout.readline()
+            match = re.search(r"on ([\d.]+):(\d+)", announce)
+            assert match, announce
+            address = (match.group(1), int(match.group(2)))
+            with connect(address) as remote:
+                collection = remote.collection()
+                assert collection.find({"name": "Sue"}) == [
+                    {"name": "Sue", "age": 35}
+                ]
+                collection.insert({"name": "Ada", "age": 30})
+                remote.shutdown()
+            assert process.wait(timeout=10) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        # The write was group-committed before shutdown acknowledged.
+        with api.connect(db_dir) as db:
+            assert db.collection().count({"name": "Ada"}) == 1
+
+    def test_serve_rejects_bad_port(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        code, _ = error_line(capsys)
+        assert code == "cli.usage"

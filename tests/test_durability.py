@@ -33,11 +33,10 @@ from repro.store import (
     DurableEngine,
     MemoryEngine,
     WriteAheadLog,
-    memory_collection,
-    open_database,
 )
 from repro.store.wal import WAL_MAGIC
 from repro.workloads import people_collection
+from repro import api
 
 _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
@@ -324,13 +323,13 @@ class TestCompaction:
 
 class TestSnapshotVersioning:
     def test_snapshot_carries_format_and_version(self):
-        collection = memory_collection([{"a": 1}])
+        collection = api.collection([{"a": 1}])
         snapshot = collection.snapshot()
         assert snapshot["format"] == "repro-collection-snapshot"
         assert snapshot["version"] == 1
 
     def test_roundtrip_through_from_snapshot(self):
-        collection = memory_collection(copy.deepcopy(PEOPLE))
+        collection = api.collection(copy.deepcopy(PEOPLE))
         collection.remove(2)
         clone = Collection.from_snapshot(
             collection.snapshot(), engine=MemoryEngine()
@@ -349,7 +348,7 @@ class TestSnapshotVersioning:
         ],
     )
     def test_loader_refuses_unknown_format_or_version(self, tamper):
-        snapshot = memory_collection([{"a": 1}]).snapshot()
+        snapshot = api.collection([{"a": 1}]).snapshot()
         snapshot.update(tamper)
         with pytest.raises(StorageFormatError):
             Collection.from_snapshot(snapshot, engine=MemoryEngine())
@@ -369,10 +368,10 @@ class TestSnapshotVersioning:
 
 class TestDatabase:
     def test_open_database_quickstart(self, tmp_path):
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             db.collection("people", documents=[{"name": "Sue"}, {"name": "Bob"}])
             db.collection("cities", documents=[{"city": "Oslo"}])
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             assert db.collection_names() == ["cities", "people"]
             assert len(db.collection("people")) == 2
             assert db.collection("cities").find({"city": "Oslo"})
@@ -385,22 +384,22 @@ class TestDatabase:
             assert db.compact() == {}
 
     def test_handles_are_cached_per_name(self, tmp_path):
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             assert db.collection("x") is db.collection("x")
             with pytest.raises(StoreError):
                 db.collection("x", schema=SCHEMA)
 
     def test_compact_sweeps_unopened_collections(self, tmp_path):
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             db.collection("a", documents=[{"n": 1}])
             db.collection("b", documents=[{"n": 2}])
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             reports = db.compact()
         assert sorted(reports) == ["a", "b"]
         assert all(report.lsn >= 1 for report in reports.values())
 
     def test_invalid_collection_name_rejected(self, tmp_path):
-        with open_database(tmp_path) as db:
+        with api.connect(tmp_path) as db:
             with pytest.raises(StoreError):
                 db.collection("../escape")
 
@@ -413,9 +412,9 @@ class TestDeprecationShim:
         assert isinstance(collection.engine, MemoryEngine)
 
     def test_blessed_spellings_do_not_warn(self, recwarn):
-        memory_collection([{"a": 1}])
+        api.collection([{"a": 1}])
         Collection([{"a": 1}], engine=MemoryEngine())
-        with Database() as db:
+        with api.connect() as db:
             db.collection(documents=[{"a": 1}])
         assert not [
             warning
@@ -423,11 +422,25 @@ class TestDeprecationShim:
             if issubclass(warning.category, DeprecationWarning)
         ]
 
-    def test_mongo_facade_has_memory_collection(self):
+    def test_old_spellings_warn_but_work(self, tmp_path):
         from repro.mongo import memory_collection as mongo_memory
+        from repro.store import (
+            memory_collection,
+            open_database,
+            sharded_collection,
+        )
 
-        people = mongo_memory([{"name": "Sue"}])
+        with pytest.warns(DeprecationWarning, match="repro.api.collection"):
+            assert len(memory_collection([{"a": 1}])) == 1
+        with pytest.warns(DeprecationWarning, match="repro.api.collection"):
+            people = mongo_memory([{"name": "Sue"}])
         assert people.find({"name": "Sue"})
+        with pytest.warns(DeprecationWarning, match="repro.api.connect"):
+            with open_database(tmp_path) as db:
+                db.collection(documents=[{"a": 1}])
+        with pytest.warns(DeprecationWarning, match="shards=N"):
+            with sharded_collection([{"a": 1}], shards=2, parallel=False) as sc:
+                assert len(sc) == 1
 
 
 def _random_op(rng, collection, mirror):

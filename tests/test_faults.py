@@ -50,8 +50,8 @@ from repro.store import (
     RealIO,
     SimulatedCrash,
     WriteAheadLog,
-    open_database,
 )
+from repro import api
 
 _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
@@ -336,7 +336,7 @@ class TestCheckpointFailures:
 class TestDatabaseWiring:
     def test_database_threads_the_adapter(self, tmp_path):
         io = FaultyIO()
-        with open_database(tmp_path, sync="flush", io=io) as db:
+        with api.connect(tmp_path, sync="flush", io=io) as db:
             db.collection("people").insert_many([{"n": 1}])
         assert io.counts["write"] > 0
 

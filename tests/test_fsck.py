@@ -34,6 +34,7 @@ from repro.errors import StorageFormatError, StoreError
 from repro.store import Collection, DurableEngine
 from repro.store.fsck import repair, verify
 from repro.store.wal import WAL_MAGIC
+from repro import api
 
 
 def durable(path, name="main", **kwargs):
@@ -271,9 +272,9 @@ class TestFrameLevelCorruption:
 
 class TestLegacyAndLeftovers:
     def test_unchecksummed_wrapper_is_a_warning_only(self, tmp_path):
-        from repro.store import memory_collection
+        from repro import api
 
-        payload = memory_collection([{"a": 1}]).snapshot()
+        payload = api.collection([{"a": 1}]).snapshot()
         snapshot_path = os.path.join(str(tmp_path), "main.snapshot.json")
         with open(snapshot_path, "w", encoding="utf-8") as handle:
             json.dump(

@@ -18,7 +18,7 @@ from repro.jsl.bottom_up import satisfies_recursive
 from repro.jsl.evaluator import satisfies
 from repro.jsl.satisfiability import jsl_satisfiable
 from repro.model.tree import JSONTree
-from repro.mongo import compile_filter, memory_collection
+from repro.mongo import compile_filter
 from repro.schema import (
     SchemaValidator,
     jsl_to_schema,
@@ -28,6 +28,7 @@ from repro.schema import (
 from repro.streaming import StreamingJSLValidator
 from repro.translate import jnl_to_jsl, jsl_to_jnl
 from repro.workloads import TreeShape, people_collection, random_tree
+from repro import api
 
 PERSON_SCHEMA = {
     "type": "object",
@@ -110,7 +111,7 @@ class TestFrontEndPipelines:
         formula = compile_filter(filter_doc)
         translated = jnl_to_jsl(formula)
         people = people_collection(30, seed=8)
-        collection = memory_collection(people)
+        collection = api.collection(people)
         expected_ids = {doc["id"] for doc in collection.find(filter_doc)}
         for person in people:
             tree = JSONTree.from_value(person)
@@ -125,7 +126,7 @@ class TestFrontEndPipelines:
         from repro.jsonpath import jsonpath_query
 
         people = people_collection(25, seed=12)
-        collection = memory_collection(people)
+        collection = api.collection(people)
         with_yoga_mongo = {
             doc["id"]
             for doc in collection.find(

@@ -6,13 +6,14 @@ import pytest
 
 from repro.errors import ParseError
 from repro.jnl import ast
-from repro.mongo import Collection, compile_filter, memory_collection
+from repro.mongo import Collection, compile_filter
 from repro.workloads import people_collection
+from repro import api
 
 
 @pytest.fixture
 def people() -> Collection:
-    return memory_collection(
+    return api.collection(
         [
             {"name": "Sue", "age": 35, "tags": ["admin", "dev"],
              "address": {"city": "Santiago"}},
@@ -123,7 +124,7 @@ class TestOperators:
 
 class TestLargerCollection:
     def test_generated_people(self):
-        collection = memory_collection(people_collection(200, seed=5))
+        collection = api.collection(people_collection(200, seed=5))
         adults = collection.find({"age": {"$gte": 18}})
         assert len(adults) == 200
         some_city = collection.find({"address.city": "Santiago"})

@@ -6,7 +6,8 @@ import pytest
 
 from repro.errors import ParseError
 from repro.model.tree import JSONTree
-from repro.mongo import Projection, memory_collection
+from repro.mongo import Projection
+from repro import api
 
 DOC = {
     "name": {"first": "John", "last": "Doe"},
@@ -93,19 +94,19 @@ class TestTreeInterface:
 
 class TestFindWithProjection:
     def test_paper_style_find(self):
-        people = memory_collection([DOC, {"name": {"first": "Amy"}, "age": 20}])
+        people = api.collection([DOC, {"name": {"first": "Amy"}, "age": 20}])
         results = people.find(
             {"age": {"$gt": 30}}, {"name.first": 1, "age": 1}
         )
         assert results == [{"name": {"first": "John"}, "age": 32}]
 
     def test_exclusion_in_find(self):
-        people = memory_collection([DOC])
+        people = api.collection([DOC])
         results = people.find({}, {"friends": 0, "hobbies": 0})
         assert results == [
             {"name": {"first": "John", "last": "Doe"}, "age": 32}
         ]
 
     def test_empty_projection_means_whole_documents(self):
-        people = memory_collection([DOC])
+        people = api.collection([DOC])
         assert people.find({}, {}) == [DOC]

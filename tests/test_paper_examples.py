@@ -16,9 +16,9 @@ from repro.jsl.recursion import is_well_formed
 from repro.jsl.satisfiability import jsl_satisfiable
 from repro.model.navigation import Navigator
 from repro.model.tree import JSONTree
-from repro.mongo import memory_collection
 from repro.schema import SchemaValidator, parse_schema, schema_to_jsl
 from repro.jsl.evaluator import satisfies
+from repro import api
 
 
 class TestFigure1:
@@ -51,7 +51,7 @@ class TestExample1MongoDB:
     """Example 1: db.collection.find({name: {$eq: "Sue"}}, {})."""
 
     def test_find_sue(self):
-        collection = memory_collection(
+        collection = api.collection(
             [{"name": "Sue", "age": 30}, {"name": "Ann", "age": 31}]
         )
         assert collection.find({"name": {"$eq": "Sue"}}) == [

@@ -14,8 +14,8 @@ import json
 import pytest
 
 from repro.query import batch, compile_mongo_find, compile_query, planner
-from repro.store import memory_collection
 from repro.workloads import people_collection
+from repro import api
 
 # A corpus mixing realistic records with structural edge cases: missing
 # keys, nested arrays, scalar and array roots, empty containers, values
@@ -81,7 +81,7 @@ JNL_FORMULAS = [
 
 @pytest.fixture(scope="module")
 def collection():
-    return memory_collection(DOCS)
+    return api.collection(DOCS)
 
 
 def all_queries():
@@ -126,8 +126,8 @@ class TestDifferential:
         assert results and all(set(doc) == {"name"} for doc in results)
 
     def test_indexed_and_unindexed_agree(self):
-        indexed = memory_collection(DOCS)
-        unindexed = memory_collection(DOCS, indexed=False)
+        indexed = api.collection(DOCS)
+        unindexed = api.collection(DOCS, indexed=False)
         for query in all_queries():
             assert planner.match_ids(indexed, query) == planner.match_ids(
                 unindexed, query

@@ -18,7 +18,7 @@ from repro.jnl.parser import parse_jnl
 from repro.jsonpath import jsonpath_nodes, jsonpath_query
 from repro.jsonpath.parser import parse_jsonpath
 from repro.model.tree import JSONTree
-from repro.mongo import compile_filter, memory_collection
+from repro.mongo import compile_filter
 from repro.query import (
     CompiledQuery,
     compile_formula,
@@ -41,6 +41,7 @@ from repro.workloads import (
     wide_array,
     wide_object,
 )
+from repro import api
 
 FAMILY_TREES = [
     deep_chain(6),
@@ -144,7 +145,7 @@ class TestDifferentialAgainstReference:
             "address.city": {"$in": ["Santiago", "Lille"]},
         }
         formula = compile_filter(filter_doc)
-        collection = memory_collection(docs)
+        collection = api.collection(docs)
         expected = [
             tree.to_value()
             for tree in collection.trees
@@ -221,14 +222,14 @@ class TestFrontendWrappers:
         assert jsonpath_query(store_doc, "$.store.bicycle.price") == [19]
 
     def test_collection_count_and_find_trees(self):
-        collection = memory_collection(people_collection(20, seed=8))
+        collection = api.collection(people_collection(20, seed=8))
         filter_doc = {"age": {"$gte": 50}}
         trees = collection.find_trees(filter_doc)
         assert len(trees) == collection.count(filter_doc)
         assert all(t.to_value()["age"] >= 50 for t in trees)
 
     def test_projection_still_applied(self):
-        collection = memory_collection([{"name": "Sue", "age": 3}])
+        collection = api.collection([{"name": "Sue", "age": 3}])
         assert collection.find({}, {"name": 1}) == [{"name": "Sue"}]
 
     def test_compiled_plan_reusable_across_trees(self):

@@ -20,13 +20,12 @@ from repro.mongo.aggregate import compile_pipeline
 from repro.query.stages import ACCUMULATORS
 from repro.store import (
     ShardedCollection,
-    memory_collection,
     shard_name,
     shard_of,
-    sharded_collection,
 )
 from repro.store.fsck import repair, verify
 from repro.workloads import people_collection
+from repro import api
 
 _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
@@ -35,12 +34,12 @@ PEOPLE = people_collection(240, seed=41)
 
 @pytest.fixture(scope="module")
 def single():
-    return memory_collection(people_collection(240, seed=41))
+    return api.collection(people_collection(240, seed=41))
 
 
 @pytest.fixture(scope="module")
 def sharded():
-    collection = sharded_collection(PEOPLE, shards=3, parallel=False)
+    collection = api.collection(PEOPLE, shards=3, parallel=False)
     yield collection
     collection.close()
 
@@ -148,7 +147,7 @@ class TestShardRouting:
         assert len(PEOPLE) + 10 not in sharded
 
     def test_insert_ids_are_global_and_dense(self):
-        with sharded_collection(shards=4, parallel=False) as fleet:
+        with api.collection(shards=4, parallel=False) as fleet:
             ids = fleet.insert_many([{"n": index} for index in range(10)])
             assert ids == list(range(10))
             assert fleet.insert({"n": 10}) == 10
@@ -252,8 +251,8 @@ class TestRandomisedDifferential:
             ({"hobbies": "chess"}, {"$push": {"hobbies": "go"}}),
             ({"name.last": "Chen"}, {"$rename": {"age": "years"}}),
         ]
-        reference = memory_collection(PEOPLE)
-        with sharded_collection(PEOPLE, shards=3, parallel=False) as fleet:
+        reference = api.collection(PEOPLE)
+        with api.collection(PEOPLE, shards=3, parallel=False) as fleet:
             for filter_doc, update_doc in updates:
                 mine = fleet.update_many(filter_doc, update_doc)
                 theirs = reference.update_many(filter_doc, update_doc)
@@ -264,8 +263,8 @@ class TestRandomisedDifferential:
             ]
 
     def test_sharded_update_one_routes_to_global_first_match(self):
-        reference = memory_collection(PEOPLE)
-        with sharded_collection(PEOPLE, shards=4, parallel=False) as fleet:
+        reference = api.collection(PEOPLE)
+        with api.collection(PEOPLE, shards=4, parallel=False) as fleet:
             for filter_doc in ({"age": {"$gt": 40}}, {"name.first": "Sue"}):
                 mine = fleet.update_one(filter_doc, {"$inc": {"age": 1}})
                 theirs = reference.update_one(filter_doc, {"$inc": {"age": 1}})
@@ -278,8 +277,8 @@ class TestRandomisedDifferential:
             ]
 
     def test_sharded_upsert_assigns_the_same_global_id(self):
-        reference = memory_collection(PEOPLE[:10])
-        with sharded_collection(PEOPLE[:10], shards=3, parallel=False) as fleet:
+        reference = api.collection(PEOPLE[:10])
+        with api.collection(PEOPLE[:10], shards=3, parallel=False) as fleet:
             mine = fleet.update_many(
                 {"name.first": "Nobody"}, {"$set": {"age": 1}}, upsert=True
             )
@@ -290,8 +289,8 @@ class TestRandomisedDifferential:
             assert fleet.get_value(10) == reference.get(10).to_value()
 
     def test_replace_one_matches_single_semantics(self):
-        reference = memory_collection(PEOPLE[:30])
-        with sharded_collection(PEOPLE[:30], shards=3, parallel=False) as fleet:
+        reference = api.collection(PEOPLE[:30])
+        with api.collection(PEOPLE[:30], shards=3, parallel=False) as fleet:
             replacement = {"name": {"first": "New"}, "age": 1}
             mine = fleet.replace_one({"age": {"$gt": 30}}, replacement)
             theirs = reference.replace_one({"age": {"$gt": 30}}, replacement)
@@ -432,7 +431,7 @@ class TestWorkerPool:
         try:
             if not fleet.parallel:
                 pytest.skip(f"no usable {start_method or 'default'} pool")
-            reference = memory_collection(PEOPLE[:120])
+            reference = api.collection(PEOPLE[:120])
             for pipeline in self.PIPELINES:
                 compiled = compile_pipeline(pipeline)
                 assert compiled.execute(fleet) == compiled.execute(reference)
@@ -459,7 +458,7 @@ class TestWorkerPool:
             fleet.close()
 
     def test_single_shard_defaults_to_serial(self):
-        with sharded_collection(PEOPLE[:10], shards=1) as fleet:
+        with ShardedCollection(PEOPLE[:10], shards=1) as fleet:
             assert not fleet.parallel
             assert fleet.shard_count == 1
             assert fleet.aggregate([{"$count": "n"}]) == [{"n": 10}]

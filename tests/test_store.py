@@ -8,8 +8,9 @@ import pytest
 
 from repro.errors import DocumentRejectedError, StoreError
 from repro.model.tree import JSONTree
-from repro.store import Collection, DocumentIndexes, memory_collection
+from repro.store import Collection, DocumentIndexes
 from repro.store.indexes import index_entries
+from repro import api
 
 PEOPLE = [
     {"name": {"first": "Sue", "last": "Doe"}, "age": 35,
@@ -30,14 +31,14 @@ def rebuilt(collection: Collection) -> DocumentIndexes:
 
 class TestCollectionBasics:
     def test_insert_assigns_dense_ids(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         assert collection.doc_ids() == [0, 1, 2]
         assert len(collection) == 3
         new_id = collection.insert({"name": {"first": "Li"}})
         assert new_id == 3
 
     def test_ids_never_reused_after_remove(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         collection.remove(1)
         assert collection.doc_ids() == [0, 2]
         assert collection.insert({"x": 1}) == 3
@@ -46,7 +47,7 @@ class TestCollectionBasics:
             collection.get(1)
 
     def test_version_bumps_on_mutation_only(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         v0 = collection.version
         collection.find({"age": {"$gt": 30}})
         assert collection.version == v0
@@ -56,11 +57,11 @@ class TestCollectionBasics:
 
     def test_accepts_prebuilt_trees(self):
         tree = JSONTree.from_value({"k": "v"})
-        collection = memory_collection([tree])
+        collection = api.collection([tree])
         assert collection.get(0) is tree
 
     def test_shared_interning_across_batches(self):
-        collection = memory_collection([{"name": "a"}])
+        collection = api.collection([{"name": "a"}])
         before = collection.interned_strings()
         collection.insert({"name": "b"})
         # "name" was already interned; only "b" is new.
@@ -70,7 +71,7 @@ class TestCollectionBasics:
         assert key_a is key_b
 
     def test_unindexed_collection_still_answers(self):
-        collection = memory_collection(PEOPLE, indexed=False)
+        collection = api.collection(PEOPLE, indexed=False)
         assert collection.indexes is None
         assert collection.count({"name.last": "Doe"}) == 2
         explain = collection.explain({"name.last": "Doe"})
@@ -94,16 +95,16 @@ class TestCollectionBasics:
 
 class TestIndexMaintenance:
     def test_insert_matches_full_rescan(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
 
     def test_remove_unwinds_postings(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         collection.remove(0)
         assert collection.indexes.snapshot() == rebuilt(collection).snapshot()
 
     def test_remove_everything_empties_every_table(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         for doc_id in collection.doc_ids():
             collection.remove(doc_id)
         snapshot = collection.indexes.snapshot()
@@ -111,7 +112,7 @@ class TestIndexMaintenance:
 
     def test_random_mutation_sequence_matches_rescan(self):
         rng = random.Random(20260727)
-        collection = memory_collection()
+        collection = api.collection()
         pool = [
             {"user": {"id": i, "tag": f"t{i % 7}"},
              "scores": [i % 5, (i * 3) % 11],
@@ -139,7 +140,7 @@ class TestIndexMaintenance:
         assert entries.keys == frozenset({"a", "b"})
 
     def test_stats_counters(self):
-        stats = memory_collection(PEOPLE).index_stats()
+        stats = api.collection(PEOPLE).index_stats()
         assert stats.documents == 3
         assert stats.keys >= 6  # name, first, last, age, hobbies, ...
 
@@ -150,7 +151,7 @@ class TestMutationFreshness:
     FILTER = {"name.first": "Sue"}
 
     def test_results_track_inserts_and_removes(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         assert collection.count(self.FILTER) == 1
         new_id = collection.insert(
             {"name": {"first": "Sue", "last": "Novak"}, "age": 50}
@@ -162,13 +163,13 @@ class TestMutationFreshness:
         assert collection.count(self.FILTER) == 0
 
     def test_two_collections_share_plans_not_results(self):
-        left = memory_collection([{"k": "match"}])
-        right = memory_collection([{"k": "other"}])
+        left = api.collection([{"k": "match"}])
+        right = api.collection([{"k": "other"}])
         assert left.count({"k": "match"}) == 1
         assert right.count({"k": "match"}) == 0
 
     def test_select_tracks_mutations(self):
-        collection = memory_collection(PEOPLE)
+        collection = api.collection(PEOPLE)
         rows = dict(collection.select("$.hobbies[*]"))
         assert rows[0] == ["yoga", "chess"]
         collection.remove(0)
@@ -184,20 +185,20 @@ class TestSchemaEnforcement:
     }
 
     def test_valid_documents_ingest(self):
-        collection = memory_collection(
+        collection = api.collection(
             [{"name": "a", "age": 10}], schema=self.SCHEMA
         )
         assert len(collection) == 1
         assert collection.schema_enforced
 
     def test_reject_on_insert(self):
-        collection = memory_collection(schema=self.SCHEMA)
+        collection = api.collection(schema=self.SCHEMA)
         with pytest.raises(DocumentRejectedError):
             collection.insert({"age": 10})
         assert len(collection) == 0
 
     def test_batch_rejection_is_atomic(self):
-        collection = memory_collection(schema=self.SCHEMA)
+        collection = api.collection(schema=self.SCHEMA)
         with pytest.raises(DocumentRejectedError) as excinfo:
             collection.insert_many(
                 [{"name": "ok"}, {"name": "bad", "age": 200}, {"name": "ok2"}]
@@ -212,11 +213,11 @@ class TestSchemaEnforcement:
         from repro.validate import compile_schema_validator
 
         validator = compile_schema_validator(parse_schema(self.SCHEMA))
-        collection = memory_collection(validator=validator)
+        collection = api.collection(validator=validator)
         collection.insert({"name": "x"})
         with pytest.raises(DocumentRejectedError):
             collection.insert({})
 
     def test_schema_and_validator_conflict(self):
         with pytest.raises(StoreError):
-            memory_collection(schema=self.SCHEMA, validator=object())
+            api.collection(schema=self.SCHEMA, validator=object())

@@ -27,8 +27,9 @@ from repro.errors import (
 )
 from repro.mongo.aggregate import match_value
 from repro.mongo.update import compile_update, naive_update_value
-from repro.store import Collection, DocumentIndexes, memory_collection
+from repro.store import Collection, DocumentIndexes
 from repro.workloads import people_collection
+from repro import api
 
 _SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
 
@@ -60,7 +61,7 @@ def applied(update_doc, doc):
 
 @pytest.fixture
 def people() -> Collection:
-    return memory_collection(people_collection(60, seed=5))
+    return api.collection(people_collection(60, seed=5))
 
 
 # ---------------------------------------------------------------------------
@@ -294,11 +295,11 @@ class TestCollectionUpdates:
         assert result.upserted_id is None
 
     def test_unindexed_collection_updates(self):
-        collection = memory_collection(people_collection(30, seed=3), indexed=False)
+        collection = api.collection(people_collection(30, seed=3), indexed=False)
         result = collection.update_many(
             {"address.city": "Talca"}, {"$inc": {"age": 1}}
         )
-        indexed = memory_collection(people_collection(30, seed=3))
+        indexed = api.collection(people_collection(30, seed=3))
         expected = indexed.update_many(
             {"address.city": "Talca"}, {"$inc": {"age": 1}}
         )
@@ -308,7 +309,7 @@ class TestCollectionUpdates:
         ]
 
     def test_extended_collection_updates(self):
-        collection = memory_collection(
+        collection = api.collection(
             [{"flag": True, "note": None}], extended=True
         )
         collection.update_many({}, {"$set": {"flag": False, "extra": None}})
@@ -410,7 +411,7 @@ class TestSchemaEnforcement:
     }
 
     def make(self):
-        return memory_collection(
+        return api.collection(
             [{"age": 30, "tag": "a"}, {"age": 40, "tag": "b"}],
             schema=self.SCHEMA,
         )
@@ -435,11 +436,11 @@ class TestSchemaEnforcement:
     def test_batch_rejection_is_atomic(self):
         # The first target would stay valid, the second would not --
         # neither commits.
-        collection = memory_collection(
+        collection = api.collection(
             [{"age": 30}, {"age": "soon-invalid"}],
             schema={"type": "object"},
         )
-        strict = memory_collection(
+        strict = api.collection(
             [{"age": 30, "ok": "y"}, {"age": 40}], schema=self.SCHEMA
         )
         before = [tree.to_value() for _, tree in strict.documents()]
@@ -592,7 +593,7 @@ def _random_update(rng: random.Random) -> dict:
 class TestRandomisedDifferential:
     def test_compiled_equals_naive_and_indexes_stay_consistent(self):
         rng = random.Random(4242)
-        collection = memory_collection(copy.deepcopy(PEOPLE))
+        collection = api.collection(copy.deepcopy(PEOPLE))
         mirror: list = copy.deepcopy(PEOPLE)
         for round_number in range(12 * _SCALE):
             filter_doc = rng.choice(FILTERS)
@@ -626,8 +627,8 @@ class TestRandomisedDifferential:
     def test_delta_equals_rebuild_maintenance(self):
         rng = random.Random(77)
         docs = people_collection(80, seed=21)
-        delta = memory_collection(copy.deepcopy(docs))
-        rebuild = memory_collection(copy.deepcopy(docs))
+        delta = api.collection(copy.deepcopy(docs))
+        rebuild = api.collection(copy.deepcopy(docs))
         for _ in range(10 * _SCALE):
             filter_doc = rng.choice(FILTERS)
             update_doc = _random_update(rng)
@@ -647,7 +648,7 @@ class TestRandomisedDifferential:
     def test_repeated_updates_to_the_same_documents(self):
         # The counter workload: many updates per document between
         # reads, so most rounds run against the pending-value mirror.
-        collection = memory_collection(people_collection(25, seed=9))
+        collection = api.collection(people_collection(25, seed=9))
         mirror = people_collection(25, seed=9)
         rng = random.Random(31)
         for _ in range(20 * _SCALE):
