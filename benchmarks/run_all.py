@@ -42,6 +42,7 @@ MODULES = [
     "bench_sharded",
     "bench_server",
     "bench_ablations",
+    "bench_optimizer",
 ]
 
 

@@ -36,13 +36,15 @@ import os
 from typing import Any, Iterable
 
 from repro.errors import StoreError
+from repro.explain import Explain
+from repro.query.optimizer import check_optimize_mode
 from repro.store.collection import Collection
 from repro.store.database import Database
 from repro.store.engine import MemoryEngine
 from repro.store.faults import IOAdapter
 from repro.store.sharded import ShardedCollection
 
-__all__ = ["connect", "collection", "ShardedDatabase"]
+__all__ = ["connect", "collection", "Explain", "ShardedDatabase"]
 
 
 def connect(
@@ -54,6 +56,7 @@ def connect(
     compact_threshold: int | None = None,
     parallel: "bool | str" = "auto",
     start_method: str | None = None,
+    optimize: str = "on",
 ):
     """Open a database handle over any backend.
 
@@ -69,9 +72,13 @@ def connect(
       local storage keywords.
 
     ``io`` swaps the filesystem adapter on durable backends (fault
-    injection; see :mod:`repro.store.faults`).  Every return value is a
-    context manager whose collections share the uniform protocol.
+    injection; see :mod:`repro.store.faults`).  ``optimize`` sets the
+    database-wide semantic-optimizer mode (``"on"``/``"off"``/
+    ``"proof-only"``; remote connections accept ``on``/``off`` only).
+    Every return value is a context manager whose collections share
+    the uniform protocol.
     """
+    check_optimize_mode(optimize)
     if isinstance(path, str) and path.startswith("tcp://"):
         if shards != 1 or io is not None:
             raise StoreError(
@@ -80,12 +87,16 @@ def connect(
             )
         from repro.client import connect as client_connect
 
-        return client_connect(path)
+        return client_connect(path, optimize=optimize)
     if shards < 1:
         raise StoreError(f"shard count must be >= 1, got {shards}")
     if shards == 1:
         return Database(
-            path, sync=sync, compact_threshold=compact_threshold, io=io
+            path,
+            sync=sync,
+            compact_threshold=compact_threshold,
+            io=io,
+            optimize=optimize,
         )
     if io is not None:
         raise StoreError(
@@ -98,6 +109,7 @@ def connect(
         sync=sync,
         parallel=parallel,
         start_method=start_method,
+        optimize=optimize,
     )
 
 
@@ -110,13 +122,15 @@ def collection(
     extended: bool = False,
     indexed: bool = True,
     parallel: "bool | str" = "auto",
+    optimize: str = "on",
 ) -> "Collection | ShardedCollection":
     """A one-off volatile collection (tests, benchmarks, scripts).
 
     The blessed spelling of what ``memory_collection`` (and, with
     ``shards=N``, ``sharded_collection``) used to be.  Anything that
     should survive a restart belongs behind :func:`connect` with a
-    path.
+    path.  ``optimize`` sets the semantic-optimizer mode; per query,
+    ``hint={"no_semantic": True}`` opts a single read out.
     """
     if shards < 1:
         raise StoreError(f"shard count must be >= 1, got {shards}")
@@ -128,6 +142,7 @@ def collection(
             extended=extended,
             indexed=indexed,
             engine=MemoryEngine(),
+            optimize=optimize,
         )
     if validator is not None:
         raise StoreError(
@@ -141,6 +156,7 @@ def collection(
         extended=extended,
         indexed=indexed,
         parallel=parallel,
+        optimize=optimize,
     )
 
 
@@ -163,12 +179,14 @@ class ShardedDatabase:
         sync: str = "fsync",
         parallel: "bool | str" = "auto",
         start_method: str | None = None,
+        optimize: str = "on",
     ) -> None:
         self._path = None if path is None else os.fspath(path)
         self._shards = shards
         self._sync = sync
         self._parallel = parallel
         self._start_method = start_method
+        self._optimize = check_optimize_mode(optimize)
         self._collections: dict[str, ShardedCollection] = {}
         if self._path is not None:
             os.makedirs(self._path, exist_ok=True)
@@ -181,6 +199,7 @@ class ShardedDatabase:
         schema: Any | None = None,
         extended: bool = False,
         indexed: bool = True,
+        optimize: str | None = None,
     ) -> ShardedCollection:
         existing = self._collections.get(name)
         if existing is not None:
@@ -206,6 +225,7 @@ class ShardedDatabase:
             sync=self._sync,
             parallel=self._parallel,
             start_method=self._start_method,
+            optimize=self._optimize if optimize is None else optimize,
         )
         self._collections[name] = handle
         return handle

@@ -185,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     find.add_argument("--filter", default="{}", help="find filter (JSON)")
     find.add_argument("--project", help="projection document (JSON)")
+    find.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the planner report (one JSON Explain document) "
+        "instead of results",
+    )
     add_db_options(find)
     add_shard_option(find)
     add_remote_option(find)
@@ -520,6 +526,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+def _print_explain(report) -> int:
+    """Every ``--explain`` prints one uniform JSON Explain document
+    (a shard fan-out prints a JSON array of per-shard reports)."""
+    if isinstance(report, list):
+        print(json.dumps([item.to_json() for item in report], indent=2))
+    else:
+        print(json.dumps(report.to_json(), indent=2))
+    return 0
+
+
 def _cmd_find(args: argparse.Namespace) -> int:
     from repro import api
 
@@ -533,6 +549,8 @@ def _cmd_find(args: argparse.Namespace) -> int:
     if args.remote is not None:
         with ExitStack() as stack:
             corpus = _open_corpus(args, stack)
+            if args.explain:
+                return _print_explain(corpus.explain(filter_doc))
             rows = corpus.find(filter_doc, projection)
             for row in rows:
                 print(json.dumps(row))
@@ -543,6 +561,8 @@ def _cmd_find(args: argparse.Namespace) -> int:
 
         with ExitStack() as stack:
             corpus = _open_corpus(args, stack)
+            if args.explain:
+                return _print_explain(corpus.explain(filter_doc))
             if args.shards is not None:
                 rows = corpus.find_rows(filter_doc, projection)
                 for doc_id, value in rows:
@@ -565,6 +585,8 @@ def _cmd_find(args: argparse.Namespace) -> int:
     # One query over a throwaway collection: building secondary indexes
     # would cost more than the single scan they could save.
     collection = api.collection(documents, indexed=False)
+    if args.explain:
+        return _print_explain(collection.explain(filter_doc))
     results = collection.find(filter_doc, projection)
     for result in results:
         print(json.dumps(result))
@@ -582,9 +604,7 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
         with ExitStack() as stack:
             corpus = _open_corpus(args, stack)
             if args.explain:
-                report = corpus.explain(pipeline=pipeline)
-                print(json.dumps(report))
-                return 0
+                return _print_explain(corpus.explain(pipeline=pipeline))
             results = corpus.aggregate(pipeline)
         for row in results:
             print(json.dumps(row))
@@ -606,24 +626,7 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
             corpus = api.collection(documents, indexed=False)
 
         if args.explain:
-            report = compiled.explain(corpus)
-            for position, stage in enumerate(report.stages, start=1):
-                print(f"stage {position}\t{stage.op}\t{stage.mode}")
-            for shard in report.shards:
-                print(
-                    f"shard {shard.shard}\ttotal={shard.total} "
-                    f"pruned={shard.pruned} scanned={shard.scanned} "
-                    f"matched={shard.matched} returned={shard.returned}"
-                )
-            if report.merge is not None:
-                print(f"merge\t{report.merge}")
-            print(
-                f"total={report.total} candidates="
-                f"{'all' if report.candidates is None else report.candidates} "
-                f"scanned={report.scanned} matched={report.matched} "
-                f"results={report.results}"
-            )
-            return 0
+            return _print_explain(compiled.explain(corpus))
         results = compiled.execute(corpus)
     for row in results:
         print(json.dumps(row))
@@ -645,14 +648,20 @@ def _cmd_update(args: argparse.Namespace) -> int:
     update_doc = _parse_json_arg("--update", args.update)
 
     if args.remote is not None:
-        if args.explain or args.out:
+        if args.out:
             return _fail(
                 USAGE_CODE,
-                "--explain/--out are local operations; they cannot be "
-                "combined with --remote",
+                "--out is a local operation; it cannot be combined "
+                "with --remote",
             )
         with ExitStack() as stack:
             corpus = _open_corpus(args, stack)
+            if args.explain:
+                return _print_explain(
+                    corpus.explain(
+                        filter_doc, update=update_doc, first_only=args.one
+                    )
+                )
             run = corpus.update_one if args.one else corpus.update_many
             result = run(filter_doc, update_doc, upsert=args.upsert)
         upserted = (
@@ -686,23 +695,11 @@ def _cmd_update(args: argparse.Namespace) -> int:
             return _update_sharded(args, corpus, filter_doc, update_doc)
 
         if args.explain:
-            report = explain_update(
-                corpus, filter_doc, update_doc, first_only=args.one
+            return _print_explain(
+                explain_update(
+                    corpus, filter_doc, update_doc, first_only=args.one
+                )
             )
-            print(
-                f"targets\ttotal={report.total} candidates="
-                f"{'all' if report.candidates is None else report.candidates} "
-                f"scanned={report.scanned} pruned={report.pruned} "
-                f"matched={report.matched} modified={report.modified}"
-            )
-            print(
-                f"delta\tentries_added={report.entries_added} "
-                f"entries_removed={report.entries_removed} "
-                f"refcount_adjusted={report.refcount_adjusted}"
-            )
-            for table in report.touched_tables:
-                print(f"index\t{table}\t{report.postings[table]} postings")
-            return 0
 
         run = update_one if args.one else update_many
         result = run(corpus, filter_doc, update_doc, upsert=args.upsert)
@@ -728,19 +725,9 @@ def _update_sharded(
     """The ``--shards`` half of ``repro update``: shard-routed writes,
     per-shard dry-run reports."""
     if args.explain:
-        reports = corpus.explain_update(
-            filter_doc, update_doc, first_only=args.one
+        return _print_explain(
+            corpus.explain_update(filter_doc, update_doc, first_only=args.one)
         )
-        for index, report in enumerate(reports):
-            print(
-                f"shard {index}\ttotal={report.total} candidates="
-                f"{'all' if report.candidates is None else report.candidates} "
-                f"scanned={report.scanned} pruned={report.pruned} "
-                f"matched={report.matched} modified={report.modified} "
-                f"entries_added={report.entries_added} "
-                f"entries_removed={report.entries_removed}"
-            )
-        return 0
     run = corpus.update_one if args.one else corpus.update_many
     result = run(filter_doc, update_doc, upsert=args.upsert)
     upserted = (

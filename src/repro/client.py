@@ -29,6 +29,7 @@ import socket
 from typing import Any
 
 from repro.errors import StoreError, WireProtocolError, from_wire
+from repro.explain import Explain
 from repro.server import protocol
 
 __all__ = [
@@ -58,6 +59,31 @@ def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
             f"server address {address!r} is not of the form 'host:port'"
         )
     return host or "127.0.0.1", int(port)
+
+
+def _check_optimize(optimize: str) -> str:
+    """The remote spelling of the semantic-optimizer knob.
+
+    ``"proof-only"`` is a collection-side mode (prove, report, never
+    enforce); a client cannot impose it on a server's collections, so
+    asking for it here is an error rather than a silent downgrade.
+    """
+    if optimize not in ("on", "off"):
+        raise StoreError(
+            f"remote optimize mode must be 'on' or 'off', got {optimize!r}"
+        )
+    return optimize
+
+
+def _merge_hint(
+    optimize: str, hint: "dict[str, Any] | None"
+) -> "dict[str, Any] | None":
+    """The per-request hint, folding in a client-wide ``optimize="off"``."""
+    if optimize == "off":
+        merged = dict(hint or {})
+        merged["no_semantic"] = True
+        return merged
+    return hint
 
 
 def _check_greeting(greeting: dict[str, Any]) -> None:
@@ -100,7 +126,13 @@ class RemoteDatabase:
     socket (open one client per thread, as with any connection handle).
     """
 
-    def __init__(self, address: "str | tuple[str, int]") -> None:
+    def __init__(
+        self,
+        address: "str | tuple[str, int]",
+        *,
+        optimize: str = "on",
+    ) -> None:
+        self._optimize = _check_optimize(optimize)
         host, port = parse_address(address)
         self._address = (host, port)
         self._socket = socket.create_connection((host, port))
@@ -129,7 +161,12 @@ class RemoteDatabase:
     # -- database surface --------------------------------------------------
 
     def collection(self, name: str = "main") -> "RemoteCollection":
-        return RemoteCollection(self, name)
+        return RemoteCollection(self, name, optimize=self._optimize)
+
+    @property
+    def optimize(self) -> str:
+        """The client-wide semantic-optimizer knob (``on``/``off``)."""
+        return self._optimize
 
     def collection_names(self) -> list[str]:
         return self.request("collections")
@@ -179,12 +216,31 @@ class RemoteDatabase:
 class RemoteCollection:
     """The uniform collection surface, proxied over the wire."""
 
-    def __init__(self, database: RemoteDatabase, name: str) -> None:
+    def __init__(
+        self,
+        database: RemoteDatabase,
+        name: str,
+        *,
+        optimize: str = "on",
+    ) -> None:
         self._database = database
         self.name = name
+        self._optimize = _check_optimize(optimize)
 
     def _request(self, op: str, **fields: Any) -> Any:
         return self._database.request(op, collection=self.name, **fields)
+
+    def _read_fields(
+        self, hint: "dict[str, Any] | None", **fields: Any
+    ) -> dict[str, Any]:
+        merged = _merge_hint(self._optimize, hint)
+        if merged is not None:
+            fields["hint"] = merged
+        return fields
+
+    @property
+    def optimize(self) -> str:
+        return self._optimize
 
     # -- reads -------------------------------------------------------------
 
@@ -192,17 +248,30 @@ class RemoteCollection:
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[Any]:
-        fields: dict[str, Any] = {"filter": filter_doc}
+        fields = self._read_fields(hint, filter=filter_doc)
         if projection is not None:
             fields["projection"] = projection
         return self._request("find", **fields)
 
-    def count(self, filter_doc: dict[str, Any] | None = None) -> int:
-        return self._request("count", filter=filter_doc or {})
+    def count(
+        self,
+        filter_doc: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> int:
+        return self._request(
+            "count", **self._read_fields(hint, filter=filter_doc or {})
+        )
 
-    def aggregate(self, pipeline: list) -> list[Any]:
-        return self._request("aggregate", pipeline=pipeline)
+    def aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ) -> list[Any]:
+        return self._request(
+            "aggregate", **self._read_fields(hint, pipeline=pipeline)
+        )
 
     def select(
         self, query: str, dialect: str = "jsonpath"
@@ -224,10 +293,24 @@ class RemoteCollection:
         filter_doc: dict[str, Any] | None = None,
         *,
         pipeline: list | None = None,
-    ) -> dict[str, Any]:
+        update: dict[str, Any] | None = None,
+        first_only: bool = False,
+        hint: dict[str, Any] | None = None,
+    ) -> Explain:
+        """The server's :class:`~repro.explain.Explain`, rehydrated.
+
+        Pass ``pipeline=`` for an aggregation explain, ``update=`` for
+        an update dry run, or a bare filter for a find explain --
+        exactly the local collection surface.
+        """
+        fields = self._read_fields(hint, filter=filter_doc or {})
         if pipeline is not None:
-            return self._request("explain", pipeline=pipeline)
-        return self._request("explain", filter=filter_doc or {})
+            fields["pipeline"] = pipeline
+        elif update is not None:
+            fields["update"] = update
+            if first_only:
+                fields["first_only"] = True
+        return Explain.from_json(self._request("explain", **fields))
 
     def __len__(self) -> int:
         return self.count({})
@@ -290,9 +373,16 @@ class RemoteCollection:
         return f"RemoteCollection({self.name!r}, {self._database!r})"
 
 
-def connect(address: "str | tuple[str, int]") -> RemoteDatabase:
-    """Open a blocking client to a ``repro serve`` address."""
-    return RemoteDatabase(address)
+def connect(
+    address: "str | tuple[str, int]", *, optimize: str = "on"
+) -> RemoteDatabase:
+    """Open a blocking client to a ``repro serve`` address.
+
+    ``optimize="off"`` makes every read from this client carry a
+    ``{"no_semantic": true}`` hint, disabling the server's semantic
+    optimizer for exactly this connection's queries.
+    """
+    return RemoteDatabase(address, optimize=optimize)
 
 
 # ---------------------------------------------------------------------------
@@ -310,23 +400,31 @@ class AsyncRemoteDatabase:
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        optimize: str = "on",
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._next_id = 0
         self._closed = False
         self._lock = asyncio.Lock()
+        self._optimize = _check_optimize(optimize)
 
     @classmethod
     async def open(
-        cls, address: "str | tuple[str, int]"
+        cls,
+        address: "str | tuple[str, int]",
+        *,
+        optimize: str = "on",
     ) -> "AsyncRemoteDatabase":
         host, port = parse_address(address)
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.MAX_LINE_BYTES
         )
-        client = cls(reader, writer)
+        client = cls(reader, writer, optimize=optimize)
         greeting = await reader.readline()
         if not greeting:
             raise WireProtocolError("server closed the connection")
@@ -349,7 +447,11 @@ class AsyncRemoteDatabase:
         return _unwrap(request_id, protocol.decode(line))
 
     def collection(self, name: str = "main") -> "AsyncRemoteCollection":
-        return AsyncRemoteCollection(self, name)
+        return AsyncRemoteCollection(self, name, optimize=self._optimize)
+
+    @property
+    def optimize(self) -> str:
+        return self._optimize
 
     async def collection_names(self) -> list[str]:
         return await self.request("collections")
@@ -383,28 +485,56 @@ class AsyncRemoteDatabase:
 class AsyncRemoteCollection:
     """Awaitable twin of :class:`RemoteCollection`."""
 
-    def __init__(self, database: AsyncRemoteDatabase, name: str) -> None:
+    def __init__(
+        self,
+        database: AsyncRemoteDatabase,
+        name: str,
+        *,
+        optimize: str = "on",
+    ) -> None:
         self._database = database
         self.name = name
+        self._optimize = _check_optimize(optimize)
 
     def _request(self, op: str, **fields: Any) -> Any:
         return self._database.request(op, collection=self.name, **fields)
+
+    def _read_fields(
+        self, hint: "dict[str, Any] | None", **fields: Any
+    ) -> dict[str, Any]:
+        merged = _merge_hint(self._optimize, hint)
+        if merged is not None:
+            fields["hint"] = merged
+        return fields
 
     async def find(
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[Any]:
-        fields: dict[str, Any] = {"filter": filter_doc}
+        fields = self._read_fields(hint, filter=filter_doc)
         if projection is not None:
             fields["projection"] = projection
         return await self._request("find", **fields)
 
-    async def count(self, filter_doc: dict[str, Any] | None = None) -> int:
-        return await self._request("count", filter=filter_doc or {})
+    async def count(
+        self,
+        filter_doc: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> int:
+        return await self._request(
+            "count", **self._read_fields(hint, filter=filter_doc or {})
+        )
 
-    async def aggregate(self, pipeline: list) -> list[Any]:
-        return await self._request("aggregate", pipeline=pipeline)
+    async def aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ) -> list[Any]:
+        return await self._request(
+            "aggregate", **self._read_fields(hint, pipeline=pipeline)
+        )
 
     async def select(
         self, query: str, dialect: str = "jsonpath"
@@ -428,10 +558,18 @@ class AsyncRemoteCollection:
         filter_doc: dict[str, Any] | None = None,
         *,
         pipeline: list | None = None,
-    ) -> dict[str, Any]:
+        update: dict[str, Any] | None = None,
+        first_only: bool = False,
+        hint: dict[str, Any] | None = None,
+    ) -> Explain:
+        fields = self._read_fields(hint, filter=filter_doc or {})
         if pipeline is not None:
-            return await self._request("explain", pipeline=pipeline)
-        return await self._request("explain", filter=filter_doc or {})
+            fields["pipeline"] = pipeline
+        elif update is not None:
+            fields["update"] = update
+            if first_only:
+                fields["first_only"] = True
+        return Explain.from_json(await self._request("explain", **fields))
 
     async def insert(self, document: Any) -> int:
         return (await self._request("insert", documents=[document]))[0]
@@ -484,7 +622,7 @@ class AsyncRemoteCollection:
 
 
 async def aconnect(
-    address: "str | tuple[str, int]",
+    address: "str | tuple[str, int]", *, optimize: str = "on"
 ) -> AsyncRemoteDatabase:
     """Open an asyncio client to a ``repro serve`` address."""
-    return await AsyncRemoteDatabase.open(address)
+    return await AsyncRemoteDatabase.open(address, optimize=optimize)

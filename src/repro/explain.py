@@ -1,0 +1,411 @@
+"""The one explain report: every front-end, every backend, one shape.
+
+Before this module the repo had three unrelated explain dataclasses --
+``repro.query.planner.PlanExplain`` (find), ``repro.mongo.aggregate.
+AggregateExplain`` (pipelines) and ``repro.mongo.update.UpdateExplain``
+(writes) -- with three CLI print formats and no wire story.
+:class:`Explain` is the redesigned surface: one versioned structure
+(``format``/``version`` header, nested stage tree, per-table posting
+stats, per-shard breakdowns) constructed by every backend, carrying a
+:class:`SemanticsExplain` section whenever the schema-aware optimizer
+(:mod:`repro.query.optimizer`) examined the query, round-tripping
+through :meth:`Explain.to_json`/:meth:`Explain.from_json` over the wire
+protocol, and printed by the CLI as one uniform JSON document.
+
+Field population by ``kind``:
+
+* ``"find"`` -- ``dialect``/``source`` plus the pruning counters
+  (``total``/``candidates``/``scanned``/``matched``);
+* ``"aggregate"`` -- the same counters for the leading ``$match``,
+  plus ``results``, the ``stages`` tree, and (under scatter-gather)
+  ``shards``/``merge``;
+* ``"update"`` -- ``source`` is the filter, ``update_source`` the
+  update program, plus the dry-run delta counters
+  (``modified``/``entries_added``/``entries_removed``/
+  ``refcount_adjusted``/``postings``); a sharded update explain is a
+  list of these with ``shard`` set.
+
+The old class names remain importable from their old homes as
+:class:`DeprecationWarning` shims (instantiation warns; the instances
+are real :class:`Explain` objects, so ``isinstance``/``asdict``/wire
+encoding keep working).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "EXPLAIN_FORMAT",
+    "EXPLAIN_VERSION",
+    "Explain",
+    "SemanticsExplain",
+    "StageExplain",
+    "ShardExplain",
+    "PlanExplain",
+    "AggregateExplain",
+    "UpdateExplain",
+]
+
+EXPLAIN_FORMAT = "repro-explain"
+EXPLAIN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StageExplain:
+    """One pipeline stage in an aggregation explain.
+
+    ``mode`` is ``"index-pruned"``/``"streamed"``/``"materialised"``
+    on a single collection; under sharded execution, stages executed on
+    the shards report ``"map-side"`` and the boundary stage whose
+    partial states the coordinator combines reports ``"merged"``.
+    """
+
+    op: str
+    mode: str
+
+
+@dataclass(frozen=True)
+class ShardExplain:
+    """One shard's share of a scatter-gather aggregation."""
+
+    shard: int
+    total: int
+    candidates: int | None
+    scanned: int
+    matched: int
+    returned: int
+
+    @property
+    def pruned(self) -> int:
+        return self.total - self.scanned
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
+
+
+@dataclass(frozen=True)
+class SemanticsExplain:
+    """What the schema-aware optimizer concluded about one query.
+
+    ``verdict`` is the proof outcome -- ``"empty"`` (schema ^ query
+    unsatisfiable), ``"all"`` (schema entails the query), ``"residual"``
+    (some conjuncts entailed, the rest still verified) or ``"none"`` --
+    and ``mode`` whether it was enforced (``"on"``) or merely reported
+    (``"proof-only"``).  ``source`` names the premise: ``"schema"`` for
+    an enforced schema, ``"summary"`` for the inferred structural
+    summary of a schemaless collection.  ``discharged`` lists the
+    predicates whose per-document verification the proof eliminated;
+    ``residual`` renders what still runs.  ``timed_out`` flags a prover
+    that hit its budget (the query fell through unoptimized), and
+    ``cached`` that the verdict came from the process-wide artifact
+    cache rather than a fresh proof.
+    """
+
+    mode: str
+    verdict: str
+    source: str | None
+    discharged: tuple[str, ...] = ()
+    residual: str | None = None
+    proof_ms: float = 0.0
+    timed_out: bool = False
+    cached: bool = False
+
+    @property
+    def enforced(self) -> bool:
+        return self.mode == "on" and self.verdict != "none"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "verdict": self.verdict,
+            "source": self.source,
+            "discharged": list(self.discharged),
+            "residual": self.residual,
+            "proof_ms": self.proof_ms,
+            "timed_out": self.timed_out,
+            "cached": self.cached,
+        }
+
+    @staticmethod
+    def from_json(document: dict[str, Any]) -> "SemanticsExplain":
+        return SemanticsExplain(
+            mode=document["mode"],
+            verdict=document["verdict"],
+            source=document.get("source"),
+            discharged=tuple(document.get("discharged", ())),
+            residual=document.get("residual"),
+            proof_ms=document.get("proof_ms", 0.0),
+            timed_out=document.get("timed_out", False),
+            cached=document.get("cached", False),
+        )
+
+
+@dataclass(frozen=True)
+class Explain:
+    """The versioned explain report (see the module docstring)."""
+
+    kind: str
+    dialect: str | None = None
+    source: str | None = None
+    total: int = 0
+    candidates: int | None = None
+    scanned: int = 0
+    matched: int = 0
+    results: int | None = None
+    modified: int | None = None
+    update_source: str | None = None
+    entries_added: int = 0
+    entries_removed: int = 0
+    refcount_adjusted: int = 0
+    postings: dict[str, int] = field(default_factory=dict)
+    stages: tuple[StageExplain, ...] = ()
+    shards: tuple[ShardExplain, ...] = ()
+    shard: int | None = None
+    merge: str | None = None
+    semantics: SemanticsExplain | None = None
+    format: str = EXPLAIN_FORMAT
+    version: int = EXPLAIN_VERSION
+
+    # ------------------------------------------------------------------
+    # Derived views (shared by every kind).
+    # ------------------------------------------------------------------
+
+    @property
+    def pruned(self) -> int:
+        """Documents the secondary indexes (or a semantic ``empty``
+        verdict) eliminated before any value-space work.
+
+        Update explains count against ``candidates`` rather than
+        ``scanned`` -- a ``first_only`` early exit leaves documents
+        unscanned without them being pruned.
+        """
+        if self.kind == "update":
+            if self.candidates is None:
+                return 0
+            return self.total - self.candidates
+        return self.total - self.scanned
+
+    @property
+    def used_indexes(self) -> bool:
+        return self.candidates is not None
+
+    @property
+    def touched_tables(self) -> tuple[str, ...]:
+        """The index tables an update delta touches, sorted by name."""
+        return tuple(sorted(self.postings))
+
+    # ------------------------------------------------------------------
+    # Wire encoding.
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """A plain-JSON document, stable under ``format``/``version``."""
+        return {
+            "format": self.format,
+            "version": self.version,
+            "kind": self.kind,
+            "dialect": self.dialect,
+            "source": self.source,
+            "total": self.total,
+            "candidates": self.candidates,
+            "scanned": self.scanned,
+            "matched": self.matched,
+            "results": self.results,
+            "modified": self.modified,
+            "update_source": self.update_source,
+            "entries_added": self.entries_added,
+            "entries_removed": self.entries_removed,
+            "refcount_adjusted": self.refcount_adjusted,
+            "postings": dict(self.postings),
+            "stages": [
+                {"op": stage.op, "mode": stage.mode} for stage in self.stages
+            ],
+            "shards": [
+                {
+                    "shard": shard.shard,
+                    "total": shard.total,
+                    "candidates": shard.candidates,
+                    "scanned": shard.scanned,
+                    "matched": shard.matched,
+                    "returned": shard.returned,
+                }
+                for shard in self.shards
+            ],
+            "shard": self.shard,
+            "merge": self.merge,
+            "semantics": (
+                None if self.semantics is None else self.semantics.to_json()
+            ),
+        }
+
+    @staticmethod
+    def from_json(document: dict[str, Any]) -> "Explain":
+        """Rehydrate a report encoded by :meth:`to_json`."""
+        if not isinstance(document, dict):
+            raise ValueError(f"an explain document is an object: {document!r}")
+        if document.get("format") != EXPLAIN_FORMAT:
+            raise ValueError(
+                f"not an explain document (format="
+                f"{document.get('format')!r}, expected {EXPLAIN_FORMAT!r})"
+            )
+        if document.get("version") != EXPLAIN_VERSION:
+            raise ValueError(
+                f"unsupported explain version {document.get('version')!r} "
+                f"(this build reads version {EXPLAIN_VERSION})"
+            )
+        semantics = document.get("semantics")
+        return Explain(
+            kind=document["kind"],
+            dialect=document.get("dialect"),
+            source=document.get("source"),
+            total=document.get("total", 0),
+            candidates=document.get("candidates"),
+            scanned=document.get("scanned", 0),
+            matched=document.get("matched", 0),
+            results=document.get("results"),
+            modified=document.get("modified"),
+            update_source=document.get("update_source"),
+            entries_added=document.get("entries_added", 0),
+            entries_removed=document.get("entries_removed", 0),
+            refcount_adjusted=document.get("refcount_adjusted", 0),
+            postings=dict(document.get("postings", {})),
+            stages=tuple(
+                StageExplain(op=stage["op"], mode=stage["mode"])
+                for stage in document.get("stages", ())
+            ),
+            shards=tuple(
+                ShardExplain(
+                    shard=shard["shard"],
+                    total=shard["total"],
+                    candidates=shard.get("candidates"),
+                    scanned=shard["scanned"],
+                    matched=shard["matched"],
+                    returned=shard["returned"],
+                )
+                for shard in document.get("shards", ())
+            ),
+            shard=document.get("shard"),
+            merge=document.get("merge"),
+            semantics=(
+                None if semantics is None
+                else SemanticsExplain.from_json(semantics)
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims: the three pre-unification explain classes.
+#
+# Plain (non-dataclass) subclasses so importing them stays silent under
+# the warnings-as-errors gate while *instantiating* them warns.  They
+# inherit ``__dataclass_fields__``, so ``dataclasses.asdict``, wire
+# encoding and ``isinstance(report, Explain)`` all keep working.
+# ---------------------------------------------------------------------------
+
+
+def _shim_warning(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.api.Explain (one versioned "
+        "report for find/aggregate/update) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class PlanExplain(Explain):
+    """Deprecated spelling of a ``kind="find"`` :class:`Explain`."""
+
+    def __init__(
+        self,
+        dialect: str,
+        source: str,
+        total: int,
+        candidates: int | None,
+        scanned: int,
+        matched: int,
+    ) -> None:
+        _shim_warning("PlanExplain")
+        super().__init__(
+            kind="find",
+            dialect=dialect,
+            source=source,
+            total=total,
+            candidates=candidates,
+            scanned=scanned,
+            matched=matched,
+        )
+
+
+class AggregateExplain(Explain):
+    """Deprecated spelling of a ``kind="aggregate"`` :class:`Explain`."""
+
+    def __init__(
+        self,
+        dialect: str,
+        source: str,
+        total: int,
+        candidates: int | None,
+        scanned: int,
+        matched: int,
+        results: int,
+        stages: tuple[StageExplain, ...],
+        shards: tuple[ShardExplain, ...] = (),
+        merge: str | None = None,
+    ) -> None:
+        _shim_warning("AggregateExplain")
+        super().__init__(
+            kind="aggregate",
+            dialect=dialect,
+            source=source,
+            total=total,
+            candidates=candidates,
+            scanned=scanned,
+            matched=matched,
+            results=results,
+            stages=tuple(stages),
+            shards=tuple(shards),
+            merge=merge,
+        )
+
+
+class UpdateExplain(Explain):
+    """Deprecated spelling of a ``kind="update"`` :class:`Explain`."""
+
+    def __init__(
+        self,
+        filter_source: str,
+        update_source: str,
+        total: int,
+        candidates: int | None,
+        scanned: int,
+        matched: int,
+        modified: int,
+        entries_added: int,
+        entries_removed: int,
+        refcount_adjusted: int,
+        postings: dict[str, int],
+    ) -> None:
+        _shim_warning("UpdateExplain")
+        super().__init__(
+            kind="update",
+            source=filter_source,
+            update_source=update_source,
+            total=total,
+            candidates=candidates,
+            scanned=scanned,
+            matched=matched,
+            modified=modified,
+            entries_added=entries_added,
+            entries_removed=entries_removed,
+            refcount_adjusted=refcount_adjusted,
+            postings=dict(postings),
+        )
+
+    @property
+    def filter_source(self) -> str | None:
+        """The pre-unification name of :attr:`Explain.source`."""
+        return self.source

@@ -43,16 +43,16 @@ from __future__ import annotations
 import heapq
 import json
 import re
-from dataclasses import dataclass
 from itertools import islice
 from typing import Any, Iterable, Iterator
 
 from repro.cache import USE_DEFAULT_CACHE, resolve_cache
 from repro.errors import ParseError
+from repro.explain import AggregateExplain, Explain, ShardExplain, StageExplain
 from repro.model.tree import JSONTree
 from repro.mongo.find import _is_operator_doc, _require_int, _require_list
 from repro.mongo.projection import Projection
-from repro.query import planner
+from repro.query import optimizer, planner
 from repro.query.compiled import CompiledQuery, compile_mongo_find
 from repro.query.stages import (
     MISSING,
@@ -524,75 +524,9 @@ def _build_stage(op: str, spec: Any) -> Stage:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class StageExplain:
-    """One pipeline stage in the explain report.
-
-    ``mode`` is ``"index-pruned"``/``"streamed"``/``"materialised"``
-    on a single collection; under sharded execution, stages executed on
-    the shards report ``"map-side"`` and the boundary stage whose
-    partial states the coordinator combines reports ``"merged"``.
-    """
-
-    op: str
-    mode: str
-
-
-@dataclass(frozen=True)
-class ShardExplain:
-    """One shard's share of a scatter-gather aggregation."""
-
-    shard: int
-    total: int
-    candidates: int | None
-    scanned: int
-    matched: int
-    returned: int
-
-    @property
-    def pruned(self) -> int:
-        return self.total - self.scanned
-
-    @property
-    def used_indexes(self) -> bool:
-        return self.candidates is not None
-
-
-@dataclass(frozen=True)
-class AggregateExplain:
-    """What the staged executor did for one pipeline over one collection.
-
-    The leading-``$match`` fields mirror :class:`repro.query.planner.
-    PlanExplain`: ``candidates`` is the index-pruned candidate count
-    (``None`` when no index could answer the filter's predicates),
-    ``scanned`` how many documents paid the compiled evaluation, and
-    ``matched`` how many entered the streamed stages.
-
-    Over a sharded collection the top-level counters are fleet totals,
-    ``shards`` breaks them down per shard (including how many partial
-    rows/groups each shipped to the coordinator), and ``merge`` names
-    the coordinator's merge strategy (``"group-merge"``,
-    ``"sort-merge"``, ``"count-sum"`` or ``"stream"``).
-    """
-
-    dialect: str
-    source: str
-    total: int
-    candidates: int | None
-    scanned: int
-    matched: int
-    results: int
-    stages: tuple[StageExplain, ...]
-    shards: tuple[ShardExplain, ...] = ()
-    merge: str | None = None
-
-    @property
-    def pruned(self) -> int:
-        return self.total - self.scanned
-
-    @property
-    def used_indexes(self) -> bool:
-        return self.candidates is not None
+# StageExplain/ShardExplain moved to repro.explain (the unified report);
+# AggregateExplain survives there as a deprecated constructor shim.  All
+# three stay importable from this module for source compatibility.
 
 
 def _window_bound(stages: tuple[Stage, ...]) -> int | None:
@@ -713,15 +647,27 @@ class CompiledPipeline:
 
     # ------------------------------------------------------------------
 
-    def _collection_rows(self, collection: Any) -> Iterator[Any]:
+    def _collection_rows(
+        self, collection: Any, no_semantic: bool = False
+    ) -> Iterator[Any]:
         """Leading-match survivors of a store collection, index-pruned.
 
         Candidates come from folding the compiled filter's sargable
         predicates over the secondary indexes (a sound superset); the
         final verdict per candidate is the value-space matcher, so only
         the handful of candidate documents are ever materialised --
-        the loop never touches the pruned ids at all.
+        the loop never touches the pruned ids at all.  An enforced
+        semantic verdict short-circuits first: ``"empty"`` yields
+        nothing, ``"all"`` streams every live document verify-free.
         """
+        decision = optimizer.semantic_plan(
+            collection, self.lead_query, no_semantic=no_semantic
+        )
+        kind = optimizer.effective_kind(decision)
+        if kind == "empty":
+            return iter(())
+        if kind == "all":
+            return (tree.to_value() for _, tree in collection.documents())
         return self._survivors(collection, self._candidates(collection))
 
     def _survivors(
@@ -732,14 +678,17 @@ class CompiledPipeline:
             for _, tree in collection.documents():
                 yield tree.to_value()
             return
+        count = optimizer.count_verify
         if candidates is None:
             for _, tree in collection.documents():
                 value = tree.to_value()
+                count()
                 if lead_pred(value):
                     yield value
             return
         for doc_id in sorted(candidates):
             value = collection.get(doc_id).to_value()
+            count()
             if lead_pred(value):
                 yield value
 
@@ -764,29 +713,57 @@ class CompiledPipeline:
             if self.lead_pred is None or self.lead_pred(item):
                 yield item
 
-    def _rows(self, source: Any) -> Iterator[Any]:
+    def _rows(self, source: Any, no_semantic: bool = False) -> Iterator[Any]:
         if hasattr(source, "documents") and hasattr(source, "indexes"):
-            return self._collection_rows(source)
+            return self._collection_rows(source, no_semantic)
         return self._item_rows(source)
 
-    def execute(self, source: Any) -> list[Any]:
+    def _scatter_payload(
+        self, source: Any, no_semantic: bool
+    ) -> "dict[str, Any] | None":
+        """The scatter envelope, with the coordinator's verdict attached.
+
+        The coordinator proves once (against the fleet-wide schema, when
+        there is one) and the shards inherit: ``"semantic"`` carries an
+        enforced ``"empty"``/``"all"`` verdict, ``None`` to let each
+        shard consult its own summary, or ``"off"`` to disable the
+        pass shard-side too.  Returns ``None`` when the coordinator's
+        ``"empty"`` verdict makes scattering itself unnecessary.
+        """
+        if no_semantic:
+            return {"pipeline": self.pipeline, "semantic": "off"}
+        decision = optimizer.semantic_plan(source, self.lead_query)
+        kind = optimizer.effective_kind(decision)
+        if kind == "empty":
+            return None
+        semantic = kind if kind == "all" else None
+        return {"pipeline": self.pipeline, "semantic": semantic}
+
+    def execute(self, source: Any, *, no_semantic: bool = False) -> list[Any]:
         """Run the pipeline over a collection (index-pruned), a sharded
         collection (scatter-gather) or an iterable of trees/values
         (streamed), returning the result rows."""
         scatter = getattr(source, "scatter_partial_aggregate", None)
         if scatter is not None:
-            return self.merge_partials(scatter(self.pipeline))
-        return list(self.stream(source))
+            payload = self._scatter_payload(source, no_semantic)
+            if payload is None:  # coordinator proved "empty": no scatter
+                return self.merge_partials([])
+            return self.merge_partials(scatter(payload))
+        return list(self.stream(source, no_semantic=no_semantic))
 
-    def stream(self, source: Any) -> Iterator[Any]:
+    def stream(
+        self, source: Any, *, no_semantic: bool = False
+    ) -> Iterator[Any]:
         """Lazy variant of :meth:`execute` (one generator per stage)."""
-        return run_stages(self.stages, self._rows(source))
+        return run_stages(self.stages, self._rows(source, no_semantic))
 
     # ------------------------------------------------------------------
     # Scatter-gather execution (one partial per shard, merged here).
     # ------------------------------------------------------------------
 
-    def execute_partial(self, collection: Any) -> dict[str, Any]:
+    def execute_partial(
+        self, collection: Any, *, verdict: "str | None" = None
+    ) -> dict[str, Any]:
         """The map-side share of this pipeline over one shard.
 
         Runs the leading match (index-pruned as usual) plus the per-row
@@ -795,24 +772,51 @@ class CompiledPipeline:
         JSON values tagged with ``(doc_id, seq)`` ranks, group tables
         carry exported accumulator partials -- so it can cross a worker
         process boundary to :meth:`merge_partials` unchanged.
+
+        ``verdict`` is the coordinator's inherited semantic verdict
+        (``"empty"``/``"all"``: enforce without re-proving; ``"off"``:
+        skip the semantic pass; ``None``: decide locally against this
+        shard's own context).
         """
+        if verdict is None:
+            decision = optimizer.semantic_plan(collection, self.lead_query)
+            kind = optimizer.effective_kind(decision)
+        elif verdict == "off":
+            kind = "none"
+        else:
+            kind = verdict
         total = len(collection)
-        candidates = self._candidates(collection)
-        scanned = total if candidates is None else len(candidates)
+        if kind in ("empty", "all"):
+            candidates = None
+            scanned = 0
+        else:
+            candidates = self._candidates(collection)
+            scanned = total if candidates is None else len(candidates)
         matched = 0
 
         def survivor_pairs() -> Iterator[tuple[int, Any]]:
             nonlocal matched
+            if kind == "empty":
+                return
             lead_pred = self.lead_pred
+            if kind == "all":
+                for doc_id, tree in collection.documents():
+                    matched += 1
+                    yield doc_id, tree.to_value()
+                return
+            count = optimizer.count_verify
             if candidates is None:
                 for doc_id, tree in collection.documents():
                     value = tree.to_value()
+                    if lead_pred is not None:
+                        count()
                     if lead_pred is None or lead_pred(value):
                         matched += 1
                         yield doc_id, value
                 return
             for doc_id in sorted(candidates):
                 value = collection.get(doc_id).to_value()
+                count()
                 if lead_pred(value):
                     matched += 1
                     yield doc_id, value
@@ -881,47 +885,91 @@ class CompiledPipeline:
             rest = self.stages[split:]
         return list(run_stages(rest, rows))
 
-    def explain(self, collection: Any) -> AggregateExplain:
+    def explain(
+        self, collection: Any, *, no_semantic: bool = False
+    ) -> Explain:
         """Run over an indexed collection, reporting what was pruned
-        by indexes versus streamed (PlanExplain's aggregation sibling)."""
+        by indexes versus streamed (the find explain's aggregation
+        sibling), including the semantic optimizer's verdict."""
+        decision = optimizer.semantic_plan(
+            collection, self.lead_query, no_semantic=no_semantic
+        )
+        semantics = None if decision is None else decision.semantics_explain()
         scatter = getattr(collection, "scatter_partial_aggregate", None)
         if scatter is not None:
-            return self._explain_sharded(scatter(self.pipeline))
+            kind = optimizer.effective_kind(decision)
+            if no_semantic:
+                semantic = "off"
+            elif kind in ("empty", "all"):
+                semantic = kind
+            else:
+                semantic = None
+            partials = scatter(
+                {"pipeline": self.pipeline, "semantic": semantic}
+            )
+            return self._explain_sharded(partials, semantics)
         total = len(collection)
-        candidates = self._candidates(collection)
-        scanned = total if candidates is None else len(candidates)
-        survivors = self._survivors(collection, candidates)
-        matched = 0
+        kind = optimizer.effective_kind(decision)
+        if kind == "empty":
+            results = sum(1 for _ in run_stages(self.stages, iter(())))
+            matched = 0
+            candidates = None
+            scanned = 0
+            survivors: Iterator[Any] = iter(())
+        elif kind == "all":
+            all_rows = (tree.to_value() for _, tree in collection.documents())
+            results = sum(1 for _ in run_stages(self.stages, all_rows))
+            matched = total  # the premise entails the match: every doc
+            candidates = None
+            scanned = 0
+            survivors = iter(())
+        else:
+            raw_candidates = self._candidates(collection)
+            scanned = (
+                total if raw_candidates is None else len(raw_candidates)
+            )
+            survivors = self._survivors(collection, raw_candidates)
+            matched = 0
 
-        def counted() -> Iterator[Any]:
-            nonlocal matched
-            for value in survivors:
+            def counted() -> Iterator[Any]:
+                nonlocal matched
+                for value in survivors:
+                    matched += 1
+                    yield value
+
+            results = sum(1 for _ in run_stages(self.stages, counted()))
+            # An early-exiting stage ($limit) stops pulling; finish the
+            # matched count over the untouched survivors.
+            for _ in survivors:
                 matched += 1
-                yield value
-
-        results = sum(1 for _ in run_stages(self.stages, counted()))
-        for _ in survivors:  # an early-exiting stage ($limit) stops pulling
-            matched += 1
+            candidates = (
+                raw_candidates if raw_candidates is None
+                else len(raw_candidates)
+            )
         lead_mode = "index-pruned" if candidates is not None else "streamed"
         reports = [StageExplain("$match", lead_mode)] * self.lead_count
         reports.extend(
             StageExplain(stage.op, "materialised" if stage.blocking else "streamed")
             for stage in self.stages
         )
-        return AggregateExplain(
+        return Explain(
+            kind="aggregate",
             dialect=_DIALECT,
             source=self.source,
             total=total,
-            candidates=candidates if candidates is None else len(candidates),
+            candidates=candidates,
             scanned=scanned,
             matched=matched,
             results=results,
             stages=tuple(reports),
+            semantics=semantics,
         )
 
     def _explain_sharded(
-        self, partials: list[dict[str, Any]]
-    ) -> AggregateExplain:
+        self,
+        partials: list[dict[str, Any]],
+        semantics: Any = None,
+    ) -> Explain:
         """Fold per-shard partial reports into one fleet explain."""
         results = len(self.merge_partials(partials))
         shard_reports = tuple(
@@ -955,7 +1003,8 @@ class CompiledPipeline:
             )
             for stage in self.stages[rest:]
         )
-        return AggregateExplain(
+        return Explain(
+            kind="aggregate",
             dialect=_DIALECT,
             source=self.source,
             total=sum(part["total"] for part in partials),
@@ -966,6 +1015,7 @@ class CompiledPipeline:
             stages=tuple(reports),
             shards=shard_reports,
             merge=self.merge_strategy,
+            semantics=semantics,
         )
 
     def __repr__(self) -> str:
@@ -1014,20 +1064,39 @@ def aggregate(source: Any, pipeline: list[Any]) -> list[Any]:
     return compile_pipeline(pipeline).execute(source)
 
 
-def explain_pipeline(collection: Any, pipeline: list[Any]) -> AggregateExplain:
+def explain_pipeline(
+    collection: Any, pipeline: list[Any], *, no_semantic: bool = False
+) -> Explain:
     """The staged executor's report for ``pipeline`` over ``collection``."""
-    return compile_pipeline(pipeline).explain(collection)
+    return compile_pipeline(pipeline).explain(
+        collection, no_semantic=no_semantic
+    )
 
 
-def partial_aggregate(collection: Any, pipeline: list[Any]) -> dict[str, Any]:
-    """One shard's picklable partial result for ``pipeline``.
+def partial_aggregate(
+    collection: Any, payload: "list[Any] | dict[str, Any]"
+) -> dict[str, Any]:
+    """One shard's picklable partial result for an aggregation.
 
     The map-side entry point sharded execution fans out (in a worker
     process or in-line): compiles through the process-wide artifact
     cache -- each worker pays compilation once per distinct pipeline --
     and returns what :meth:`CompiledPipeline.merge_partials` consumes.
+
+    ``payload`` is either a bare pipeline (each shard makes its own
+    semantic decision) or the coordinator's scatter envelope
+    ``{"pipeline": [...], "semantic": verdict}`` (see
+    :meth:`CompiledPipeline.execute_partial`).
     """
-    return compile_pipeline(pipeline).execute_partial(collection)
+    if isinstance(payload, dict):
+        pipeline = payload["pipeline"]
+        verdict = payload.get("semantic")
+    else:
+        pipeline = payload
+        verdict = None
+    return compile_pipeline(pipeline).execute_partial(
+        collection, verdict=verdict
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -39,13 +39,14 @@ from typing import Any
 
 from repro.cache import USE_DEFAULT_CACHE, resolve_cache
 from repro.errors import ParseError, UpdateError
+from repro.explain import Explain, UpdateExplain
 from repro.mongo.aggregate import (
     _op_holds,
     _validate_operator_doc,
     compile_value_filter,
 )
 from repro.mongo.find import _is_operator_doc
-from repro.query import planner
+from repro.query import optimizer, planner
 from repro.query.compiled import compile_mongo_find
 from repro.query.stages import split_field_path, values_equal
 from repro.store.indexes import DeltaOps
@@ -106,48 +107,9 @@ class UpdateResult:
     upserted_id: int | None = None
 
 
-@dataclass(frozen=True)
-class UpdateExplain:
-    """Dry-run report for an update over one collection.
-
-    The target-selection fields mirror :class:`repro.query.planner.
-    PlanExplain` (``candidates`` is ``None`` when no index could answer
-    the filter); the maintenance fields report the index work the delta
-    *would* do: ``entries_added``/``entries_removed`` count postings
-    touched, ``refcount_adjusted`` entries whose count changes without
-    crossing zero, and ``postings`` breaks the touched postings down
-    per index table.  Nothing is modified by an explain.
-    """
-
-    filter_source: str
-    update_source: str
-    total: int
-    candidates: int | None
-    scanned: int
-    matched: int
-    modified: int
-    entries_added: int
-    entries_removed: int
-    refcount_adjusted: int
-    postings: dict[str, int]
-
-    @property
-    def pruned(self) -> int:
-        """Documents the secondary indexes eliminated before any
-        value-space work (0 on a full scan -- a ``first_only`` early
-        exit leaves documents unscanned without them being pruned)."""
-        if self.candidates is None:
-            return 0
-        return self.total - self.candidates
-
-    @property
-    def used_indexes(self) -> bool:
-        return self.candidates is not None
-
-    @property
-    def touched_tables(self) -> tuple[str, ...]:
-        """The index tables the delta touches, sorted by name."""
-        return tuple(sorted(self.postings))
+# UpdateExplain moved to repro.explain as a deprecated constructor shim
+# over the unified Explain report; it stays importable from this module
+# for source compatibility.
 
 
 # ---------------------------------------------------------------------------
@@ -301,40 +263,65 @@ def compile_update(
 
 
 def _select_targets(
-    collection: Any, filter_doc: Any, *, first_only: bool = False
-) -> tuple[list[tuple[int, Any]], int | None, int]:
+    collection: Any,
+    filter_doc: Any,
+    *,
+    first_only: bool = False,
+    no_semantic: bool = False,
+) -> tuple[list[tuple[int, Any]], int | None, int, Any]:
     """Matching documents, index-pruned where the filter allows.
 
     Returns ``(matched (id, value) pairs, candidate count or None,
-    scanned)``.  The value-space predicate is authoritative; the
-    compiled find query exists only for its logical plan (pruning),
-    and a filter outside the find dialect simply scans.  The matched
-    values are handed on to :meth:`Collection.apply_update` so no
-    document is materialised twice per call.
+    scanned, semantic decision)``.  The value-space predicate is
+    authoritative; the compiled find query exists only for its logical
+    plan (pruning and semantic proofs), and a filter outside the find
+    dialect simply scans.  An enforced semantic ``"empty"`` verdict
+    selects no targets without materialising a document; ``"all"``
+    selects every live document without per-value verification.  The
+    matched values are handed on to :meth:`Collection.apply_update` so
+    no document is materialised twice per call.
     """
+    try:
+        query = compile_mongo_find(filter_doc)
+    except ParseError:
+        query = None
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
+    kind = optimizer.effective_kind(decision)
+    if kind == "empty":
+        return [], None, 0, decision
     matches = compile_value_filter(filter_doc)
     candidates = None
-    if collection.indexes is not None:
-        try:
-            query = compile_mongo_find(filter_doc)
-        except ParseError:
-            query = None
-        if query is not None:
-            candidates = planner.candidate_ids(
-                query.plan.match_predicate, collection.indexes
-            )
+    if (
+        kind != "all"
+        and collection.indexes is not None
+        and query is not None
+    ):
+        candidates = planner.candidate_ids(
+            query.plan.match_predicate, collection.indexes
+        )
     ids = collection.doc_ids() if candidates is None else sorted(candidates)
     matched: list[tuple[int, Any]] = []
     scanned = 0
-    for doc_id in ids:
-        scanned += 1
-        value = collection._peek_value(doc_id)
-        if matches(value):
-            matched.append((doc_id, value))
+    if kind == "all":
+        for doc_id in ids:
+            scanned += 1
+            matched.append((doc_id, collection._peek_value(doc_id)))
             if first_only:
                 break
+    else:
+        count = optimizer.count_verify
+        for doc_id in ids:
+            scanned += 1
+            value = collection._peek_value(doc_id)
+            count()
+            if matches(value):
+                matched.append((doc_id, value))
+                if first_only:
+                    break
     candidate_count = None if candidates is None else len(candidates)
-    return matched, candidate_count, scanned
+    return matched, candidate_count, scanned, decision
 
 
 def _run_update(
@@ -348,7 +335,7 @@ def _run_update(
 ) -> UpdateResult:
     """The shared select → (upsert | apply) → count tail of every
     write entry point."""
-    matched, _, _ = _select_targets(
+    matched, _, _, _ = _select_targets(
         collection, filter_doc, first_only=first_only
     )
     if not matched:
@@ -486,7 +473,7 @@ def first_match_id(collection: Any, filter_doc: Any) -> int | None:
     routing the single-document write to the owning shard updates
     exactly the document the unsharded path would have.
     """
-    matched, _, _ = _select_targets(collection, filter_doc, first_only=True)
+    matched, _, _, _ = _select_targets(collection, filter_doc, first_only=True)
     return matched[0][0] if matched else None
 
 
@@ -508,14 +495,15 @@ def explain_update(
     update_doc: Any,
     *,
     first_only: bool = False,
-) -> UpdateExplain:
+    no_semantic: bool = False,
+) -> Explain:
     """Dry-run an update: target pruning plus the index delta it would
-    apply.  Mirrors :class:`repro.query.planner.PlanExplain` on the
-    read side; nothing in the collection or its indexes changes.
-    ``first_only`` previews ``update_one`` instead of ``update_many``."""
+    apply.  Mirrors the find explain on the read side; nothing in the
+    collection or its indexes changes.  ``first_only`` previews
+    ``update_one`` instead of ``update_many``."""
     compiled = compile_update(update_doc)
-    matched, candidates, scanned = _select_targets(
-        collection, filter_doc, first_only=first_only
+    matched, candidates, scanned, decision = _select_targets(
+        collection, filter_doc, first_only=first_only, no_semantic=no_semantic
     )
     ops = DeltaOps()
     modified = 0
@@ -531,8 +519,9 @@ def explain_update(
                     doc_id, delta, commit=False
                 )
             )
-    return UpdateExplain(
-        filter_source=update_cache_key(filter_doc),
+    return Explain(
+        kind="update",
+        source=update_cache_key(filter_doc),
         update_source=compiled.source,
         total=len(collection),
         candidates=candidates,
@@ -543,6 +532,7 @@ def explain_update(
         entries_removed=ops.entries_removed,
         refcount_adjusted=ops.adjusted,
         postings=dict(ops.postings),
+        semantics=None if decision is None else decision.semantics_explain(),
     )
 
 

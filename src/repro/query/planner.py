@@ -20,6 +20,14 @@ Candidates are recomputed from the live indexes on every call (plans
 are tree-independent and cached process-wide; candidate sets never
 are), so a mutated collection can never serve stale answers.
 
+Before stages 2 and 3 the planner consults the schema-aware semantic
+optimizer (:mod:`repro.query.optimizer`): an enforced ``"empty"``
+verdict answers without touching an index, ``"all"`` streams every
+live document verify-free, and ``"residual"`` verifies only the
+conjuncts the schema could not discharge.  Collections opt in by
+exposing a ``semantic_context``; everything else (and every
+``no_semantic=True`` call) takes the classic prune-and-verify path.
+
 The module is deliberately ignorant of :mod:`repro.store` internals:
 anything with ``indexes``/``documents()``/``version`` duck-types as a
 collection, which keeps the import graph acyclic (store builds on the
@@ -28,12 +36,13 @@ planner, not vice versa).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from repro.explain import Explain, PlanExplain
 from repro.model.tree import JSONTree, JSONValue
-from repro.query import ir
+from repro.query import ir, optimizer
 from repro.query.compiled import CompiledQuery
+from repro.query.optimizer import SemanticDecision
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
     from repro.store.collection import Collection
@@ -51,26 +60,6 @@ __all__ = [
     "select_values",
     "explain",
 ]
-
-
-@dataclass(frozen=True)
-class PlanExplain:
-    """What the planner did for one query over one collection."""
-
-    dialect: str
-    source: str
-    total: int
-    candidates: int | None  # None = unindexable, full scan
-    scanned: int
-    matched: int
-
-    @property
-    def pruned(self) -> int:
-        return self.total - self.scanned
-
-    @property
-    def used_indexes(self) -> bool:
-        return self.candidates is not None
 
 
 # ---------------------------------------------------------------------------
@@ -188,48 +177,98 @@ def _survivors(
 
 
 def _matching(
-    collection: "Collection", query: CompiledQuery
+    collection: "Collection",
+    query: CompiledQuery,
+    decision: SemanticDecision | None = None,
 ) -> Iterable[tuple[int, JSONTree]]:
+    kind = optimizer.effective_kind(decision)
+    if kind == "empty":
+        return
+    if kind == "all":
+        # The premise entails the query: every live document matches.
+        yield from collection.documents()
+        return
+    if kind == "residual":
+        verify = decision.verdict.residual_query.matches
+    else:
+        verify = query.matches
     survivors, _ = _survivors(collection, query.plan.match_predicate)
+    count = optimizer.count_verify
     for doc_id, tree in survivors:
-        if query.matches(tree):
+        count()
+        if verify(tree):
             yield doc_id, tree
 
 
-def match_ids(collection: "Collection", query: CompiledQuery) -> list[int]:
+def match_ids(
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
+) -> list[int]:
     """Ids of the documents the query matches (root match / non-empty
     selection), in document-id order."""
-    return [doc_id for doc_id, _ in _matching(collection, query)]
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
+    return [doc_id for doc_id, _ in _matching(collection, query, decision)]
 
 
-def match_flags(collection: "Collection", query: CompiledQuery) -> list[bool]:
+def match_flags(
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
+) -> list[bool]:
     """One verdict per live document, aligned with ``documents()`` order.
 
     Pruned documents are reported ``False`` without being evaluated --
     the planner's equivalent of :func:`repro.query.batch.match_many`.
     """
-    matched = set(match_ids(collection, query))
+    matched = set(match_ids(collection, query, no_semantic=no_semantic))
     return [doc_id in matched for doc_id, _ in collection.documents()]
 
 
-def count_matches(collection: "Collection", query: CompiledQuery) -> int:
-    return sum(1 for _ in _matching(collection, query))
+def count_matches(
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
+) -> int:
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
+    kind = optimizer.effective_kind(decision)
+    if kind == "empty":
+        return 0
+    if kind == "all":
+        return len(collection)
+    return sum(1 for _ in _matching(collection, query, decision))
 
 
 def find_documents(
-    collection: "Collection", query: CompiledQuery
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
 ) -> list[JSONValue]:
     """Mongo ``find`` over a collection: (projected) matching documents."""
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
     results: list[JSONValue] = []
     projection = query.projection
-    for _, tree in _matching(collection, query):
+    for _, tree in _matching(collection, query, decision):
         value = tree.to_value()
         results.append(projection.apply_value(value) if projection else value)
     return results
 
 
 def find_rows(
-    collection: "Collection", query: CompiledQuery
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
 ) -> list[tuple[int, JSONValue]]:
     """``(doc_id, projected value)`` pairs for the matching documents.
 
@@ -238,9 +277,12 @@ def find_rows(
     rows by the globally unique doc-id, which reproduces the single
     collection's document-id answer order exactly.
     """
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
     rows: list[tuple[int, JSONValue]] = []
     projection = query.projection
-    for doc_id, tree in _matching(collection, query):
+    for doc_id, tree in _matching(collection, query, decision):
         value = tree.to_value()
         rows.append(
             (doc_id, projection.apply_value(value) if projection else value)
@@ -249,10 +291,16 @@ def find_rows(
 
 
 def find_trees(
-    collection: "Collection", query: CompiledQuery
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
 ) -> list[JSONTree]:
     """The matching documents as trees (no projection applied)."""
-    return [tree for _, tree in _matching(collection, query)]
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
+    return [tree for _, tree in _matching(collection, query, decision)]
 
 
 def select_nodes(
@@ -293,17 +341,61 @@ def select_values(
     return rows
 
 
-def explain(collection: "Collection", query: CompiledQuery) -> PlanExplain:
+def explain(
+    collection: "Collection",
+    query: CompiledQuery,
+    *,
+    no_semantic: bool = False,
+) -> Explain:
     """Run the match pipeline, reporting pruning effectiveness."""
+    decision = optimizer.semantic_plan(
+        collection, query, no_semantic=no_semantic
+    )
+    semantics = None if decision is None else decision.semantics_explain()
+    total = len(collection)
+    kind = optimizer.effective_kind(decision)
+    if kind == "empty":
+        return Explain(
+            kind="find",
+            dialect=query.dialect,
+            source=query.source,
+            total=total,
+            candidates=None,
+            scanned=0,
+            matched=0,
+            semantics=semantics,
+        )
+    if kind == "all":
+        return Explain(
+            kind="find",
+            dialect=query.dialect,
+            source=query.source,
+            total=total,
+            candidates=None,
+            scanned=0,
+            matched=total,
+            semantics=semantics,
+        )
+    if kind == "residual":
+        verify = decision.verdict.residual_query.matches
+    else:
+        verify = query.matches
     survivors, candidates = _survivors(
         collection, query.plan.match_predicate
     )
-    matched = sum(1 for _, tree in survivors if query.matches(tree))
-    return PlanExplain(
+    count = optimizer.count_verify
+    matched = 0
+    for _, tree in survivors:
+        count()
+        if verify(tree):
+            matched += 1
+    return Explain(
+        kind="find",
         dialect=query.dialect,
         source=query.source,
-        total=len(collection),
+        total=total,
         candidates=candidates,
         scanned=len(survivors),
         matched=matched,
+        semantics=semantics,
     )

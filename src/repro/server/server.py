@@ -292,15 +292,23 @@ class ReproServer:
 
     def _execute_read(self, op: str, message: dict[str, Any]) -> Any:
         snapshot = self._snapshot(message)
+        hint = message.get("hint")
+        if hint is not None and not isinstance(hint, dict):
+            raise WireProtocolError("hint must be a JSON object")
         if op == "find":
             return snapshot.find(
                 _require_dict(message, "filter", default={}),
                 message.get("projection"),
+                hint=hint,
             )
         if op == "count":
-            return snapshot.count(_require_dict(message, "filter", default={}))
+            return snapshot.count(
+                _require_dict(message, "filter", default={}), hint=hint
+            )
         if op == "aggregate":
-            return snapshot.aggregate(_require_list(message, "pipeline"))
+            return snapshot.aggregate(
+                _require_list(message, "pipeline"), hint=hint
+            )
         if op == "select":
             dialect = message.get("dialect", "jsonpath")
             if not isinstance(dialect, str):
@@ -322,13 +330,22 @@ class ReproServer:
         if op == "explain":
             if "pipeline" in message:
                 report = snapshot.explain_aggregate(
-                    _require_list(message, "pipeline")
+                    _require_list(message, "pipeline"), hint=hint
+                )
+            elif "update" in message:
+                # A dry run only reads; it answers from the live
+                # collection because snapshots hold no write planner.
+                report = self._collection(message).explain_update(
+                    _require_dict(message, "filter", default={}),
+                    _require_dict(message, "update"),
+                    first_only=bool(message.get("first_only")),
+                    hint=hint,
                 )
             else:
                 report = snapshot.explain(
-                    _require_dict(message, "filter", default={})
+                    _require_dict(message, "filter", default={}), hint=hint
                 )
-            return _jsonable(report)
+            return report.to_json()
         raise WireProtocolError(f"unhandled read operation {op!r}")
 
     def _execute_validate(self, message: dict[str, Any]) -> bool:

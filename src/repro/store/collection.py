@@ -33,6 +33,7 @@ import warnings
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import DocumentRejectedError, StoreError
+from repro.explain import Explain
 from repro.model.tree import JSONTree, JSONValue
 from repro.query import planner
 from repro.query.compiled import (
@@ -40,6 +41,7 @@ from repro.query.compiled import (
     compile_mongo_find,
     compile_query,
 )
+from repro.query.optimizer import SemanticContext, check_optimize_mode
 from repro.store.engine import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
@@ -54,6 +56,7 @@ from repro.store.indexes import (
     IndexStats,
     encode_entry_counts,
 )
+from repro.store.summary import StructuralSummary
 from repro.store.update import CompiledUpdate, mutation_delta
 from repro.validate.bulk import validate_corpus
 from repro.validate.compiled import CompiledValidator, compile_schema_validator
@@ -61,10 +64,28 @@ from repro.validate.compiled import CompiledValidator, compile_schema_validator
 __all__ = ["Collection", "memory_collection"]
 
 
-def _compile_schema(schema: Any) -> CompiledValidator:
+def _compile_schema(schema: Any):
+    """``(validator, parsed document, canonical text)`` for a schema.
+
+    The parsed document and its canonical rendering feed the semantic
+    optimizer: the document translates to the JSL proof premise
+    (Theorem 1), the text is the premise's cache fingerprint -- shared
+    across collections enforcing an identical schema.
+    """
     from repro.schema.parser import parse_schema
 
-    return compile_schema_validator(parse_schema(schema))
+    document = parse_schema(schema)
+    canonical = _json.dumps(
+        _json.loads(schema) if isinstance(schema, str) else schema,
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return compile_schema_validator(document), document, canonical
+
+
+def _no_semantic(hint: "dict[str, Any] | None") -> bool:
+    """Whether a per-query ``hint`` opts out of semantic optimization."""
+    return bool(hint) and bool(hint.get("no_semantic"))
 
 
 class Collection:
@@ -87,7 +108,9 @@ class Collection:
     """
 
     __slots__ = ("_trees", "_alive", "_interned", "_indexes", "_validator",
-                 "_extended", "_version", "_dirty", "_engine")
+                 "_extended", "_version", "_dirty", "_engine", "_optimize",
+                 "_schema_ast", "_schema_source", "_schema_formula",
+                 "_summary")
 
     def __init__(
         self,
@@ -97,6 +120,7 @@ class Collection:
         validator: CompiledValidator | None = None,
         extended: bool = False,
         indexed: bool = True,
+        optimize: str = "on",
         engine: StorageEngine | None = None,
     ) -> None:
         if schema is not None and validator is not None:
@@ -121,10 +145,20 @@ class Collection:
         self._indexes: DocumentIndexes | None = (
             DocumentIndexes() if indexed else None
         )
-        self._validator = (
-            _compile_schema(schema) if schema is not None else validator
-        )
+        self._schema_ast = None
+        self._schema_source: str | None = None
+        if schema is not None:
+            self._validator, self._schema_ast, self._schema_source = (
+                _compile_schema(schema)
+            )
+        else:
+            self._validator = validator
         self._extended = extended
+        self._optimize = check_optimize_mode(optimize)
+        # Lazy semantic-optimizer state: the schema's JSL translation,
+        # or (schemaless) the inferred structural summary.
+        self._schema_formula = None
+        self._summary: StructuralSummary | None = None
         self._version = 0
         # Updated documents live here as plain values until next read:
         # delta index maintenance keeps the postings exact immediately,
@@ -210,6 +244,7 @@ class Collection:
                     for item in items
                 ],
             )
+        summary = self._summary
         for doc_id, tree in zip(ids, trees):
             if doc_id > len(self._trees):
                 self._trees.extend([None] * (doc_id - len(self._trees)))
@@ -217,6 +252,8 @@ class Collection:
             self._alive += 1
             if self._indexes is not None:
                 self._indexes.add(doc_id, tree)
+            if summary is not None:
+                summary.observe_tree(tree)
         if trees:
             self._version += 1
             if self._engine.durable:
@@ -351,6 +388,66 @@ class Collection:
         return self._version
 
     @property
+    def optimize(self) -> str:
+        """The semantic-optimizer knob (``on``/``off``/``proof-only``)."""
+        return self._optimize
+
+    @property
+    def semantic_context(self) -> SemanticContext | None:
+        """What the semantic optimizer may assume about every document.
+
+        ``None`` -- and hence no optimization -- when the knob is
+        ``"off"``, when the collection holds ``extended`` values (the
+        solver's model class is the paper's 4-kind universe), or when
+        no sound premise exists.  Schema-enforced collections return
+        the schema's JSL translation (Theorem 1), fingerprinted by the
+        canonical schema text so identical schemas share cached
+        verdicts; schemaless collections return the inferred
+        widen-only structural summary (:mod:`repro.store.summary`),
+        fingerprinted by its revision.
+        """
+        if self._optimize == "off" or self._extended:
+            return None
+        if self._schema_ast is not None:
+            formula = self._schema_formula
+            if formula is None:
+                from repro.errors import SchemaError
+                from repro.schema.to_jsl import schema_to_jsl
+
+                try:
+                    formula = schema_to_jsl(self._schema_ast)
+                except SchemaError:
+                    formula = False  # untranslatable: remember, skip
+                self._schema_formula = formula
+            if formula is False:
+                return None
+            return SemanticContext(
+                mode=self._optimize,
+                source="schema",
+                fingerprint=("schema", self._schema_source),
+                formula=formula,
+            )
+        if self._validator is not None:
+            # A prebuilt validator carries no schema AST to translate;
+            # the summary's invariant (every live doc was observed)
+            # would still hold, but enforcement may rely on exotic
+            # validator features, so stay conservative.
+            return None
+        summary = self._summary
+        if summary is None:
+            summary = StructuralSummary()
+            summary.observe_all(tree for _, tree in self.documents())
+            self._summary = summary
+        if summary.disabled:
+            return None
+        return SemanticContext(
+            mode=self._optimize,
+            source="summary",
+            fingerprint=summary.fingerprint,
+            formula=summary.formula(),
+        )
+
+    @property
     def schema_enforced(self) -> bool:
         return self._validator is not None
 
@@ -480,6 +577,10 @@ class Collection:
                 [(doc_id, new_value) for doc_id, new_value, _, _ in staged]
             )
         ops = DeltaOps()
+        summary = self._summary
+        if summary is not None:
+            for _, new_value, _, _ in staged:
+                summary.observe_value(new_value)
         for doc_id, new_value, delta, new_tree in staged:
             if delta_mode:
                 if self._indexes is not None:
@@ -554,16 +655,21 @@ class Collection:
         update_doc: dict[str, Any],
         *,
         first_only: bool = False,
+        hint: dict[str, Any] | None = None,
     ):
         """Dry-run report for :meth:`update_many` (or, with
         ``first_only``, :meth:`update_one`): pruned-vs-scanned targets
-        and the index postings the delta would touch -- a
-        :class:`repro.mongo.update.UpdateExplain`.  Nothing is
-        modified."""
+        and the index postings the delta would touch -- an
+        :class:`~repro.explain.Explain` of ``kind="update"``.  Nothing
+        is modified."""
         from repro.mongo.update import explain_update
 
         return explain_update(
-            self, filter_doc, update_doc, first_only=first_only
+            self,
+            filter_doc,
+            update_doc,
+            first_only=first_only,
+            no_semantic=_no_semantic(hint),
         )
 
     # ------------------------------------------------------------------
@@ -574,23 +680,53 @@ class Collection:
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[JSONValue]:
-        """MongoDB's ``db.collection.find(filter, projection)``."""
+        """MongoDB's ``db.collection.find(filter, projection)``.
+
+        ``hint={"no_semantic": True}`` skips the semantic optimizer for
+        this one query (every read method accepts it).
+        """
         return planner.find_documents(
-            self, compile_mongo_find(filter_doc, projection)
+            self,
+            compile_mongo_find(filter_doc, projection),
+            no_semantic=_no_semantic(hint),
         )
 
-    def find_trees(self, filter_doc: dict[str, Any]) -> list[JSONTree]:
-        return planner.find_trees(self, compile_mongo_find(filter_doc))
+    def find_trees(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> list[JSONTree]:
+        return planner.find_trees(
+            self, compile_mongo_find(filter_doc), no_semantic=_no_semantic(hint)
+        )
 
-    def count(self, filter_doc: dict[str, Any]) -> int:
-        return planner.count_matches(self, compile_mongo_find(filter_doc))
+    def count(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> int:
+        return planner.count_matches(
+            self, compile_mongo_find(filter_doc), no_semantic=_no_semantic(hint)
+        )
 
     def match_ids(
-        self, query: "CompiledQuery | str", dialect: str = "jnl"
+        self,
+        query: "CompiledQuery | str",
+        dialect: str = "jnl",
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[int]:
         """Ids of documents matched by a compiled or textual query."""
-        return planner.match_ids(self, self._as_query(query, dialect))
+        return planner.match_ids(
+            self,
+            self._as_query(query, dialect),
+            no_semantic=_no_semantic(hint),
+        )
 
     def select(
         self, query: "CompiledQuery | str", dialect: str = "jsonpath"
@@ -599,14 +735,26 @@ class Collection:
         return planner.select_values(self, self._as_query(query, dialect))
 
     def explain(
-        self, query: "CompiledQuery | str | dict", dialect: str = "jsonpath"
-    ) -> planner.PlanExplain:
+        self,
+        query: "CompiledQuery | str | dict",
+        dialect: str = "jsonpath",
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> Explain:
         """Pruning report for a query (dicts compile as Mongo filters)."""
         if isinstance(query, dict):
-            return planner.explain(self, compile_mongo_find(query))
-        return planner.explain(self, self._as_query(query, dialect))
+            return planner.explain(
+                self, compile_mongo_find(query), no_semantic=_no_semantic(hint)
+            )
+        return planner.explain(
+            self,
+            self._as_query(query, dialect),
+            no_semantic=_no_semantic(hint),
+        )
 
-    def aggregate(self, pipeline: list) -> list[JSONValue]:
+    def aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ) -> list[JSONValue]:
         """MongoDB's ``db.collection.aggregate(pipeline)``.
 
         The pipeline compiles once (cached process-wide); its leading
@@ -617,15 +765,21 @@ class Collection:
         # Lazy import: the Mongo front-end builds on the store.
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).execute(self)
+        return compile_pipeline(pipeline).execute(
+            self, no_semantic=_no_semantic(hint)
+        )
 
-    def explain_aggregate(self, pipeline: list):
+    def explain_aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ):
         """Stage-by-stage report (index-pruned vs streamed) for
-        :meth:`aggregate` -- a :class:`repro.mongo.aggregate.
-        AggregateExplain`."""
+        :meth:`aggregate` -- an :class:`~repro.explain.Explain` of
+        ``kind="aggregate"``."""
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).explain(self)
+        return compile_pipeline(pipeline).explain(
+            self, no_semantic=_no_semantic(hint)
+        )
 
     @staticmethod
     def _as_query(query: "CompiledQuery | str", dialect: str) -> CompiledQuery:

@@ -55,13 +55,15 @@ import heapq
 import json
 import multiprocessing
 import os
+from dataclasses import replace
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import StorageFormatError, StoreError
 from repro.model.tree import JSONTree, JSONValue
-from repro.query import planner
+from repro.query import optimizer, planner
 from repro.query.compiled import compile_mongo_find
-from repro.store.collection import Collection, _compile_schema
+from repro.query.optimizer import SemanticContext, check_optimize_mode
+from repro.store.collection import Collection, _compile_schema, _no_semantic
 from repro.store.durable import DurableEngine
 from repro.store.engine import EngineHealth, MemoryEngine
 
@@ -132,15 +134,32 @@ def _op_values(collection: Collection, payload: Any) -> list:
 
 def _op_find(collection: Collection, payload: Any) -> list:
     query = compile_mongo_find(payload["filter"], payload["projection"])
-    return planner.find_rows(collection, query)
+    return planner.find_rows(
+        collection, query, no_semantic=payload.get("no_semantic", False)
+    )
 
 
 def _op_count(collection: Collection, payload: Any) -> int:
-    return collection.count(payload)
+    return planner.count_matches(
+        collection,
+        compile_mongo_find(payload["filter"]),
+        no_semantic=payload.get("no_semantic", False),
+    )
 
 
 def _op_match_ids(collection: Collection, payload: Any) -> list[int]:
-    return planner.match_ids(collection, compile_mongo_find(payload))
+    return planner.match_ids(
+        collection,
+        compile_mongo_find(payload["filter"]),
+        no_semantic=payload.get("no_semantic", False),
+    )
+
+
+def _op_explain(collection: Collection, payload: Any):
+    hint = (
+        {"no_semantic": True} if payload.get("no_semantic") else None
+    )
+    return collection.explain(payload["filter"], hint=hint)
 
 
 def _op_agg_partial(collection: Collection, payload: Any) -> dict[str, Any]:
@@ -175,8 +194,14 @@ def _op_replace_one(collection: Collection, payload: Any) -> tuple[int, int]:
 
 
 def _op_explain_update(collection: Collection, payload: Any):
+    hint = (
+        {"no_semantic": True} if payload.get("no_semantic") else None
+    )
     return collection.explain_update(
-        payload["filter"], payload["update"], first_only=payload["first_only"]
+        payload["filter"],
+        payload["update"],
+        first_only=payload["first_only"],
+        hint=hint,
     )
 
 
@@ -199,6 +224,7 @@ _WORKER_OPS: dict[str, Callable[[Collection, Any], Any]] = {
     "find": _op_find,
     "count": _op_count,
     "match_ids": _op_match_ids,
+    "explain": _op_explain,
     "agg_partial": _op_agg_partial,
     "first_match": _op_first_match,
     "update_many": _op_update_many,
@@ -223,6 +249,7 @@ def _build_shard(config: dict[str, Any]) -> Collection:
         schema=config["schema"],
         extended=config["extended"],
         indexed=config["indexed"],
+        optimize=config.get("optimize", "on"),
     )
 
 
@@ -355,6 +382,7 @@ class ShardedEngine:
         sync: str = "fsync",
         parallel: bool | str = "auto",
         start_method: str | None = None,
+        optimize: str = "on",
     ) -> None:
         self._path = os.fspath(path) if path is not None else None
         self._closed = False
@@ -370,6 +398,7 @@ class ShardedEngine:
                 "extended": extended,
                 "indexed": indexed,
                 "sync": sync,
+                "optimize": check_optimize_mode(optimize),
             }
             for index in range(resolved)
         ]
@@ -570,7 +599,9 @@ class ShardedCollection:
         parallel: bool | str = "auto",
         start_method: str | None = None,
         engine: ShardedEngine | None = None,
+        optimize: str = "on",
     ) -> None:
+        self._optimize = check_optimize_mode(optimize)
         if engine is None:
             engine = ShardedEngine(
                 shards,
@@ -581,12 +612,19 @@ class ShardedCollection:
                 sync=sync,
                 parallel=parallel,
                 start_method=start_method,
+                optimize=self._optimize,
             )
         self._engine = engine
         self._extended = extended
-        self._validator = (
-            _compile_schema(schema) if schema is not None else None
-        )
+        if schema is not None:
+            self._validator, self._schema_ast, self._schema_source = (
+                _compile_schema(schema)
+            )
+        else:
+            self._validator = None
+            self._schema_ast = None
+            self._schema_source = None
+        self._schema_formula: Any = None
         metas = engine.broadcast("meta")
         self._next_id = max(meta["next_id"] for meta in metas)
         documents = list(documents)
@@ -689,6 +727,45 @@ class ShardedCollection:
         return self._validator is not None
 
     @property
+    def optimize(self) -> str:
+        """The semantic-optimizer knob (``on``/``off``/``proof-only``)."""
+        return self._optimize
+
+    @property
+    def semantic_context(self) -> SemanticContext | None:
+        """The coordinator-side semantic premise: the enforced schema.
+
+        The coordinator proves a verdict once per query and the shards
+        inherit it through the scatter payloads; only schema premises
+        apply here (a coordinator holds no documents, so there is no
+        structural summary to infer -- shards keep their own).  The
+        fingerprint is the canonical schema text, so coordinator and
+        shard verdicts share one cache entry per schema.
+        """
+        if self._optimize == "off" or self._extended:
+            return None
+        if self._schema_ast is None:
+            return None
+        formula = self._schema_formula
+        if formula is None:
+            from repro.errors import SchemaError
+            from repro.schema.to_jsl import schema_to_jsl
+
+            try:
+                formula = schema_to_jsl(self._schema_ast)
+            except SchemaError:
+                formula = False  # untranslatable: remember, skip
+            self._schema_formula = formula
+        if formula is False:
+            return None
+        return SemanticContext(
+            mode=self._optimize,
+            source="schema",
+            fingerprint=("schema", self._schema_source),
+            formula=formula,
+        )
+
+    @property
     def health(self) -> list[EngineHealth]:
         """Per-shard engine health (a degraded shard rejects writes)."""
         return self._engine.health()
@@ -697,15 +774,36 @@ class ShardedCollection:
     # Querying (scatter the planner, merge by global doc-id).
     # ------------------------------------------------------------------
 
+    def _read_decision(
+        self, filter_doc: dict[str, Any], no_semantic: bool
+    ) -> "optimizer.SemanticDecision | None":
+        """The coordinator's one-proof verdict for a scatter read."""
+        try:
+            query = compile_mongo_find(filter_doc)
+        except Exception:
+            return None
+        return optimizer.semantic_plan(self, query, no_semantic=no_semantic)
+
     def find_rows(
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[tuple[int, JSONValue]]:
         """``(doc_id, projected value)`` pairs across all shards, in
         global id order (ids are unique, so the merge is total)."""
+        no_semantic = _no_semantic(hint)
+        decision = self._read_decision(filter_doc, no_semantic)
+        if optimizer.effective_kind(decision) == "empty":
+            return []  # the schema refutes the filter: no scatter at all
         runs = self._engine.broadcast(
-            "find", {"filter": filter_doc, "projection": projection}
+            "find",
+            {
+                "filter": filter_doc,
+                "projection": projection,
+                "no_semantic": no_semantic,
+            },
         )
         return list(heapq.merge(*runs))
 
@@ -713,40 +811,105 @@ class ShardedCollection:
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[JSONValue]:
         """MongoDB's ``find``, scatter-gathered: identical rows and
         order to the single-collection planner path."""
-        return [value for _, value in self.find_rows(filter_doc, projection)]
+        return [
+            value
+            for _, value in self.find_rows(filter_doc, projection, hint=hint)
+        ]
 
-    def count(self, filter_doc: dict[str, Any]) -> int:
-        return sum(self._engine.broadcast("count", filter_doc))
+    def count(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> int:
+        no_semantic = _no_semantic(hint)
+        decision = self._read_decision(filter_doc, no_semantic)
+        kind = optimizer.effective_kind(decision)
+        if kind == "empty":
+            return 0
+        if kind == "all":
+            return len(self)  # one cheap meta scatter, no query work
+        return sum(
+            self._engine.broadcast(
+                "count", {"filter": filter_doc, "no_semantic": no_semantic}
+            )
+        )
 
-    def match_ids(self, filter_doc: dict[str, Any]) -> list[int]:
+    def match_ids(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> list[int]:
         """Ids matching a Mongo find filter, in global id order."""
-        return list(heapq.merge(*self._engine.broadcast("match_ids", filter_doc)))
+        no_semantic = _no_semantic(hint)
+        decision = self._read_decision(filter_doc, no_semantic)
+        if optimizer.effective_kind(decision) == "empty":
+            return []
+        return list(
+            heapq.merge(
+                *self._engine.broadcast(
+                    "match_ids",
+                    {"filter": filter_doc, "no_semantic": no_semantic},
+                )
+            )
+        )
 
-    def aggregate(self, pipeline: list) -> list[JSONValue]:
+    def explain(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> list:
+        """Per-shard find explains (one ``Explain`` each, tagged with
+        its shard index)."""
+        reports = self._engine.broadcast(
+            "explain",
+            {"filter": filter_doc, "no_semantic": _no_semantic(hint)},
+        )
+        return [
+            replace(report, shard=index)
+            for index, report in enumerate(reports)
+        ]
+
+    def aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ) -> list[JSONValue]:
         """MongoDB's ``aggregate``, scatter-gathered: map-side partial
         stages per shard, merge-finalize at the coordinator."""
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).execute(self)
+        return compile_pipeline(pipeline).execute(
+            self, no_semantic=_no_semantic(hint)
+        )
 
-    def explain_aggregate(self, pipeline: list):
-        """The fleet-wide :class:`~repro.mongo.aggregate.
-        AggregateExplain`, including per-shard pruning stats."""
+    def explain_aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ):
+        """The fleet-wide aggregation :class:`~repro.explain.Explain`,
+        including per-shard pruning stats and the coordinator's
+        semantic verdict."""
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).explain(self)
+        return compile_pipeline(pipeline).explain(
+            self, no_semantic=_no_semantic(hint)
+        )
 
-    def scatter_partial_aggregate(self, pipeline: list) -> list[dict]:
+    def scatter_partial_aggregate(self, payload: "list | dict") -> list[dict]:
         """Fan a pipeline's map-side share out to every shard.
 
         The hook :meth:`CompiledPipeline.execute`/``explain`` detect:
         ships the pipeline *source* (workers compile through their own
-        artifact caches) and returns one picklable partial per shard.
+        artifact caches) plus the coordinator's semantic verdict for
+        the shards to inherit, and returns one picklable partial per
+        shard.  A bare pipeline list means "decide locally".
         """
-        return self._engine.broadcast("agg_partial", pipeline)
+        return self._engine.broadcast("agg_partial", payload)
 
     # ------------------------------------------------------------------
     # Writes (shard-routed, per-shard delta index maintenance).
@@ -857,16 +1020,23 @@ class ShardedCollection:
         update_doc: dict[str, Any],
         *,
         first_only: bool = False,
+        hint: dict[str, Any] | None = None,
     ) -> list:
-        """Per-shard dry-run reports (one ``UpdateExplain`` each)."""
-        return self._engine.broadcast(
+        """Per-shard dry-run reports (one update ``Explain`` each,
+        tagged with its shard index)."""
+        reports = self._engine.broadcast(
             "explain_update",
             {
                 "filter": filter_doc,
                 "update": update_doc,
                 "first_only": first_only,
+                "no_semantic": _no_semantic(hint),
             },
         )
+        return [
+            replace(report, shard=index)
+            for index, report in enumerate(reports)
+        ]
 
     # ------------------------------------------------------------------
     # Lifecycle.

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 from repro.errors import StoreError
 from repro.model.tree import JSONTree, JSONValue
 from repro.query import planner
+from repro.store.collection import _no_semantic
 from repro.query.compiled import (
     CompiledQuery,
     compile_mongo_find,
@@ -54,7 +55,8 @@ class CollectionSnapshot:
     regardless of how far the source collection has moved on since.
     """
 
-    __slots__ = ("_source", "_generation", "_trees", "_alive", "_extended")
+    __slots__ = ("_source", "_generation", "_trees", "_alive", "_extended",
+                 "_semantic")
 
     def __init__(self, source: "Collection") -> None:
         source.flush_pending()
@@ -65,6 +67,11 @@ class CollectionSnapshot:
         self._trees: list[JSONTree | None] = list(source.all_slots())
         self._alive = len(source)
         self._extended = source.extended
+        # Captured eagerly: the premise must be built while the pinned
+        # documents are exactly the live ones.  A widen-only summary
+        # only ever weakens later, so this context stays sound for the
+        # pinned view however far the source moves on.
+        self._semantic = getattr(source, "semantic_context", None)
 
     # ------------------------------------------------------------------
     # Pin metadata.
@@ -88,6 +95,16 @@ class CollectionSnapshot:
     @property
     def extended(self) -> bool:
         return self._extended
+
+    @property
+    def semantic_context(self):
+        """The source's semantic premise, captured at pin time.
+
+        Remains valid when the source moves on: widening only weakens
+        the summary, and a schema premise never changes, so every
+        pinned document still satisfies the captured formula.
+        """
+        return self._semantic
 
     @property
     def indexes(self) -> "DocumentIndexes | None":
@@ -145,21 +162,47 @@ class CollectionSnapshot:
         self,
         filter_doc: dict[str, Any],
         projection: dict[str, Any] | None = None,
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[JSONValue]:
         return planner.find_documents(
-            self, compile_mongo_find(filter_doc, projection)
+            self,
+            compile_mongo_find(filter_doc, projection),
+            no_semantic=_no_semantic(hint),
         )
 
-    def find_trees(self, filter_doc: dict[str, Any]) -> list[JSONTree]:
-        return planner.find_trees(self, compile_mongo_find(filter_doc))
+    def find_trees(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> list[JSONTree]:
+        return planner.find_trees(
+            self, compile_mongo_find(filter_doc), no_semantic=_no_semantic(hint)
+        )
 
-    def count(self, filter_doc: dict[str, Any]) -> int:
-        return planner.count_matches(self, compile_mongo_find(filter_doc))
+    def count(
+        self,
+        filter_doc: dict[str, Any],
+        *,
+        hint: dict[str, Any] | None = None,
+    ) -> int:
+        return planner.count_matches(
+            self, compile_mongo_find(filter_doc), no_semantic=_no_semantic(hint)
+        )
 
     def match_ids(
-        self, query: "CompiledQuery | str", dialect: str = "jnl"
+        self,
+        query: "CompiledQuery | str",
+        dialect: str = "jnl",
+        *,
+        hint: dict[str, Any] | None = None,
     ) -> list[int]:
-        return planner.match_ids(self, self._as_query(query, dialect))
+        return planner.match_ids(
+            self,
+            self._as_query(query, dialect),
+            no_semantic=_no_semantic(hint),
+        )
 
     def select(
         self, query: "CompiledQuery | str", dialect: str = "jsonpath"
@@ -167,21 +210,39 @@ class CollectionSnapshot:
         return planner.select_values(self, self._as_query(query, dialect))
 
     def explain(
-        self, query: "CompiledQuery | str | dict", dialect: str = "jsonpath"
-    ) -> planner.PlanExplain:
+        self,
+        query: "CompiledQuery | str | dict",
+        dialect: str = "jsonpath",
+        *,
+        hint: dict[str, Any] | None = None,
+    ):
         if isinstance(query, dict):
-            return planner.explain(self, compile_mongo_find(query))
-        return planner.explain(self, self._as_query(query, dialect))
+            return planner.explain(
+                self, compile_mongo_find(query), no_semantic=_no_semantic(hint)
+            )
+        return planner.explain(
+            self,
+            self._as_query(query, dialect),
+            no_semantic=_no_semantic(hint),
+        )
 
-    def aggregate(self, pipeline: list) -> list[JSONValue]:
+    def aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ) -> list[JSONValue]:
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).execute(self)
+        return compile_pipeline(pipeline).execute(
+            self, no_semantic=_no_semantic(hint)
+        )
 
-    def explain_aggregate(self, pipeline: list):
+    def explain_aggregate(
+        self, pipeline: list, *, hint: dict[str, Any] | None = None
+    ):
         from repro.mongo.aggregate import compile_pipeline
 
-        return compile_pipeline(pipeline).explain(self)
+        return compile_pipeline(pipeline).explain(
+            self, no_semantic=_no_semantic(hint)
+        )
 
     @staticmethod
     def _as_query(query: "CompiledQuery | str", dialect: str) -> CompiledQuery:

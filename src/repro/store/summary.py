@@ -1,0 +1,279 @@
+"""Inferred structural summaries: a schema for schemaless collections.
+
+For collections with an enforced schema the semantic optimizer
+(:mod:`repro.query.optimizer`) gets its proof premise from Theorem 1.
+This module closes the gap for schemaless collections -- "let the
+datastore manage the schema": a :class:`StructuralSummary` observes
+every document at ingest and maintains, per stripped key path,
+
+* the set of **kinds** seen at that path,
+* the set of **object keys** seen directly below it, and
+* the **numeric envelope** ``[low, high]`` of number leaves,
+
+then renders those facts as a recursive JSL premise every observed
+document satisfies.
+
+The summary is **widen-only**: facts only ever grow (removal is a
+no-op), so the invariant "every live document satisfies the formula"
+holds under any interleaving of inserts, updates and removals -- and
+also for any snapshot pinned *after* the summary started observing,
+because a pinned document was live (hence observed) at pin time.  The
+price is precision, not soundness: a summary can only become weaker
+than the live data, never wrong about it.
+
+Rendering makes only **conditional** claims (``BOX`` modalities, kind
+disjunctions) -- never an existential one -- because observing a
+document with key ``k`` must not assert that *every* document has
+``k``.  For a path ``p`` with facts ``F``::
+
+    phi_p =  (Int ^ Min(low-1) ^ Max(high+1))   [if NUMBER seen]
+          v  Str                                 [if STRING seen]
+          v  (Obj ^ BOX_{~seen-keys} ~T
+                  ^ BOX_k phi_{p.k} ...)         [if OBJECT seen]
+          v  (Arr ^ BOX_{0:inf} phi_p)           [if ARRAY seen]
+
+(array positions are stripped from key paths, so an array's elements
+recurse through the path's own definition -- guarded, hence
+well-formed recursive JSL).  A fresh summary with nothing observed
+renders falsity: the collection is empty, so "no admissible document"
+is exact.
+
+``revision`` bumps only on actual widening; the fingerprint
+``("summary", uid, revision)`` keys the optimizer's verdict cache, so
+a widened summary invalidates exactly the verdicts it could change.
+Tracking is capped at ``max_paths`` distinct paths: heterogeneous
+collections past the cap disable themselves permanently (the optimizer
+then treats the collection as schemaless-and-summaryless, which is
+always sound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable
+
+from repro.automata.keylang import KeyLang
+from repro.jsl import ast as jsl
+from repro.logic import nodetests as nt
+from repro.model.tree import JSONTree, Kind
+
+__all__ = ["StructuralSummary", "DEFAULT_MAX_PATHS"]
+
+DEFAULT_MAX_PATHS = 512
+
+_uid_counter = itertools.count(1)
+
+
+class _PathFacts:
+    """Widen-only facts about one stripped key path."""
+
+    __slots__ = ("kinds", "keys", "low", "high")
+
+    def __init__(self) -> None:
+        self.kinds: set[Kind] = set()
+        self.keys: set[str] = set()
+        self.low: int | None = None
+        self.high: int | None = None
+
+
+class StructuralSummary:
+    """Per-path structural facts plus their JSL rendering (see module
+    docstring).  Build one per schemaless collection and feed it every
+    inserted/updated document; query through ``formula()``/
+    ``fingerprint``."""
+
+    __slots__ = (
+        "_facts",
+        "_revision",
+        "_uid",
+        "_disabled",
+        "_max_paths",
+        "_formula",
+        "_formula_revision",
+    )
+
+    def __init__(self, *, max_paths: int = DEFAULT_MAX_PATHS) -> None:
+        self._facts: dict[tuple[str, ...], _PathFacts] = {}
+        self._revision = 0
+        self._uid = next(_uid_counter)
+        self._disabled = False
+        self._max_paths = max_paths
+        self._formula: "jsl.Formula | jsl.RecursiveJSL | None" = None
+        self._formula_revision = -1
+
+    # ------------------------------------------------------------------
+    # Observation (widen-only).
+    # ------------------------------------------------------------------
+
+    @property
+    def disabled(self) -> bool:
+        return self._disabled
+
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    @property
+    def fingerprint(self) -> tuple:
+        return ("summary", self._uid, self._revision)
+
+    def _at(self, path: tuple[str, ...]) -> "_PathFacts | None":
+        facts = self._facts.get(path)
+        if facts is None:
+            if len(self._facts) >= self._max_paths:
+                self._disabled = True
+                return None
+            facts = self._facts[path] = _PathFacts()
+            self._revision += 1  # a new path is itself a widening
+        return facts
+
+    def _widen(
+        self,
+        path: tuple[str, ...],
+        kind: Kind,
+        value: Any = None,
+        keys: "Iterable[str] | None" = None,
+    ) -> "_PathFacts | None":
+        facts = self._at(path)
+        if facts is None:
+            return None
+        widened = False
+        if kind not in facts.kinds:
+            facts.kinds.add(kind)
+            widened = True
+        if kind is Kind.NUMBER:
+            if facts.low is None or value < facts.low:
+                facts.low = value
+                widened = True
+            if facts.high is None or value > facts.high:
+                facts.high = value
+                widened = True
+        if keys is not None:
+            for key in keys:
+                if key not in facts.keys:
+                    facts.keys.add(key)
+                    widened = True
+        if widened:
+            self._revision += 1
+        return facts
+
+    def observe_tree(self, tree: JSONTree) -> None:
+        """Fold one document (as a tree) into the summary."""
+        if self._disabled:
+            return
+        stack: list[tuple[tuple[str, ...], int]] = [((), tree.root)]
+        while stack and not self._disabled:
+            path, node = stack.pop()
+            kind = tree.kind(node)
+            if kind is Kind.OBJECT:
+                edges = list(tree.edges(node))
+                self._widen(
+                    path, kind, keys=[label for label, _child in edges]
+                )
+                stack.extend(
+                    (path + (label,), child) for label, child in edges
+                )
+            elif kind is Kind.ARRAY:
+                self._widen(path, kind)
+                stack.extend(
+                    (path, child) for _label, child in tree.edges(node)
+                )
+            else:
+                self._widen(
+                    path,
+                    kind,
+                    tree.value(node) if kind is Kind.NUMBER else None,
+                )
+
+    def observe_value(self, value: Any) -> None:
+        """Fold one document (as a plain value) into the summary."""
+        if self._disabled:
+            return
+        stack: list[tuple[tuple[str, ...], Any]] = [((), value)]
+        while stack and not self._disabled:
+            path, node = stack.pop()
+            if isinstance(node, dict):
+                self._widen(path, Kind.OBJECT, keys=node.keys())
+                stack.extend(
+                    (path + (key,), child) for key, child in node.items()
+                )
+            elif isinstance(node, list):
+                self._widen(path, Kind.ARRAY)
+                stack.extend((path, child) for child in node)
+            elif isinstance(node, str):
+                self._widen(path, Kind.STRING)
+            else:
+                self._widen(path, Kind.NUMBER, node)
+
+    def observe_all(self, trees: Iterable[JSONTree]) -> None:
+        for tree in trees:
+            if self._disabled:
+                return
+            self.observe_tree(tree)
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+
+    def formula(self) -> "jsl.Formula | jsl.RecursiveJSL | None":
+        """The JSL premise (``None`` once disabled), cached per revision."""
+        if self._disabled:
+            return None
+        if self._formula_revision != self._revision:
+            self._formula = self._render()
+            self._formula_revision = self._revision
+        return self._formula
+
+    def _render(self) -> "jsl.Formula | jsl.RecursiveJSL":
+        if not self._facts:
+            # Nothing observed: the collection is empty, and falsity is
+            # the exact premise for "no admissible document exists".
+            return jsl.bottom()
+        names = {
+            path: f"n{position}"
+            for position, path in enumerate(sorted(self._facts))
+        }
+        definitions = tuple(
+            (names[path], self._render_path(path, facts, names))
+            for path, facts in sorted(self._facts.items())
+        )
+        return jsl.RecursiveJSL(definitions, jsl.Ref(names[()]))
+
+    def _render_path(
+        self,
+        path: tuple[str, ...],
+        facts: _PathFacts,
+        names: dict[tuple[str, ...], str],
+    ) -> jsl.Formula:
+        branches: list[jsl.Formula] = []
+        if Kind.NUMBER in facts.kinds:
+            parts: list[jsl.Formula] = [jsl.TestAtom(nt.IsNumber())]
+            if facts.low is not None:
+                parts.append(jsl.TestAtom(nt.MinVal(facts.low - 1)))
+            if facts.high is not None:
+                parts.append(jsl.TestAtom(nt.MaxVal(facts.high + 1)))
+            branches.append(jsl.conj(parts))
+        if Kind.STRING in facts.kinds:
+            branches.append(jsl.TestAtom(nt.IsString()))
+        if Kind.OBJECT in facts.kinds:
+            parts = [jsl.TestAtom(nt.IsObject())]
+            seen = [KeyLang.word(key) for key in sorted(facts.keys)]
+            complement = KeyLang.union(seen).complement()
+            parts.append(jsl.BoxKey(complement, jsl.bottom()))
+            for key in sorted(facts.keys):
+                child = path + (key,)
+                if child in names:
+                    parts.append(
+                        jsl.BoxKey(KeyLang.word(key), jsl.Ref(names[child]))
+                    )
+            branches.append(jsl.conj(parts))
+        if Kind.ARRAY in facts.kinds:
+            # Array positions are stripped from key paths: elements
+            # recurse through this path's own (guarded) definition.
+            branches.append(
+                jsl.And(
+                    jsl.TestAtom(nt.IsArray()),
+                    jsl.BoxIdx(0, None, jsl.Ref(names[path])),
+                )
+            )
+        return jsl.disj(branches)

@@ -9,6 +9,7 @@ import pytest
 
 from repro.cache import artifact_cache, clear_artifact_cache
 from repro.errors import ModelError, ParseError
+from repro.explain import Explain
 from repro.model.tree import JSONTree
 from repro.mongo.aggregate import (
     CompiledPipeline,
@@ -353,12 +354,13 @@ class TestIndexPruning:
 
     def test_lead_query_goes_through_the_planner(self, people):
         """The merged leading $match is a PR-3 logical plan: the
-        planner's own PlanExplain agrees with the aggregation report."""
+        planner's own find explain agrees with the aggregation report."""
         compiled = compile_pipeline(self.PIPELINE)
         assert compiled.lead_query is not None
         plan_report = planner.explain(people, compiled.lead_query)
         agg_report = compiled.explain(people)
-        assert isinstance(plan_report, planner.PlanExplain)
+        assert isinstance(plan_report, Explain)
+        assert plan_report.kind == "find"
         assert plan_report.used_indexes
         assert plan_report.matched == agg_report.matched
         assert agg_report.scanned < len(people)

@@ -252,10 +252,12 @@ class TestAggregate:
             ["aggregate", "--collection", jsonl_file, "--pipeline", pipeline,
              "--explain"]
         ) == 0
-        out = capsys.readouterr().out.splitlines()
-        assert out[0].split("\t") == ["stage 1", "$match", "index-pruned"]
-        assert out[1].split("\t") == ["stage 2", "$sort", "materialised"]
-        assert "total=4" in out[2] and "candidates=1" in out[2]
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-explain"
+        assert report["kind"] == "aggregate"
+        assert report["stages"][0] == {"op": "$match", "mode": "index-pruned"}
+        assert report["stages"][1] == {"op": "$sort", "mode": "materialised"}
+        assert report["total"] == 4 and report["candidates"] == 1
 
     def test_empty_collection(self, tmp_path):
         empty = tmp_path / "empty.jsonl"
@@ -362,13 +364,13 @@ class TestUpdate:
              "--filter", '{"name": "Sue"}',
              "--update", '{"$inc": {"age": 1}}', "--explain"]
         ) == 0
-        out = capsys.readouterr().out.splitlines()
-        assert out[0].startswith("targets\t")
-        assert "total=4" in out[0] and "candidates=1" in out[0]
-        assert "pruned=3" in out[0] and "modified=1" in out[0]
-        assert out[1].startswith("delta\t")
-        tables = {line.split("\t")[1] for line in out[2:]}
-        assert "eq" in tables
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-explain"
+        assert report["kind"] == "update"
+        assert report["total"] == 4 and report["candidates"] == 1
+        assert report["modified"] == 1
+        assert report["total"] - report["candidates"] == 3  # pruned
+        assert "eq" in report["postings"]
 
     def test_explain_respects_one(self, jsonl_file, capsys):
         assert main(
@@ -376,8 +378,8 @@ class TestUpdate:
              "--filter", '{"age": {"$gt": 20}}',
              "--update", '{"$inc": {"age": 1}}', "--one", "--explain"]
         ) == 0
-        out = capsys.readouterr().out.splitlines()
-        assert "matched=1" in out[0] and "modified=1" in out[0]
+        report = json.loads(capsys.readouterr().out)
+        assert report["matched"] == 1 and report["modified"] == 1
 
     def test_no_match_exit_code(self, jsonl_file):
         assert main(
@@ -522,9 +524,9 @@ class TestShards:
                 "--explain",
             ]
         ) == 0
-        out = capsys.readouterr().out
-        assert "shard 0" in out and "shard 1" in out
-        assert "merge\tgroup-merge" in out
+        report = json.loads(capsys.readouterr().out)
+        assert [shard["shard"] for shard in report["shards"]] == [0, 1]
+        assert report["merge"] == "group-merge"
 
     def test_sharded_update_writes_corpus(self, jsonl_file, tmp_path, capsys):
         out_file = str(tmp_path / "updated.jsonl")
@@ -563,8 +565,9 @@ class TestShards:
                 "--explain",
             ]
         ) == 0
-        out = capsys.readouterr().out
-        assert "shard 0" in out and "shard 1" in out
+        reports = json.loads(capsys.readouterr().out)
+        assert [report["shard"] for report in reports] == [0, 1]
+        assert all(report["kind"] == "update" for report in reports)
 
     def test_shards_requires_collection(self, collection_file, capsys):
         assert main(

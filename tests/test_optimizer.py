@@ -1,0 +1,637 @@
+"""The schema-aware semantic optimizer and the unified Explain API.
+
+Covers the verdict ladder (unsat => empty, implied => all, partial =>
+residual, unknown => none), the widen-only structural summary for
+schemaless collections, process-wide verdict caching keyed by schema
+fingerprint, the ``optimize=`` modes and the ``hint={"no_semantic":
+True}`` escape hatch, the versioned Explain ``semantics`` section, and
+the deprecated explain shims.
+
+``TestRandomisedDifferential`` pins the optimizer's first law -- it is
+invisible in results -- by racing ``optimize="on"`` against ``"off"``
+over randomised schemas x queries on every backend (memory, durable,
+sharded, remote).  Scaled by ``REPRO_DIFF_SCALE`` (the nightly CI job
+sweeps it at 20x) alongside adversarial cases: a prover starved to a
+zero budget, a summary that widens between proof and execution, and
+``not``-heavy schemas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import threading
+
+import pytest
+
+from repro import api
+from repro.explain import (
+    AggregateExplain,
+    Explain,
+    PlanExplain,
+    SemanticsExplain,
+    UpdateExplain,
+)
+from repro.errors import StoreError
+from repro.query import compile_mongo_find, optimizer, planner
+
+_SCALE = int(os.environ.get("REPRO_DIFF_SCALE", "1"))
+
+AGE_SCHEMA = {
+    "type": "object",
+    "required": ["age", "name"],
+    "properties": {
+        "age": {"type": "number", "minimum": 0, "maximum": 120},
+        "name": {"type": "string"},
+    },
+}
+
+
+def age_docs(count: int = 20) -> list[dict]:
+    return [{"age": i % 100, "name": f"p{i}"} for i in range(count)]
+
+
+def decision_for(collection, filter_doc, **kwargs):
+    return optimizer.semantic_plan(
+        collection, compile_mongo_find(filter_doc), **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# The verdict ladder.
+# ---------------------------------------------------------------------------
+
+
+class TestVerdicts:
+    @pytest.fixture()
+    def people(self):
+        return api.collection(age_docs(), schema=AGE_SCHEMA)
+
+    def test_unsat_filter_proves_empty(self, people):
+        decision = decision_for(people, {"age": {"$gt": 500}})
+        assert decision.verdict.kind == "empty"
+        assert decision.effective == "empty"
+        assert people.find({"age": {"$gt": 500}}) == []
+        assert people.count({"age": {"$gt": 500}}) == 0
+
+    def test_implied_filter_proves_all(self, people):
+        decision = decision_for(people, {"age": {"$gte": 0}})
+        assert decision.verdict.kind == "all"
+        assert decision.verdict.discharged
+        assert people.count({"age": {"$gte": 0}}) == len(people)
+        assert people.find({"age": {"$gte": 0}}) == people.find(
+            {"age": {"$gte": 0}}, hint={"no_semantic": True}
+        )
+
+    def test_partially_implied_filter_leaves_a_residual(self, people):
+        filter_doc = {"age": {"$gte": 0}, "name": "p3"}
+        decision = decision_for(people, filter_doc)
+        assert decision.verdict.kind == "residual"
+        assert decision.verdict.discharged  # the age conjunct
+        assert decision.verdict.residual  # the name conjunct survives
+        assert people.find(filter_doc) == people.find(
+            filter_doc, hint={"no_semantic": True}
+        )
+
+    def test_unknown_filter_proves_nothing(self, people):
+        decision = decision_for(people, {"hobby": "chess"})
+        assert decision.verdict.kind == "none"
+        assert not decision.verdict.discharged
+
+    def test_extended_collections_opt_out(self):
+        extended = api.collection([{"age": 1}], extended=True)
+        assert extended.semantic_context is None
+        assert decision_for(extended, {"age": {"$gt": 500}}) is None
+
+    def test_update_targets_use_the_same_verdicts(self, people):
+        result = people.update_many({"age": {"$gt": 500}}, {"$inc": {"age": 1}})
+        assert result.matched_count == 0
+        report = people.explain_update({"age": {"$gt": 500}}, {"$inc": {"age": 1}})
+        assert report.semantics is not None
+        assert report.semantics.verdict == "empty"
+        assert report.matched == 0 and report.scanned == 0
+
+    def test_aggregate_lead_match_uses_the_same_verdicts(self, people):
+        assert people.aggregate(
+            [{"$match": {"age": {"$gt": 500}}}, {"$count": "n"}]
+        ) == []
+        report = people.explain_aggregate(
+            [{"$match": {"age": {"$gte": 0}}}, {"$count": "n"}]
+        )
+        assert report.semantics is not None
+        assert report.semantics.verdict == "all"
+        assert report.scanned == 0 and report.matched == len(people)
+
+
+# ---------------------------------------------------------------------------
+# The widen-only structural summary (schemaless collections).
+# ---------------------------------------------------------------------------
+
+
+class TestStructuralSummary:
+    def test_out_of_envelope_query_proves_empty(self):
+        plain = api.collection([{"n": i} for i in range(30)])
+        decision = decision_for(plain, {"n": {"$gt": 1000}})
+        assert decision is not None
+        assert decision.verdict.kind == "empty"
+        assert decision.verdict.source == "summary"
+        assert plain.count({"n": {"$gt": 1000}}) == 0
+
+    def test_summary_widens_on_insert(self):
+        plain = api.collection([{"n": i} for i in range(10)])
+        assert plain.count({"n": {"$gt": 100}}) == 0  # proved empty
+        plain.insert({"n": 150})
+        # The widened summary invalidates the cached verdict: the new
+        # document is visible immediately.
+        assert plain.count({"n": {"$gt": 100}}) == 1
+
+    def test_summary_widens_on_update(self):
+        plain = api.collection([{"n": i} for i in range(10)])
+        assert plain.count({"n": {"$gt": 100}}) == 0
+        plain.update_many({"n": 3}, {"$set": {"n": 300}})
+        assert plain.count({"n": {"$gt": 100}}) == 1
+
+    def test_snapshot_pins_the_premise(self):
+        plain = api.collection([{"n": i} for i in range(10)])
+        view = plain.snapshot_view()
+        plain.insert({"n": 150})
+        # The snapshot's pinned universe still has n <= 9; its captured
+        # premise stays sound (widening only weakens it).
+        assert view.count({"n": {"$gt": 100}}) == 0
+        assert plain.count({"n": {"$gt": 100}}) == 1
+
+    def test_every_document_satisfies_the_inferred_formula(self):
+        from repro.jsl.entailment import SolverConfig, conjoin, unsat
+
+        docs = [
+            {"a": 1, "b": "x"},
+            {"a": 2, "c": [1, 2, 3]},
+            {"a": 3, "b": "y", "d": {"e": 9}},
+        ]
+        plain = api.collection(docs)
+        context = plain.semantic_context
+        assert context is not None
+        # The summary's formula admits a model at all (it is not a
+        # vacuous bottom) ...
+        proved, complete = unsat(context.formula, SolverConfig())
+        assert not proved
+        # ... and refuting it against itself is absurd: conjoining two
+        # copies (hygienically renamed) stays satisfiable.
+        doubled = conjoin(context.formula, context.formula)
+        proved, complete = unsat(doubled, SolverConfig())
+        assert not proved
+
+    def test_mixed_kinds_stay_sound(self):
+        docs = [{"v": 1}, {"v": "text"}, {"v": [1]}, {"v": {"k": 2}}]
+        plain = api.collection(docs)
+        for filter_doc in ({"v": 1}, {"v": "text"}, {"v": {"$gt": 0}}):
+            assert plain.find(filter_doc) == plain.find(
+                filter_doc, hint={"no_semantic": True}
+            ), filter_doc
+
+
+# ---------------------------------------------------------------------------
+# Modes, hints, and the api knobs.
+# ---------------------------------------------------------------------------
+
+
+class TestModesAndHints:
+    def test_optimize_off_disables_the_premise(self):
+        off = api.collection(age_docs(), schema=AGE_SCHEMA, optimize="off")
+        assert off.semantic_context is None
+        report = off.explain({"age": {"$gt": 500}})
+        assert report.semantics is None
+        assert report.scanned > 0 or report.candidates == 0
+
+    def test_proof_only_reports_without_enforcing(self):
+        proof = api.collection(
+            age_docs(), schema=AGE_SCHEMA, optimize="proof-only"
+        )
+        report = proof.explain({"age": {"$gte": 0}})
+        assert report.semantics is not None
+        assert report.semantics.mode == "proof-only"
+        assert report.semantics.verdict == "all"
+        assert not report.semantics.enforced
+        # Enforcement is off: the classic path scanned every survivor.
+        assert report.scanned == len(proof)
+
+    def test_hint_escape_hatch(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        report = people.explain(
+            {"age": {"$gt": 500}}, hint={"no_semantic": True}
+        )
+        assert report.semantics is None
+        assert people.count({"age": {"$gt": 500}}, hint={"no_semantic": True}) == 0
+
+    def test_connect_validates_the_mode(self):
+        with pytest.raises(StoreError):
+            api.connect(optimize="sometimes")
+        with pytest.raises(StoreError):
+            api.collection([], optimize="sometimes")
+
+    def test_database_threads_the_mode_through(self, tmp_path):
+        with api.connect(tmp_path / "db", optimize="proof-only") as db:
+            handle = db.collection(documents=age_docs(), schema=AGE_SCHEMA)
+            assert handle.optimize == "proof-only"
+        with api.connect(tmp_path / "db2", optimize="on") as db:
+            handle = db.collection(optimize="off", documents=[{"n": 1}])
+            assert handle.optimize == "off"
+
+    def test_remote_rejects_proof_only(self):
+        from repro.client import RemoteCollection
+
+        with pytest.raises(StoreError):
+            RemoteCollection(None, "main", optimize="proof-only")
+
+
+# ---------------------------------------------------------------------------
+# Verdict caching.
+# ---------------------------------------------------------------------------
+
+
+class TestVerdictCache:
+    def test_collections_sharing_a_schema_share_verdicts(self):
+        schema = {
+            "type": "object",
+            "required": ["cache_probe"],
+            "properties": {
+                "cache_probe": {"type": "number", "minimum": 0, "maximum": 77}
+            },
+        }
+        first = api.collection([{"cache_probe": 1}], schema=schema)
+        second = api.collection([{"cache_probe": 2}], schema=schema)
+        filter_doc = {"cache_probe": {"$gt": 9999}}
+        one = decision_for(first, filter_doc)
+        two = decision_for(second, filter_doc)
+        assert one.verdict.kind == "empty"
+        assert two.verdict.kind == "empty"
+        assert two.cached  # same canonical schema text, same query
+        assert two.verdict == one.verdict
+
+    def test_budget_is_part_of_the_cache_key(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        filter_doc = {"age": {"$lt": -3}, "name": "only-in-this-test"}
+        eager = decision_for(people, filter_doc)
+        assert eager.verdict.kind == "empty"
+        starved = decision_for(
+            people, filter_doc, config=optimizer.OptimizerConfig(budget_ms=0.0)
+        )
+        # A different budget must not reuse the eager verdict blindly;
+        # whatever it proves must still be sound.
+        assert starved.verdict.kind in ("empty", "none")
+
+
+# ---------------------------------------------------------------------------
+# The Explain semantics section (pinned scenarios).
+# ---------------------------------------------------------------------------
+
+
+class TestExplainSemantics:
+    def test_unsat_find_reports_the_discharged_predicate(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        report = people.explain({"age": {"$gt": 500}})
+        assert isinstance(report, Explain)
+        assert report.format == "repro-explain" and report.version == 1
+        semantics = report.semantics
+        assert semantics is not None
+        assert semantics.verdict == "empty"
+        assert semantics.source == "schema"
+        assert semantics.enforced
+        assert list(semantics.discharged) == ["[X_age.<Min(500)>]"]
+        assert report.scanned == 0 and report.matched == 0
+
+    def test_implied_find_reports_every_discharged_conjunct(self):
+        schema = {
+            "type": "object",
+            "required": ["age", "score"],
+            "properties": {
+                "age": {"type": "number", "minimum": 0, "maximum": 120},
+                "score": {"type": "number", "minimum": 0, "maximum": 10},
+            },
+        }
+        docs = [{"age": i, "score": i % 10} for i in range(15)]
+        people = api.collection(docs, schema=schema)
+        report = people.explain(
+            {"age": {"$gte": 0}, "score": {"$lte": 1000}}
+        )
+        semantics = report.semantics
+        assert semantics is not None and semantics.verdict == "all"
+        # Both conjuncts were discharged: each field shows up in the
+        # proved formula text.
+        discharged_text = " ".join(semantics.discharged)
+        assert "X_age" in discharged_text and "X_score" in discharged_text
+        assert report.matched == len(people) and report.scanned == 0
+
+    def test_residual_reports_both_halves(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        report = people.explain({"age": {"$gte": 0}, "name": "p3"})
+        semantics = report.semantics
+        assert semantics is not None and semantics.verdict == "residual"
+        assert semantics.discharged and semantics.residual
+        assert report.matched == 1
+
+    def test_semantics_survive_the_wire_format(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        report = people.explain({"age": {"$gt": 500}})
+        rehydrated = Explain.from_json(
+            json.loads(json.dumps(report.to_json()))
+        )
+        assert rehydrated == report
+        assert isinstance(rehydrated.semantics, SemanticsExplain)
+
+    def test_verify_counter_counts_only_real_verification(self):
+        people = api.collection(age_docs(), schema=AGE_SCHEMA)
+        optimizer.reset_verify_calls()
+        people.find({"age": {"$gte": 0}})  # proved "all": verify-free
+        assert optimizer.verify_calls() == 0
+        people.find({"age": {"$gte": 0}}, hint={"no_semantic": True})
+        assert optimizer.verify_calls() == len(people)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims.
+# ---------------------------------------------------------------------------
+
+
+class TestExplainShims:
+    def test_old_constructors_warn(self):
+        with pytest.warns(DeprecationWarning):
+            PlanExplain("mongo-find", "{}", 4, None, 4, 2)
+        with pytest.warns(DeprecationWarning):
+            AggregateExplain("mongo-find", "{}", 4, None, 4, 2, 1, ())
+        with pytest.warns(DeprecationWarning):
+            UpdateExplain("{}", "{}", 4, None, 4, 2, 2, 0, 0, 0, {})
+
+    def test_shim_field_parity(self):
+        with pytest.warns(DeprecationWarning):
+            shim = PlanExplain("mongo-find", "{}", 4, 2, 2, 1)
+        base = Explain(
+            kind="find",
+            dialect="mongo-find",
+            source="{}",
+            total=4,
+            candidates=2,
+            scanned=2,
+            matched=1,
+        )
+        assert isinstance(shim, Explain)
+        assert shim.to_json() == base.to_json()
+        assert shim.pruned == base.pruned
+
+    def test_shim_round_trips_through_the_wire_format(self):
+        with pytest.warns(DeprecationWarning):
+            shim = UpdateExplain("{}", "$inc", 4, 1, 1, 1, 1, 2, 2, 0, {"eq": 2})
+        rehydrated = Explain.from_json(shim.to_json())
+        assert rehydrated.to_json() == shim.to_json()
+        assert rehydrated.kind == "update"
+        assert shim.filter_source == shim.source
+
+    def test_legacy_import_paths_resolve_to_the_shims(self):
+        from repro.mongo import AggregateExplain as FromMongo
+        from repro.mongo import UpdateExplain as UpdateFromMongo
+        from repro.query import PlanExplain as FromQuery
+
+        assert FromQuery is PlanExplain
+        assert FromMongo is AggregateExplain
+        assert UpdateFromMongo is UpdateExplain
+
+
+# ---------------------------------------------------------------------------
+# Entailment hygiene.
+# ---------------------------------------------------------------------------
+
+
+class TestEntailmentHygiene:
+    def test_conjoin_renames_clashing_definitions(self):
+        from repro.jsl.entailment import SolverConfig, conjoin, unsat
+
+        # Two summaries use the same generated definition names (n0,
+        # n1, ...); a naive conjunction would capture references across
+        # operands.  The hygienic one renames them apart per operand.
+        low = api.collection([{"n": i} for i in range(5)])
+        high = api.collection([{"n": 1000 + i} for i in range(5)])
+        left = low.semantic_context.formula
+        right = high.semantic_context.formula
+        merged = conjoin(left, right)
+        names = [name for name, _body in merged.definitions]
+        expected = len(left.definitions) + len(right.definitions)
+        assert len(names) == len(set(names)) == expected
+        assert {name.split("_", 2)[1] for name in names} == {"e0", "e1"}
+        # Box-style summaries admit the empty object, so the merged
+        # formula stays satisfiable -- and the solver completes on it.
+        proved, complete = unsat(merged, SolverConfig())
+        assert not proved and complete
+
+    def test_entailment_of_top_completes(self):
+        from repro.jsl import ast
+        from repro.jsl.entailment import SolverConfig, entails
+
+        plain = api.collection([{"n": i} for i in range(5)])
+        formula = plain.semantic_context.formula
+        proved, complete = entails(formula, ast.Top(), SolverConfig())
+        assert proved and complete
+
+
+# ---------------------------------------------------------------------------
+# Randomised on-vs-off differential, all four backends (nightly: 20x).
+# ---------------------------------------------------------------------------
+
+
+def _random_schema(rng: random.Random) -> tuple[dict, list[dict]]:
+    """A random numeric-envelope schema and documents satisfying it."""
+    fields = {}
+    for name in ("a", "b", "c")[: rng.randint(1, 3)]:
+        low = rng.randint(0, 50)
+        high = low + rng.randint(1, 100)
+        fields[name] = (low, high)
+    schema = {
+        "type": "object",
+        "required": sorted(fields),
+        "properties": {
+            name: {"type": "number", "minimum": low, "maximum": high}
+            for name, (low, high) in fields.items()
+        },
+    }
+    docs = [
+        {name: rng.randint(low, high) for name, (low, high) in fields.items()}
+        for _ in range(rng.randint(5, 40))
+    ]
+    return schema, docs
+
+
+def _random_filter(rng: random.Random, schema: dict) -> dict:
+    """A random comparison filter: some unsat, some implied, some real."""
+    filter_doc: dict = {}
+    for name, spec in schema["properties"].items():
+        if rng.random() < 0.4:
+            continue
+        low, high = spec["minimum"], spec["maximum"]
+        op = rng.choice(["$gt", "$gte", "$lt", "$lte", "$eq"])
+        pivot = rng.choice(
+            [
+                rng.randint(low, high),  # selective
+                high + rng.randint(1, 50),  # often unsat / implied
+                low - rng.randint(1, 50),  # often unsat / implied
+            ]
+        )
+        filter_doc[name] = {op: pivot}
+    return filter_doc
+
+
+class TestRandomisedDifferential:
+    def test_memory_on_equals_off(self):
+        rng = random.Random(20170508)
+        for _ in range(10 * _SCALE):
+            schema, docs = _random_schema(rng)
+            on = api.collection(docs, schema=schema)
+            off = api.collection(docs, schema=schema, optimize="off")
+            for _ in range(8):
+                filter_doc = _random_filter(rng, schema)
+                assert on.find(filter_doc) == off.find(filter_doc), filter_doc
+                assert on.count(filter_doc) == off.count(filter_doc)
+                pipeline = [{"$match": filter_doc}, {"$count": "n"}]
+                assert on.aggregate(pipeline) == off.aggregate(pipeline)
+
+    def test_memory_summary_on_equals_off(self):
+        rng = random.Random(1138)
+        for _ in range(10 * _SCALE):
+            schema, docs = _random_schema(rng)
+            on = api.collection(docs)  # schemaless: summary premise
+            off = api.collection(docs, optimize="off")
+            for _ in range(8):
+                filter_doc = _random_filter(rng, schema)
+                assert on.find(filter_doc) == off.find(filter_doc), filter_doc
+                assert on.count(filter_doc) == off.count(filter_doc)
+
+    def test_durable_on_equals_off(self, tmp_path):
+        rng = random.Random(4)
+        schema, docs = _random_schema(rng)
+        with api.connect(tmp_path / "db") as db:
+            handle = db.collection(documents=docs, schema=schema)
+            for _ in range(10 * _SCALE):
+                filter_doc = _random_filter(rng, schema)
+                assert handle.find(filter_doc) == handle.find(
+                    filter_doc, hint={"no_semantic": True}
+                ), filter_doc
+
+    def test_sharded_on_equals_off(self):
+        rng = random.Random(99)
+        schema, docs = _random_schema(rng)
+        reference = api.collection(docs, schema=schema, optimize="off")
+        with api.collection(
+            docs, schema=schema, shards=3, parallel=False
+        ) as fleet:
+            for _ in range(10 * _SCALE):
+                filter_doc = _random_filter(rng, schema)
+                assert fleet.find(filter_doc) == reference.find(
+                    filter_doc
+                ), filter_doc
+                assert fleet.count(filter_doc) == reference.count(filter_doc)
+                pipeline = [{"$match": filter_doc}, {"$count": "n"}]
+                assert fleet.aggregate(pipeline) == reference.aggregate(
+                    pipeline
+                )
+
+    def test_remote_on_equals_off(self):
+        from repro.server import ReproServer
+
+        rng = random.Random(7)
+        schema, docs = _random_schema(rng)
+        database = api.connect()
+        database.collection(documents=docs, schema=schema)
+        local = api.collection(docs, schema=schema, optimize="off")
+
+        server = ReproServer(database)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        started.wait()
+        try:
+            from repro.client import connect
+
+            with connect(server.address) as on_client, connect(
+                server.address, optimize="off"
+            ) as off_client:
+                on = on_client.collection()
+                off = off_client.collection()
+                for _ in range(10 * _SCALE):
+                    filter_doc = _random_filter(rng, schema)
+                    expected = local.find(filter_doc)
+                    assert on.find(filter_doc) == expected, filter_doc
+                    assert off.find(filter_doc) == expected, filter_doc
+                    assert on.count(filter_doc) == len(expected)
+                report = on.explain({"a": {"$gt": 10_000}})
+                assert report.semantics is not None
+                assert report.semantics.verdict == "empty"
+        finally:
+            future = asyncio.run_coroutine_threadsafe(server.aclose(), loop)
+            future.result(timeout=10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()
+
+    # -- adversarial cases -------------------------------------------------
+
+    def test_starved_prover_falls_through_soundly(self):
+        rng = random.Random(55)
+        schema, docs = _random_schema(rng)
+        people = api.collection(docs, schema=schema)
+        starved = optimizer.OptimizerConfig(budget_ms=0.0)
+        for _ in range(10 * _SCALE):
+            filter_doc = _random_filter(rng, schema)
+            query = compile_mongo_find(filter_doc)
+            decision = optimizer.semantic_plan(people, query, config=starved)
+            if decision is not None and decision.verdict.timed_out:
+                assert decision.verdict.kind == "none"
+            # Whatever the verdict, execution stays exact.
+            assert planner.find_documents(people, query) == people.find(
+                filter_doc, hint={"no_semantic": True}
+            ), filter_doc
+
+    def test_summary_widened_between_proof_and_execution(self):
+        rng = random.Random(666)
+        for _ in range(5 * _SCALE):
+            plain = api.collection([{"n": rng.randint(0, 9)} for _ in range(10)])
+            # Prime the verdict cache with an "empty" proof...
+            assert plain.count({"n": {"$gt": 100}}) == 0
+            # ... then widen the universe it was proved against.
+            outlier = rng.randint(101, 500)
+            plain.insert({"n": outlier})
+            assert plain.count({"n": {"$gt": 100}}) == 1
+            assert plain.find({"n": {"$gt": 100}}) == [{"n": outlier}]
+
+    def test_not_heavy_schemas(self):
+        schema = {
+            "type": "object",
+            "required": ["v"],
+            "properties": {
+                "v": {
+                    "allOf": [
+                        {"not": {"type": "string"}},
+                        {"not": {"type": "object"}},
+                        {"type": "number", "minimum": 0, "maximum": 9},
+                    ]
+                }
+            },
+        }
+        docs = [{"v": i} for i in range(10)]
+        on = api.collection(docs, schema=schema)
+        off = api.collection(docs, schema=schema, optimize="off")
+        for filter_doc in (
+            {"v": {"$gt": 100}},
+            {"v": {"$gte": 0}},
+            {"v": {"$lt": 5}},
+            {"v": "text"},
+        ):
+            assert on.find(filter_doc) == off.find(filter_doc), filter_doc
+            assert on.count(filter_doc) == off.count(filter_doc)

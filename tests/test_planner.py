@@ -185,8 +185,25 @@ class TestPruningEffectiveness:
         for query in all_queries():
             explain = planner.explain(collection, query)
             assert explain.total == len(collection)
-            assert explain.matched <= explain.scanned <= explain.total
+            semantics = explain.semantics
+            if semantics is not None and semantics.enforced and (
+                semantics.verdict in ("empty", "all")
+            ):
+                # A discharged verdict answers without scanning: the
+                # planner reports the honest zero-scan counters.
+                assert explain.scanned == 0
+                expected = 0 if semantics.verdict == "empty" else explain.total
+                assert explain.matched == expected
+            else:
+                assert explain.matched <= explain.scanned <= explain.total
             assert explain.matched == len(planner.match_ids(collection, query))
+
+    def test_explain_counts_are_consistent_without_semantics(self, collection):
+        for query in all_queries():
+            explain = planner.explain(collection, query, no_semantic=True)
+            assert explain.semantics is None
+            assert explain.total == len(collection)
+            assert explain.matched <= explain.scanned <= explain.total
 
 
 class TestBatchRouting:

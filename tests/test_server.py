@@ -141,9 +141,16 @@ class TestRoundTrip:
         assert collection.select("$.name") == list(local.select("$.name"))
         remote_report = collection.explain({"age": {"$gt": 50}})
         local_report = local.explain({"age": {"$gt": 50}})
-        assert remote_report["dialect"] == local_report.dialect
-        assert remote_report["matched"] == local_report.matched
-        assert remote_report["candidates"] == local_report.candidates
+        assert remote_report.kind == "find"
+        assert remote_report.dialect == local_report.dialect
+        assert remote_report.matched == local_report.matched
+        assert remote_report.candidates == local_report.candidates
+        remote_json = remote_report.to_json()
+        local_json = local_report.to_json()
+        # Proof latency is wall-clock; everything else matches exactly.
+        remote_json["semantics"].pop("proof_ms")
+        local_json["semantics"].pop("proof_ms")
+        assert remote_json == local_json
 
     def test_writes_round_trip(self, served):
         remote, _ = served
